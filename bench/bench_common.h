@@ -1,0 +1,23 @@
+// Shared output helpers for the experiment benches (E1–E8).
+//
+// Every bench prints a console table (the "figure/table" being reproduced)
+// and drops a CSV next to the working directory for machine consumption.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "support/table.h"
+
+namespace fjs::bench {
+
+/// Prints a titled table and mirrors it to <csv_name>.csv in the CWD.
+inline void emit(const std::string& title, const Table& table,
+                 const std::string& csv_name) {
+  std::cout << "### " << title << "\n\n" << table.render() << '\n';
+  std::ofstream out(csv_name + ".csv");
+  out << table.render_csv();
+}
+
+}  // namespace fjs::bench

@@ -1,0 +1,79 @@
+// E10 — ablation (not from the paper): how much does laxity buy?
+//
+// FJS's whole premise is that start laxity lets a scheduler overlap jobs.
+// We scale the laxity of a fixed workload by λ ∈ {0, ¼, ½, 1, 2, 4, 8}
+// and track each scheduler's span. At λ=0 all schedulers coincide (rigid
+// jobs); as λ grows, laxity-aware schedulers (batch/batch+/profit) convert
+// slack into overlap while Eager ignores it and Lazy squanders it.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "offline/heuristic.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/asciiplot.h"
+#include "support/string_util.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E10: laxity ablation. Base workload: 200 jobs, Poisson"
+               " arrivals, uniform lengths 1-4,\nbase laxity uniform 0-2,"
+               " scaled by lambda.\n\n";
+
+  WorkloadConfig base;
+  base.job_count = 200;
+  base.arrival_rate = 2.0;
+  base.laxity_min = 0.0;
+  base.laxity_max = 2.0;
+
+  const std::vector<double> lambdas = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<std::string> keys = {"eager", "lazy", "batch", "batch+",
+                                         "profit", "overlap"};
+
+  Table table({"lambda", "scheduler", "span", "span/offline"});
+  std::vector<Series> series;
+  for (const auto& key : keys) {
+    series.push_back(Series{key, {}, key[0] == 'b' ? (key == "batch" ? 'b' : 'B')
+                                                   : key[0]});
+  }
+
+  for (const double lambda : lambdas) {
+    // Scale laxities by rebuilding the instance from the same seed.
+    WorkloadConfig cfg = base;
+    cfg.laxity_max = base.laxity_max * lambda;
+    cfg.laxity_min = 0.0;
+    const Instance inst = lambda == 0.0
+                              ? [&] {
+                                  WorkloadConfig rigid = base;
+                                  rigid.laxity = LaxityModel::kZero;
+                                  return generate_workload(rigid, 11);
+                                }()
+                              : generate_workload(cfg, 11);
+    HeuristicOptions heuristic_opts;
+    heuristic_opts.restarts = 1;
+    heuristic_opts.max_passes = 8;
+    const Time offline = heuristic_span(inst, heuristic_opts);
+    for (std::size_t s = 0; s < keys.size(); ++s) {
+      const auto scheduler = make_scheduler(keys[s]);
+      const Time span =
+          simulate_span(inst, *scheduler, scheduler->requires_clairvoyance());
+      table.add_row({format_double(lambda, 2), keys[s],
+                     format_double(span.to_units(), 2),
+                     format_double(time_ratio(span, offline), 3)});
+      series[s].ys.push_back(span.to_units());
+    }
+  }
+  bench::emit("E10 laxity ablation", table, "e10_laxity");
+
+  AsciiPlotOptions plot;
+  plot.x_label = "laxity scale lambda";
+  plot.y_label = "span (units)";
+  std::cout << ascii_plot(lambdas, series, plot)
+            << "\nReading: batch/batch+/profit convert growing laxity into"
+               " overlap (span falls);\neager flat-lines, lazy can get"
+               " WORSE (scattered deadline starts).\n";
+  return 0;
+}

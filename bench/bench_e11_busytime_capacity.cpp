@@ -1,0 +1,78 @@
+// E11 — extension: busy-time scheduling on capacity-g machines.
+//
+// The paper's concluding remarks connect Clairvoyant FJS to busy-time
+// scheduling (Koehler & Khuller): a machine runs at most g concurrent
+// jobs, and g = ∞ IS the span objective. Using the integer-capacity
+// busytime substrate, we sweep g and machine-assignment policy, showing
+// that scheduler choice matters more as g grows (more sharing to exploit)
+// and that most-loaded packing beats load balancing for usage time.
+#include <iostream>
+
+#include "bench_common.h"
+#include "busytime/busytime.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E11: busy-time on capacity-g machines (integer slots,"
+               " first-available assignment\nunless noted). Workload: 300"
+               " jobs, Poisson arrivals, uniform lengths 1-4, laxity"
+               " 0-6.\n\n";
+
+  WorkloadConfig cfg;
+  cfg.job_count = 300;
+  cfg.arrival_rate = 3.0;
+  cfg.laxity_max = 6.0;
+  const Instance raw = generate_workload(cfg, 33);
+
+  Table table({"g", "scheduler", "busy time", "machines", "peak",
+               "busy vs LB"});
+  const std::vector<std::size_t> capacities = {1, 2, 4, 8, 16,
+                                               kUnboundedCapacity};
+  for (const std::size_t g : capacities) {
+    const Time lb = busy_time_lower_bound(raw, g);
+    for (const char* key : {"eager", "lazy", "batch+", "profit"}) {
+      const auto scheduler = make_scheduler(key);
+      const SimulationResult run =
+          simulate(raw, *scheduler, scheduler->requires_clairvoyance());
+      const BusyTimeResult result =
+          assign_machines(run.instance, run.schedule, g);
+      table.add_row({g == kUnboundedCapacity ? "inf" : std::to_string(g),
+                     scheduler->name(),
+                     format_double(result.total_busy.to_units(), 1),
+                     std::to_string(result.machines_used),
+                     std::to_string(result.peak_active_machines),
+                     format_double(time_ratio(result.total_busy, lb), 3) +
+                         "x"});
+    }
+  }
+  bench::emit("E11 busy-time vs machine capacity g", table, "e11_busytime");
+
+  // Policy ablation at g = 4 for the batch+ schedule.
+  const auto bp = make_scheduler("batch+");
+  const SimulationResult run = simulate(raw, *bp, false);
+  Table policies({"policy", "busy time", "machines"});
+  for (const MachinePolicy policy :
+       {MachinePolicy::kFirstAvailable, MachinePolicy::kMostLoaded,
+        MachinePolicy::kLeastLoaded}) {
+    const BusyTimeResult result =
+        assign_machines(run.instance, run.schedule, 4, policy);
+    policies.add_row({to_string(policy),
+                      format_double(result.total_busy.to_units(), 1),
+                      std::to_string(result.machines_used)});
+  }
+  std::cout << "--- assignment-policy ablation (batch+ schedule, g=4) ---\n"
+            << policies.render() << '\n';
+
+  std::cout << "Reading: at g=1 busy time is total work"
+               " (scheduler-independent); at g=inf it is the span.\n"
+               "In between, span-minimizing schedulers concentrate load so"
+               " fewer machine-hours are billed;\nleast-loaded (balancing)"
+               " assignment wastes busy time relative to packing"
+               " policies.\n";
+  return 0;
+}

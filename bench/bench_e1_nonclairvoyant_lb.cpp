@@ -1,0 +1,57 @@
+// E1 — Theorem 3.3 / Figure 1: the non-clairvoyant adaptive adversary.
+//
+// Reproduces the paper's lower-bound behaviour: against any deterministic
+// non-clairvoyant scheduler the measured span ratio approaches
+// (kμ+1)/(μ+k) → μ as the number of adversary iterations k grows.
+#include <iostream>
+#include <string>
+
+#include "adversary/nonclairvoyant_lb.h"
+#include "bench_common.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E1: non-clairvoyant lower bound (Thm 3.3). The adversary\n"
+               "releases iterations of jobs, earmarks one job per iteration\n"
+               "with length mu, and stops adaptively. Sizes are scaled down\n"
+               "from the paper's double-exponential counts (DESIGN.md).\n\n";
+
+  Table table({"mu", "k", "scheduler", "iters", "earmarks", "measured",
+               "floor (kmu+1)/(mu+k)", "target mu"});
+
+  for (const double mu : {2.0, 4.0, 8.0}) {
+    for (const int k : {1, 2, 3, 4}) {
+      for (const char* key : {"eager", "batch", "batch+"}) {
+        NonClairvoyantLbParams params;
+        params.mu = mu;
+        params.iterations = k;
+        params.alpha = mu + 2.0;
+        params.first_count = 4096;
+        const auto scheduler = make_scheduler(key);
+        NonClairvoyantAdversary adversary(params);
+        Engine engine(adversary, adversary, *scheduler, {});
+        const SimulationResult result = engine.run();
+        const Schedule reference =
+            adversary.reference_schedule(result.instance);
+        const double measured =
+            time_ratio(result.span(), reference.span(result.instance));
+        table.add_row(
+            {format_double(mu, 1), std::to_string(k), key,
+             std::to_string(adversary.iterations_released()),
+             std::to_string(adversary.earmarks().size()),
+             format_double(measured, 4),
+             format_double(adversary.theoretical_ratio_floor(), 4),
+             format_double(mu, 1)});
+      }
+    }
+  }
+  bench::emit("E1 non-clairvoyant adversary ratios", table, "e1_nclb");
+
+  std::cout << "Reading: 'measured' tracks the outcome floor and climbs\n"
+               "toward mu with k — no non-clairvoyant scheduler escapes.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E2 — Theorem 3.4 / Figure 2: Batch's tightness family.
+//
+// Batch's span on the Figure 2 instance is exactly 2mμ against a reference
+// of m(1+ε)+μ, so the ratio approaches 2μ as m grows; the theorem also
+// caps Batch at 2μ+1 on every instance. Both sides are shown.
+#include <iostream>
+
+#include "adversary/tightness.h"
+#include "analysis/convergence.h"
+#include "bench_common.h"
+#include "schedulers/batch.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E2: Batch tightness family (Thm 3.4, Fig. 2).\n\n";
+
+  const double eps = 0.01;
+  Table table({"mu", "m", "batch span", "reference span", "ratio",
+               "lower 2mu", "upper 2mu+1"});
+  Table limits({"mu", "fitted limit (m->inf)", "closed form 2mu/(1+eps)",
+                "R^2"});
+  for (const double mu : {1.5, 2.0, 4.0, 8.0}) {
+    std::vector<double> ms;
+    std::vector<double> ratios;
+    for (const std::size_t m : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+      const TightnessInstance tight = make_batch_tightness(m, mu, eps);
+      BatchScheduler batch;
+      const Time span = simulate_span(tight.instance, batch, false);
+      const Time ref = tight.reference.span(tight.instance);
+      const double ratio = time_ratio(span, ref);
+      table.add_row({format_double(mu, 1), std::to_string(m),
+                     format_double(span.to_units(), 2),
+                     format_double(ref.to_units(), 2),
+                     format_double(ratio, 4), format_double(2.0 * mu, 1),
+                     format_double(2.0 * mu + 1.0, 1)});
+      ms.push_back(static_cast<double>(m));
+      ratios.push_back(1.0 / ratio);  // reciprocal is exactly linear in 1/m
+    }
+    const AsymptoteFit fit = fit_asymptote(ms, ratios);
+    limits.add_row({format_double(mu, 1), format_double(1.0 / fit.limit, 4),
+                    format_double(2.0 * mu / (1.0 + eps), 4),
+                    format_double(fit.r_squared, 6)});
+  }
+  bench::emit("E2 Batch tightness (ratio -> 2mu)", table, "e2_batch_tight");
+  std::cout << "Fitted asymptotes (reciprocal fit, exact for this family):\n" << limits.render();
+  return 0;
+}

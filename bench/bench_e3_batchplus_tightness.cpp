@@ -1,0 +1,50 @@
+// E3 — Theorem 3.5 / Figure 3: Batch+'s tight family.
+//
+// Batch+'s span on the Figure 3 instance is m(μ+1−ε) against a reference
+// of m+μ: the ratio approaches μ+1, which Theorem 3.5 proves is also the
+// worst case — the bound is tight.
+#include <iostream>
+
+#include "adversary/tightness.h"
+#include "analysis/convergence.h"
+#include "bench_common.h"
+#include "schedulers/batch_plus.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E3: Batch+ tight family (Thm 3.5, Fig. 3).\n\n";
+
+  const double eps = 0.01;
+  Table table({"mu", "m", "batch+ span", "reference span", "ratio",
+               "tight bound mu+1"});
+  Table limits({"mu", "fitted limit (m->inf)", "closed form mu+1-eps",
+                "R^2"});
+  for (const double mu : {1.5, 2.0, 4.0, 8.0}) {
+    std::vector<double> ms;
+    std::vector<double> ratios;
+    for (const std::size_t m : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+      const TightnessInstance tight = make_batch_plus_tightness(m, mu, eps);
+      BatchPlusScheduler bp;
+      const Time span = simulate_span(tight.instance, bp, false);
+      const Time ref = tight.reference.span(tight.instance);
+      const double ratio = time_ratio(span, ref);
+      table.add_row({format_double(mu, 1), std::to_string(m),
+                     format_double(span.to_units(), 2),
+                     format_double(ref.to_units(), 2),
+                     format_double(ratio, 4), format_double(mu + 1.0, 1)});
+      ms.push_back(static_cast<double>(m));
+      ratios.push_back(1.0 / ratio);  // reciprocal is exactly linear in 1/m
+    }
+    const AsymptoteFit fit = fit_asymptote(ms, ratios);
+    limits.add_row({format_double(mu, 1), format_double(1.0 / fit.limit, 4),
+                    format_double(mu + 1.0 - eps, 4),
+                    format_double(fit.r_squared, 6)});
+  }
+  bench::emit("E3 Batch+ tightness (ratio -> mu+1)", table,
+              "e3_batchplus_tight");
+  std::cout << "Fitted asymptotes (reciprocal fit, exact for this family):\n" << limits.render();
+  return 0;
+}

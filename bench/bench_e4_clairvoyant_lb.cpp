@@ -1,0 +1,47 @@
+// E4 — Theorem 4.1 / Figure 4: the clairvoyant golden-ratio adversary.
+//
+// Every deterministic scheduler is forced to a ratio approaching
+// φ = (√5+1)/2 ≈ 1.618: either it refuses to start a long job inside a
+// short job's window (ratio exactly φ at that point), or it rides through
+// all n iterations (ratio nφ/(φ+n−1) → φ).
+#include <iostream>
+
+#include "adversary/clairvoyant_lb.h"
+#include "bench_common.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E4: clairvoyant lower bound (Thm 4.1). phi = "
+            << format_double(ClairvoyantAdversary::phi(), 6) << "\n\n";
+
+  Table table({"scheduler", "n", "outcome", "iters", "measured",
+               "paper ratio", "phi"});
+  for (const auto& spec : scheduler_registry()) {
+    for (const int n : {2, 8, 32, 128}) {
+      const auto scheduler = spec.make();
+      ClairvoyantAdversary adversary(
+          ClairvoyantLbParams{.max_iterations = n});
+      NoDeferralOracle oracle;
+      Engine engine(adversary, oracle, *scheduler,
+                    EngineOptions{.clairvoyant = true});
+      const SimulationResult result = engine.run();
+      const Schedule reference =
+          adversary.reference_schedule(result.instance);
+      const double measured =
+          time_ratio(result.span(), reference.span(result.instance));
+      table.add_row({spec.key, std::to_string(n),
+                     adversary.stopped_early() ? "refused" : "rode-through",
+                     std::to_string(adversary.iterations_released()),
+                     format_double(measured, 4),
+                     format_double(adversary.theoretical_ratio(), 4),
+                     format_double(ClairvoyantAdversary::phi(), 4)});
+    }
+  }
+  bench::emit("E4 clairvoyant adversary (ratio -> phi for everyone)", table,
+              "e4_clb");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E5 — Theorem 4.4: Classify-by-Duration Batch+ and the choice of α.
+//
+// The theorem bounds CDB by f(α) = 3α + 4 + 2/(α−1), minimized at
+// α* = 1 + √(2/3) ≈ 1.8165 where f = 7 + 2√6 ≈ 11.9. We sweep α over
+// multi-category workloads (bimodal and heavy-tail lengths), measuring
+// exact competitive ratios on small integral instances. Measured ratios
+// sit far below the worst-case bound (random inputs are not adversarial);
+// the reproduction target is the U-shape of the worst measured ratio and
+// the bound column itself.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "offline/exact.h"
+#include "schedulers/classify_by_duration.h"
+#include "sim/engine.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E5: CDB alpha sweep (Thm 4.4). alpha* = 1+sqrt(2/3) = "
+            << format_double(CdbScheduler::optimal_alpha(), 4)
+            << ", bound at alpha* = 7+2*sqrt(6) = "
+            << format_double(7.0 + 2.0 * std::sqrt(6.0), 4) << "\n\n";
+
+  // Multi-category instances: lengths spanning 1..8 force several CDB
+  // categories so alpha actually matters.
+  std::vector<Instance> cases;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    WorkloadConfig bimodal;
+    bimodal.job_count = 8;
+    bimodal.integral = true;
+    bimodal.lengths = LengthDistribution::kBimodal;
+    bimodal.length_min = 1.0;
+    bimodal.length_max = 8.0;
+    bimodal.bimodal_short_fraction = 0.7;
+    bimodal.laxity_max = 5.0;
+    cases.push_back(generate_workload(bimodal, seed));
+
+    WorkloadConfig spread = bimodal;
+    spread.lengths = LengthDistribution::kUniform;
+    spread.length_max = 6.0;
+    cases.push_back(generate_workload(spread, seed + 100));
+  }
+  std::vector<Time> opts(cases.size());
+  parallel_for(global_pool(), cases.size(), [&](std::size_t i) {
+    opts[i] = exact_optimal_span(cases[i]);
+  });
+
+  Table table({"alpha", "mean ratio", "p90 ratio", "worst ratio",
+               "theorem bound 3a+4+2/(a-1)"});
+  const std::vector<double> alphas = {1.2, 1.4, 1.6, 1.8165, 2.0,
+                                      2.4, 3.0, 4.0, 6.0};
+  for (const double alpha : alphas) {
+    Summary ratios;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      CdbScheduler cdb(alpha);
+      const Time span = simulate_span(cases[i], cdb, true);
+      ratios.add(time_ratio(span, opts[i]));
+    }
+    const double bound = 3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0);
+    table.add_row({format_double(alpha, 4), format_double(ratios.mean(), 4),
+                   format_double(ratios.percentile(90.0), 4),
+                   format_double(ratios.max(), 4),
+                   format_double(bound, 4)});
+  }
+  bench::emit("E5 CDB alpha sweep", table, "e5_cdb_alpha");
+
+  std::cout << "Reading: the theorem-bound column is minimized at"
+               " alpha* = 1.8165; measured ratios on stochastic inputs are\n"
+               "much smaller and comparatively flat, as expected for a"
+               " worst-case guarantee.\n";
+  return 0;
+}

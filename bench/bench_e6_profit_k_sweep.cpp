@@ -1,0 +1,87 @@
+// E6 — Theorem 4.11: the Profit scheduler and the choice of k.
+//
+// The theorem bounds Profit by g(k) = 2k + 2 + 1/(k−1), minimized at
+// k* = 1 + √2/2 ≈ 1.7071 where g = 4 + 2√2 ≈ 6.83. We sweep k over the
+// same multi-category workloads as E5 plus the golden-ratio adversary,
+// measuring exact ratios on small integral instances.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "adversary/clairvoyant_lb.h"
+#include "bench_common.h"
+#include "offline/exact.h"
+#include "schedulers/profit.h"
+#include "sim/engine.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E6: Profit k sweep (Thm 4.11). k* = 1+sqrt(2)/2 = "
+            << format_double(ProfitScheduler::optimal_k(), 4)
+            << ", bound at k* = 4+2*sqrt(2) = "
+            << format_double(4.0 + 2.0 * std::sqrt(2.0), 4) << "\n\n";
+
+  std::vector<Instance> cases;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    WorkloadConfig bimodal;
+    bimodal.job_count = 8;
+    bimodal.integral = true;
+    bimodal.lengths = LengthDistribution::kBimodal;
+    bimodal.length_min = 1.0;
+    bimodal.length_max = 8.0;
+    bimodal.bimodal_short_fraction = 0.7;
+    bimodal.laxity_max = 5.0;
+    cases.push_back(generate_workload(bimodal, seed));
+
+    WorkloadConfig spread = bimodal;
+    spread.lengths = LengthDistribution::kUniform;
+    spread.length_max = 6.0;
+    cases.push_back(generate_workload(spread, seed + 100));
+  }
+  std::vector<Time> opts(cases.size());
+  parallel_for(global_pool(), cases.size(), [&](std::size_t i) {
+    opts[i] = exact_optimal_span(cases[i]);
+  });
+
+  Table table({"k", "mean ratio", "p90 ratio", "worst ratio",
+               "adversary ratio", "theorem bound 2k+2+1/(k-1)"});
+  const std::vector<double> ks = {1.05, 1.2, 1.4, 1.7071, 2.0,
+                                  2.5,  3.0, 4.0, 6.0};
+  for (const double k : ks) {
+    Summary ratios;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      ProfitScheduler profit(k);
+      const Time span = simulate_span(cases[i], profit, true);
+      ratios.add(time_ratio(span, opts[i]));
+    }
+    // Golden-ratio adversary against Profit(k).
+    ProfitScheduler profit(k);
+    ClairvoyantAdversary adversary(ClairvoyantLbParams{.max_iterations = 32});
+    NoDeferralOracle oracle;
+    Engine engine(adversary, oracle, profit,
+                  EngineOptions{.clairvoyant = true});
+    const SimulationResult adv = engine.run();
+    const double adv_ratio = time_ratio(
+        adv.span(),
+        adversary.reference_schedule(adv.instance).span(adv.instance));
+
+    const double bound = 2.0 * k + 2.0 + 1.0 / (k - 1.0);
+    table.add_row({format_double(k, 4), format_double(ratios.mean(), 4),
+                   format_double(ratios.percentile(90.0), 4),
+                   format_double(ratios.max(), 4),
+                   format_double(adv_ratio, 4), format_double(bound, 4)});
+  }
+  bench::emit("E6 Profit k sweep", table, "e6_profit_k");
+
+  std::cout << "Reading: the theorem-bound column is minimized at"
+               " k* = 1.7071. Small k degrades measured ratios (Profit\n"
+               "stops piggybacking jobs onto running flags); the adversary"
+               " pins every k near phi.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E7 — scheduler comparison on the standard stochastic workload suite.
+//
+// The paper has no experimental section; this bench provides the empirical
+// ranking its theory predicts: Batch+/Batch close to OPT with generous
+// laxity, Eager/Lazy losing ground, CDB/Profit trading average-case
+// performance for worst-case guarantees. Ratios are reported as a bracket
+// [online/heuristic, online/lower-bound] that contains the true
+// competitive ratio on each instance.
+#include <iostream>
+
+#include "analysis/sweep.h"
+#include "bench_common.h"
+#include "schedulers/registry.h"
+#include "support/string_util.h"
+#include "workload/suite.h"
+
+int main() {
+  using namespace fjs;
+
+  std::cout << "E7: scheduler x workload grid (8 workload families x 6"
+               " seeds, n=150 jobs).\nRatio bracket: [vs heuristic OPT,"
+               " vs certified lower bound].\n\n";
+
+  SweepOptions options;
+  options.heuristic_options.restarts = 1;
+  options.heuristic_options.max_passes = 8;
+
+  Table table({"workload", "scheduler", "mean ratio >=", "mean ratio <=",
+               "worst >=", "mean span"});
+  for (const auto& named : standard_suite()) {
+    WorkloadConfig config = named.config;
+    config.job_count = 150;
+    const auto cases = make_cases(config, named.name, 6, 42);
+    const auto aggregates =
+        run_ratio_sweep(cases, known_scheduler_keys(), options);
+    for (const auto& agg : aggregates) {
+      table.add_row({named.name, agg.scheduler_key,
+                     format_double(agg.ratio_lower.mean(), 3),
+                     format_double(agg.ratio_upper.mean(), 3),
+                     format_double(agg.ratio_lower.max(), 3),
+                     format_double(agg.spans.mean(), 1)});
+    }
+  }
+  bench::emit("E7 scheduler comparison on stochastic workloads", table,
+              "e7_random");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E8 — §5 extension: generalized MinUsageTime Dynamic Bin Packing.
+//
+// A span-minimizing scheduler fixes start times; a packing policy places
+// each job on a unit-capacity server for its active interval; the
+// objective is total server usage time. The paper's §5 predicts that
+// pairing Batch+ (non-clairvoyant) or Profit (clairvoyant) with
+// (classify-by-duration) First Fit keeps usage competitive; Eager and
+// especially Lazy pipelines waste server-hours.
+#include <iostream>
+
+#include "bench_common.h"
+#include "dbp/pipeline.h"
+#include "support/string_util.h"
+#include "workload/cloud_trace.h"
+
+int main() {
+  using namespace fjs;
+
+  CloudTraceConfig config;
+  config.job_count = 400;
+  const CloudTrace trace = generate_cloud_trace(config, 20240705);
+  const Time lb = dbp_usage_lower_bound(trace.instance, trace.sizes);
+
+  std::cout << "E8: scheduler x packer pipelines on a synthetic cloud trace"
+               " (400 jobs).\ncertified usage lower bound = "
+            << format_double(lb.to_units(), 2) << " server-hours\n\n";
+
+  Table table({"scheduler", "packer", "usage (server-h)", "span (h)",
+               "servers", "peak open", "usage vs LB"});
+  for (const char* key :
+       {"eager", "lazy", "batch", "batch+", "cdb", "profit"}) {
+    for (const auto& packer : make_standard_packers()) {
+      const PipelineResult result =
+          run_pipeline(trace.instance, trace.sizes, key, *packer);
+      table.add_row({result.scheduler, result.packer,
+                     format_double(result.packing.total_usage.to_units(), 1),
+                     format_double(result.span.to_units(), 1),
+                     std::to_string(result.packing.bins_opened),
+                     std::to_string(result.packing.peak_open_bins),
+                     format_double(result.usage_ratio_upper, 3) + "x"});
+    }
+  }
+  bench::emit("E8 MinUsageTime DBP pipelines", table, "e8_dbp");
+
+  std::cout << "Reading: span-minimizing schedulers (batch/batch+) feed the"
+               " packers denser timelines,\ncutting total usage versus the"
+               " lazy pipeline; classify-by-duration First Fit trades a\n"
+               "few extra servers for tighter per-class packing.\n";
+  return 0;
+}

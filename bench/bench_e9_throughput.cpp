@@ -1,0 +1,134 @@
+// E9 — engineering throughput benchmarks (google-benchmark).
+//
+// Not a paper experiment: measures the simulator's and solvers' raw
+// performance so regressions in the substrate are visible — events/second
+// per scheduler, IntervalSet operations, exact-solver scaling, heuristic
+// cost, and parallel sweep speedup.
+#include <benchmark/benchmark.h>
+
+#include "analysis/sweep.h"
+#include "core/interval_set.h"
+#include "offline/exact.h"
+#include "offline/heuristic.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace fjs;
+
+Instance bench_instance(std::size_t jobs, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.job_count = jobs;
+  config.arrival_rate = 2.0;
+  config.laxity_max = 6.0;
+  return generate_workload(config, seed);
+}
+
+void BM_EngineThroughput(benchmark::State& state, const char* key) {
+  const Instance inst = bench_instance(10'000, 1);
+  const auto spec_clairvoyant = [&] {
+    for (const auto& spec : scheduler_registry()) {
+      if (spec.key == key) {
+        return spec.clairvoyant;
+      }
+    }
+    return false;
+  }();
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const auto scheduler = make_scheduler(key);
+    const SimulationResult result =
+        simulate(inst, *scheduler, spec_clairvoyant);
+    events += result.event_count;
+    benchmark::DoNotOptimize(result.schedule);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/iteration");
+}
+
+BENCHMARK_CAPTURE(BM_EngineThroughput, eager, "eager");
+BENCHMARK_CAPTURE(BM_EngineThroughput, lazy, "lazy");
+BENCHMARK_CAPTURE(BM_EngineThroughput, batch, "batch");
+BENCHMARK_CAPTURE(BM_EngineThroughput, batch_plus, "batch+");
+BENCHMARK_CAPTURE(BM_EngineThroughput, cdb, "cdb");
+BENCHMARK_CAPTURE(BM_EngineThroughput, profit, "profit");
+BENCHMARK_CAPTURE(BM_EngineThroughput, doubler, "doubler*");
+
+void BM_IntervalSetAdd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<Interval> intervals;
+  intervals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t lo = rng.uniform_int(0, 1'000'000);
+    intervals.emplace_back(Time(lo), Time(lo + rng.uniform_int(1, 5'000)));
+  }
+  for (auto _ : state) {
+    IntervalSet set;
+    for (const auto& iv : intervals) {
+      set.add(iv);
+    }
+    benchmark::DoNotOptimize(set.measure());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+BENCHMARK(BM_IntervalSetAdd)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+void BM_ExactSolver(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  WorkloadConfig config;
+  config.job_count = jobs;
+  config.integral = true;
+  config.laxity_max = 4.0;
+  const Instance inst = generate_workload(config, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_optimal_span(inst));
+  }
+}
+
+BENCHMARK(BM_ExactSolver)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Heuristic(benchmark::State& state) {
+  const Instance inst =
+      bench_instance(static_cast<std::size_t>(state.range(0)), 5);
+  HeuristicOptions options;
+  options.restarts = 1;
+  options.max_passes = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristic_span(inst, options));
+  }
+}
+
+BENCHMARK(BM_Heuristic)->Arg(50)->Arg(150)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepParallelism(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  WorkloadConfig config;
+  config.job_count = 120;
+  const auto cases = make_cases(config, "bench", 16, 9);
+  ThreadPool pool(threads);
+  SweepOptions options;
+  options.pool = &pool;
+  options.heuristic_options.restarts = 0;
+  options.heuristic_options.max_passes = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_ratio_sweep(cases, {"batch+", "profit"}, options));
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+
+BENCHMARK(BM_SweepParallelism)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

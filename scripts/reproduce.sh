@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, run every
+# experiment bench (E1-E16 tables + E9 microbenchmarks), and leave the
+# transcripts in test_output.txt / bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  echo "==================== $(basename "$b") ====================" \
+    | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "Done. See test_output.txt, bench_output.txt and EXPERIMENTS.md."

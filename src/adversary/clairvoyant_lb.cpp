@@ -1,0 +1,96 @@
+#include "adversary/clairvoyant_lb.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+ClairvoyantAdversary::ClairvoyantAdversary(ClairvoyantLbParams params)
+    : params_(params),
+      step_(Time::from_units(phi() + 1.0)),
+      short_len_(Time::from_units(1.0)),
+      long_len_(Time::from_units(phi())) {
+  FJS_REQUIRE(params_.max_iterations >= 1, "clb: need >= 1 iteration");
+}
+
+SourceAction ClairvoyantAdversary::release_iteration() {
+  ++iteration_;
+  const Time r = step_ * static_cast<std::int64_t>(iteration_ - 1);
+  release_times_.push_back(r);
+
+  SourceAction action;
+  // Short job: laxity 0 — must start at r.
+  action.releases.push_back(
+      JobSpec{.arrival = r, .deadline = r, .length = short_len_});
+  // Long job: laxity (n − i + 1)(φ+1).
+  const auto remaining =
+      static_cast<std::int64_t>(params_.max_iterations - iteration_ + 1);
+  action.releases.push_back(JobSpec{.arrival = r,
+                                    .deadline = r + step_ * remaining,
+                                    .length = long_len_});
+  long_ids_.push_back(static_cast<JobId>(2 * iteration_ - 1));
+  long_started_in_window_.push_back(false);
+  // Check the window at r + 1 (the short job's completion).
+  action.wakeup = r + short_len_;
+  return action;
+}
+
+SourceAction ClairvoyantAdversary::begin() { return release_iteration(); }
+
+SourceAction ClairvoyantAdversary::on_start(JobId id, Time now) {
+  const auto it = std::find(long_ids_.begin(), long_ids_.end(), id);
+  if (it != long_ids_.end()) {
+    const auto idx = static_cast<std::size_t>(it - long_ids_.begin());
+    const Time window_end = release_times_[idx] + short_len_;
+    if (now < window_end) {
+      long_started_in_window_[idx] = true;
+    }
+  }
+  return {};
+}
+
+SourceAction ClairvoyantAdversary::on_wakeup(Time /*now*/) {
+  // Fired at r_i + 1, the end of iteration i's short window.
+  const std::size_t idx = static_cast<std::size_t>(iteration_) - 1;
+  if (!long_started_in_window_[idx]) {
+    stopped_early_ = true;
+    return {};  // terminate the release process
+  }
+  if (iteration_ >= params_.max_iterations) {
+    return {};  // final iteration done
+  }
+  return release_iteration();
+}
+
+Schedule ClairvoyantAdversary::reference_schedule(
+    const Instance& realized) const {
+  FJS_REQUIRE(!release_times_.empty(), "clb: run the simulation first");
+  const Time t_last = release_times_.back();
+  Schedule sched(realized.size());
+  for (JobId id = 0; id < realized.size(); ++id) {
+    const Job& j = realized.job(id);
+    const bool is_long =
+        std::find(long_ids_.begin(), long_ids_.end(), id) != long_ids_.end();
+    if (is_long) {
+      // Long deadlines are all >= n(φ+1) - trivia: r_j + (n-j+1)(φ+1)
+      // = n(φ+1), so starting at the last release time is always feasible.
+      FJS_CHECK(j.deadline >= t_last, "clb: long job cannot reach t_last");
+      sched.set_start(id, std::max(j.arrival, t_last));
+    } else {
+      sched.set_start(id, j.arrival);
+    }
+  }
+  sched.validate(realized);
+  return sched;
+}
+
+double ClairvoyantAdversary::theoretical_ratio() const {
+  const double n = iterations_released();
+  if (stopped_early_) {
+    return phi();  // ((i−1)φ + φ + 1) / (φ + i − 1) = φ for every i
+  }
+  return n * phi() / (phi() + n - 1.0);
+}
+
+}  // namespace fjs

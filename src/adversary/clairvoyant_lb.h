@@ -1,0 +1,68 @@
+// The §4.1 adaptive adversary establishing the golden-ratio lower bound
+// φ = (√5+1)/2 for Clairvoyant FJS (Theorem 4.1, Figure 4).
+//
+// Up to n iterations. Iteration i releases, at r_i = (i−1)(φ+1):
+//   * a short job: laxity 0, length 1 — forced to run [r_i, r_i+1);
+//   * a long job: length φ, laxity (n−i+1)(φ+1).
+// If the online scheduler does NOT start the long job during the short
+// job's active interval [r_i, r_i+1), the adversary stops releasing.
+// Otherwise the next iteration follows. Either way the measured ratio is
+// at least φ (up to tick rounding).
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "sim/source.h"
+
+namespace fjs {
+
+struct ClairvoyantLbParams {
+  /// Maximum number of iterations (the paper's n).
+  int max_iterations = 32;
+};
+
+class ClairvoyantAdversary final : public JobSource {
+ public:
+  explicit ClairvoyantAdversary(ClairvoyantLbParams params = {});
+
+  SourceAction begin() override;
+  SourceAction on_start(JobId id, Time now) override;
+  SourceAction on_wakeup(Time now) override;
+
+  /// --- Post-run inspection -------------------------------------------
+
+  int iterations_released() const { return iteration_; }
+  /// True iff the adversary stopped because a long job was not started
+  /// inside its short partner's active interval.
+  bool stopped_early() const { return stopped_early_; }
+
+  /// The paper's reference schedule on the realized instance: all long
+  /// jobs start at the last release time, shorts at their arrivals.
+  Schedule reference_schedule(const Instance& realized) const;
+
+  /// Exact ratio the paper derives for the realized outcome: φ if stopped
+  /// early, else nφ / (φ + n − 1).
+  double theoretical_ratio() const;
+
+  static double phi() { return 1.6180339887498949; }
+
+ private:
+  SourceAction release_iteration();
+
+  ClairvoyantLbParams params_;
+  Time step_;        ///< φ + 1 in ticks
+  Time short_len_;   ///< 1 in ticks
+  Time long_len_;    ///< φ in ticks
+
+  int iteration_ = 0;
+  bool stopped_early_ = false;
+  std::vector<Time> release_times_;
+  /// Long job of each iteration (engine JobId) and whether it started
+  /// inside the short's window.
+  std::vector<JobId> long_ids_;
+  std::vector<bool> long_started_in_window_;
+};
+
+}  // namespace fjs

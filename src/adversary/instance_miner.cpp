@@ -1,0 +1,144 @@
+#include "adversary/instance_miner.h"
+
+#include <algorithm>
+
+#include "offline/exact.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace fjs {
+namespace {
+
+Instance random_instance(Rng& rng, const MinerOptions& options) {
+  InstanceBuilder builder;
+  for (std::size_t i = 0; i < options.jobs; ++i) {
+    const auto a = static_cast<double>(rng.uniform_int(0, options.horizon));
+    const auto lax =
+        static_cast<double>(rng.uniform_int(0, options.max_laxity));
+    const auto p = static_cast<double>(rng.uniform_int(1, options.max_length));
+    builder.add_lax(a, lax, p);
+  }
+  return builder.build();
+}
+
+/// One unit-grained tweak of a random job's arrival, laxity or length.
+Instance mutate(const Instance& instance, Rng& rng,
+                const MinerOptions& options) {
+  std::vector<Job> jobs(instance.jobs().begin(), instance.jobs().end());
+  const auto victim = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(jobs.size()) - 1));
+  Job& j = jobs[victim];
+  const Time unit(Time::kTicksPerUnit);
+  switch (rng.uniform_int(0, 3)) {
+    case 0: {  // move arrival (preserving laxity)
+      const Time lax = j.laxity();
+      const std::int64_t delta = rng.bernoulli(0.5) ? 1 : -1;
+      Time arrival = j.arrival + unit * delta;
+      arrival = std::max(Time::zero(),
+                         std::min(arrival, Time::from_units(
+                                               static_cast<double>(
+                                                   options.horizon))));
+      j.arrival = arrival;
+      j.deadline = arrival + lax;
+      break;
+    }
+    case 1: {  // grow/shrink laxity
+      const std::int64_t delta = rng.bernoulli(0.5) ? 1 : -1;
+      Time lax = j.laxity() + unit * delta;
+      lax = std::max(Time::zero(),
+                     std::min(lax, Time::from_units(static_cast<double>(
+                                       options.max_laxity))));
+      j.deadline = j.arrival + lax;
+      break;
+    }
+    case 2: {  // grow/shrink length
+      const std::int64_t delta = rng.bernoulli(0.5) ? 1 : -1;
+      Time p = j.length + unit * delta;
+      p = std::max(unit, std::min(p, Time::from_units(static_cast<double>(
+                                         options.max_length))));
+      j.length = p;
+      break;
+    }
+    default: {  // re-roll the job entirely
+      const auto a = static_cast<double>(rng.uniform_int(0, options.horizon));
+      const auto lax =
+          static_cast<double>(rng.uniform_int(0, options.max_laxity));
+      const auto p =
+          static_cast<double>(rng.uniform_int(1, options.max_length));
+      j.arrival = Time::from_units(a);
+      j.deadline = Time::from_units(a + lax);
+      j.length = Time::from_units(p);
+      break;
+    }
+  }
+  return Instance(std::move(jobs));
+}
+
+}  // namespace
+
+MinerResult mine_instance(
+    const std::function<double(const Instance&)>& objective,
+    MinerOptions options) {
+  FJS_REQUIRE(options.population >= 1, "miner: population must be >= 1");
+  FJS_REQUIRE(options.jobs >= 1, "miner: jobs must be >= 1");
+  Rng rng(options.seed);
+  MinerResult result;
+
+  auto evaluate = [&](const Instance& instance) {
+    ++result.evaluations;
+    return objective(instance);
+  };
+
+  // Seeding round.
+  Instance best = random_instance(rng, options);
+  double best_ratio = evaluate(best);
+  for (std::size_t i = 1; i < options.population; ++i) {
+    Instance candidate = random_instance(rng, options);
+    const double ratio = evaluate(candidate);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = std::move(candidate);
+    }
+  }
+  result.trajectory.push_back(best_ratio);
+
+  // Hill climbing.
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    Instance round_best = best;
+    double round_ratio = best_ratio;
+    for (std::size_t m = 0; m < options.mutations_per_round; ++m) {
+      Instance candidate = mutate(best, rng, options);
+      const double ratio = evaluate(candidate);
+      if (ratio > round_ratio) {
+        round_ratio = ratio;
+        round_best = std::move(candidate);
+      }
+    }
+    if (round_ratio > best_ratio) {
+      best_ratio = round_ratio;
+      best = std::move(round_best);
+    }
+    result.trajectory.push_back(best_ratio);
+  }
+
+  result.worst_instance = std::move(best);
+  result.worst_ratio = best_ratio;
+  return result;
+}
+
+MinerResult mine_worst_case(const std::string& scheduler_key,
+                            MinerOptions options) {
+  const auto probe = make_scheduler(scheduler_key);
+  const bool clairvoyant = probe->requires_clairvoyance();
+  return mine_instance(
+      [&scheduler_key, clairvoyant](const Instance& instance) {
+        const auto scheduler = make_scheduler(scheduler_key);
+        const Time span = simulate_span(instance, *scheduler, clairvoyant);
+        return time_ratio(span, exact_optimal_span(instance));
+      },
+      options);
+}
+
+}  // namespace fjs

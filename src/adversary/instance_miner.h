@@ -1,0 +1,58 @@
+// Adversarial instance miner: a randomized hill-climbing search for
+// instances that maximize a scheduler's span-to-optimal ratio.
+//
+// Complements the paper's hand-crafted constructions: the miner explores
+// the small-instance space automatically, providing empirical evidence
+// that the implemented schedulers do not exceed their proven bounds and
+// that the tight families really are the bad inputs (bench E14). Works on
+// small integral instances so the exact solver can certify every ratio.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace fjs {
+
+struct MinerOptions {
+  /// Random instances evaluated in the seeding round.
+  std::size_t population = 64;
+  /// Hill-climbing rounds after seeding.
+  std::size_t rounds = 30;
+  /// Mutations proposed per round (best one is kept if it improves).
+  std::size_t mutations_per_round = 24;
+  /// Instance shape (integral units).
+  std::size_t jobs = 8;
+  std::int64_t horizon = 12;
+  std::int64_t max_laxity = 5;
+  std::int64_t max_length = 5;
+  std::uint64_t seed = 0xBADF00DULL;
+};
+
+struct MinerResult {
+  Instance worst_instance;
+  /// Exact competitive ratio of the scheduler on worst_instance.
+  double worst_ratio = 0.0;
+  /// Best ratio after seeding and after each round (non-decreasing).
+  std::vector<double> trajectory;
+  std::size_t evaluations = 0;
+};
+
+/// Mines a worst case for the scheduler registry key (clairvoyance is
+/// inferred): objective = exact competitive ratio. Deterministic for
+/// fixed options.
+MinerResult mine_worst_case(const std::string& scheduler_key,
+                            MinerOptions options = {});
+
+/// General form: hill-climbs ANY objective over small integral instances
+/// (larger = worse for the property under study). The objective must be
+/// deterministic. Used e.g. to search for instances separating two
+/// schedulers (span(A)/span(B), bench E16-style studies).
+MinerResult mine_instance(
+    const std::function<double(const Instance&)>& objective,
+    MinerOptions options = {});
+
+}  // namespace fjs

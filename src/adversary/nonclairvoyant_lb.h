@@ -1,0 +1,117 @@
+// The §3.1 adaptive adversary establishing the lower bound μ for
+// Non-Clairvoyant FJS (Theorem 3.3, Figure 1).
+//
+// The adversary releases jobs in iterations. Iteration i releases count[i]
+// jobs with exponentially growing laxities; every started job's length is
+// fixed one time unit after its start. While the iteration's concurrency
+// (number of ITS jobs running simultaneously) stays at or below
+// threshold[i] = √count[i], every job gets length 1. The first time the
+// concurrency exceeds the threshold, the running job with the largest
+// laxity is "earmarked" and gets length μ; everyone else gets 1. When the
+// earmarked job completes, the next iteration is released at that instant.
+// If an iteration finishes with no earmark, the release process stops.
+// After k earmarked iterations a final wave of length-1 jobs is released.
+//
+// Scaling substitution (documented in DESIGN.md): the paper uses
+// double-exponential counts 2^(2^(2k)) purely to make the asymptotics
+// work; we parameterize the per-iteration counts (default: repeated square
+// roots) and cap laxity exponents to stay inside int64 ticks. The
+// reference (near-optimal) schedule is CONSTRUCTED, not assumed: its span
+// upper-bounds OPT, so measured ratios are conservative.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "sim/length_oracle.h"
+#include "sim/source.h"
+
+namespace fjs {
+
+struct NonClairvoyantLbParams {
+  /// Max/min processing-length ratio μ > 1 of the construction.
+  double mu = 4.0;
+  /// Number of potentially-earmarked iterations (the paper's k).
+  int iterations = 3;
+  /// Jobs released per iteration 1..k. Empty = derive by repeated square
+  /// roots from first_count.
+  std::vector<std::size_t> counts;
+  /// Used when counts is empty: count[0]; subsequent counts are √previous.
+  std::size_t first_count = 4096;
+  /// Jobs in the final iteration (k+1); 0 = √counts.back().
+  std::size_t final_count = 0;
+  /// Laxity base α > μ + 1 (laxity of the j-th job is ~α^j time units).
+  double alpha = 6.0;
+  /// Exponent cap: laxities grow as α^min(j, cap) plus a strictly
+  /// increasing tick tail, keeping ticks inside int64.
+  int laxity_exponent_cap = 14;
+  /// Ticks per "time unit" of the construction (small: laxities are huge).
+  std::int64_t unit_ticks = 1000;
+};
+
+/// One object plays both adversary roles: the adaptive job source and the
+/// adaptive length oracle. Use each run with a fresh instance of this class.
+class NonClairvoyantAdversary final : public JobSource, public LengthOracle {
+ public:
+  explicit NonClairvoyantAdversary(NonClairvoyantLbParams params = {});
+
+  // JobSource
+  SourceAction begin() override;
+  SourceAction on_start(JobId id, Time now) override;
+  SourceAction on_complete(JobId id, Time now) override;
+
+  // LengthOracle
+  StartDecision at_start(JobId id, Time start) override;
+  Time decide(JobId id, Time now) override;
+
+  /// --- Post-run inspection -------------------------------------------
+
+  /// Iterations actually released (including the final wave if reached).
+  int iterations_released() const { return iteration_; }
+  /// True iff the final (k+1) wave was released.
+  bool reached_final_wave() const { return reached_final_; }
+  /// Earmarked job of each completed iteration, in order.
+  const std::vector<JobId>& earmarks() const { return earmarks_; }
+  /// Release time of each released iteration.
+  const std::vector<Time>& release_times() const { return release_times_; }
+
+  /// The paper's reference schedule on the realized instance: earmarked
+  /// jobs (and the last wave) start at the last release time, every other
+  /// job starts at its arrival. Always valid; its span upper-bounds OPT.
+  Schedule reference_schedule(const Instance& realized) const;
+
+  /// Theoretical ratio floor for the outcome that occurred, from §3.1:
+  /// (i−1)·μ + span_i over μ + (i−1), or (kμ+1)/(μ+k) for the final wave.
+  double theoretical_ratio_floor() const;
+
+  Time unit() const { return Time(params_.unit_ticks); }
+
+ private:
+  Time laxity_of(std::size_t j) const;  // 1-based job index in iteration
+  std::size_t threshold(int iteration) const;
+  SourceAction release_iteration(Time at);
+
+  NonClairvoyantLbParams params_;
+  std::vector<std::size_t> counts_;   // per iteration 1..k
+  std::size_t final_count_ = 0;
+
+  int iteration_ = 0;                 // currently released iteration (1-based)
+  bool reached_final_ = false;
+  bool stopped_ = false;
+  std::vector<Time> release_times_;
+  std::vector<JobId> earmarks_;
+
+  // Per-job bookkeeping (indexed by engine JobId = release order).
+  std::vector<int> job_iteration_;
+  std::vector<Time> job_laxity_;
+
+  // Current-iteration adaptive state.
+  std::vector<JobId> running_;        // running jobs of current iteration
+  std::size_t completed_in_current_ = 0;
+  std::optional<JobId> current_earmark_;
+};
+
+}  // namespace fjs

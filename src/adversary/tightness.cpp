@@ -1,0 +1,82 @@
+#include "adversary/tightness.h"
+
+#include "support/assert.h"
+
+namespace fjs {
+
+TightnessInstance make_batch_tightness(std::size_t m, double mu, double eps) {
+  FJS_REQUIRE(m >= 1, "batch tightness: m >= 1");
+  FJS_REQUIRE(mu > 1.0, "batch tightness: mu > 1");
+  FJS_REQUIRE(eps > 0.0 && eps < mu, "batch tightness: 0 < eps < mu");
+
+  InstanceBuilder builder;
+  std::vector<Time> reference_starts;
+  const double md = static_cast<double>(m);
+
+  // Group 1: i-th short job (laxity 0, p = 1) arrives at 2(i−1)μ.
+  for (std::size_t i = 1; i <= m; ++i) {
+    const double a = 2.0 * static_cast<double>(i - 1) * mu;
+    builder.add_lax(a, 0.0, 1.0);
+    reference_starts.push_back(Time::from_units(a));  // start at arrival
+  }
+  // Group 2: i-th short job (laxity μ−ε, p = 1) arrives at 2(i−1)μ + ε.
+  for (std::size_t i = 1; i <= m; ++i) {
+    const double a = 2.0 * static_cast<double>(i - 1) * mu + eps;
+    builder.add_lax(a, mu - eps, 1.0);
+    reference_starts.push_back(Time::from_units(a));  // start at arrival
+  }
+  // Group 3: i-th long job (p = μ) arrives at (i−1)μ; common starting
+  // deadline 2mμ.
+  const double common_deadline = 2.0 * md * mu;
+  for (std::size_t i = 1; i <= 2 * m; ++i) {
+    const double a = static_cast<double>(i - 1) * mu;
+    builder.add(a, common_deadline, mu);
+    reference_starts.push_back(Time::from_units(common_deadline));
+  }
+
+  TightnessInstance out{.instance = builder.build(),
+                        .reference = Schedule::from_starts(reference_starts),
+                        .predicted_online_span =
+                            Time::from_units(2.0 * md * mu),
+                        .predicted_reference_span =
+                            Time::from_units(md * (1.0 + eps) + mu)};
+  out.reference.validate(out.instance);
+  return out;
+}
+
+TightnessInstance make_batch_plus_tightness(std::size_t m, double mu,
+                                            double eps) {
+  FJS_REQUIRE(m >= 1, "batch+ tightness: m >= 1");
+  FJS_REQUIRE(mu > 1.0, "batch+ tightness: mu > 1");
+  FJS_REQUIRE(eps > 0.0 && eps < 1.0, "batch+ tightness: 0 < eps < 1");
+
+  InstanceBuilder builder;
+  std::vector<Time> reference_starts;
+  const double md = static_cast<double>(m);
+
+  // Short jobs: laxity 0, p = 1, the i-th arrives at (i−1)(μ+1).
+  for (std::size_t i = 1; i <= m; ++i) {
+    const double a = static_cast<double>(i - 1) * (mu + 1.0);
+    builder.add_lax(a, 0.0, 1.0);
+    reference_starts.push_back(Time::from_units(a));  // start at arrival
+  }
+  // Long jobs: p = μ, the i-th arrives at (i−1)(μ+1) + (1−ε); common
+  // starting deadline m(μ+1).
+  const double common_deadline = md * (mu + 1.0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    const double a = static_cast<double>(i - 1) * (mu + 1.0) + (1.0 - eps);
+    builder.add(a, common_deadline, mu);
+    reference_starts.push_back(Time::from_units(common_deadline));
+  }
+
+  TightnessInstance out{.instance = builder.build(),
+                        .reference = Schedule::from_starts(reference_starts),
+                        .predicted_online_span =
+                            Time::from_units(md * (mu + 1.0 - eps)),
+                        .predicted_reference_span =
+                            Time::from_units(md + mu)};
+  out.reference.validate(out.instance);
+  return out;
+}
+
+}  // namespace fjs

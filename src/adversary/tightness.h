@@ -1,0 +1,40 @@
+// Tightness instances for the Batch and Batch+ upper bounds.
+//
+// Figure 2 (Theorem 3.4): a family on which Batch's span-to-optimal ratio
+// approaches 2μ as m → ∞.
+// Figure 3 (Theorem 3.5): a family on which Batch+'s ratio approaches μ+1.
+//
+// Each generator returns both the instance and the paper's closed-form
+// reference schedule (a feasible schedule, so its span upper-bounds OPT)
+// plus the closed-form span predictions used in the proofs.
+#pragma once
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace fjs {
+
+struct TightnessInstance {
+  Instance instance;
+  /// The paper's near-optimal schedule (valid; span upper-bounds OPT).
+  Schedule reference;
+  /// Closed-form span the paper predicts for the online scheduler.
+  Time predicted_online_span;
+  /// Closed-form span of the reference schedule.
+  Time predicted_reference_span;
+};
+
+/// Figure 2 family. Groups: m zero-laxity unit jobs at 2(i−1)μ;
+/// m unit jobs with laxity μ−ε at 2(i−1)μ+ε; 2m length-μ jobs arriving at
+/// (i−1)μ, all with starting deadline 2mμ.
+/// Batch's span is 2mμ; the reference span is m(1+ε) + μ.
+TightnessInstance make_batch_tightness(std::size_t m, double mu, double eps);
+
+/// Figure 3 family. Groups: m zero-laxity unit jobs at (i−1)(μ+1);
+/// m length-μ jobs arriving at (i−1)(μ+1) + (1−ε), all with starting
+/// deadline m(μ+1).
+/// Batch+'s span is m(μ+1−ε); the reference span is m + μ.
+TightnessInstance make_batch_plus_tightness(std::size_t m, double mu,
+                                            double eps);
+
+}  // namespace fjs

@@ -1,0 +1,47 @@
+#include "analysis/convergence.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+AsymptoteFit fit_asymptote(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  FJS_REQUIRE(xs.size() == ys.size(), "fit_asymptote: length mismatch");
+  FJS_REQUIRE(xs.size() >= 3, "fit_asymptote: need at least 3 points");
+  const auto n = static_cast<double>(xs.size());
+
+  // Ordinary least squares of y on u = 1/x.
+  double su = 0.0;
+  double sy = 0.0;
+  double suu = 0.0;
+  double suy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    FJS_REQUIRE(xs[i] > 0.0, "fit_asymptote: x must be positive");
+    const double u = 1.0 / xs[i];
+    su += u;
+    sy += ys[i];
+    suu += u * u;
+    suy += u * ys[i];
+  }
+  const double denom = n * suu - su * su;
+  FJS_REQUIRE(std::abs(denom) > 1e-300, "fit_asymptote: degenerate xs");
+
+  AsymptoteFit fit;
+  fit.slope = (n * suy - su * sy) / denom;
+  fit.limit = (sy - fit.slope * su) / n;
+
+  const double y_mean = sy / n;
+  double ss_tot = 0.0;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double predicted = fit.limit + fit.slope / xs[i];
+    ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+    ss_res += (ys[i] - predicted) * (ys[i] - predicted);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace fjs

@@ -1,0 +1,26 @@
+// Asymptote estimation for ratio families: the tightness constructions
+// approach their limits like L − c/m, so a linear fit of ratio against
+// 1/m yields the limit as the intercept. Used by E2/E3 to report the
+// empirical limit next to the paper's closed form.
+#pragma once
+
+#include <vector>
+
+namespace fjs {
+
+struct AsymptoteFit {
+  /// Estimated limit as the parameter goes to infinity (the intercept of
+  /// the least-squares fit of y against 1/x).
+  double limit = 0.0;
+  /// First-order coefficient: y ≈ limit + slope/x.
+  double slope = 0.0;
+  /// Coefficient of determination of the fit in [0, 1].
+  double r_squared = 0.0;
+};
+
+/// Fits y = limit + slope·(1/x). Requires >= 3 points, all x > 0 and
+/// distinct.
+AsymptoteFit fit_asymptote(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+}  // namespace fjs

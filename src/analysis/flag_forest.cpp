@@ -1,0 +1,92 @@
+#include "analysis/flag_forest.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+FlagForest build_flag_forest(
+    const Instance& instance,
+    const std::vector<ProfitScheduler::FlagInfo>& flags) {
+  FlagForest forest;
+  forest.nodes.resize(flags.size());
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    forest.nodes[i].job = flags[i].id;
+  }
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    const Job& ji = instance.job(flags[i].id);
+    std::size_t best = FlagForest::kNoParent;
+    for (std::size_t j = 0; j < flags.size(); ++j) {
+      if (j == i) {
+        continue;
+      }
+      const Job& jj = instance.job(flags[j].id);
+      // jj ∈ X(ji): arrives before ji completes at the latest, and starts
+      // (at its deadline) after ji does.
+      if (jj.arrival < ji.latest_completion() && ji.deadline < jj.deadline) {
+        if (best == FlagForest::kNoParent ||
+            jj.deadline < instance.job(flags[best].id).deadline) {
+          best = j;
+        }
+      }
+    }
+    forest.nodes[i].parent = best;
+    if (best != FlagForest::kNoParent) {
+      forest.nodes[best].children.push_back(i);
+    }
+  }
+  // Lemma 4.7 sanity: parent chains must terminate (deadlines strictly
+  // increase along edges, so a cycle is impossible).
+  for (std::size_t i = 0; i < forest.nodes.size(); ++i) {
+    std::size_t hops = 0;
+    for (std::size_t cur = i; forest.nodes[cur].parent != FlagForest::kNoParent;
+         cur = forest.nodes[cur].parent) {
+      FJS_CHECK(++hops <= forest.nodes.size(),
+                "flag forest: cycle detected (Lemma 4.7 violated)");
+    }
+  }
+  return forest;
+}
+
+std::size_t FlagForest::tree_count() const {
+  std::size_t roots = 0;
+  for (const Node& node : nodes) {
+    roots += node.parent == kNoParent ? 1 : 0;
+  }
+  return roots;
+}
+
+std::size_t FlagForest::height() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::size_t depth = 0;
+    for (std::size_t cur = i; nodes[cur].parent != kNoParent;
+         cur = nodes[cur].parent) {
+      ++depth;
+    }
+    best = std::max(best, depth);
+  }
+  return best;
+}
+
+std::string FlagForest::to_string(const Instance& instance) const {
+  std::ostringstream os;
+  auto print_subtree = [&](auto&& self, std::size_t index,
+                           std::size_t depth) -> void {
+    const Job& job = instance.job(nodes[index].job);
+    os << std::string(2 * depth, ' ') << job.to_string() << '\n';
+    for (const std::size_t child : nodes[index].children) {
+      self(self, child, depth + 1);
+    }
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent == kNoParent) {
+      print_subtree(print_subtree, i, 0);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fjs

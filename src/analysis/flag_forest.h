@@ -1,0 +1,44 @@
+// The §4.3 flag-job forest, as a first-class artifact.
+//
+// The Profit analysis builds a directed graph over flag jobs: X(J) is the
+// set of flags that arrive before J's latest completion but start after
+// J; J's parent is the earliest-deadline member of X(J). Lemma 4.7 proves
+// the graph is a forest, and Lemma 4.10 charges each tree to a disjoint
+// chunk of OPT. This module reconstructs the forest from a Profit run so
+// examples/tests can inspect and display the proof object.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "schedulers/profit.h"
+
+namespace fjs {
+
+struct FlagForest {
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  struct Node {
+    JobId job = kInvalidJob;
+    std::size_t parent = kNoParent;     ///< index into nodes
+    std::vector<std::size_t> children;  ///< indices into nodes
+  };
+
+  /// Nodes in flag-designation (= starting-deadline) order.
+  std::vector<Node> nodes;
+
+  std::size_t tree_count() const;
+  /// Longest root-to-leaf edge count over all trees (0 for single nodes).
+  std::size_t height() const;
+  /// Indented rendering, one tree per block.
+  std::string to_string(const Instance& instance) const;
+};
+
+/// Builds the forest from a finished Profit run's flag history.
+FlagForest build_flag_forest(
+    const Instance& instance,
+    const std::vector<ProfitScheduler::FlagInfo>& flags);
+
+}  // namespace fjs

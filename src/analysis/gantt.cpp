@@ -1,0 +1,92 @@
+#include "analysis/gantt.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/interval_set.h"
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+namespace {
+
+/// Maps a time to a column in [0, width], rounding half-filled cells in.
+std::size_t column_of(Time t, Time origin, Time horizon, std::size_t width) {
+  if (horizon <= origin) {
+    return 0;
+  }
+  const double frac = static_cast<double>((t - origin).ticks()) /
+                      static_cast<double>((horizon - origin).ticks());
+  const auto col = static_cast<std::ptrdiff_t>(frac *
+                                               static_cast<double>(width));
+  return static_cast<std::size_t>(
+      std::clamp<std::ptrdiff_t>(col, 0, static_cast<std::ptrdiff_t>(width)));
+}
+
+void paint(std::string& row, std::size_t from, std::size_t to, char mark) {
+  if (to <= from && to < row.size()) {
+    to = from + 1;  // never drop a non-empty interval below one cell
+  }
+  for (std::size_t c = from; c < to && c < row.size(); ++c) {
+    row[c] = mark;
+  }
+}
+
+}  // namespace
+
+std::string render_gantt(const Instance& instance, const Schedule& schedule,
+                         GanttOptions options) {
+  FJS_REQUIRE(options.width >= 8, "gantt: width too small");
+  FJS_REQUIRE(instance.size() == schedule.size(),
+              "gantt: instance/schedule size mismatch");
+  if (instance.empty()) {
+    return "(empty instance)\n";
+  }
+  schedule.validate(instance);
+
+  const Time origin = std::min(instance.earliest_arrival(),
+                               schedule.active_set(instance).lower());
+  Time horizon = origin;
+  for (JobId id = 0; id < instance.size(); ++id) {
+    horizon = std::max(horizon, schedule.active_interval(instance, id).hi);
+  }
+  if (horizon == origin) {
+    horizon = origin + Time(1);
+  }
+
+  std::size_t label_width = 5;
+  for (JobId id = 0; id < instance.size(); ++id) {
+    label_width = std::max(label_width, 1 + std::to_string(id).size());
+  }
+
+  std::ostringstream os;
+  const std::size_t rows = std::min<std::size_t>(instance.size(),
+                                                 options.max_rows);
+  for (JobId id = 0; id < rows; ++id) {
+    const Interval iv = schedule.active_interval(instance, id);
+    std::string row(options.width, '.');
+    paint(row, column_of(iv.lo, origin, horizon, options.width),
+          column_of(iv.hi, origin, horizon, options.width), '#');
+    os << pad_right("J" + std::to_string(id), label_width) << '|' << row
+       << "| " << iv.to_string() << '\n';
+  }
+  if (rows < instance.size()) {
+    os << pad_right("...", label_width) << '(' << (instance.size() - rows)
+       << " more jobs)\n";
+  }
+
+  std::string span_row(options.width, '.');
+  const IntervalSet active = schedule.active_set(instance);
+  for (const Interval& c : active.components()) {
+    paint(span_row, column_of(c.lo, origin, horizon, options.width),
+          column_of(c.hi, origin, horizon, options.width), '#');
+  }
+  os << pad_right("span", label_width) << '|' << span_row << "| measure "
+     << active.measure().to_string() << '\n';
+  os << pad_right("", label_width) << ' ' << origin.to_string()
+     << std::string(options.width > 16 ? options.width - 16 : 1, ' ')
+     << horizon.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace fjs

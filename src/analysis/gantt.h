@@ -1,0 +1,28 @@
+// ASCII Gantt rendering of schedules — the examples' visualization layer.
+#pragma once
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace fjs {
+
+struct GanttOptions {
+  /// Number of character columns for the time axis.
+  std::size_t width = 72;
+  /// Cap on rendered job rows (large instances render the first rows and
+  /// an ellipsis); the span row always covers the whole instance.
+  std::size_t max_rows = 40;
+};
+
+/// Renders one row per job (`#` = running) plus a final SPAN row marking
+/// the union of active intervals, with a time axis in units.
+///
+///   J0     |##....| [0, 2)
+///   J1     |..##..| [2, 4)
+///   span   |####..|
+std::string render_gantt(const Instance& instance, const Schedule& schedule,
+                         GanttOptions options = {});
+
+}  // namespace fjs

@@ -1,0 +1,80 @@
+#include "analysis/instance_stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "schedulers/classify_by_duration.h"
+#include "schedulers/profit.h"
+#include "support/assert.h"
+#include "support/string_util.h"
+#include "support/table.h"
+
+namespace fjs {
+
+InstanceStats compute_instance_stats(const Instance& instance) {
+  FJS_REQUIRE(!instance.empty(), "instance stats: empty instance");
+  InstanceStats stats;
+  stats.jobs = instance.size();
+  stats.mu = instance.mu();
+  stats.total_work = instance.total_work();
+  std::size_t rigid = 0;
+  Time first_arrival = instance.earliest_arrival();
+  Time last_arrival = first_arrival;
+  for (const Job& j : instance.jobs()) {
+    stats.lengths.add(j.length.to_units());
+    stats.laxities.add(j.laxity().to_units());
+    stats.laxity_over_length.add(time_ratio(j.laxity(), j.length));
+    if (j.laxity() == Time::zero()) {
+      ++rigid;
+    }
+    last_arrival = std::max(last_arrival, j.arrival);
+  }
+  stats.arrival_horizon = last_arrival - first_arrival;
+  const Time window = instance.latest_completion() - first_arrival;
+  stats.load_factor =
+      window > Time::zero() ? time_ratio(stats.total_work, window) : 0.0;
+  stats.rigid_fraction =
+      static_cast<double>(rigid) / static_cast<double>(instance.size());
+  return stats;
+}
+
+std::string InstanceStats::to_string() const {
+  std::ostringstream os;
+  os << jobs << " jobs, mu=" << format_double(mu, 3) << ", total work "
+     << total_work.to_string() << " over arrival horizon "
+     << arrival_horizon.to_string() << '\n'
+     << "  lengths:  " << lengths.to_string() << '\n'
+     << "  laxities: " << laxities.to_string() << " ("
+     << format_double(rigid_fraction * 100.0, 1) << "% rigid)\n"
+     << "  laxity/length: " << laxity_over_length.to_string() << '\n'
+     << "  load factor: " << format_double(load_factor, 3) << '\n';
+  return os.str();
+}
+
+std::string guarantee_table(const Instance& instance) {
+  FJS_REQUIRE(!instance.empty(), "guarantee table: empty instance");
+  const double mu = instance.mu();
+  const double alpha = CdbScheduler::optimal_alpha();
+  const double k = ProfitScheduler::optimal_k();
+  Table table({"scheduler", "model", "worst-case span vs OPT"});
+  table.add_row({"eager", "non-clairvoyant", "unbounded"});
+  table.add_row({"lazy", "non-clairvoyant", "unbounded"});
+  table.add_row({"batch", "non-clairvoyant",
+                 "<= " + format_double(2.0 * mu + 1.0, 3) + " (2mu+1)"});
+  table.add_row({"batch+", "non-clairvoyant",
+                 "<= " + format_double(mu + 1.0, 3) + " (mu+1, tight)"});
+  table.add_row({"cdb", "clairvoyant",
+                 "<= " + format_double(3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0),
+                                       3) +
+                     " (7+2*sqrt(6))"});
+  table.add_row({"profit", "clairvoyant",
+                 "<= " + format_double(2.0 * k + 2.0 + 1.0 / (k - 1.0), 3) +
+                     " (4+2*sqrt(2))"});
+  table.add_row({"(any deterministic)", "non-clairvoyant",
+                 ">= " + format_double(mu, 3) + " (Thm 3.3)"});
+  table.add_row({"(any deterministic)", "clairvoyant",
+                 ">= 1.618 (Thm 4.1)"});
+  return table.render();
+}
+
+}  // namespace fjs

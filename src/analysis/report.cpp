@@ -1,0 +1,75 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+
+TimelineReport analyze_timeline(const Instance& instance,
+                                const Schedule& schedule) {
+  FJS_REQUIRE(!instance.empty(), "analyze_timeline: empty instance");
+  schedule.validate(instance);
+
+  TimelineReport report;
+  const IntervalSet active = schedule.active_set(instance);
+  report.span = active.measure();
+  report.horizon = active.upper() - active.lower();
+  report.busy_fraction = time_ratio(report.span, report.horizon);
+
+  for (const Interval& component : active.components()) {
+    BusyPeriod period;
+    period.interval = component;
+    for (JobId id = 0; id < instance.size(); ++id) {
+      if (schedule.active_interval(instance, id).overlaps(component)) {
+        period.jobs.push_back(id);
+      }
+    }
+    // Peak concurrency inside this component via the global profile.
+    period.peak_concurrency = 0;
+    for (const auto& [t, c] : schedule.concurrency_profile(instance)) {
+      if (component.contains(t)) {
+        period.peak_concurrency = std::max(period.peak_concurrency, c);
+      }
+    }
+    report.busy_periods.push_back(std::move(period));
+  }
+
+  report.longest_idle = Time::zero();
+  for (std::size_t i = 1; i < report.busy_periods.size(); ++i) {
+    const Interval gap(report.busy_periods[i - 1].interval.hi,
+                       report.busy_periods[i].interval.lo);
+    report.idle_gaps.push_back(gap);
+    report.longest_idle = std::max(report.longest_idle, gap.length());
+  }
+
+  std::size_t peak = schedule.max_concurrency(instance);
+  if (peak > 0 && report.span > Time::zero()) {
+    report.packing_efficiency =
+        time_ratio(instance.total_work(), report.span) /
+        static_cast<double>(peak);
+  }
+  return report;
+}
+
+std::string TimelineReport::to_string() const {
+  std::ostringstream os;
+  os << "busy periods: " << busy_periods.size() << ", span "
+     << span.to_string() << " over horizon " << horizon.to_string()
+     << " (busy fraction " << format_double(busy_fraction, 3) << ")\n";
+  for (std::size_t i = 0; i < busy_periods.size(); ++i) {
+    const BusyPeriod& p = busy_periods[i];
+    os << "  " << p.interval.to_string() << ": " << p.jobs.size()
+       << " jobs, peak concurrency " << p.peak_concurrency << '\n';
+  }
+  if (!idle_gaps.empty()) {
+    os << "longest idle gap: " << longest_idle.to_string() << '\n';
+  }
+  os << "packing efficiency: " << format_double(packing_efficiency, 3)
+     << '\n';
+  return os.str();
+}
+
+}  // namespace fjs

@@ -1,0 +1,44 @@
+// Busy-period analysis: decompose a schedule's timeline into busy and idle
+// segments and derive the operational quantities the paper's motivation
+// talks about (server-on time, idle gaps, utilization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/interval_set.h"
+#include "core/schedule.h"
+
+namespace fjs {
+
+struct BusyPeriod {
+  Interval interval;
+  /// Jobs whose active interval intersects this busy period.
+  std::vector<JobId> jobs;
+  /// Peak concurrency inside the period.
+  std::size_t peak_concurrency = 0;
+};
+
+struct TimelineReport {
+  std::vector<BusyPeriod> busy_periods;
+  /// Gaps between consecutive busy periods.
+  std::vector<Interval> idle_gaps;
+  Time span;           ///< Σ busy period lengths (the objective)
+  Time horizon;        ///< last completion − first start
+  Time longest_idle;   ///< longest internal gap (zero if none)
+  /// total work / (span × peak overall concurrency): how well the span is
+  /// filled, in [0, 1].
+  double packing_efficiency = 0.0;
+  /// span / horizon in (0, 1]: 1 means one contiguous busy period.
+  double busy_fraction = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Builds the report; requires a complete, valid schedule and a non-empty
+/// instance.
+TimelineReport analyze_timeline(const Instance& instance,
+                                const Schedule& schedule);
+
+}  // namespace fjs

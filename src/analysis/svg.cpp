@@ -1,0 +1,120 @@
+#include "analysis/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "core/interval_set.h"
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+namespace {
+
+/// Maps time to x pixel.
+double x_of(Time t, Time origin, Time horizon, int width) {
+  return static_cast<double>((t - origin).ticks()) /
+         static_cast<double>((horizon - origin).ticks()) *
+         static_cast<double>(width);
+}
+
+void rect(std::ostream& os, double x, double y, double w, double h,
+          const std::string& fill, const std::string& extra = "") {
+  os << "  <rect x=\"" << format_double(x, 2) << "\" y=\""
+     << format_double(y, 2) << "\" width=\""
+     << format_double(std::max(w, 0.75), 2) << "\" height=\""
+     << format_double(h, 2) << "\" fill=\"" << fill << "\"" << extra
+     << "/>\n";
+}
+
+}  // namespace
+
+std::string render_svg_timeline(const Instance& instance,
+                                const Schedule& schedule,
+                                SvgOptions options) {
+  FJS_REQUIRE(options.width >= 100, "svg: width too small");
+  FJS_REQUIRE(options.lane_height >= 6, "svg: lane height too small");
+  schedule.validate(instance);
+
+  const int lanes =
+      static_cast<int>(std::min<std::size_t>(instance.size(),
+                                             static_cast<std::size_t>(
+                                                 options.max_lanes)));
+  const int height = (lanes + 2) * options.lane_height + 24;
+
+  Time origin = Time::max();
+  Time horizon = Time::min();
+  for (JobId id = 0; id < instance.size(); ++id) {
+    const Job& j = instance.job(id);
+    origin = std::min({origin, j.arrival,
+                       schedule.active_interval(instance, id).lo});
+    horizon = std::max(horizon, std::max(j.latest_completion(),
+                                         schedule.active_interval(instance, id).hi));
+  }
+  if (instance.empty() || horizon <= origin) {
+    origin = Time::zero();
+    horizon = Time(1);
+  }
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << options.width
+     << ' ' << height << "\">\n";
+  os << "  <style>text{font:10px monospace;fill:#444}</style>\n";
+
+  const auto lane_y = [&](int lane) {
+    return static_cast<double>(8 + lane * options.lane_height);
+  };
+  for (int lane = 0; lane < lanes; ++lane) {
+    const auto id = static_cast<JobId>(lane);
+    const Job& j = instance.job(id);
+    const double y = lane_y(lane);
+    const double h = static_cast<double>(options.lane_height) - 3.0;
+    // Feasible window backdrop [arrival, deadline + p).
+    rect(os, x_of(j.arrival, origin, horizon, options.width), y,
+         x_of(j.latest_completion(), origin, horizon, options.width) -
+             x_of(j.arrival, origin, horizon, options.width),
+         h, options.window_color);
+    // Active interval.
+    const Interval iv = schedule.active_interval(instance, id);
+    rect(os, x_of(iv.lo, origin, horizon, options.width), y,
+         x_of(iv.hi, origin, horizon, options.width) -
+             x_of(iv.lo, origin, horizon, options.width),
+         h, options.job_color,
+         " data-job=\"" + std::to_string(id) + "\"");
+  }
+  if (static_cast<std::size_t>(lanes) < instance.size()) {
+    os << "  <text x=\"4\" y=\"" << lane_y(lanes) + 10 << "\">(+"
+       << instance.size() - static_cast<std::size_t>(lanes)
+       << " more jobs)</text>\n";
+  }
+
+  // Span bar.
+  const double span_y = lane_y(lanes + 1);
+  const IntervalSet active = schedule.active_set(instance);
+  for (const Interval& component : active.components()) {
+    rect(os, x_of(component.lo, origin, horizon, options.width), span_y,
+         x_of(component.hi, origin, horizon, options.width) -
+             x_of(component.lo, origin, horizon, options.width),
+         static_cast<double>(options.lane_height) - 3.0, options.span_color,
+         " data-role=\"span\"");
+  }
+  os << "  <text x=\"4\" y=\"" << height - 6 << "\">span "
+     << active.measure().to_string() << " | " << instance.size()
+     << " jobs | [" << origin.to_string() << ", " << horizon.to_string()
+     << ")</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool write_svg_timeline(const Instance& instance, const Schedule& schedule,
+                        const std::string& path, SvgOptions options) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << render_svg_timeline(instance, schedule, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace fjs

@@ -1,0 +1,34 @@
+// Self-contained SVG timeline export — a shareable visual artifact of a
+// schedule (one lane per job, a span bar underneath).
+#pragma once
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace fjs {
+
+struct SvgOptions {
+  int width = 960;        ///< drawing width in px
+  int lane_height = 14;   ///< px per job lane
+  int max_lanes = 64;     ///< jobs beyond this are folded into one lane
+  /// Fill color per job lane and for the span bar.
+  std::string job_color = "#4878a8";
+  std::string window_color = "#d8e4ee";  ///< [arrival, deadline+p) backdrop
+  std::string span_color = "#303030";
+};
+
+/// Renders the schedule as an SVG document (returned as a string). Each
+/// job lane shows its feasible window as a light backdrop and its active
+/// interval as a solid bar; the bottom lane shows the span.
+std::string render_svg_timeline(const Instance& instance,
+                                const Schedule& schedule,
+                                SvgOptions options = {});
+
+/// Convenience: writes render_svg_timeline to a file. Returns false on
+/// I/O failure.
+bool write_svg_timeline(const Instance& instance, const Schedule& schedule,
+                        const std::string& path, SvgOptions options = {});
+
+}  // namespace fjs

@@ -1,0 +1,105 @@
+#include "analysis/sweep.h"
+
+#include <algorithm>
+
+#include "offline/annealing.h"
+#include "offline/heuristic.h"
+#include "offline/lower_bound.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+#include "support/parallel.h"
+#include "workload/generator.h"
+
+namespace fjs {
+namespace {
+
+struct OptBounds {
+  Time upper;
+  Time lower;
+};
+
+OptBounds opt_bounds_for(const Instance& instance, const SweepOptions& opts) {
+  if (opts.opt_method == OptMethod::kExact) {
+    const Time opt = exact_optimal_span(instance, opts.exact_options);
+    return OptBounds{opt, opt};
+  }
+  AnnealingOptions anneal_opts;
+  anneal_opts.iterations = 10'000;
+  const Time upper =
+      std::min(heuristic_span(instance, opts.heuristic_options),
+               anneal_schedule(instance, anneal_opts).span);
+  return OptBounds{upper, best_lower_bound(instance)};
+}
+
+}  // namespace
+
+std::vector<SchedulerAggregate> run_ratio_sweep(
+    const std::vector<SweepCase>& cases,
+    const std::vector<std::string>& scheduler_keys,
+    const SweepOptions& options) {
+  FJS_REQUIRE(!scheduler_keys.empty(), "sweep: no schedulers given");
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
+
+  // Phase 1: per-case OPT bounds (the expensive part), computed once.
+  std::vector<OptBounds> bounds(cases.size());
+  auto compute_bounds = [&](std::size_t i) {
+    bounds[i] = opt_bounds_for(cases[i].instance, options);
+  };
+  if (options.serial) {
+    serial_for(cases.size(), compute_bounds);
+  } else {
+    parallel_for(pool, cases.size(), compute_bounds);
+  }
+
+  // Phase 2: the (case × scheduler) grid of simulations.
+  const std::size_t grid = cases.size() * scheduler_keys.size();
+  std::vector<Time> spans(grid);
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t case_idx = cell / scheduler_keys.size();
+    const std::size_t sched_idx = cell % scheduler_keys.size();
+    const auto scheduler = make_scheduler(scheduler_keys[sched_idx]);
+    spans[cell] = simulate_span(cases[case_idx].instance, *scheduler,
+                                scheduler->requires_clairvoyance());
+  };
+  if (options.serial) {
+    serial_for(grid, run_cell);
+  } else {
+    parallel_for(pool, grid, run_cell);
+  }
+
+  // Phase 3: deterministic reduction in index order.
+  std::vector<SchedulerAggregate> aggregates(scheduler_keys.size());
+  for (std::size_t s = 0; s < scheduler_keys.size(); ++s) {
+    aggregates[s].scheduler_key = scheduler_keys[s];
+  }
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    for (std::size_t s = 0; s < scheduler_keys.size(); ++s) {
+      const Time span = spans[c * scheduler_keys.size() + s];
+      SchedulerAggregate& agg = aggregates[s];
+      agg.spans.add(span.to_units());
+      if (bounds[c].upper > Time::zero()) {
+        agg.ratio_lower.add(time_ratio(span, bounds[c].upper));
+      }
+      if (bounds[c].lower > Time::zero()) {
+        agg.ratio_upper.add(time_ratio(span, bounds[c].lower));
+      }
+    }
+  }
+  return aggregates;
+}
+
+std::vector<SweepCase> make_cases(const WorkloadConfig& config,
+                                  const std::string& label,
+                                  std::size_t replicas, std::uint64_t seed0) {
+  std::vector<SweepCase> cases;
+  cases.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    const std::uint64_t seed = seed0 + r;
+    cases.push_back(SweepCase{.label = label, .seed = seed,
+                              .instance = generate_workload(config, seed)});
+  }
+  return cases;
+}
+
+}  // namespace fjs

@@ -1,0 +1,153 @@
+#include "busytime/busytime.h"
+
+#include <algorithm>
+
+#include "core/interval_set.h"
+#include "offline/lower_bound.h"
+#include "support/assert.h"
+
+namespace fjs {
+
+std::string to_string(MachinePolicy policy) {
+  switch (policy) {
+    case MachinePolicy::kFirstAvailable:
+      return "first-available";
+    case MachinePolicy::kMostLoaded:
+      return "most-loaded";
+    case MachinePolicy::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "unknown";
+}
+
+BusyTimeResult assign_machines(const Instance& instance,
+                               const Schedule& schedule,
+                               std::size_t capacity, MachinePolicy policy) {
+  schedule.validate(instance);
+
+  struct Ev {
+    Time time;
+    bool is_start;
+    JobId job;
+  };
+  std::vector<Ev> events;
+  events.reserve(instance.size() * 2);
+  for (JobId id = 0; id < instance.size(); ++id) {
+    const Interval iv = schedule.active_interval(instance, id);
+    events.push_back(Ev{iv.lo, true, id});
+    events.push_back(Ev{iv.hi, false, id});
+  }
+  // Half-open semantics: departures free a slot for same-tick starts.
+  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.is_start != b.is_start) {
+      return !a.is_start;
+    }
+    return a.job < b.job;
+  });
+
+  struct Machine {
+    std::size_t running = 0;
+    Time busy_since;
+    IntervalSet busy;
+  };
+  std::vector<Machine> machines;
+  BusyTimeResult result;
+  result.assignment.assign(instance.size(), static_cast<std::size_t>(-1));
+  std::size_t active_now = 0;
+
+  auto has_slot = [&](const Machine& m) {
+    return capacity == kUnboundedCapacity || m.running < capacity;
+  };
+
+  for (const Ev& ev : events) {
+    if (ev.is_start) {
+      std::size_t choice = machines.size();
+      switch (policy) {
+        case MachinePolicy::kFirstAvailable:
+          for (std::size_t i = 0; i < machines.size(); ++i) {
+            if (has_slot(machines[i])) {
+              choice = i;
+              break;
+            }
+          }
+          break;
+        case MachinePolicy::kMostLoaded: {
+          std::size_t best_running = 0;
+          for (std::size_t i = 0; i < machines.size(); ++i) {
+            if (has_slot(machines[i]) &&
+                (choice == machines.size() ||
+                 machines[i].running > best_running)) {
+              choice = i;
+              best_running = machines[i].running;
+            }
+          }
+          break;
+        }
+        case MachinePolicy::kLeastLoaded: {
+          std::size_t best_running = 0;
+          for (std::size_t i = 0; i < machines.size(); ++i) {
+            if (has_slot(machines[i]) &&
+                (choice == machines.size() ||
+                 machines[i].running < best_running)) {
+              choice = i;
+              best_running = machines[i].running;
+            }
+          }
+          break;
+        }
+      }
+      if (choice == machines.size()) {
+        machines.emplace_back();
+      }
+      Machine& m = machines[choice];
+      FJS_CHECK(has_slot(m), "busytime: capacity violated");
+      if (m.running == 0) {
+        m.busy_since = ev.time;
+        ++active_now;
+        result.peak_active_machines =
+            std::max(result.peak_active_machines, active_now);
+      }
+      ++m.running;
+      result.assignment[ev.job] = choice;
+    } else {
+      const std::size_t choice = result.assignment[ev.job];
+      FJS_CHECK(choice < machines.size(), "busytime: end before start");
+      Machine& m = machines[choice];
+      FJS_CHECK(m.running > 0, "busytime: machine underflow");
+      --m.running;
+      if (m.running == 0) {
+        m.busy.add(Interval(m.busy_since, ev.time));
+        --active_now;
+      }
+    }
+  }
+
+  result.machines_used = machines.size();
+  result.total_busy = Time::zero();
+  for (const Machine& m : machines) {
+    FJS_CHECK(m.running == 0, "busytime: machine left running");
+    const Time busy = m.busy.measure();
+    result.per_machine_busy.push_back(busy);
+    result.total_busy += busy;
+  }
+  return result;
+}
+
+Time busy_time_lower_bound(const Instance& instance, std::size_t capacity) {
+  if (instance.empty()) {
+    return Time::zero();
+  }
+  const Time span_lb = best_lower_bound(instance);
+  if (capacity == kUnboundedCapacity) {
+    return span_lb;
+  }
+  const std::int64_t g = static_cast<std::int64_t>(capacity);
+  const std::int64_t work = instance.total_work().ticks();
+  const Time work_lb((work + g - 1) / g);
+  return std::max(span_lb, work_lb);
+}
+
+}  // namespace fjs

@@ -1,0 +1,56 @@
+// Busy-time scheduling on capacity-g machines — the setting of Koehler &
+// Khuller (WADS'17) that the paper's concluding remarks prove equivalent
+// to Clairvoyant FJS when g = ∞.
+//
+// A machine may run at most g jobs concurrently; it is "busy" whenever at
+// least one job runs on it; the objective is the total busy time summed
+// over machines. Given start times fixed by any FJS scheduler, this module
+// assigns machines online (at each job's start) and accounts busy time
+// with exact integer capacity arithmetic (no float sizes — contrast with
+// the fractional dbp/ substrate).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace fjs {
+
+/// Online machine-assignment policies (applied at each job's start time).
+enum class MachinePolicy {
+  kFirstAvailable,  ///< lowest-indexed machine with a free slot (First Fit)
+  kMostLoaded,      ///< feasible machine with the FEWEST free slots (Best Fit)
+  kLeastLoaded,     ///< feasible machine with the MOST free slots (Worst Fit)
+};
+
+std::string to_string(MachinePolicy policy);
+
+struct BusyTimeResult {
+  /// Σ over machines of the measure of their non-idle periods.
+  Time total_busy;
+  std::size_t machines_used = 0;
+  std::size_t peak_active_machines = 0;
+  std::vector<Time> per_machine_busy;
+  /// Machine index per job, aligned with instance ids.
+  std::vector<std::size_t> assignment;
+};
+
+/// Assigns machines for the given schedule. `capacity` is g >= 1; pass
+/// kUnboundedCapacity for g = ∞ (one machine, busy time = span).
+inline constexpr std::size_t kUnboundedCapacity = 0;
+
+BusyTimeResult assign_machines(const Instance& instance,
+                               const Schedule& schedule,
+                               std::size_t capacity,
+                               MachinePolicy policy =
+                                   MachinePolicy::kFirstAvailable);
+
+/// Certified lower bound on the busy time of ANY schedule + assignment:
+/// max(span lower bound, ceil(total work / g)). For g = ∞ the work term
+/// vanishes.
+Time busy_time_lower_bound(const Instance& instance, std::size_t capacity);
+
+}  // namespace fjs

@@ -1,0 +1,170 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+Instance::Instance(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+    FJS_REQUIRE(jobs_[i].valid(),
+                "Instance: invalid job " + jobs_[i].to_string());
+  }
+}
+
+const Job& Instance::job(JobId id) const {
+  FJS_REQUIRE(id < jobs_.size(), "Instance: job id out of range");
+  return jobs_[id];
+}
+
+double Instance::mu() const {
+  FJS_REQUIRE(!jobs_.empty(), "mu of empty instance");
+  return time_ratio(max_length(), min_length());
+}
+
+Time Instance::min_length() const {
+  FJS_REQUIRE(!jobs_.empty(), "min_length of empty instance");
+  Time m = jobs_.front().length;
+  for (const auto& j : jobs_) {
+    m = std::min(m, j.length);
+  }
+  return m;
+}
+
+Time Instance::max_length() const {
+  FJS_REQUIRE(!jobs_.empty(), "max_length of empty instance");
+  Time m = jobs_.front().length;
+  for (const auto& j : jobs_) {
+    m = std::max(m, j.length);
+  }
+  return m;
+}
+
+Time Instance::total_work() const {
+  Time total = Time::zero();
+  for (const auto& j : jobs_) {
+    total = total.checked_add(j.length);
+  }
+  return total;
+}
+
+Time Instance::earliest_arrival() const {
+  FJS_REQUIRE(!jobs_.empty(), "earliest_arrival of empty instance");
+  Time m = jobs_.front().arrival;
+  for (const auto& j : jobs_) {
+    m = std::min(m, j.arrival);
+  }
+  return m;
+}
+
+Time Instance::latest_completion() const {
+  FJS_REQUIRE(!jobs_.empty(), "latest_completion of empty instance");
+  Time m = Time::min();
+  for (const auto& j : jobs_) {
+    m = std::max(m, j.deadline.checked_add(j.length));
+  }
+  return m;
+}
+
+std::vector<JobId> Instance::ids_by_arrival() const {
+  std::vector<JobId> ids(jobs_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<JobId>(i);
+  }
+  std::sort(ids.begin(), ids.end(), [this](JobId a, JobId b) {
+    if (jobs_[a].arrival != jobs_[b].arrival) {
+      return jobs_[a].arrival < jobs_[b].arrival;
+    }
+    return a < b;
+  });
+  return ids;
+}
+
+std::vector<JobId> Instance::ids_by_deadline() const {
+  std::vector<JobId> ids(jobs_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<JobId>(i);
+  }
+  std::sort(ids.begin(), ids.end(), [this](JobId a, JobId b) {
+    if (jobs_[a].deadline != jobs_[b].deadline) {
+      return jobs_[a].deadline < jobs_[b].deadline;
+    }
+    return a < b;
+  });
+  return ids;
+}
+
+bool Instance::is_multiple_of(Time quantum) const {
+  FJS_REQUIRE(quantum > Time::zero(), "is_multiple_of: quantum must be > 0");
+  for (const auto& j : jobs_) {
+    if (j.arrival.ticks() % quantum.ticks() != 0 ||
+        j.deadline.ticks() % quantum.ticks() != 0 ||
+        j.length.ticks() % quantum.ticks() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Instance::to_string() const {
+  std::ostringstream os;
+  for (const auto& j : jobs_) {
+    os << j.to_string() << '\n';
+  }
+  return os.str();
+}
+
+void Instance::write(std::ostream& os) const {
+  os << jobs_.size() << '\n';
+  for (const auto& j : jobs_) {
+    os << j.arrival.to_string() << ' ' << j.deadline.to_string() << ' '
+       << j.length.to_string() << '\n';
+  }
+}
+
+Instance Instance::parse(std::istream& is) {
+  std::size_t n = 0;
+  FJS_REQUIRE(static_cast<bool>(is >> n), "Instance::parse: bad count");
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double a = 0.0;
+    double d = 0.0;
+    double p = 0.0;
+    FJS_REQUIRE(static_cast<bool>(is >> a >> d >> p),
+                "Instance::parse: bad job line");
+    jobs.push_back(Job{.id = static_cast<JobId>(i),
+                       .arrival = Time::from_units(a),
+                       .deadline = Time::from_units(d),
+                       .length = Time::from_units(p)});
+  }
+  return Instance(std::move(jobs));
+}
+
+InstanceBuilder& InstanceBuilder::add(double arrival, double deadline,
+                                      double length) {
+  return add_ticks(Time::from_units(arrival), Time::from_units(deadline),
+                   Time::from_units(length));
+}
+
+InstanceBuilder& InstanceBuilder::add_ticks(Time arrival, Time deadline,
+                                            Time length) {
+  jobs_.push_back(
+      Job{.id = kInvalidJob, .arrival = arrival, .deadline = deadline,
+          .length = length});
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::add_lax(double arrival, double laxity,
+                                          double length) {
+  return add(arrival, arrival + laxity, length);
+}
+
+Instance InstanceBuilder::build() { return Instance(std::move(jobs_)); }
+
+}  // namespace fjs

@@ -1,0 +1,88 @@
+// A scheduling instance: an immutable set of jobs plus derived quantities
+// (μ, total work) used throughout the analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+
+namespace fjs {
+
+/// An FJS problem instance. Jobs are stored by id (dense, 0-based).
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Takes ownership of jobs; assigns ids 0..n-1 in the given order and
+  /// validates every job (throws AssertionError otherwise).
+  explicit Instance(std::vector<Job> jobs);
+
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const Job& job(JobId id) const;
+  const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// μ = max p / min p (≥ 1). Requires a non-empty instance.
+  double mu() const;
+
+  Time min_length() const;
+  Time max_length() const;
+
+  /// Σ p(J). Uses checked addition (adversarial instances can be huge).
+  Time total_work() const;
+
+  /// Earliest arrival across jobs. Requires non-empty.
+  Time earliest_arrival() const;
+
+  /// max over jobs of d(J) + p(J): horizon containing any valid schedule.
+  Time latest_completion() const;
+
+  /// Job ids sorted by (arrival, id).
+  std::vector<JobId> ids_by_arrival() const;
+  /// Job ids sorted by (deadline, id).
+  std::vector<JobId> ids_by_deadline() const;
+
+  /// True iff every arrival/deadline/length is a multiple of `quantum`
+  /// ticks — precondition of the exact offline solver.
+  bool is_multiple_of(Time quantum) const;
+
+  /// Human-readable listing (one job per line).
+  std::string to_string() const;
+
+  /// Plain-text serialization: "a d p" per line, in units of
+  /// Time::kTicksPerUnit. Round-trips through parse().
+  void write(std::ostream& os) const;
+  static Instance parse(std::istream& is);
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+/// Fluent builder for tests/examples: accepts real-valued unit times.
+///
+///   Instance inst = InstanceBuilder()
+///       .add(0.0, 0.0, 1.0)     // arrival, start-deadline, length
+///       .add(0.5, 2.0, 3.0)
+///       .build();
+class InstanceBuilder {
+ public:
+  /// Adds a job from unit-valued times (converted to ticks).
+  InstanceBuilder& add(double arrival, double deadline, double length);
+
+  /// Adds a job from tick-valued times.
+  InstanceBuilder& add_ticks(Time arrival, Time deadline, Time length);
+
+  /// Adds a job from arrival + laxity instead of an absolute deadline.
+  InstanceBuilder& add_lax(double arrival, double laxity, double length);
+
+  std::size_t size() const { return jobs_.size(); }
+
+  Instance build();
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace fjs

@@ -1,0 +1,13 @@
+#include "core/interval.h"
+
+#include <sstream>
+
+namespace fjs {
+
+std::string Interval::to_string() const {
+  std::ostringstream os;
+  os << '[' << lo.to_string() << ", " << hi.to_string() << ')';
+  return os.str();
+}
+
+}  // namespace fjs

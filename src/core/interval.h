@@ -1,0 +1,56 @@
+// Half-open time intervals [lo, hi), the paper's convention (§2).
+#pragma once
+
+#include <string>
+
+#include "core/time.h"
+
+namespace fjs {
+
+/// Half-open interval [lo, hi). An interval with hi <= lo is empty.
+struct Interval {
+  Time lo;
+  Time hi;
+
+  constexpr Interval() = default;
+  constexpr Interval(Time lo_, Time hi_) : lo(lo_), hi(hi_) {}
+
+  /// Interval covering [start, start + length).
+  static constexpr Interval from_length(Time start, Time length) {
+    return Interval(start, start + length);
+  }
+
+  constexpr bool empty() const { return hi <= lo; }
+  constexpr Time length() const { return empty() ? Time::zero() : hi - lo; }
+
+  /// True iff t lies in [lo, hi).
+  constexpr bool contains(Time t) const { return lo <= t && t < hi; }
+
+  /// True iff the two intervals share at least one point.
+  constexpr bool overlaps(const Interval& other) const {
+    return lo < other.hi && other.lo < hi && !empty() && !other.empty();
+  }
+
+  /// True iff other is fully inside this interval (empty ⊆ anything).
+  constexpr bool covers(const Interval& other) const {
+    return other.empty() || (lo <= other.lo && other.hi <= hi);
+  }
+
+  /// Intersection (possibly empty).
+  constexpr Interval intersect(const Interval& other) const {
+    return Interval(lo >= other.lo ? lo : other.lo,
+                    hi <= other.hi ? hi : other.hi);
+  }
+
+  /// True iff the union of the two intervals is a single interval
+  /// (overlapping or exactly abutting).
+  constexpr bool touches(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  constexpr bool operator==(const Interval&) const = default;
+
+  std::string to_string() const;
+};
+
+}  // namespace fjs

@@ -1,0 +1,145 @@
+#include "core/interval_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+IntervalSet::IntervalSet(const std::vector<Interval>& intervals) {
+  for (const auto& iv : intervals) {
+    add(iv);
+  }
+}
+
+void IntervalSet::add(const Interval& interval) {
+  if (interval.empty()) {
+    return;
+  }
+  // Find the first component that could touch the new interval.
+  auto first = std::lower_bound(
+      components_.begin(), components_.end(), interval,
+      [](const Interval& c, const Interval& iv) { return c.hi < iv.lo; });
+  if (first == components_.end() || !first->touches(interval)) {
+    components_.insert(first, interval);
+    return;
+  }
+  // Merge the run of touching components into one.
+  auto last = first;
+  Time lo = std::min(first->lo, interval.lo);
+  Time hi = std::max(first->hi, interval.hi);
+  ++last;
+  while (last != components_.end() && last->lo <= hi) {
+    hi = std::max(hi, last->hi);
+    ++last;
+  }
+  *first = Interval(lo, hi);
+  components_.erase(first + 1, last);
+}
+
+void IntervalSet::unite(const IntervalSet& other) {
+  for (const auto& iv : other.components_) {
+    add(iv);
+  }
+}
+
+const Interval& IntervalSet::component(std::size_t i) const {
+  FJS_REQUIRE(i < components_.size(), "IntervalSet: component out of range");
+  return components_[i];
+}
+
+Time IntervalSet::measure() const {
+  Time total = Time::zero();
+  for (const auto& c : components_) {
+    total += c.length();
+  }
+  return total;
+}
+
+bool IntervalSet::contains(Time t) const {
+  auto it = std::upper_bound(
+      components_.begin(), components_.end(), t,
+      [](Time value, const Interval& c) { return value < c.hi; });
+  return it != components_.end() && it->contains(t);
+}
+
+bool IntervalSet::intersects(const Interval& interval) const {
+  if (interval.empty()) {
+    return false;
+  }
+  auto it = std::upper_bound(
+      components_.begin(), components_.end(), interval.lo,
+      [](Time value, const Interval& c) { return value < c.hi; });
+  return it != components_.end() && it->overlaps(interval);
+}
+
+Time IntervalSet::measure_within(const Interval& interval) const {
+  if (interval.empty()) {
+    return Time::zero();
+  }
+  Time total = Time::zero();
+  auto it = std::upper_bound(
+      components_.begin(), components_.end(), interval.lo,
+      [](Time value, const Interval& c) { return value < c.hi; });
+  for (; it != components_.end() && it->lo < interval.hi; ++it) {
+    total += it->intersect(interval).length();
+  }
+  return total;
+}
+
+Time IntervalSet::uncovered_measure(const Interval& interval) const {
+  return interval.length() - measure_within(interval);
+}
+
+Time IntervalSet::lower() const {
+  FJS_REQUIRE(!components_.empty(), "IntervalSet::lower on empty set");
+  return components_.front().lo;
+}
+
+Time IntervalSet::upper() const {
+  FJS_REQUIRE(!components_.empty(), "IntervalSet::upper on empty set");
+  return components_.back().hi;
+}
+
+std::vector<Interval> IntervalSet::gaps_within(const Interval& range) const {
+  std::vector<Interval> gaps;
+  if (range.empty()) {
+    return gaps;
+  }
+  Time cursor = range.lo;
+  for (const auto& c : components_) {
+    if (c.hi <= cursor) {
+      continue;
+    }
+    if (c.lo >= range.hi) {
+      break;
+    }
+    if (c.lo > cursor) {
+      gaps.emplace_back(cursor, std::min(c.lo, range.hi));
+    }
+    cursor = std::max(cursor, c.hi);
+    if (cursor >= range.hi) {
+      break;
+    }
+  }
+  if (cursor < range.hi) {
+    gaps.emplace_back(cursor, range.hi);
+  }
+  return gaps;
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << components_[i].to_string();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace fjs

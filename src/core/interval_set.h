@@ -1,0 +1,72 @@
+// Union of half-open intervals, the object the span objective is defined
+// on: span(J) = measure(∪ active intervals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+
+namespace fjs {
+
+/// Maintains a sorted list of disjoint, non-abutting half-open intervals.
+/// Abutting inserts ([1,2) then [2,3)) merge into one component, matching
+/// the definition of span as the measure of the union.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Builds from arbitrary (unsorted, overlapping) intervals.
+  explicit IntervalSet(const std::vector<Interval>& intervals);
+
+  /// Adds one interval, merging as needed. Empty intervals are ignored.
+  void add(const Interval& interval);
+
+  /// Union with another set.
+  void unite(const IntervalSet& other);
+
+  void clear() { components_.clear(); }
+
+  bool empty() const { return components_.empty(); }
+
+  /// Number of maximal contiguous components.
+  std::size_t component_count() const { return components_.size(); }
+
+  /// The i-th component, ordered by position.
+  const Interval& component(std::size_t i) const;
+
+  const std::vector<Interval>& components() const { return components_; }
+
+  /// Total measure (the span when the set holds all active intervals).
+  Time measure() const;
+
+  /// True iff t lies in some component.
+  bool contains(Time t) const;
+
+  /// True iff the interval intersects the set.
+  bool intersects(const Interval& interval) const;
+
+  /// Measure of the intersection with `interval`.
+  Time measure_within(const Interval& interval) const;
+
+  /// Measure of `interval` NOT covered by this set — the marginal span a
+  /// new active interval would add. Core of the offline optimizer.
+  Time uncovered_measure(const Interval& interval) const;
+
+  /// Leftmost point of the set. Requires non-empty.
+  Time lower() const;
+  /// Rightmost point (exclusive). Requires non-empty.
+  Time upper() const;
+
+  /// Maximal uncovered intervals strictly inside [range.lo, range.hi).
+  std::vector<Interval> gaps_within(const Interval& range) const;
+
+  bool operator==(const IntervalSet&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Interval> components_;
+};
+
+}  // namespace fjs

@@ -1,0 +1,14 @@
+#include "core/job.h"
+
+#include <sstream>
+
+namespace fjs {
+
+std::string Job::to_string() const {
+  std::ostringstream os;
+  os << "J" << id << "(a=" << arrival.to_string()
+     << ", d=" << deadline.to_string() << ", p=" << length.to_string() << ')';
+  return os.str();
+}
+
+}  // namespace fjs

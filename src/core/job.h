@@ -1,0 +1,43 @@
+// The job model from §2: arrival a(J), starting deadline d(J) (latest
+// allowed START time), processing length p(J).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/interval.h"
+#include "core/time.h"
+
+namespace fjs {
+
+/// Dense job identifier: index of the job within its Instance.
+using JobId = std::uint32_t;
+
+constexpr JobId kInvalidJob = static_cast<JobId>(-1);
+
+struct Job {
+  JobId id = kInvalidJob;
+  Time arrival;   ///< a(J): earliest possible start.
+  Time deadline;  ///< d(J): latest possible start ("starting deadline").
+  Time length;    ///< p(J): non-preemptive processing length, > 0.
+
+  /// d(J) - a(J): how long the start may be delayed.
+  Time laxity() const { return deadline - arrival; }
+
+  /// Latest possible completion time d(J) + p(J).
+  Time latest_completion() const { return deadline + length; }
+
+  /// Active interval if started at `start`.
+  Interval active_interval(Time start) const {
+    return Interval::from_length(start, length);
+  }
+
+  /// The start window [arrival, deadline] is non-empty and length positive.
+  bool valid() const {
+    return arrival <= deadline && length > Time::zero();
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace fjs

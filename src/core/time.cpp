@@ -1,0 +1,48 @@
+#include "core/time.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+
+Time Time::from_units(double units) {
+  const double ticks = units * static_cast<double>(kTicksPerUnit);
+  FJS_REQUIRE(std::abs(ticks) <
+                  static_cast<double>(std::numeric_limits<std::int64_t>::max()),
+              "Time::from_units overflow");
+  return Time(static_cast<std::int64_t>(std::llround(ticks)));
+}
+
+Time Time::scaled(double factor) const {
+  const double scaled_ticks = static_cast<double>(ticks_) * factor;
+  FJS_REQUIRE(std::abs(scaled_ticks) <
+                  static_cast<double>(std::numeric_limits<std::int64_t>::max()),
+              "Time::scaled overflow");
+  return Time(static_cast<std::int64_t>(std::llround(scaled_ticks)));
+}
+
+Time Time::checked_add(Time rhs) const {
+  std::int64_t out = 0;
+  FJS_REQUIRE(!__builtin_add_overflow(ticks_, rhs.ticks_, &out),
+              "Time::checked_add overflow");
+  return Time(out);
+}
+
+Time Time::checked_mul(std::int64_t k) const {
+  std::int64_t out = 0;
+  FJS_REQUIRE(!__builtin_mul_overflow(ticks_, k, &out),
+              "Time::checked_mul overflow");
+  return Time(out);
+}
+
+std::string Time::to_string() const { return format_double(to_units(), 6); }
+
+double time_ratio(Time numerator, Time denominator) {
+  FJS_REQUIRE(denominator.ticks() != 0, "time_ratio: zero denominator");
+  return static_cast<double>(numerator.ticks()) /
+         static_cast<double>(denominator.ticks());
+}
+
+}  // namespace fjs

@@ -1,0 +1,85 @@
+// Fixed-point simulation time.
+//
+// All scheduling logic runs on integer ticks so event comparisons are exact
+// (a requirement for the paper's half-open interval semantics: a job
+// arriving exactly at a flag job's completion belongs to the next
+// iteration). Doubles appear only at the reporting boundary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace fjs {
+
+/// A point in time or a duration, measured in integer ticks.
+///
+/// The same type serves both roles (like a raw tick count would); the
+/// wrapper exists to block accidental mixing with unrelated integers and to
+/// centralize overflow-checked arithmetic for the adversarial constructions
+/// that use exponentially growing laxities.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ticks) : ticks_(ticks) {}
+
+  /// Number of ticks per abstract "time unit" used by builders that accept
+  /// real-valued durations (e.g. the golden-ratio construction).
+  static constexpr std::int64_t kTicksPerUnit = 1'000'000;
+
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+  static constexpr Time min() {
+    return Time(std::numeric_limits<std::int64_t>::min());
+  }
+
+  /// Converts a real-valued number of units to ticks (round to nearest).
+  static Time from_units(double units);
+
+  constexpr std::int64_t ticks() const { return ticks_; }
+  double to_units() const {
+    return static_cast<double>(ticks_) / static_cast<double>(kTicksPerUnit);
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time rhs) const { return Time(ticks_ + rhs.ticks_); }
+  constexpr Time operator-(Time rhs) const { return Time(ticks_ - rhs.ticks_); }
+  constexpr Time operator-() const { return Time(-ticks_); }
+  Time& operator+=(Time rhs) {
+    ticks_ += rhs.ticks_;
+    return *this;
+  }
+  Time& operator-=(Time rhs) {
+    ticks_ -= rhs.ticks_;
+    return *this;
+  }
+
+  /// Integer scaling (exact).
+  constexpr Time operator*(std::int64_t k) const { return Time(ticks_ * k); }
+
+  /// Real scaling (round to nearest); used for ratio parameters like μ.
+  Time scaled(double factor) const;
+
+  /// Checked addition: throws AssertionError on signed overflow. Used by
+  /// adversarial instance builders with exponential laxities.
+  Time checked_add(Time rhs) const;
+  /// Checked integer scaling with overflow detection.
+  Time checked_mul(std::int64_t k) const;
+
+  /// Renders as a decimal number of units ("2.5") for human output.
+  std::string to_string() const;
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+constexpr Time operator*(std::int64_t k, Time t) { return t * k; }
+
+/// Ratio of two durations as a double. Denominator must be non-zero.
+double time_ratio(Time numerator, Time denominator);
+
+}  // namespace fjs

@@ -1,0 +1,107 @@
+#include "dbp/packing.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+namespace {
+
+/// Shared feasibility check with a small slack for size arithmetic.
+bool fits(double load, double size, double capacity) {
+  return load + size <= capacity + 1e-9;
+}
+
+}  // namespace
+
+std::size_t FirstFitPacker::place(const DbpItem& item,
+                                  const std::vector<double>& loads,
+                                  double capacity) {
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (fits(loads[i], item.size, capacity)) {
+      return i;
+    }
+  }
+  return loads.size();
+}
+
+std::size_t BestFitPacker::place(const DbpItem& item,
+                                 const std::vector<double>& loads,
+                                 double capacity) {
+  std::size_t best = loads.size();
+  double best_residual = capacity + 1.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (!fits(loads[i], item.size, capacity)) {
+      continue;
+    }
+    const double residual = capacity - loads[i] - item.size;
+    if (residual < best_residual) {
+      best_residual = residual;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t WorstFitPacker::place(const DbpItem& item,
+                                  const std::vector<double>& loads,
+                                  double capacity) {
+  std::size_t best = loads.size();
+  double best_residual = -1.0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (!fits(loads[i], item.size, capacity)) {
+      continue;
+    }
+    const double residual = capacity - loads[i] - item.size;
+    if (residual > best_residual) {
+      best_residual = residual;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t NextFitPacker::place(const DbpItem& item,
+                                 const std::vector<double>& loads,
+                                 double capacity) {
+  if (current_ != kNone && current_ < loads.size() &&
+      fits(loads[current_], item.size, capacity)) {
+    return current_;
+  }
+  current_ = loads.size();
+  return current_;
+}
+
+CdFirstFitPacker::CdFirstFitPacker(double ratio) : ratio_(ratio) {
+  FJS_REQUIRE(ratio_ > 1.0, "cd-first-fit: ratio must be > 1");
+}
+
+std::string CdFirstFitPacker::name() const {
+  std::ostringstream os;
+  os << "cd-first-fit(r=" << format_double(ratio_, 3) << ')';
+  return os.str();
+}
+
+long CdFirstFitPacker::class_of(Time duration) const {
+  FJS_REQUIRE(duration > Time::zero(), "cd-first-fit: empty item interval");
+  return static_cast<long>(
+      std::floor(std::log(static_cast<double>(duration.ticks())) /
+                 std::log(ratio_)));
+}
+
+std::size_t CdFirstFitPacker::place(const DbpItem& item,
+                                    const std::vector<double>& loads,
+                                    double capacity) {
+  std::vector<std::size_t>& pool = pools_[class_of(item.active.length())];
+  for (const std::size_t bin : pool) {
+    if (fits(loads[bin], item.size, capacity)) {
+      return bin;
+    }
+  }
+  pool.push_back(loads.size());
+  return loads.size();
+}
+
+}  // namespace fjs

@@ -1,0 +1,99 @@
+// Packing policies for the MinUsageTime Dynamic Bin Packing extension
+// (§5 of the paper): once a scheduler fixes start times, items (jobs with
+// resource sizes) are placed into bins (servers with unit capacity) for
+// the duration of their active intervals; the objective is the total time
+// bins are non-empty.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/job.h"
+
+namespace fjs {
+
+struct DbpItem {
+  JobId job = kInvalidJob;
+  double size = 0.0;   ///< resource demand in (0, capacity]
+  Interval active;     ///< placement interval fixed by the scheduler
+};
+
+/// Online packing policy. `place` returns the index of the bin to use;
+/// returning `loads.size()` opens a new bin. The simulator validates that
+/// the chosen bin has residual capacity.
+class Packer {
+ public:
+  virtual ~Packer() = default;
+  virtual std::string name() const = 0;
+
+  /// `loads[i]` is bin i's current load at the item's start time.
+  virtual std::size_t place(const DbpItem& item,
+                            const std::vector<double>& loads,
+                            double capacity) = 0;
+
+  virtual void reset() {}
+};
+
+/// First Fit: lowest-indexed bin with enough residual capacity.
+/// The paper's §5 cites First Fit as near-optimal (O(μ)) for
+/// non-clairvoyant MinUsageTime DBP.
+class FirstFitPacker final : public Packer {
+ public:
+  std::string name() const override { return "first-fit"; }
+  std::size_t place(const DbpItem& item, const std::vector<double>& loads,
+                    double capacity) override;
+};
+
+/// Best Fit: feasible bin with the least residual capacity after placing.
+class BestFitPacker final : public Packer {
+ public:
+  std::string name() const override { return "best-fit"; }
+  std::size_t place(const DbpItem& item, const std::vector<double>& loads,
+                    double capacity) override;
+};
+
+/// Worst Fit: feasible bin with the MOST residual capacity (spreads load;
+/// included to show why tight packing matters for usage time).
+class WorstFitPacker final : public Packer {
+ public:
+  std::string name() const override { return "worst-fit"; }
+  std::size_t place(const DbpItem& item, const std::vector<double>& loads,
+                    double capacity) override;
+};
+
+/// Next Fit: keep one "open" bin; open a new one when the item misses.
+class NextFitPacker final : public Packer {
+ public:
+  std::string name() const override { return "next-fit"; }
+  std::size_t place(const DbpItem& item, const std::vector<double>& loads,
+                    double capacity) override;
+  void reset() override { current_ = kNone; }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t current_ = kNone;
+};
+
+/// Classify-by-duration First Fit (§5: achieves O(log μ) for clairvoyant
+/// MinUsageTime DBP): items are classified by active-interval length into
+/// geometric classes and each class First-Fits into its own bin pool.
+class CdFirstFitPacker final : public Packer {
+ public:
+  /// `ratio` is the per-class max/min duration ratio (> 1).
+  explicit CdFirstFitPacker(double ratio = 2.0);
+
+  std::string name() const override;
+  std::size_t place(const DbpItem& item, const std::vector<double>& loads,
+                    double capacity) override;
+  void reset() override { pools_.clear(); }
+
+ private:
+  long class_of(Time duration) const;
+
+  double ratio_;
+  std::map<long, std::vector<std::size_t>> pools_;  ///< class -> bin indices
+};
+
+}  // namespace fjs

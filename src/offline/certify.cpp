@@ -1,0 +1,61 @@
+#include "offline/certify.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/interval_set.h"
+#include "support/assert.h"
+
+namespace fjs {
+
+std::optional<ImprovingMove> find_improving_move(const Instance& instance,
+                                                 const Schedule& schedule) {
+  schedule.validate(instance);
+  const Time span_before = schedule.span(instance);
+
+  for (JobId id = 0; id < instance.size(); ++id) {
+    const Job& job = instance.job(id);
+    if (job.laxity() == Time::zero()) {
+      continue;
+    }
+    // Union of everyone else.
+    IntervalSet others;
+    for (JobId other = 0; other < instance.size(); ++other) {
+      if (other != id) {
+        others.add(schedule.active_interval(instance, other));
+      }
+    }
+    const Time current_marginal =
+        others.uncovered_measure(schedule.active_interval(instance, id));
+    // Candidate starts: window endpoints + alignments with the other
+    // intervals' endpoints — the breakpoints of the marginal function.
+    std::vector<Time> candidates = {job.arrival, job.deadline};
+    for (const Interval& component : others.components()) {
+      for (const Time e : {component.lo, component.hi}) {
+        candidates.push_back(
+            std::clamp(e, job.arrival, job.deadline));
+        candidates.push_back(
+            std::clamp(e - job.length, job.arrival, job.deadline));
+      }
+    }
+    for (const Time s : candidates) {
+      const Time marginal =
+          others.uncovered_measure(job.active_interval(s));
+      if (marginal < current_marginal) {
+        return ImprovingMove{
+            .job = id,
+            .new_start = s,
+            .span_before = span_before,
+            .span_after =
+                span_before - (current_marginal - marginal)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_locally_optimal(const Instance& instance, const Schedule& schedule) {
+  return !find_improving_move(instance, schedule).has_value();
+}
+
+}  // namespace fjs

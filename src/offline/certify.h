@@ -1,0 +1,34 @@
+// Schedule-quality certificates.
+//
+// A claimed-optimal schedule can be partially audited without re-solving:
+// single-job local optimality (no one job can move to reduce the span) is
+// a necessary condition for global optimality, cheap to check exactly
+// (the one-job marginal cost is piecewise linear with breakpoints at
+// window endpoints and alignments with other jobs' interval endpoints).
+#pragma once
+
+#include <optional>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace fjs {
+
+/// A strictly improving single-job move, if one exists.
+struct ImprovingMove {
+  JobId job = kInvalidJob;
+  Time new_start;
+  Time span_before;
+  Time span_after;
+};
+
+/// Finds a strictly improving single-job move, or nullopt if the schedule
+/// is single-move (1-opt) locally optimal. Every globally optimal
+/// schedule returns nullopt; the converse need not hold.
+std::optional<ImprovingMove> find_improving_move(const Instance& instance,
+                                                 const Schedule& schedule);
+
+/// Convenience predicate.
+bool is_locally_optimal(const Instance& instance, const Schedule& schedule);
+
+}  // namespace fjs

@@ -1,0 +1,77 @@
+#include "offline/lower_bound.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/interval_set.h"
+#include "support/assert.h"
+
+namespace fjs {
+
+Time mandatory_lower_bound(const Instance& instance) {
+  IntervalSet mandatory;
+  for (const Job& j : instance.jobs()) {
+    // Every placement of J covers [d(J), a(J)+p(J)) (empty if laxity >= p).
+    mandatory.add(Interval(j.deadline, j.arrival + j.length));
+  }
+  return mandatory.measure();
+}
+
+Time chain_lower_bound(const Instance& instance) {
+  if (instance.empty()) {
+    return Time::zero();
+  }
+  // f(J) = best chain weight ending at J
+  //      = p(J) + max{ f(I) : d(I) + p(I) <= a(J) }.
+  // Process jobs in arrival order; maintain a Pareto map from
+  // latest-completion key (d+p) to the best chain weight achievable with
+  // that key or less, keeping keys and values jointly increasing.
+  std::map<Time, Time> pareto;  // key -> best weight with completion <= key
+  auto query = [&pareto](Time key) {
+    auto it = pareto.upper_bound(key);
+    if (it == pareto.begin()) {
+      return Time::zero();
+    }
+    return std::prev(it)->second;
+  };
+  auto insert = [&pareto](Time key, Time value) {
+    auto it = pareto.upper_bound(key);
+    if (it != pareto.begin() && std::prev(it)->second >= value) {
+      return;  // dominated by an earlier-or-equal key with >= value
+    }
+    auto [pos, inserted] = pareto.insert_or_assign(key, value);
+    // Remove later keys that are now dominated.
+    auto next = std::next(pos);
+    while (next != pareto.end() && next->second <= value) {
+      next = pareto.erase(next);
+    }
+  };
+
+  const std::vector<JobId> order = instance.ids_by_arrival();
+  Time best = Time::zero();
+  for (const JobId id : order) {
+    const Job& j = instance.job(id);
+    const Time f = query(j.arrival).checked_add(j.length);
+    best = std::max(best, f);
+    insert(j.deadline.checked_add(j.length), f);
+  }
+  return best;
+}
+
+Time max_length_lower_bound(const Instance& instance) {
+  if (instance.empty()) {
+    return Time::zero();
+  }
+  return instance.max_length();
+}
+
+Time best_lower_bound(const Instance& instance) {
+  if (instance.empty()) {
+    return Time::zero();
+  }
+  return std::max({mandatory_lower_bound(instance),
+                   chain_lower_bound(instance),
+                   max_length_lower_bound(instance)});
+}
+
+}  // namespace fjs

@@ -1,0 +1,52 @@
+#include "schedulers/doubler.h"
+
+#include <algorithm>
+
+namespace fjs {
+
+void DoublerScheduler::expire(Time now) {
+  windows_.erase(std::remove_if(windows_.begin(), windows_.end(),
+                                [now](const Window& w) {
+                                  return w.close <= now;
+                                }),
+                 windows_.end());
+}
+
+void DoublerScheduler::on_arrival(SchedulerContext& ctx, JobId id) {
+  expire(ctx.now());
+  const Time completion = ctx.now() + ctx.length_of(id);
+  for (const Window& w : windows_) {
+    if (completion <= w.close) {
+      ctx.start_job(id);
+      return;
+    }
+  }
+}
+
+void DoublerScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
+  const Time now = ctx.now();
+  expire(now);
+  // Ties at the same starting deadline: longest job becomes the flag, like
+  // Profit, so the window is as wide as possible.
+  JobId flag = id;
+  Time flag_p = ctx.length_of(id);
+  for (const JobId job : ctx.pending()) {
+    if (ctx.view(job).deadline == now && ctx.length_of(job) > flag_p) {
+      flag = job;
+      flag_p = ctx.length_of(job);
+    }
+  }
+  ctx.start_job(flag);
+  const Time close = now + flag_p * 2;
+  windows_.push_back(Window{.flag = flag, .close = close});
+  const std::vector<JobId> pending = ctx.pending();
+  for (const JobId job : pending) {
+    if (ctx.length_of(job) <= flag_p * 2) {
+      ctx.start_job(job);
+    }
+  }
+}
+
+void DoublerScheduler::reset() { windows_.clear(); }
+
+}  // namespace fjs

@@ -1,0 +1,15 @@
+#include "schedulers/eager.h"
+
+namespace fjs {
+
+void EagerScheduler::on_arrival(SchedulerContext& ctx, JobId id) {
+  ctx.start_job(id);
+}
+
+void EagerScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
+  // Unreachable in practice: every job starts at arrival. Kept defensive so
+  // the engine contract holds even if a subclass overrides on_arrival.
+  ctx.start_job(id);
+}
+
+}  // namespace fjs

@@ -1,0 +1,20 @@
+// Eager baseline: starts every job immediately at its arrival.
+//
+// §3.2 notes this scheduler has an unbounded competitive ratio even for a
+// fixed μ — it never exploits laxity to batch jobs. Included as the natural
+// "no scheduling" comparator.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace fjs {
+
+class EagerScheduler final : public OnlineScheduler {
+ public:
+  std::string name() const override { return "eager"; }
+
+  void on_arrival(SchedulerContext& ctx, JobId id) override;
+  void on_deadline(SchedulerContext& ctx, JobId id) override;
+};
+
+}  // namespace fjs

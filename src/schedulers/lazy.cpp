@@ -1,0 +1,13 @@
+#include "schedulers/lazy.h"
+
+namespace fjs {
+
+void LazyScheduler::on_arrival(SchedulerContext& /*ctx*/, JobId /*id*/) {
+  // Buffer until the starting deadline.
+}
+
+void LazyScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
+  ctx.start_job(id);
+}
+
+}  // namespace fjs

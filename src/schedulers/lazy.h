@@ -1,0 +1,21 @@
+// Lazy baseline: delays every job until its starting deadline.
+//
+// §3.2 notes this scheduler has an unbounded competitive ratio — it wastes
+// the flexibility the laxity offers (jobs that could have run together are
+// started at unrelated deadlines). Included as the second natural
+// comparator.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace fjs {
+
+class LazyScheduler final : public OnlineScheduler {
+ public:
+  std::string name() const override { return "lazy"; }
+
+  void on_arrival(SchedulerContext& ctx, JobId id) override;
+  void on_deadline(SchedulerContext& ctx, JobId id) override;
+};
+
+}  // namespace fjs

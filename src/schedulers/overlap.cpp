@@ -1,0 +1,72 @@
+#include "schedulers/overlap.h"
+
+#include <sstream>
+#include <vector>
+
+#include "core/interval_set.h"
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+
+OverlapScheduler::OverlapScheduler(double theta) : theta_(theta) {
+  FJS_REQUIRE(theta_ > 0.0 && theta_ <= 1.0, "overlap: theta in (0, 1]");
+}
+
+std::string OverlapScheduler::name() const {
+  std::ostringstream os;
+  os << "overlap(theta=" << format_double(theta_, 3) << ')';
+  return os.str();
+}
+
+bool OverlapScheduler::overlap_sufficient(SchedulerContext& ctx,
+                                          JobId id) const {
+  const Time now = ctx.now();
+  const Interval candidate = Interval::from_length(now, ctx.length_of(id));
+  IntervalSet running;
+  for (const auto& [job, interval] : running_intervals_) {
+    running.add(interval);
+  }
+  const Time covered = running.measure_within(candidate);
+  return static_cast<double>(covered.ticks()) >=
+         theta_ * static_cast<double>(candidate.length().ticks());
+}
+
+void OverlapScheduler::start_and_cascade(SchedulerContext& ctx, JobId id) {
+  ctx.start_job(id);
+  running_intervals_.emplace(
+      id, Interval::from_length(ctx.now(), ctx.length_of(id)));
+  // New coverage may unlock other pending jobs; fixpoint over the pending
+  // set (each pass starts at least one job or stops).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const std::vector<JobId> pending = ctx.pending();
+    for (const JobId job : pending) {
+      if (overlap_sufficient(ctx, job)) {
+        ctx.start_job(job);
+        running_intervals_.emplace(
+            job, Interval::from_length(ctx.now(), ctx.length_of(job)));
+        progress = true;
+      }
+    }
+  }
+}
+
+void OverlapScheduler::on_arrival(SchedulerContext& ctx, JobId id) {
+  if (overlap_sufficient(ctx, id)) {
+    start_and_cascade(ctx, id);
+  }
+}
+
+void OverlapScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
+  start_and_cascade(ctx, id);
+}
+
+void OverlapScheduler::on_completion(SchedulerContext& /*ctx*/, JobId id) {
+  running_intervals_.erase(id);
+}
+
+void OverlapScheduler::reset() { running_intervals_.clear(); }
+
+}  // namespace fjs

@@ -1,0 +1,48 @@
+// Greedy-overlap heuristic (extension, not from the paper).
+//
+// Clairvoyant. Start a pending job as soon as at least a θ-fraction of its
+// would-be active interval [now, now+p) is covered by the intervals of
+// currently running jobs (whose completion times are known from their
+// lengths); otherwise wait — the starting deadline is the backstop. After
+// every start the remaining pending jobs are re-examined, so overlap
+// opportunities cascade.
+//
+// This is the "what a practitioner would try first" comparator: it chases
+// the same objective as Profit (only spend span that is mostly shared)
+// without Profit's flag-job machinery, and the benches show where it loses
+// the worst-case guarantee.
+#pragma once
+
+#include <map>
+
+#include "sim/scheduler.h"
+
+namespace fjs {
+
+class OverlapScheduler final : public OnlineScheduler {
+ public:
+  /// `theta` in (0, 1]: required covered fraction of a job's interval.
+  explicit OverlapScheduler(double theta = 0.5);
+
+  std::string name() const override;
+  bool requires_clairvoyance() const override { return true; }
+
+  void on_arrival(SchedulerContext& ctx, JobId id) override;
+  void on_deadline(SchedulerContext& ctx, JobId id) override;
+  void on_completion(SchedulerContext& ctx, JobId id) override;
+  void reset() override;
+
+  double theta() const { return theta_; }
+
+ private:
+  bool overlap_sufficient(SchedulerContext& ctx, JobId id) const;
+  /// Starts `id` and then any pending jobs unlocked by new coverage.
+  void start_and_cascade(SchedulerContext& ctx, JobId id);
+
+  double theta_;
+  /// Completion time of every currently running job (we started them all,
+  /// so we know their start times; lengths come from clairvoyance).
+  std::map<JobId, Interval> running_intervals_;
+};
+
+}  // namespace fjs

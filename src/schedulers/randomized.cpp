@@ -1,0 +1,39 @@
+#include "schedulers/randomized.h"
+
+#include <algorithm>
+
+namespace fjs {
+
+RandomizedScheduler::RandomizedScheduler(std::uint64_t seed)
+    : seed_(seed), rng_(seed) {}
+
+void RandomizedScheduler::on_arrival(SchedulerContext& ctx, JobId id) {
+  const JobView view = ctx.view(id);
+  const Time laxity = view.laxity();
+  if (laxity == Time::zero()) {
+    ctx.start_job(id);
+    return;
+  }
+  const Time offset(rng_.uniform_int(0, laxity.ticks()));
+  if (offset == Time::zero()) {
+    ctx.start_job(id);
+  } else {
+    ctx.set_timer(ctx.now() + offset, id);
+  }
+}
+
+void RandomizedScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
+  ctx.start_job(id);
+}
+
+void RandomizedScheduler::on_timer(SchedulerContext& ctx, std::uint64_t tag) {
+  const auto id = static_cast<JobId>(tag);
+  const auto& pending = ctx.pending();
+  if (std::find(pending.begin(), pending.end(), id) != pending.end()) {
+    ctx.start_job(id);
+  }
+}
+
+void RandomizedScheduler::reset() { rng_ = Rng(seed_); }
+
+}  // namespace fjs

@@ -1,0 +1,103 @@
+#include "schedulers/registry.h"
+
+#include "schedulers/batch.h"
+#include "schedulers/batch_plus.h"
+#include "schedulers/classify_by_duration.h"
+#include "schedulers/doubler.h"
+#include "schedulers/eager.h"
+#include "schedulers/lazy.h"
+#include "schedulers/overlap.h"
+#include "schedulers/profit.h"
+#include "schedulers/randomized.h"
+#include "support/assert.h"
+
+namespace fjs {
+
+const std::vector<SchedulerSpec>& scheduler_registry() {
+  static const std::vector<SchedulerSpec> registry = {
+      {"eager", false, [] { return std::make_unique<EagerScheduler>(); }},
+      {"lazy", false, [] { return std::make_unique<LazyScheduler>(); }},
+      {"random", false,
+       [] { return std::make_unique<RandomizedScheduler>(); }},
+      {"batch", false, [] { return std::make_unique<BatchScheduler>(); }},
+      {"batch+", false, [] { return std::make_unique<BatchPlusScheduler>(); }},
+      {"cdb", true, [] { return std::make_unique<CdbScheduler>(); }},
+      {"profit", true, [] { return std::make_unique<ProfitScheduler>(); }},
+      {"doubler*", true, [] { return std::make_unique<DoublerScheduler>(); }},
+      {"overlap", true, [] { return std::make_unique<OverlapScheduler>(); }},
+  };
+  return registry;
+}
+
+std::vector<SchedulerSpec> schedulers_for_model(bool clairvoyant) {
+  std::vector<SchedulerSpec> out;
+  for (const auto& spec : scheduler_registry()) {
+    if (clairvoyant || !spec.clairvoyant) {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+double parse_param(const std::string& key, const std::string& params,
+                   const std::string& expected_name) {
+  const auto eq = params.find('=');
+  FJS_REQUIRE(eq != std::string::npos,
+              "scheduler key '" + key + "': expected <param>=<value>");
+  const std::string name = params.substr(0, eq);
+  FJS_REQUIRE(name == expected_name,
+              "scheduler key '" + key + "': unknown parameter '" + name +
+                  "' (expected '" + expected_name + "')");
+  try {
+    return std::stod(params.substr(eq + 1));
+  } catch (const std::exception&) {
+    FJS_REQUIRE(false, "scheduler key '" + key + "': bad value");
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace
+
+std::unique_ptr<OnlineScheduler> make_scheduler(const std::string& key) {
+  const auto colon = key.find(':');
+  const std::string base = key.substr(0, colon);
+  const std::string params =
+      colon == std::string::npos ? "" : key.substr(colon + 1);
+
+  if (!params.empty()) {
+    if (base == "profit") {
+      return std::make_unique<ProfitScheduler>(parse_param(key, params, "k"));
+    }
+    if (base == "cdb") {
+      return std::make_unique<CdbScheduler>(parse_param(key, params, "alpha"));
+    }
+    if (base == "overlap") {
+      return std::make_unique<OverlapScheduler>(
+          parse_param(key, params, "theta"));
+    }
+    if (base == "random") {
+      return std::make_unique<RandomizedScheduler>(static_cast<std::uint64_t>(
+          parse_param(key, params, "seed")));
+    }
+    FJS_REQUIRE(false, "scheduler '" + base + "' takes no parameters");
+  }
+  for (const auto& spec : scheduler_registry()) {
+    if (spec.key == base) {
+      return spec.make();
+    }
+  }
+  FJS_REQUIRE(false, "unknown scheduler key: " + key);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> known_scheduler_keys() {
+  std::vector<std::string> keys;
+  for (const auto& spec : scheduler_registry()) {
+    keys.push_back(spec.key);
+  }
+  return keys;
+}
+
+}  // namespace fjs

@@ -1,0 +1,43 @@
+// Scheduler registry: construct schedulers by name and enumerate the
+// standard line-up used by benches and examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace fjs {
+
+struct SchedulerSpec {
+  /// Registry key (also the default display name), e.g. "batch+".
+  std::string key;
+  /// Whether the scheduler needs the clairvoyant model.
+  bool clairvoyant = false;
+  /// Factory producing a fresh instance with default parameters.
+  std::function<std::unique_ptr<OnlineScheduler>()> make;
+};
+
+/// All registered schedulers, in presentation order:
+/// eager, lazy, random, batch, batch+, cdb, profit, doubler*, overlap.
+const std::vector<SchedulerSpec>& scheduler_registry();
+
+/// Specs compatible with the given model (non-clairvoyant schedulers are
+/// also valid clairvoyant schedulers, so clairvoyant=true returns all).
+std::vector<SchedulerSpec> schedulers_for_model(bool clairvoyant);
+
+/// Creates a scheduler by registry key, optionally with parameters:
+///   "batch+"            default construction
+///   "profit:k=2.5"      Profit with k = 2.5
+///   "cdb:alpha=2"       CDB with α = 2
+///   "overlap:theta=0.7" Overlap with θ = 0.7
+///   "random:seed=9"     Randomized baseline with the given seed
+/// Throws AssertionError for unknown keys/parameters;
+/// `known_scheduler_keys` lists the valid base keys.
+std::unique_ptr<OnlineScheduler> make_scheduler(const std::string& key);
+
+std::vector<std::string> known_scheduler_keys();
+
+}  // namespace fjs

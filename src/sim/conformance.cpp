@@ -1,0 +1,113 @@
+#include "sim/conformance.h"
+
+#include <sstream>
+
+#include "core/instance.h"
+#include "sim/engine.h"
+#include "sim/trace_check.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace fjs {
+namespace {
+
+struct Probe {
+  std::string name;
+  Instance instance;
+};
+
+std::vector<Probe> battery() {
+  std::vector<Probe> probes;
+  auto add = [&probes](const std::string& name, InstanceBuilder builder) {
+    probes.push_back(Probe{name, builder.build()});
+  };
+
+  add("single-rigid-job", InstanceBuilder().add(0, 0, 1));
+  add("single-loose-job", InstanceBuilder().add(0, 100, 1));
+  add("two-simultaneous-rigid",
+      InstanceBuilder().add(0, 0, 2).add(0, 0, 3));
+  add("zero-laxity-at-nonzero-time",
+      InstanceBuilder().add(5, 5, 1).add(5, 5, 2));
+  add("arrival-exactly-at-completion",
+      InstanceBuilder().add(0, 0, 1).add(1, 10, 1));
+  add("deadline-equals-another-completion",
+      InstanceBuilder().add(0, 0, 2).add(0, 2, 1));
+  add("shared-deadlines",
+      InstanceBuilder().add(0, 3, 1).add(0, 3, 2).add(1, 3, 3));
+  add("nested-windows",
+      InstanceBuilder().add(0, 10, 1).add(2, 8, 1).add(4, 6, 1));
+  add("tiny-and-huge-lengths",
+      InstanceBuilder().add(0, 1, 0.001).add(0, 1, 500.0));
+  add("burst-of-twenty", [] {
+    InstanceBuilder b;
+    for (int i = 0; i < 20; ++i) {
+      b.add_lax(0.0, static_cast<double>(i), 1.0);
+    }
+    return b;
+  }());
+  add("staggered-chain", [] {
+    InstanceBuilder b;
+    for (int i = 0; i < 10; ++i) {
+      b.add_lax(static_cast<double>(i) * 1.5, 2.0, 1.0);
+    }
+    return b;
+  }());
+  {
+    // Randomized probes with fractional times.
+    Rng rng(0xC0FFEE);
+    for (int round = 0; round < 4; ++round) {
+      InstanceBuilder b;
+      for (int i = 0; i < 25; ++i) {
+        const double a = rng.uniform_real(0.0, 20.0);
+        b.add_lax(a, rng.uniform_real(0.0, 6.0),
+                  rng.uniform_real(0.1, 4.0));
+      }
+      add("random-fractional-" + std::to_string(round), std::move(b));
+    }
+  }
+  return probes;
+}
+
+}  // namespace
+
+ConformanceReport run_conformance_suite(
+    const std::function<std::unique_ptr<OnlineScheduler>()>& factory,
+    bool clairvoyant) {
+  ConformanceReport report;
+  for (const Probe& probe : battery()) {
+    ++report.probes_run;
+    try {
+      const auto scheduler = factory();
+      FJS_REQUIRE(scheduler != nullptr, "factory returned null");
+      const SimulationResult result =
+          simulate(probe.instance, *scheduler, clairvoyant,
+                   /*record_trace=*/true);
+      if (!result.schedule.is_valid(result.instance)) {
+        report.issues.push_back(
+            ConformanceIssue{probe.name, "schedule is invalid"});
+        continue;
+      }
+      const auto violations =
+          check_trace(result.instance, result.schedule, result.trace);
+      if (!violations.empty()) {
+        report.issues.push_back(ConformanceIssue{
+            probe.name, "trace violations:\n" +
+                            violations_to_string(violations)});
+      }
+    } catch (const std::exception& e) {
+      report.issues.push_back(ConformanceIssue{probe.name, e.what()});
+    }
+  }
+  return report;
+}
+
+std::string ConformanceReport::to_string() const {
+  std::ostringstream os;
+  os << probes_run << " probes, " << issues.size() << " failure(s)\n";
+  for (const auto& issue : issues) {
+    os << "  [" << issue.probe << "] " << issue.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fjs

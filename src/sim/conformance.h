@@ -1,0 +1,39 @@
+// Conformance harness for USER-WRITTEN schedulers.
+//
+// Anyone implementing OnlineScheduler against this engine faces the same
+// traps: half-open boundary ticks, zero-laxity arrivals, simultaneous
+// events, bursts, clairvoyance gating. This harness runs a battery of
+// crafted probes and reports failures with reproduction detail, so a new
+// scheduler can be validated in one call before any experiment trusts it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace fjs {
+
+struct ConformanceIssue {
+  std::string probe;    ///< which battery case failed
+  std::string message;  ///< what went wrong (exception text or violation)
+};
+
+struct ConformanceReport {
+  std::vector<ConformanceIssue> issues;
+  std::size_t probes_run = 0;
+  bool passed() const { return issues.empty(); }
+  std::string to_string() const;
+};
+
+/// Runs the battery against schedulers produced by `factory` (a fresh
+/// instance per probe; `clairvoyant` selects the engine model). Checks,
+/// per probe: the run completes, the schedule is valid, and the recorded
+/// trace passes the independent trace validator.
+ConformanceReport run_conformance_suite(
+    const std::function<std::unique_ptr<OnlineScheduler>()>& factory,
+    bool clairvoyant);
+
+}  // namespace fjs

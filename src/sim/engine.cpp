@@ -1,0 +1,306 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+/// Engine-backed implementation of the scheduler-facing context.
+class Engine::Context final : public SchedulerContext {
+ public:
+  explicit Context(Engine& engine) : engine_(engine) {}
+
+  Time now() const override { return engine_.now_; }
+
+  bool clairvoyant() const override { return engine_.options_.clairvoyant; }
+
+  JobView view(JobId id) const override {
+    const JobRecord& r = engine_.record(id);
+    return JobView{.id = id, .arrival = r.job.arrival, .deadline = r.job.deadline};
+  }
+
+  Time length_of(JobId id) const override {
+    FJS_REQUIRE(engine_.options_.clairvoyant,
+                "length_of called in non-clairvoyant mode");
+    const JobRecord& r = engine_.record(id);
+    FJS_CHECK(r.length_known, "clairvoyant job without a known length");
+    return r.job.length;
+  }
+
+  const std::vector<JobId>& pending() const override {
+    return engine_.pending_;
+  }
+
+  const std::vector<JobId>& running() const override {
+    return engine_.running_;
+  }
+
+  void start_job(JobId id) override { engine_.start_job(id); }
+
+  void set_timer(Time t, std::uint64_t tag) override {
+    FJS_REQUIRE(t >= engine_.now_, "set_timer: time in the past");
+    engine_.push(Event{.time = t,
+                       .kind = EventKind::kSchedulerTimer,
+                       .seq = 0,
+                       .job = kInvalidJob,
+                       .tag = tag});
+  }
+
+ private:
+  Engine& engine_;
+};
+
+Engine::Engine(JobSource& source, LengthOracle& oracle,
+               OnlineScheduler& scheduler, EngineOptions options)
+    : source_(source),
+      oracle_(oracle),
+      scheduler_(scheduler),
+      options_(options),
+      now_(Time::min()),
+      context_(std::make_unique<Context>(*this)) {}
+
+Engine::~Engine() = default;
+
+Engine::JobRecord& Engine::record(JobId id) {
+  FJS_REQUIRE(id < jobs_.size(), "engine: unknown job id");
+  return jobs_[id];
+}
+
+void Engine::push(Event event) {
+  event.seq = next_seq_++;
+  queue_.push(event);
+}
+
+void Engine::trace_event(Time t, EventKind kind, JobId job,
+                         std::int64_t detail) {
+  if (options_.record_trace) {
+    trace_.record(TraceEntry{.time = t, .kind = kind, .job = job,
+                             .detail = detail});
+  }
+}
+
+void Engine::release(const JobSpec& spec) {
+  FJS_REQUIRE(!started_ || spec.arrival >= now_,
+              "source released a job in the past");
+  FJS_REQUIRE(spec.arrival <= spec.deadline,
+              "source released a job with deadline before arrival");
+  if (spec.length.has_value()) {
+    FJS_REQUIRE(*spec.length > Time::zero(),
+                "source released a job with non-positive length");
+  } else {
+    FJS_REQUIRE(!options_.clairvoyant,
+                "clairvoyant run requires lengths at release");
+  }
+  const auto id = static_cast<JobId>(jobs_.size());
+  JobRecord rec;
+  rec.job = Job{.id = id,
+                .arrival = spec.arrival,
+                .deadline = spec.deadline,
+                .length = spec.length.value_or(Time::zero())};
+  rec.length_known = spec.length.has_value();
+  jobs_.push_back(rec);
+  push(Event{.time = spec.arrival,
+             .kind = EventKind::kArrival,
+             .seq = 0,
+             .job = id,
+             .tag = 0});
+}
+
+void Engine::apply(const SourceAction& action) {
+  for (const JobSpec& spec : action.releases) {
+    release(spec);
+  }
+  if (action.wakeup.has_value()) {
+    FJS_REQUIRE(!started_ || *action.wakeup >= now_,
+                "source wakeup in the past");
+    push(Event{.time = *action.wakeup,
+               .kind = EventKind::kSourceWakeup,
+               .seq = 0,
+               .job = kInvalidJob,
+               .tag = 0});
+  }
+}
+
+void Engine::start_job(JobId id) {
+  JobRecord& rec = record(id);
+  FJS_REQUIRE(rec.state == JobState::kPending,
+              "start_job: job is not pending");
+  FJS_REQUIRE(now_ >= rec.job.arrival, "start_job: before arrival");
+  FJS_REQUIRE(now_ <= rec.job.deadline,
+              "start_job: job " + rec.job.to_string() +
+                  " started after its starting deadline");
+  rec.state = JobState::kRunning;
+  rec.start = now_;
+  auto it = std::find(pending_.begin(), pending_.end(), id);
+  FJS_CHECK(it != pending_.end(), "start_job: job missing from pending list");
+  pending_.erase(it);
+  running_.push_back(id);
+  trace_event(now_, EventKind::kStart, id, 0);
+
+  if (rec.length_known) {
+    push(Event{.time = now_ + rec.job.length,
+               .kind = EventKind::kCompletion,
+               .seq = 0,
+               .job = id,
+               .tag = 0});
+  } else {
+    const LengthOracle::StartDecision decision = oracle_.at_start(id, now_);
+    if (decision.length.has_value()) {
+      FJS_REQUIRE(*decision.length > Time::zero(),
+                  "oracle returned non-positive length");
+      rec.job.length = *decision.length;
+      rec.length_known = true;
+      push(Event{.time = now_ + rec.job.length,
+                 .kind = EventKind::kCompletion,
+                 .seq = 0,
+                 .job = id,
+                 .tag = 0});
+    } else {
+      FJS_REQUIRE(decision.decide_at > now_,
+                  "oracle deferral must be strictly in the future");
+      push(Event{.time = decision.decide_at,
+                 .kind = EventKind::kLengthDecision,
+                 .seq = 0,
+                 .job = id,
+                 .tag = 0});
+    }
+  }
+
+  apply(source_.on_start(id, now_));
+}
+
+void Engine::process(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kLengthDecision: {
+      JobRecord& rec = record(event.job);
+      FJS_CHECK(rec.state == JobState::kRunning && !rec.length_known,
+                "length decision for a non-running or decided job");
+      const Time length = oracle_.decide(event.job, now_);
+      FJS_REQUIRE(length > Time::zero(), "oracle decided non-positive length");
+      FJS_REQUIRE(rec.start + length >= now_,
+                  "oracle decided a completion in the past");
+      rec.job.length = length;
+      rec.length_known = true;
+      trace_event(now_, EventKind::kLengthDecision, event.job, length.ticks());
+      push(Event{.time = rec.start + length,
+                 .kind = EventKind::kCompletion,
+                 .seq = 0,
+                 .job = event.job,
+                 .tag = 0});
+      break;
+    }
+    case EventKind::kCompletion: {
+      JobRecord& rec = record(event.job);
+      FJS_CHECK(rec.state == JobState::kRunning, "completion of non-running job");
+      rec.state = JobState::kDone;
+      auto it = std::find(running_.begin(), running_.end(), event.job);
+      FJS_CHECK(it != running_.end(), "completed job missing from running list");
+      running_.erase(it);
+      trace_event(now_, EventKind::kCompletion, event.job,
+                  rec.job.length.ticks());
+      scheduler_.on_completion(*context_, event.job);
+      apply(source_.on_complete(event.job, now_));
+      break;
+    }
+    case EventKind::kArrival: {
+      JobRecord& rec = record(event.job);
+      FJS_CHECK(rec.state == JobState::kPending, "duplicate arrival");
+      pending_.push_back(event.job);
+      push(Event{.time = rec.job.deadline,
+                 .kind = EventKind::kDeadline,
+                 .seq = 0,
+                 .job = event.job,
+                 .tag = 0});
+      trace_event(now_, EventKind::kArrival, event.job, 0);
+      scheduler_.on_arrival(*context_, event.job);
+      break;
+    }
+    case EventKind::kDeadline: {
+      JobRecord& rec = record(event.job);
+      if (rec.state != JobState::kPending) {
+        break;  // already started
+      }
+      trace_event(now_, EventKind::kDeadline, event.job, 0);
+      scheduler_.on_deadline(*context_, event.job);
+      FJS_REQUIRE(rec.state != JobState::kPending,
+                  "scheduler " + scheduler_.name() +
+                      " left job " + rec.job.to_string() +
+                      " unstarted at its starting deadline");
+      break;
+    }
+    case EventKind::kSchedulerTimer: {
+      trace_event(now_, EventKind::kSchedulerTimer, kInvalidJob,
+                  static_cast<std::int64_t>(event.tag));
+      scheduler_.on_timer(*context_, event.tag);
+      break;
+    }
+    case EventKind::kSourceWakeup: {
+      trace_event(now_, EventKind::kSourceWakeup, kInvalidJob, 0);
+      apply(source_.on_wakeup(now_));
+      break;
+    }
+    case EventKind::kStart:
+      FJS_UNREACHABLE("kStart is trace-only, never queued");
+  }
+}
+
+SimulationResult Engine::run() {
+  FJS_REQUIRE(!started_, "Engine::run called twice");
+  if (scheduler_.requires_clairvoyance()) {
+    FJS_REQUIRE(options_.clairvoyant,
+                "scheduler " + scheduler_.name() +
+                    " requires the clairvoyant model");
+  }
+  scheduler_.reset();
+  apply(source_.begin());
+  started_ = true;
+
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    FJS_CHECK(now_ == Time::min() || event.time >= now_,
+              "event time went backwards");
+    now_ = event.time;
+    ++event_count_;
+    FJS_REQUIRE(event_count_ <= options_.max_events,
+                "engine exceeded max_events");
+    process(event);
+  }
+
+  SimulationResult result;
+  std::vector<Job> realized;
+  realized.reserve(jobs_.size());
+  Schedule schedule(jobs_.size());
+  for (JobId id = 0; id < jobs_.size(); ++id) {
+    const JobRecord& rec = jobs_[id];
+    FJS_CHECK(rec.state == JobState::kDone,
+              "job " + rec.job.to_string() + " did not complete");
+    FJS_CHECK(rec.length_known, "job completed without a realized length");
+    realized.push_back(rec.job);
+    schedule.set_start(id, rec.start);
+  }
+  result.instance = Instance(std::move(realized));
+  result.schedule = std::move(schedule);
+  result.schedule.validate(result.instance);
+  result.trace = std::move(trace_);
+  result.event_count = event_count_;
+  return result;
+}
+
+SimulationResult simulate(const Instance& instance, OnlineScheduler& scheduler,
+                          bool clairvoyant, bool record_trace) {
+  StaticSource source(instance);
+  NoDeferralOracle oracle;
+  Engine engine(source, oracle, scheduler,
+                EngineOptions{.clairvoyant = clairvoyant,
+                              .record_trace = record_trace});
+  return engine.run();
+}
+
+Time simulate_span(const Instance& instance, OnlineScheduler& scheduler,
+                   bool clairvoyant) {
+  return simulate(instance, scheduler, clairvoyant).span();
+}
+
+}  // namespace fjs

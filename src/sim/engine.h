@@ -1,0 +1,115 @@
+// Discrete-event simulation engine for online FJS.
+//
+// The engine owns the event queue and the job lifecycle
+// (released → pending → running → done), enforces the model's rules
+// (start window, clairvoyance gating, "every job starts by its starting
+// deadline"), and mediates between three pluggable parties:
+//   * the JobSource (possibly an adaptive adversary releasing jobs in
+//     response to observed scheduler actions),
+//   * the LengthOracle (possibly an adaptive adversary fixing processing
+//     lengths after starts),
+//   * the OnlineScheduler under test.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "sim/events.h"
+#include "sim/length_oracle.h"
+#include "sim/scheduler.h"
+#include "sim/source.h"
+#include "sim/trace.h"
+
+namespace fjs {
+
+struct EngineOptions {
+  /// Reveal processing lengths to the scheduler at arrival (§4 model).
+  bool clairvoyant = false;
+  /// Record a full event trace in the result.
+  bool record_trace = false;
+  /// Hard cap on processed events (runaway-adversary guard).
+  std::size_t max_events = 50'000'000;
+};
+
+struct SimulationResult {
+  /// The realized instance: all released jobs with their realized lengths,
+  /// ids in release order.
+  Instance instance;
+  /// Start times chosen by the online scheduler (complete and valid).
+  Schedule schedule;
+  Trace trace;
+  std::size_t event_count = 0;
+
+  /// Convenience: span of the online schedule.
+  Time span() const { return schedule.span(instance); }
+};
+
+/// Runs one simulation. The engine is single-use: construct, run(), read
+/// the result. Scheduler state is reset() before the run.
+class Engine {
+ public:
+  Engine(JobSource& source, LengthOracle& oracle, OnlineScheduler& scheduler,
+         EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimulationResult run();
+
+ private:
+  class Context;
+  friend class Context;
+
+  enum class JobState : std::uint8_t { kPending, kRunning, kDone };
+
+  struct JobRecord {
+    Job job;  ///< length is only meaningful once length_known
+    JobState state = JobState::kPending;
+    bool length_known = false;
+    Time start;
+  };
+
+  void apply(const SourceAction& action);
+  void release(const JobSpec& spec);
+  void push(Event event);
+  void start_job(JobId id);
+  void process(const Event& event);
+  void trace_event(Time t, EventKind kind, JobId job, std::int64_t detail);
+  JobRecord& record(JobId id);
+
+  JobSource& source_;
+  LengthOracle& oracle_;
+  OnlineScheduler& scheduler_;
+  EngineOptions options_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  Time now_;
+  bool started_ = false;
+
+  std::vector<JobRecord> jobs_;
+  std::vector<JobId> pending_;  ///< arrival order
+  std::vector<JobId> running_;  ///< start order
+  Trace trace_;
+  std::size_t event_count_ = 0;
+
+  std::unique_ptr<Context> context_;
+};
+
+/// Convenience wrapper: simulate a fixed instance. The returned result's
+/// instance has jobs in arrival order of `instance` (re-indexed); its
+/// schedule is validated before returning.
+SimulationResult simulate(const Instance& instance, OnlineScheduler& scheduler,
+                          bool clairvoyant, bool record_trace = false);
+
+/// Like simulate(), but returns the span only.
+Time simulate_span(const Instance& instance, OnlineScheduler& scheduler,
+                   bool clairvoyant);
+
+}  // namespace fjs

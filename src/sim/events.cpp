@@ -1,0 +1,25 @@
+#include "sim/events.h"
+
+namespace fjs {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLengthDecision:
+      return "length-decision";
+    case EventKind::kCompletion:
+      return "completion";
+    case EventKind::kArrival:
+      return "arrival";
+    case EventKind::kDeadline:
+      return "deadline";
+    case EventKind::kSchedulerTimer:
+      return "scheduler-timer";
+    case EventKind::kSourceWakeup:
+      return "source-wakeup";
+    case EventKind::kStart:
+      return "start";
+  }
+  return "unknown";
+}
+
+}  // namespace fjs

@@ -1,0 +1,57 @@
+// Event types and deterministic same-tick ordering for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/job.h"
+#include "core/time.h"
+
+namespace fjs {
+
+/// Same-tick processing order (lower value first). The order encodes the
+/// paper's half-open interval semantics:
+///  * LengthDecision before Completion: a deferred length decision that
+///    resolves "this job completes right now" must join this tick's
+///    completion batch;
+///  * Completion before Arrival: a job arriving exactly when a Batch+ flag
+///    completes belongs to the NEXT iteration ([d, d+p) excludes d+p);
+///  * Arrival before Deadline: a zero-laxity job arrives and immediately
+///    hits its starting deadline within the same tick.
+enum class EventKind : std::uint8_t {
+  kLengthDecision = 0,
+  kCompletion = 1,
+  kArrival = 2,
+  kDeadline = 3,
+  kSchedulerTimer = 4,
+  kSourceWakeup = 5,
+  /// Trace-only marker for job starts; never enqueued.
+  kStart = 6,
+};
+
+std::string to_string(EventKind kind);
+
+struct Event {
+  Time time;
+  EventKind kind = EventKind::kArrival;
+  /// FIFO tie-break for identical (time, kind).
+  std::uint64_t seq = 0;
+  JobId job = kInvalidJob;
+  /// User data for scheduler timers.
+  std::uint64_t tag = 0;
+};
+
+/// Min-heap ordering: earliest time, then kind, then insertion order.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    if (a.kind != b.kind) {
+      return a.kind > b.kind;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace fjs

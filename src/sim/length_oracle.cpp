@@ -1,0 +1,16 @@
+#include "sim/length_oracle.h"
+
+#include "support/assert.h"
+
+namespace fjs {
+
+LengthOracle::StartDecision NoDeferralOracle::at_start(JobId /*id*/,
+                                                       Time /*start*/) {
+  FJS_UNREACHABLE("NoDeferralOracle consulted for a length-less job");
+}
+
+Time NoDeferralOracle::decide(JobId /*id*/, Time /*now*/) {
+  FJS_UNREACHABLE("NoDeferralOracle::decide called");
+}
+
+}  // namespace fjs

@@ -1,0 +1,48 @@
+// Length oracles: who decides a job's realized processing length, and when.
+//
+// In the clairvoyant model lengths are fixed at release. In the
+// non-clairvoyant model the paper's adversary may fix a job's length as
+// late as it wants (its §3.1 construction decides one time unit after the
+// start), as long as the decision is consistent with what the scheduler has
+// already observed. The oracle interface captures exactly that power.
+#pragma once
+
+#include <optional>
+
+#include "core/job.h"
+#include "core/time.h"
+
+namespace fjs {
+
+/// Decides realized processing lengths.
+class LengthOracle {
+ public:
+  virtual ~LengthOracle() = default;
+
+  /// Outcome of a start notification: either the length is fixed now, or
+  /// the oracle defers the choice until `decide_at` (> start time).
+  struct StartDecision {
+    std::optional<Time> length;
+    Time decide_at;  ///< Only meaningful when !length.
+  };
+
+  /// Job `id` started at `start`. Return the length, or defer. (Named
+  /// distinctly from JobSource::on_start so one adversary object can
+  /// implement both interfaces.)
+  virtual StartDecision at_start(JobId id, Time start) = 0;
+
+  /// Called at `decide_at` for a deferred job; must return a length such
+  /// that start + length >= now (the job is still running).
+  virtual Time decide(JobId id, Time now) = 0;
+};
+
+/// Oracle for jobs whose lengths came with their JobSpec; the engine only
+/// consults an oracle for jobs released without a length, so this oracle
+/// rejects every call.
+class NoDeferralOracle final : public LengthOracle {
+ public:
+  StartDecision at_start(JobId id, Time start) override;
+  Time decide(JobId id, Time now) override;
+};
+
+}  // namespace fjs

@@ -1,0 +1,22 @@
+#include "sim/source.h"
+
+namespace fjs {
+
+StaticSource::StaticSource(const Instance& instance) {
+  specs_.reserve(instance.size());
+  // Release in arrival order so engine job ids follow arrival order; ids of
+  // the realized instance then match ids_by_arrival of the input.
+  for (const JobId id : instance.ids_by_arrival()) {
+    const Job& j = instance.job(id);
+    specs_.push_back(
+        JobSpec{.arrival = j.arrival, .deadline = j.deadline, .length = j.length});
+  }
+}
+
+SourceAction StaticSource::begin() {
+  SourceAction action;
+  action.releases = specs_;
+  return action;
+}
+
+}  // namespace fjs

@@ -1,0 +1,44 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+std::string TraceEntry::to_string() const {
+  std::ostringstream os;
+  os << 't' << time.to_string() << ' ' << fjs::to_string(kind);
+  if (job != kInvalidJob) {
+    os << " J" << job;
+  }
+  if (detail != 0) {
+    os << " (" << detail << ')';
+  }
+  return os.str();
+}
+
+const TraceEntry& Trace::entry(std::size_t i) const {
+  FJS_REQUIRE(i < entries_.size(), "Trace: entry out of range");
+  return entries_[i];
+}
+
+std::vector<TraceEntry> Trace::filter(EventKind kind) const {
+  std::vector<TraceEntry> out;
+  for (const auto& e : entries_) {
+    if (e.kind == kind) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) {
+    os << e.to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fjs

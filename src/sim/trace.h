@@ -1,0 +1,43 @@
+// Execution traces: an ordered record of everything the engine processed.
+// Used by tests to pin event ordering and by the adversary-explorer example
+// to narrate runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/events.h"
+
+namespace fjs {
+
+struct TraceEntry {
+  Time time;
+  EventKind kind = EventKind::kArrival;
+  JobId job = kInvalidJob;
+  /// For kCompletion: realized length; for kSchedulerTimer: the tag.
+  std::int64_t detail = 0;
+
+  std::string to_string() const;
+};
+
+/// Append-only event log. Recording is optional (see EngineOptions).
+class Trace {
+ public:
+  void record(const TraceEntry& entry) { entries_.push_back(entry); }
+  void clear() { entries_.clear(); }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const TraceEntry& entry(std::size_t i) const;
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// Entries of a given kind, in order.
+  std::vector<TraceEntry> filter(EventKind kind) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace fjs

@@ -1,0 +1,120 @@
+#include "sim/trace_check.h"
+
+#include <optional>
+#include <sstream>
+
+namespace fjs {
+namespace {
+
+struct JobLog {
+  std::optional<Time> arrival;
+  std::optional<Time> start;
+  std::optional<Time> completion;
+};
+
+}  // namespace
+
+std::vector<TraceViolation> check_trace(const Instance& instance,
+                                        const Schedule& schedule,
+                                        const Trace& trace) {
+  std::vector<TraceViolation> out;
+  auto violate = [&out](std::size_t index, const std::string& message) {
+    out.push_back(TraceViolation{index, message});
+  };
+
+  std::vector<JobLog> logs(instance.size());
+  Time last_time = Time::min();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceEntry& e = trace.entry(i);
+    if (e.time < last_time) {
+      violate(i, "timestamps went backwards");
+    }
+    last_time = e.time;
+    if (e.job == kInvalidJob) {
+      continue;  // timers / wakeups
+    }
+    if (e.job >= instance.size()) {
+      violate(i, "unknown job id in trace");
+      continue;
+    }
+    JobLog& log = logs[e.job];
+    const Job& job = instance.job(e.job);
+    switch (e.kind) {
+      case EventKind::kArrival:
+        if (log.arrival.has_value()) {
+          violate(i, "duplicate arrival for " + job.to_string());
+        }
+        if (e.time != job.arrival) {
+          violate(i, "arrival time mismatch for " + job.to_string());
+        }
+        log.arrival = e.time;
+        break;
+      case EventKind::kStart:
+        if (!log.arrival.has_value()) {
+          violate(i, "start before arrival event for " + job.to_string());
+        }
+        if (log.start.has_value()) {
+          violate(i, "duplicate start for " + job.to_string());
+        }
+        if (e.time < job.arrival || e.time > job.deadline) {
+          violate(i, "start outside window for " + job.to_string());
+        }
+        log.start = e.time;
+        break;
+      case EventKind::kCompletion:
+        if (!log.start.has_value()) {
+          violate(i, "completion before start for " + job.to_string());
+        } else if (e.time != *log.start + job.length) {
+          violate(i, "completion time != start + length for " +
+                         job.to_string());
+        }
+        if (log.completion.has_value()) {
+          violate(i, "duplicate completion for " + job.to_string());
+        }
+        log.completion = e.time;
+        break;
+      case EventKind::kDeadline:
+        if (log.start.has_value() && *log.start < e.time) {
+          violate(i, "deadline event after job already started: " +
+                         job.to_string());
+        }
+        break;
+      case EventKind::kLengthDecision:
+      case EventKind::kSchedulerTimer:
+      case EventKind::kSourceWakeup:
+        break;
+    }
+  }
+
+  for (JobId id = 0; id < instance.size(); ++id) {
+    const JobLog& log = logs[id];
+    const Job& job = instance.job(id);
+    if (!log.arrival.has_value()) {
+      out.push_back(TraceViolation{trace.size(),
+                                   "job never arrived: " + job.to_string()});
+    }
+    if (!log.start.has_value()) {
+      out.push_back(TraceViolation{trace.size(),
+                                   "job never started: " + job.to_string()});
+    } else if (schedule.is_set(id) && schedule.start(id) != *log.start) {
+      out.push_back(TraceViolation{
+          trace.size(), "schedule start differs from trace start for " +
+                            job.to_string()});
+    }
+    if (!log.completion.has_value()) {
+      out.push_back(TraceViolation{
+          trace.size(), "job never completed: " + job.to_string()});
+    }
+  }
+  return out;
+}
+
+std::string violations_to_string(const std::vector<TraceViolation>& v) {
+  std::ostringstream os;
+  for (const auto& violation : v) {
+    os << '[' << violation.entry_index << "] " << violation.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fjs

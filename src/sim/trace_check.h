@@ -1,0 +1,35 @@
+// Independent trace validator: replays a recorded simulation trace and
+// checks online-model invariants WITHOUT trusting the engine's internal
+// bookkeeping. Used by property tests as a second pair of eyes and by
+// users debugging custom schedulers/adversaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "sim/trace.h"
+
+namespace fjs {
+
+struct TraceViolation {
+  std::size_t entry_index = 0;
+  std::string message;
+};
+
+/// Checks, over the recorded trace:
+///  * timestamps are non-decreasing, with same-tick kinds in engine order;
+///  * every job arrives exactly once, starts exactly once within
+///    [arrival, deadline], completes exactly once at start + length;
+///  * no deadline event for an already-started job carries a start;
+///  * the schedule's recorded starts match the trace's start events.
+/// Returns all violations (empty = consistent).
+std::vector<TraceViolation> check_trace(const Instance& instance,
+                                        const Schedule& schedule,
+                                        const Trace& trace);
+
+/// Convenience: formats violations one per line.
+std::string violations_to_string(const std::vector<TraceViolation>& v);
+
+}  // namespace fjs

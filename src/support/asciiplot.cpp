@@ -1,0 +1,106 @@
+#include "support/asciiplot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+
+std::string ascii_plot(const std::vector<double>& xs,
+                       const std::vector<Series>& series,
+                       AsciiPlotOptions options) {
+  FJS_REQUIRE(!series.empty(), "ascii_plot: need at least one series");
+  FJS_REQUIRE(xs.size() >= 2, "ascii_plot: need at least two points");
+  FJS_REQUIRE(options.width >= 8 && options.height >= 4,
+              "ascii_plot: plot area too small");
+  for (const auto& s : series) {
+    FJS_REQUIRE(s.ys.size() == xs.size(),
+                "ascii_plot: series length mismatch for " + s.name);
+  }
+
+  auto x_coord = [&](double x) {
+    if (options.log_x) {
+      FJS_REQUIRE(x > 0.0, "ascii_plot: log_x requires positive x");
+      return std::log(x);
+    }
+    return x;
+  };
+
+  double x_min = x_coord(xs.front());
+  double x_max = x_min;
+  for (const double x : xs) {
+    x_min = std::min(x_min, x_coord(x));
+    x_max = std::max(x_max, x_coord(x));
+  }
+  double y_min = series.front().ys.front();
+  double y_max = y_min;
+  for (const auto& s : series) {
+    for (const double y : s.ys) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max == x_min) {
+    x_max = x_min + 1.0;
+  }
+  if (y_max == y_min) {
+    y_max = y_min + 1.0;
+  }
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  auto plot_point = [&](double x, double y, char mark) {
+    const double fx = (x_coord(x) - x_min) / (x_max - x_min);
+    const double fy = (y - y_min) / (y_max - y_min);
+    const auto col = std::min<std::size_t>(
+        options.width - 1,
+        static_cast<std::size_t>(fx * static_cast<double>(options.width - 1) +
+                                 0.5));
+    const auto row_from_bottom = std::min<std::size_t>(
+        options.height - 1,
+        static_cast<std::size_t>(fy * static_cast<double>(options.height - 1) +
+                                 0.5));
+    grid[options.height - 1 - row_from_bottom][col] = mark;
+  };
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      plot_point(xs[i], s.ys[i], s.mark);
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) {
+    os << options.y_label << '\n';
+  }
+  const std::string top = format_double(y_max, 3);
+  const std::string bottom = format_double(y_min, 3);
+  const std::size_t margin = std::max(top.size(), bottom.size());
+  for (std::size_t r = 0; r < options.height; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = top;
+    } else if (r == options.height - 1) {
+      label = bottom;
+    }
+    os << pad_left(label, margin) << " |" << grid[r] << '\n';
+  }
+  os << std::string(margin + 1, ' ') << '+'
+     << std::string(options.width, '-') << '\n';
+  os << std::string(margin + 2, ' ') << format_double(xs.front(), 3)
+     << std::string(options.width > 16 ? options.width - 12 : 1, ' ')
+     << format_double(xs.back(), 3);
+  if (!options.x_label.empty()) {
+    os << "  (" << options.x_label << (options.log_x ? ", log scale" : "")
+       << ')';
+  }
+  os << '\n';
+  for (const auto& s : series) {
+    os << "  " << s.mark << " = " << s.name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fjs

@@ -1,0 +1,33 @@
+// Minimal ASCII line/scatter plot for bench output — visualizes the
+// ratio-vs-parameter curves (e.g. the U-shape of the CDB/Profit bounds)
+// without any plotting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fjs {
+
+struct Series {
+  std::string name;
+  std::vector<double> ys;  ///< aligned with the shared xs
+  char mark = '*';
+};
+
+struct AsciiPlotOptions {
+  std::size_t width = 64;   ///< plot area columns
+  std::size_t height = 16;  ///< plot area rows
+  std::string x_label;
+  std::string y_label;
+  /// Use log scale on x (common for parameter sweeps).
+  bool log_x = false;
+};
+
+/// Renders one or more series over shared x-coordinates. Each series is
+/// drawn with its mark character; a legend line maps marks to names.
+/// Requires at least one series, equal lengths, and >= 2 points.
+std::string ascii_plot(const std::vector<double>& xs,
+                       const std::vector<Series>& series,
+                       AsciiPlotOptions options = {});
+
+}  // namespace fjs

@@ -1,0 +1,49 @@
+// Lightweight always-on assertion macros for libfjs.
+//
+// Simulation correctness depends on invariants that must hold in release
+// builds too (event ordering, schedule validity), so these do not compile
+// away under NDEBUG. Violations throw fjs::AssertionError so tests can
+// observe them and long sweeps fail loudly instead of corrupting results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fjs {
+
+/// Thrown when an FJS_REQUIRE / FJS_CHECK invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FJS assertion failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw AssertionError(os.str());
+}
+
+}  // namespace detail
+}  // namespace fjs
+
+/// Validates a precondition on a public API boundary. Always enabled.
+#define FJS_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::fjs::detail::assertion_failure(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                      \
+  } while (false)
+
+/// Validates an internal invariant. Always enabled.
+#define FJS_CHECK(expr, msg) FJS_REQUIRE(expr, msg)
+
+/// Marks unreachable control flow.
+#define FJS_UNREACHABLE(msg) \
+  ::fjs::detail::assertion_failure("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,53 @@
+#include "support/csv.h"
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  FJS_REQUIRE(!header.empty(), "csv: header must be non-empty");
+  write_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  FJS_REQUIRE(cells.size() == width_, "csv: row width does not match header");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& cells,
+                                  int decimals) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) {
+    formatted.push_back(format_double(v, decimals));
+  }
+  write_row(formatted);
+}
+
+}  // namespace fjs

@@ -1,0 +1,36 @@
+// Minimal CSV writer so every bench can also dump machine-readable results
+// (one file per experiment) alongside the console tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fjs {
+
+/// Streams rows to a CSV file. Cells containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; width must match the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience overload formatting doubles.
+  void write_row_numeric(const std::vector<double>& cells, int decimals = 6);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace fjs

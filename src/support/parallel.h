@@ -1,0 +1,77 @@
+// parallel_for / parallel_map over index ranges, built on ThreadPool.
+//
+// Work is split into static contiguous chunks (one per worker by default):
+// sweep iterations have similar cost, so static partitioning avoids
+// queue traffic without load-imbalance risk. Results are written to
+// pre-sized slots, so the output order is deterministic and independent of
+// the thread count — the property the serial-vs-parallel tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "support/assert.h"
+#include "support/thread_pool.h"
+
+namespace fjs {
+
+/// Invokes fn(i) for every i in [0, count) using the given pool.
+/// Rethrows the first task exception.
+template <typename F>
+void parallel_for(ThreadPool& pool, std::size_t count, F&& fn,
+                  std::size_t min_chunk = 1) {
+  FJS_REQUIRE(min_chunk >= 1, "parallel_for: min_chunk must be >= 1");
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers = pool.thread_count();
+  std::size_t chunk = (count + workers - 1) / workers;
+  chunk = std::max(chunk, min_chunk);
+  std::vector<std::future<void>> futures;
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, count);
+    futures.push_back(pool.submit([&fn, begin, end]() {
+      for (std::size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+}
+
+/// Serial fallback with the same signature (thread count 1 semantics).
+template <typename F>
+void serial_for(std::size_t count, F&& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    fn(i);
+  }
+}
+
+/// Maps fn over [0, count) into a vector, preserving index order.
+template <typename F>
+auto parallel_map(ThreadPool& pool, std::size_t count, F&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(count);
+  parallel_for(pool, count, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Order-independent reduction: maps fn over [0, count) and combines the
+/// per-index results with `combine` into `init`. The combine step runs
+/// serially over index order, so the result is deterministic.
+template <typename R, typename F, typename C>
+R parallel_reduce(ThreadPool& pool, std::size_t count, R init, F&& fn,
+                  C&& combine) {
+  auto mapped = parallel_map(pool, count, std::forward<F>(fn));
+  R acc = std::move(init);
+  for (auto& value : mapped) {
+    acc = combine(std::move(acc), std::move(value));
+  }
+  return acc;
+}
+
+}  // namespace fjs

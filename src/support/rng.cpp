@@ -1,0 +1,126 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+  // A zero state would be a fixed point; splitmix64 output of any seed is
+  // never all-zero across four draws, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng((*this)()); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FJS_REQUIRE(lo <= hi, "uniform_int: empty range");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform01() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  FJS_REQUIRE(lo < hi, "uniform_real: empty range");
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) {
+  FJS_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return uniform01() < p;
+}
+
+double Rng::exponential(double rate) {
+  FJS_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+  // -log(1 - U) with U in [0,1) avoids log(0).
+  return -std::log1p(-uniform01()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; draws two uniforms per call, discarding the second variate
+  // to keep the generator stateless w.r.t. cached values (reproducibility
+  // after split()).
+  const double u1 = 1.0 - uniform01();  // (0, 1]
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto_truncated(double x_m, double alpha, double cap) {
+  FJS_REQUIRE(x_m > 0.0 && alpha > 0.0, "pareto: bad parameters");
+  FJS_REQUIRE(cap > x_m, "pareto: cap must exceed scale");
+  // Inverse CDF conditioned on X <= cap.
+  const double f_cap = 1.0 - std::pow(x_m / cap, alpha);
+  const double u = uniform01() * f_cap;
+  return x_m / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    FJS_REQUIRE(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  FJS_REQUIRE(total > 0.0, "weighted_index: all weights zero");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // floating-point edge: return last positive
+}
+
+}  // namespace fjs

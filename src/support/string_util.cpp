@@ -1,0 +1,93 @@
+#include "support/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/assert.h"
+
+namespace fjs {
+
+std::string format_double(double value, int max_decimals) {
+  FJS_REQUIRE(max_decimals >= 0 && max_decimals <= 17, "bad decimals");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", max_decimals, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  if (s == "-0") {
+    s = "0";
+  }
+  return s;
+}
+
+std::string format_fixed(double value, int decimals) {
+  FJS_REQUIRE(decimals >= 0 && decimals <= 17, "bad decimals");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])) != 0) {
+    --e;
+  }
+  return text.substr(b, e - b);
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return text + std::string(width - text.size(), ' ');
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace fjs

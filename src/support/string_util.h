@@ -1,0 +1,32 @@
+// Formatting helpers shared by the table/CSV writers and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fjs {
+
+/// Formats a double with the given number of significant-looking decimal
+/// places, trimming trailing zeros ("3.1400" -> "3.14", "2.000" -> "2").
+std::string format_double(double value, int max_decimals = 4);
+
+/// Fixed-decimals formatting ("3.14159", 2 -> "3.14").
+std::string format_fixed(double value, int decimals);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+/// Left/right padding to a minimum width.
+std::string pad_left(const std::string& text, std::size_t width);
+std::string pad_right(const std::string& text, std::size_t width);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+}  // namespace fjs

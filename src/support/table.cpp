@@ -1,0 +1,96 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  std::size_t i = (cell[0] == '-' || cell[0] == '+') ? 1 : 0;
+  bool digit_seen = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (c >= '0' && c <= '9') {
+      digit_seen = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FJS_REQUIRE(!header_.empty(), "table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FJS_REQUIRE(cells.size() == header_.size(),
+              "table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int decimals) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) {
+    formatted.push_back(format_double(v, decimals));
+  }
+  add_row(std::move(formatted));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) {
+      os << "  ";
+    }
+    os << pad_right(header_[c], widths[c]);
+  }
+  os << '\n';
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << "  ";
+      }
+      os << (looks_numeric(row[c]) ? pad_left(row[c], widths[c])
+                                   : pad_right(row[c], widths[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  std::ostringstream os;
+  os << join(header_, ",") << '\n';
+  for (const auto& row : rows_) {
+    os << join(row, ",") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fjs

@@ -1,0 +1,39 @@
+// Console table printer used by the bench harness to render the rows that
+// stand in for the paper's (theorem-level) result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fjs {
+
+/// Column-aligned plain-text table. Usage:
+///
+///   Table t({"mu", "measured", "bound"});
+///   t.add_row({"2", "2.93", "3"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with format_double(., decimals).
+  void add_row_numeric(const std::vector<double>& cells, int decimals = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Renders with a header underline; numeric-looking cells right-align.
+  std::string render() const;
+
+  /// Renders as CSV (no quoting — cells must not contain commas).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fjs

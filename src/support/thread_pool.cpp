@@ -1,0 +1,49 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace fjs {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) {
+    w.request_stop();
+  }
+  cv_.notify_all();
+  // std::jthread joins on destruction; workers drain remaining tasks first
+  // (see worker_loop), so every submitted future is satisfied.
+}
+
+void ThreadPool::worker_loop(const std::stop_token& stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and no work left
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace fjs

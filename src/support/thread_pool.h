@@ -1,0 +1,67 @@
+// Fixed-size thread pool used to fan parameter sweeps and Monte-Carlo
+// ratio experiments across cores.
+//
+// Design notes (shared-memory parallel idioms):
+//  * one mutex + condition variable protecting a FIFO of type-erased tasks —
+//    sweep tasks are coarse (an entire simulation each), so queue contention
+//    is negligible and a lock-free deque would buy nothing;
+//  * std::jthread workers joined in the destructor (RAII — no detached
+//    threads, no leaks on exceptions);
+//  * exceptions thrown by tasks are captured and rethrown to the waiter via
+//    the returned std::future, never swallowed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fjs {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; the future carries the result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;
+};
+
+/// Process-wide pool for the analysis helpers. Created on first use.
+ThreadPool& global_pool();
+
+}  // namespace fjs

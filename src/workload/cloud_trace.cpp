@@ -1,0 +1,91 @@
+#include "workload/cloud_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace fjs {
+
+std::vector<CloudJobClass> default_cloud_classes() {
+  return {
+      CloudJobClass{.name = "interactive", .weight = 0.45,
+                    .length_median = 0.2, .length_sigma = 0.6,
+                    .max_length = 2.0, .laxity_factor = 0.1,
+                    .size_min = 0.05, .size_max = 0.25},
+      CloudJobClass{.name = "web-batch", .weight = 0.30,
+                    .length_median = 0.8, .length_sigma = 0.8,
+                    .max_length = 6.0, .laxity_factor = 1.0,
+                    .size_min = 0.10, .size_max = 0.40},
+      CloudJobClass{.name = "etl", .weight = 0.18,
+                    .length_median = 2.0, .length_sigma = 0.7,
+                    .max_length = 12.0, .laxity_factor = 3.0,
+                    .size_min = 0.20, .size_max = 0.60},
+      CloudJobClass{.name = "ml-training", .weight = 0.07,
+                    .length_median = 6.0, .length_sigma = 0.5,
+                    .max_length = 24.0, .laxity_factor = 2.0,
+                    .size_min = 0.40, .size_max = 1.00},
+  };
+}
+
+CloudTrace generate_cloud_trace(const CloudTraceConfig& config,
+                                std::uint64_t seed) {
+  FJS_REQUIRE(config.job_count > 0, "cloud trace: job_count must be > 0");
+  FJS_REQUIRE(config.hours > 0.0, "cloud trace: horizon must be > 0");
+  FJS_REQUIRE(config.base_rate > 0.0, "cloud trace: base_rate must be > 0");
+  FJS_REQUIRE(config.diurnal_amplitude >= 0.0 &&
+                  config.diurnal_amplitude <= 1.0,
+              "cloud trace: amplitude in [0,1]");
+
+  CloudTrace trace;
+  trace.classes =
+      config.classes.empty() ? default_cloud_classes() : config.classes;
+
+  std::vector<double> weights;
+  for (const auto& c : trace.classes) {
+    FJS_REQUIRE(c.weight > 0.0 && c.size_min > 0.0 &&
+                    c.size_max <= 1.0 && c.size_min <= c.size_max,
+                "cloud trace: bad class " + c.name);
+    weights.push_back(c.weight);
+  }
+
+  Rng rng(seed);
+  InstanceBuilder builder;
+
+  // Thinning: sample candidate arrivals at the peak rate, accept with the
+  // diurnal modulation  rate(t) = base · (1 + A·cos(2π(t − peak)/24)) / (1+A).
+  const double peak_rate = config.base_rate * (1.0 + config.diurnal_amplitude);
+  double now = 0.0;
+  std::size_t produced = 0;
+  while (produced < config.job_count) {
+    now += rng.exponential(peak_rate);
+    if (now > config.hours) {
+      now = std::fmod(now, config.hours);  // wrap — keep the count exact
+    }
+    const double phase = 2.0 * 3.14159265358979323846 *
+                         (now - config.peak_hour) / 24.0;
+    const double rate = config.base_rate *
+                        (1.0 + config.diurnal_amplitude * std::cos(phase)) /
+                        (1.0 + config.diurnal_amplitude);
+    if (!rng.bernoulli(std::clamp(rate / peak_rate, 0.0, 1.0))) {
+      continue;
+    }
+    const std::size_t cls = rng.weighted_index(weights);
+    const CloudJobClass& c = trace.classes[cls];
+    const double length =
+        std::clamp(c.length_median *
+                       std::exp(rng.normal(0.0, c.length_sigma)),
+                   0.05, c.max_length);
+    const double laxity = c.laxity_factor * length;
+    builder.add_lax(now, laxity, length);
+    trace.sizes.push_back(rng.uniform_real(c.size_min,
+                                           std::nextafter(c.size_max, 2.0)));
+    trace.class_of.push_back(cls);
+    ++produced;
+  }
+  trace.instance = builder.build();
+  return trace;
+}
+
+}  // namespace fjs

@@ -1,0 +1,56 @@
+// Synthetic cloud workload: the paper's §1 motivation (pay-as-you-go
+// billing, energy proportionality) without access to proprietary traces.
+//
+// Substitution note (DESIGN.md): real cluster traces are not available
+// offline, so we synthesize the features that matter for span scheduling —
+// a diurnal arrival-rate curve, heterogeneous job classes with lognormal
+// service times, and class-dependent start laxities (batch jobs tolerate
+// delay, interactive ones barely). Sizes (resource demands) feed the §5
+// dynamic-bin-packing extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace fjs {
+
+struct CloudJobClass {
+  std::string name;
+  double weight;            ///< relative arrival share
+  double length_median;     ///< hours (lognormal median)
+  double length_sigma;      ///< lognormal shape
+  double max_length;        ///< clamp, hours
+  double laxity_factor;     ///< laxity = factor × length
+  double size_min;          ///< resource demand, fraction of one server
+  double size_max;
+};
+
+struct CloudTraceConfig {
+  std::size_t job_count = 500;
+  double hours = 48.0;            ///< trace horizon
+  double base_rate = 12.0;        ///< mean arrivals per hour
+  double diurnal_amplitude = 0.6; ///< 0 = flat, 1 = rate swings to zero
+  double peak_hour = 14.0;        ///< local time of the daily peak
+  std::vector<CloudJobClass> classes;  ///< empty = default_classes()
+};
+
+struct CloudTrace {
+  Instance instance;
+  /// Resource demand per job, aligned with instance ids, in (0, 1].
+  std::vector<double> sizes;
+  /// Class index per job, aligned with instance ids.
+  std::vector<std::size_t> class_of;
+  std::vector<CloudJobClass> classes;
+};
+
+/// The built-in class mix: interactive / web-batch / etl / ml-training.
+std::vector<CloudJobClass> default_cloud_classes();
+
+/// Generates a reproducible synthetic trace.
+CloudTrace generate_cloud_trace(const CloudTraceConfig& config,
+                                std::uint64_t seed);
+
+}  // namespace fjs

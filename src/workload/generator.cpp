@@ -1,0 +1,115 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+double draw_length(const WorkloadConfig& cfg, Rng& rng) {
+  switch (cfg.lengths) {
+    case LengthDistribution::kFixed:
+      return cfg.length_min;
+    case LengthDistribution::kUniform:
+      return rng.uniform_real(cfg.length_min, cfg.length_max);
+    case LengthDistribution::kBimodal:
+      return rng.bernoulli(cfg.bimodal_short_fraction) ? cfg.length_min
+                                                       : cfg.length_max;
+    case LengthDistribution::kLognormal:
+      return std::clamp(rng.lognormal(cfg.lognormal_mu, cfg.lognormal_sigma),
+                        cfg.length_min, cfg.length_max);
+    case LengthDistribution::kParetoTruncated:
+      return rng.pareto_truncated(cfg.length_min, cfg.pareto_shape,
+                                  cfg.length_max);
+  }
+  FJS_UNREACHABLE("unknown length distribution");
+}
+
+double draw_laxity(const WorkloadConfig& cfg, double length, Rng& rng) {
+  switch (cfg.laxity) {
+    case LaxityModel::kZero:
+      return 0.0;
+    case LaxityModel::kFixed:
+      return cfg.laxity_min;
+    case LaxityModel::kUniform:
+      return rng.uniform_real(cfg.laxity_min,
+                              std::nextafter(cfg.laxity_max, 1e300));
+    case LaxityModel::kProportional:
+      return cfg.laxity_factor * length;
+  }
+  FJS_UNREACHABLE("unknown laxity model");
+}
+
+}  // namespace
+
+std::string WorkloadConfig::to_string() const {
+  std::ostringstream os;
+  os << "n=" << job_count << " arrivals=";
+  switch (arrivals) {
+    case ArrivalProcess::kPoisson:
+      os << "poisson(" << arrival_rate << ')';
+      break;
+    case ArrivalProcess::kPeriodic:
+      os << "periodic(" << arrival_rate << ')';
+      break;
+    case ArrivalProcess::kBursty:
+      os << "bursty(mean=" << burst_size_mean << ",gap=" << burst_gap << ')';
+      break;
+  }
+  os << " p=[" << length_min << ',' << length_max << ']';
+  return os.str();
+}
+
+Instance generate_workload(const WorkloadConfig& cfg, std::uint64_t seed) {
+  FJS_REQUIRE(cfg.job_count > 0, "workload: job_count must be positive");
+  FJS_REQUIRE(cfg.length_min > 0.0 && cfg.length_max >= cfg.length_min,
+              "workload: bad length range");
+  FJS_REQUIRE(cfg.laxity_min >= 0.0 && cfg.laxity_max >= cfg.laxity_min,
+              "workload: bad laxity range");
+  FJS_REQUIRE(cfg.arrival_rate > 0.0, "workload: arrival_rate must be > 0");
+
+  Rng rng(seed);
+  InstanceBuilder builder;
+  double now = 0.0;
+  std::size_t produced = 0;
+  while (produced < cfg.job_count) {
+    std::size_t batch = 1;
+    switch (cfg.arrivals) {
+      case ArrivalProcess::kPoisson:
+        now += rng.exponential(cfg.arrival_rate);
+        break;
+      case ArrivalProcess::kPeriodic:
+        now += 1.0 / cfg.arrival_rate;
+        break;
+      case ArrivalProcess::kBursty: {
+        now += rng.exponential(1.0 / cfg.burst_gap);
+        // Geometric burst size with the requested mean (>= 1).
+        const double p_stop = 1.0 / std::max(1.0, cfg.burst_size_mean);
+        batch = 1;
+        while (!rng.bernoulli(p_stop) &&
+               produced + batch < cfg.job_count) {
+          ++batch;
+        }
+        break;
+      }
+    }
+    for (std::size_t b = 0; b < batch && produced < cfg.job_count; ++b) {
+      double length = draw_length(cfg, rng);
+      double laxity = draw_laxity(cfg, length, rng);
+      double arrival = now;
+      if (cfg.integral) {
+        arrival = std::floor(arrival);
+        length = std::max(1.0, std::round(length));
+        laxity = std::round(laxity);
+      }
+      builder.add_lax(arrival, laxity, length);
+      ++produced;
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace fjs

@@ -1,0 +1,66 @@
+// Seeded stochastic workload generation for the empirical comparison
+// benches (E7) and randomized property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/instance.h"
+#include "support/rng.h"
+
+namespace fjs {
+
+enum class ArrivalProcess {
+  kPoisson,   ///< exponential inter-arrival times with `arrival_rate`
+  kPeriodic,  ///< fixed spacing 1/arrival_rate
+  kBursty,    ///< geometric bursts of simultaneous arrivals, spaced gaps
+};
+
+enum class LengthDistribution {
+  kFixed,            ///< always length_min
+  kUniform,          ///< uniform [length_min, length_max]
+  kBimodal,          ///< length_min w.p. bimodal_short_fraction else length_max
+  kLognormal,        ///< exp(N(mu, sigma)), clamped to [length_min, length_max]
+  kParetoTruncated,  ///< heavy tail on [length_min, length_max]
+};
+
+enum class LaxityModel {
+  kZero,            ///< rigid jobs (the prior literature's model)
+  kFixed,           ///< constant laxity_min
+  kUniform,         ///< uniform [laxity_min, laxity_max]
+  kProportional,    ///< laxity = laxity_factor × length
+};
+
+struct WorkloadConfig {
+  std::size_t job_count = 100;
+
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  double arrival_rate = 1.0;        ///< jobs per time unit
+  double burst_size_mean = 4.0;     ///< kBursty: mean jobs per burst
+  double burst_gap = 4.0;           ///< kBursty: mean gap between bursts
+
+  LengthDistribution lengths = LengthDistribution::kUniform;
+  double length_min = 1.0;
+  double length_max = 4.0;
+  double bimodal_short_fraction = 0.8;
+  double lognormal_mu = 0.5;
+  double lognormal_sigma = 0.8;
+  double pareto_shape = 1.5;
+
+  LaxityModel laxity = LaxityModel::kUniform;
+  double laxity_min = 0.0;
+  double laxity_max = 4.0;
+  double laxity_factor = 2.0;
+
+  /// Snap every time to whole units (ticks multiple of kTicksPerUnit) so
+  /// the exact offline solver applies. Lengths snap up to >= 1 unit.
+  bool integral = false;
+
+  std::string to_string() const;
+};
+
+/// Generates a reproducible instance; identical (config, seed) pairs yield
+/// identical instances on every platform.
+Instance generate_workload(const WorkloadConfig& config, std::uint64_t seed);
+
+}  // namespace fjs

@@ -1,0 +1,79 @@
+#include "workload/suite.h"
+
+namespace fjs {
+
+const std::vector<NamedWorkload>& standard_suite() {
+  static const std::vector<NamedWorkload> suite = [] {
+    std::vector<NamedWorkload> s;
+
+    WorkloadConfig uniform_lo;
+    uniform_lo.job_count = 300;
+    uniform_lo.arrival_rate = 2.0;
+    uniform_lo.lengths = LengthDistribution::kUniform;
+    uniform_lo.length_min = 1.0;
+    uniform_lo.length_max = 4.0;
+    uniform_lo.laxity = LaxityModel::kUniform;
+    uniform_lo.laxity_min = 0.0;
+    uniform_lo.laxity_max = 1.0;
+    s.push_back({"uniform-lo-lax", uniform_lo});
+
+    WorkloadConfig uniform_hi = uniform_lo;
+    uniform_hi.laxity_max = 8.0;
+    s.push_back({"uniform-hi-lax", uniform_hi});
+
+    WorkloadConfig bimodal = uniform_lo;
+    bimodal.lengths = LengthDistribution::kBimodal;
+    bimodal.length_min = 1.0;
+    bimodal.length_max = 10.0;
+    bimodal.bimodal_short_fraction = 0.85;
+    bimodal.laxity_max = 6.0;
+    s.push_back({"bimodal", bimodal});
+
+    WorkloadConfig heavy = uniform_lo;
+    heavy.lengths = LengthDistribution::kParetoTruncated;
+    heavy.length_min = 1.0;
+    heavy.length_max = 30.0;
+    heavy.pareto_shape = 1.3;
+    heavy.laxity = LaxityModel::kProportional;
+    heavy.laxity_factor = 1.5;
+    s.push_back({"heavy-tail", heavy});
+
+    WorkloadConfig bursty = uniform_lo;
+    bursty.arrivals = ArrivalProcess::kBursty;
+    bursty.burst_size_mean = 6.0;
+    bursty.burst_gap = 5.0;
+    bursty.laxity_max = 4.0;
+    s.push_back({"bursty", bursty});
+
+    WorkloadConfig rigid = uniform_lo;
+    rigid.laxity = LaxityModel::kZero;
+    s.push_back({"rigid", rigid});
+
+    WorkloadConfig proportional = uniform_lo;
+    proportional.laxity = LaxityModel::kProportional;
+    proportional.laxity_factor = 2.0;
+    s.push_back({"proportional-lax", proportional});
+
+    WorkloadConfig sparse = uniform_lo;
+    sparse.arrival_rate = 0.25;
+    sparse.laxity_max = 4.0;
+    s.push_back({"sparse", sparse});
+
+    return s;
+  }();
+  return suite;
+}
+
+std::vector<NamedWorkload> integral_suite(std::size_t jobs) {
+  std::vector<NamedWorkload> out = standard_suite();
+  for (auto& named : out) {
+    named.config.job_count = jobs;
+    named.config.integral = true;
+    // Keep windows small so the exact solver's grid stays tractable.
+    named.config.laxity_max = std::min(named.config.laxity_max, 5.0);
+    named.config.length_max = std::min(named.config.length_max, 6.0);
+  }
+  return out;
+}
+
+}  // namespace fjs

@@ -1,0 +1,26 @@
+// The named standard workload suite used by the comparison and sweep
+// benches (E5–E7), so every experiment draws from the same families.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace fjs {
+
+struct NamedWorkload {
+  std::string name;
+  WorkloadConfig config;
+};
+
+/// The standard families:
+///   uniform-lo-lax, uniform-hi-lax, bimodal, heavy-tail, bursty,
+///   rigid (zero laxity), proportional-lax, sparse.
+const std::vector<NamedWorkload>& standard_suite();
+
+/// Small integral variants of the suite (n <= `jobs`), suitable for the
+/// exact offline solver; used by theorem-bound property tests.
+std::vector<NamedWorkload> integral_suite(std::size_t jobs);
+
+}  // namespace fjs

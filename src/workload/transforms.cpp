@@ -1,0 +1,112 @@
+#include "workload/transforms.h"
+
+#include <vector>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace fjs {
+
+Instance scale_laxity(const Instance& instance, double factor) {
+  FJS_REQUIRE(factor >= 0.0, "scale_laxity: factor must be >= 0");
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (Job j : instance.jobs()) {
+    j.deadline = j.arrival + j.laxity().scaled(factor);
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance scale_lengths(const Instance& instance, double factor) {
+  FJS_REQUIRE(factor > 0.0, "scale_lengths: factor must be > 0");
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (Job j : instance.jobs()) {
+    j.length = j.length.scaled(factor);
+    FJS_REQUIRE(j.length > Time::zero(),
+                "scale_lengths: length rounded to zero");
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance shift_times(const Instance& instance, Time delta) {
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (Job j : instance.jobs()) {
+    j.arrival = j.arrival.checked_add(delta);
+    j.deadline = j.deadline.checked_add(delta);
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance merge_instances(const Instance& a, const Instance& b) {
+  std::vector<Job> jobs;
+  jobs.reserve(a.size() + b.size());
+  for (const Job& j : a.jobs()) {
+    jobs.push_back(j);
+  }
+  for (const Job& j : b.jobs()) {
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance subsample(const Instance& instance, std::size_t count,
+                   std::uint64_t seed) {
+  if (count >= instance.size()) {
+    return instance;
+  }
+  Rng rng(seed);
+  std::vector<JobId> ids(instance.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<JobId>(i);
+  }
+  rng.shuffle(ids);
+  ids.resize(count);
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (const JobId id : ids) {
+    jobs.push_back(instance.job(id));
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance snap_to_grid(const Instance& instance, Time quantum) {
+  FJS_REQUIRE(quantum > Time::zero(), "snap_to_grid: quantum must be > 0");
+  const std::int64_t q = quantum.ticks();
+  auto floor_to = [q](Time t) {
+    std::int64_t v = t.ticks();
+    std::int64_t r = v % q;
+    if (r < 0) {
+      r += q;
+    }
+    return Time(v - r);
+  };
+  auto ceil_to = [&](Time t) {
+    const Time down = floor_to(t);
+    return down == t ? t : down + Time(q);
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(instance.size());
+  for (const Job& j : instance.jobs()) {
+    Job snapped = j;
+    snapped.arrival = floor_to(j.arrival);
+    const Time laxity = floor_to(j.laxity());
+    snapped.deadline = snapped.arrival + laxity;
+    snapped.length = ceil_to(j.length);
+    if (snapped.length == Time::zero()) {
+      snapped.length = Time(q);
+    }
+    jobs.push_back(snapped);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance make_rigid(const Instance& instance) {
+  return scale_laxity(instance, 0.0);
+}
+
+}  // namespace fjs

@@ -1,0 +1,39 @@
+// Instance transformations: reusable, validated manipulations for
+// ablations (E10-style laxity scaling), robustness studies and test
+// construction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace fjs {
+
+/// Multiplies every job's laxity by `factor` >= 0 (deadline = arrival +
+/// factor·laxity, rounded to ticks).
+Instance scale_laxity(const Instance& instance, double factor);
+
+/// Multiplies every processing length by `factor` > 0.
+Instance scale_lengths(const Instance& instance, double factor);
+
+/// Shifts all times by `delta` (overflow-checked).
+Instance shift_times(const Instance& instance, Time delta);
+
+/// Concatenates two instances (ids renumbered).
+Instance merge_instances(const Instance& a, const Instance& b);
+
+/// Keeps a reproducible random subset of `count` jobs (all jobs if count
+/// >= size).
+Instance subsample(const Instance& instance, std::size_t count,
+                   std::uint64_t seed);
+
+/// Rounds every arrival down, every length up and every laxity down to
+/// multiples of `quantum`, preserving feasibility (deadline >= arrival)
+/// and positive lengths. The result satisfies is_multiple_of(quantum),
+/// making the exact solver applicable.
+Instance snap_to_grid(const Instance& instance, Time quantum);
+
+/// Rigid variant: every deadline set to the arrival (laxity 0).
+Instance make_rigid(const Instance& instance);
+
+}  // namespace fjs

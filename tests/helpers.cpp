@@ -1,0 +1,22 @@
+#include "helpers.h"
+
+#include "support/rng.h"
+
+namespace fjs::testing {
+
+Instance random_integral_instance(std::uint64_t seed, std::size_t jobs,
+                                  std::int64_t horizon,
+                                  std::int64_t max_laxity,
+                                  std::int64_t max_length) {
+  Rng rng(seed);
+  InstanceBuilder builder;
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const auto a = static_cast<double>(rng.uniform_int(0, horizon));
+    const auto lax = static_cast<double>(rng.uniform_int(0, max_laxity));
+    const auto p = static_cast<double>(rng.uniform_int(1, max_length));
+    builder.add_lax(a, lax, p);
+  }
+  return builder.build();
+}
+
+}  // namespace fjs::testing

@@ -1,0 +1,66 @@
+// Shared helpers for the libfjs test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/interval_set.h"
+#include "core/schedule.h"
+#include "core/time.h"
+
+namespace fjs::testing {
+
+/// Unit-valued triple for terse instance literals.
+struct JobTriple {
+  double arrival;
+  double deadline;
+  double length;
+};
+
+inline Instance make_instance(const std::vector<JobTriple>& triples) {
+  InstanceBuilder builder;
+  for (const auto& t : triples) {
+    builder.add(t.arrival, t.deadline, t.length);
+  }
+  return builder.build();
+}
+
+inline Time units(double u) { return Time::from_units(u); }
+
+/// Exhaustive optimal span for tiny integral instances (n <= ~5, small
+/// windows): enumerates every integer start combination. The slow-but-
+/// obviously-correct reference the exact solver is validated against.
+inline Time brute_force_optimal_span(const Instance& inst) {
+  const std::int64_t q = Time::kTicksPerUnit;
+  std::vector<std::int64_t> starts(inst.size());
+  Time best = Time::max();
+  auto recurse = [&](auto&& self, std::size_t i) -> void {
+    if (i == inst.size()) {
+      IntervalSet set;
+      for (JobId id = 0; id < inst.size(); ++id) {
+        set.add(inst.job(id).active_interval(Time(starts[id])));
+      }
+      best = std::min(best, set.measure());
+      return;
+    }
+    const Job& j = inst.job(static_cast<JobId>(i));
+    for (std::int64_t s = j.arrival.ticks(); s <= j.deadline.ticks(); s += q) {
+      starts[i] = s;
+      self(self, i + 1);
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+/// Uniformly random small integral instance for property tests.
+/// All times are whole units; laxity <= max_laxity, length in
+/// [1, max_length], arrivals in [0, horizon].
+Instance random_integral_instance(std::uint64_t seed, std::size_t jobs,
+                                  std::int64_t horizon = 12,
+                                  std::int64_t max_laxity = 5,
+                                  std::int64_t max_length = 4);
+
+}  // namespace fjs::testing

@@ -1,0 +1,161 @@
+#include "adversary/nonclairvoyant_lb.h"
+
+#include <gtest/gtest.h>
+
+#include "schedulers/batch.h"
+#include "schedulers/batch_plus.h"
+#include "schedulers/eager.h"
+#include "schedulers/lazy.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+NonClairvoyantLbParams small_params() {
+  NonClairvoyantLbParams params;
+  params.mu = 4.0;
+  params.iterations = 3;
+  params.counts = {256, 16, 4};
+  params.alpha = 6.0;
+  return params;
+}
+
+struct AdversaryRun {
+  SimulationResult result;
+  double measured_ratio = 0.0;
+  double theoretical_floor = 0.0;
+  int iterations = 0;
+  bool reached_final = false;
+  std::size_t earmark_count = 0;
+};
+
+AdversaryRun run_adversary(OnlineScheduler& scheduler,
+                           const NonClairvoyantLbParams& params) {
+  NonClairvoyantAdversary adversary(params);
+  Engine engine(adversary, adversary, scheduler,
+                EngineOptions{.clairvoyant = false});
+  AdversaryRun run;
+  run.result = engine.run();
+  const Schedule reference =
+      adversary.reference_schedule(run.result.instance);
+  run.measured_ratio =
+      time_ratio(run.result.span(), reference.span(run.result.instance));
+  run.theoretical_floor = adversary.theoretical_ratio_floor();
+  run.iterations = adversary.iterations_released();
+  run.reached_final = adversary.reached_final_wave();
+  run.earmark_count = adversary.earmarks().size();
+  return run;
+}
+
+TEST(NonClairvoyantAdversary, RejectsBadParameters) {
+  NonClairvoyantLbParams p;
+  p.mu = 0.5;
+  EXPECT_THROW(NonClairvoyantAdversary{p}, AssertionError);
+  p = {};
+  p.alpha = p.mu + 0.5;  // needs alpha > mu + 1
+  EXPECT_THROW(NonClairvoyantAdversary{p}, AssertionError);
+  p = {};
+  p.counts = {16};  // size != iterations (default 3)
+  EXPECT_THROW(NonClairvoyantAdversary{p}, AssertionError);
+  p = {};
+  p.counts = {16, 8, 2};  // counts must be >= 4
+  EXPECT_THROW(NonClairvoyantAdversary{p}, AssertionError);
+}
+
+TEST(NonClairvoyantAdversary, BatchRidesThroughAllIterations) {
+  // Batch masses every iteration's jobs at the first deadline, always
+  // crossing the concurrency threshold: k earmarks + the final wave.
+  BatchScheduler batch;
+  const AdversaryRun run = run_adversary(batch, small_params());
+  EXPECT_TRUE(run.reached_final);
+  EXPECT_EQ(run.iterations, 4);  // 3 earmarked + final wave
+  EXPECT_EQ(run.earmark_count, 3u);
+  // Theorem 3.3 outcome: ratio >= (kμ+1)/(μ+k) = 13/7.
+  EXPECT_NEAR(run.theoretical_floor, 13.0 / 7.0, 1e-12);
+  EXPECT_GE(run.measured_ratio, run.theoretical_floor - 0.05);
+}
+
+TEST(NonClairvoyantAdversary, BatchPlusAlsoForced) {
+  BatchPlusScheduler bp;
+  const AdversaryRun run = run_adversary(bp, small_params());
+  EXPECT_TRUE(run.reached_final);
+  EXPECT_GE(run.measured_ratio, run.theoretical_floor - 0.05);
+}
+
+TEST(NonClairvoyantAdversary, EagerForced) {
+  EagerScheduler eager;
+  const AdversaryRun run = run_adversary(eager, small_params());
+  EXPECT_TRUE(run.reached_final);
+  EXPECT_GE(run.measured_ratio, run.theoretical_floor - 0.05);
+}
+
+TEST(NonClairvoyantAdversary, LazyPaysSomewhere) {
+  // Lazy spreads starts across deadlines; whatever branch the adversary
+  // takes, the measured ratio must exceed 1 by a clear margin.
+  LazyScheduler lazy;
+  const AdversaryRun run = run_adversary(lazy, small_params());
+  EXPECT_GT(run.measured_ratio, 1.2);
+}
+
+TEST(NonClairvoyantAdversary, RatioGrowsWithIterations) {
+  // With more iterations the floor (kμ+1)/(μ+k) climbs toward μ.
+  BatchScheduler batch;
+  NonClairvoyantLbParams p1 = small_params();
+  p1.iterations = 1;
+  p1.counts = {256};
+  const AdversaryRun r1 = run_adversary(batch, p1);
+
+  NonClairvoyantLbParams p3 = small_params();
+  const AdversaryRun r3 = run_adversary(batch, p3);
+  EXPECT_GT(r3.measured_ratio, r1.measured_ratio);
+}
+
+TEST(NonClairvoyantAdversary, RealizedLengthsAreOneOrMu) {
+  BatchScheduler batch;
+  NonClairvoyantAdversary adversary(small_params());
+  Engine engine(adversary, adversary, batch, {});
+  const SimulationResult result = engine.run();
+  const Time unit = adversary.unit();
+  const Time mu_len = unit.scaled(4.0);
+  std::size_t mu_jobs = 0;
+  for (const Job& j : result.instance.jobs()) {
+    EXPECT_TRUE(j.length == unit || j.length == mu_len) << j.to_string();
+    if (j.length == mu_len) {
+      ++mu_jobs;
+    }
+  }
+  EXPECT_EQ(mu_jobs, adversary.earmarks().size());
+}
+
+TEST(NonClairvoyantAdversary, ReferenceScheduleIsValid) {
+  BatchScheduler batch;
+  NonClairvoyantAdversary adversary(small_params());
+  Engine engine(adversary, adversary, batch, {});
+  const SimulationResult result = engine.run();
+  const Schedule reference = adversary.reference_schedule(result.instance);
+  reference.validate(result.instance);  // throws on violation
+  // The reference must not beat the online schedule's span (it should be
+  // much better, i.e. smaller).
+  EXPECT_LT(reference.span(result.instance), result.span());
+}
+
+TEST(NonClairvoyantAdversary, ReleaseTimesMatchEarmarkCompletions) {
+  BatchScheduler batch;
+  NonClairvoyantAdversary adversary(small_params());
+  Engine engine(adversary, adversary, batch,
+                EngineOptions{.record_trace = true});
+  const SimulationResult result = engine.run();
+  const auto& releases = adversary.release_times();
+  const auto& earmarks = adversary.earmarks();
+  ASSERT_EQ(releases.size(), earmarks.size() + 1);
+  for (std::size_t i = 0; i < earmarks.size(); ++i) {
+    const JobId e = earmarks[i];
+    const Time completion =
+        result.schedule.start(e) + result.instance.job(e).length;
+    EXPECT_EQ(releases[i + 1], completion);
+  }
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,177 @@
+#include "busytime/busytime.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/interval_set.h"
+#include "dbp/packing.h"
+#include "dbp/simulator.h"
+#include "helpers.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+#include "workload/generator.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(BusyTime, UnboundedCapacityEqualsSpanOnOneMachine) {
+  const Instance inst = make_instance({{0, 0, 2}, {1, 1, 2}, {5, 5, 1}});
+  const Schedule sched =
+      Schedule::from_starts({units(0.0), units(1.0), units(5.0)});
+  const BusyTimeResult result =
+      assign_machines(inst, sched, kUnboundedCapacity);
+  EXPECT_EQ(result.machines_used, 1u);
+  EXPECT_EQ(result.total_busy, sched.span(inst));
+}
+
+TEST(BusyTime, CapacityOneBusyEqualsTotalWork) {
+  const Instance inst = make_instance({{0, 0, 2}, {0, 0, 3}, {0, 0, 1}});
+  const Schedule sched = Schedule::from_starts(
+      {units(0.0), units(0.0), units(0.0)});
+  const BusyTimeResult result = assign_machines(inst, sched, 1);
+  EXPECT_EQ(result.total_busy, inst.total_work());
+  EXPECT_EQ(result.machines_used, 3u);
+}
+
+TEST(BusyTime, CapacityTwoPacksPairs) {
+  const Instance inst = make_instance(
+      {{0, 0, 2}, {0, 0, 2}, {0, 0, 2}, {0, 0, 2}});
+  const Schedule sched = Schedule::from_starts(
+      {units(0.0), units(0.0), units(0.0), units(0.0)});
+  const BusyTimeResult result = assign_machines(inst, sched, 2);
+  EXPECT_EQ(result.machines_used, 2u);
+  EXPECT_EQ(result.total_busy, units(4.0));
+  EXPECT_EQ(result.peak_active_machines, 2u);
+}
+
+TEST(BusyTime, HalfOpenDepartureFreesSlot) {
+  const Instance inst = make_instance({{0, 0, 2}, {2, 2, 2}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(2.0)});
+  const BusyTimeResult result = assign_machines(inst, sched, 1);
+  EXPECT_EQ(result.machines_used, 1u);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.total_busy, units(4.0));
+}
+
+TEST(BusyTime, MachineIdleGapsNotBilled) {
+  const Instance inst = make_instance({{0, 0, 1}, {9, 9, 1}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(9.0)});
+  const BusyTimeResult result = assign_machines(inst, sched, 4);
+  EXPECT_EQ(result.machines_used, 1u);
+  EXPECT_EQ(result.total_busy, units(2.0));  // gap [1,9) is free
+}
+
+TEST(BusyTime, PoliciesDiffer) {
+  // g=2. At t=0: J0,J1 fill machine 0; J2,J3 fill machine 1. At t=4 only
+  // J0 survives (on m0); m1 is empty. The t=4.5 arrival goes to the
+  // most-loaded feasible machine (m0) or the least-loaded one (m1).
+  const Instance inst = make_instance(
+      {{0, 0, 6}, {0, 0, 4}, {0, 0, 4}, {0, 0, 4}, {4.5, 4.5, 1}});
+  const Schedule sched = Schedule::from_starts(
+      {units(0.0), units(0.0), units(0.0), units(0.0), units(4.5)});
+  const BusyTimeResult most =
+      assign_machines(inst, sched, 2, MachinePolicy::kMostLoaded);
+  EXPECT_EQ(most.assignment[4], 0u);
+  const BusyTimeResult least =
+      assign_machines(inst, sched, 2, MachinePolicy::kLeastLoaded);
+  EXPECT_EQ(least.assignment[4], 1u);
+  const BusyTimeResult first =
+      assign_machines(inst, sched, 2, MachinePolicy::kFirstAvailable);
+  EXPECT_EQ(first.assignment[4], 0u);
+  // Packing onto the already-busy machine avoids re-opening m1:
+  EXPECT_LT(most.total_busy, least.total_busy);
+}
+
+TEST(BusyTime, AccountingMatchesIntervalSetReference) {
+  WorkloadConfig cfg;
+  cfg.job_count = 120;
+  cfg.laxity_max = 4.0;
+  const Instance raw = generate_workload(cfg, 17);
+  const auto scheduler = make_scheduler("batch+");
+  const SimulationResult run = simulate(raw, *scheduler, false);
+  for (const std::size_t g : {1u, 3u, 7u}) {
+    const BusyTimeResult result =
+        assign_machines(run.instance, run.schedule, g);
+    std::map<std::size_t, IntervalSet> per_machine;
+    for (JobId id = 0; id < run.instance.size(); ++id) {
+      per_machine[result.assignment[id]].add(
+          run.schedule.active_interval(run.instance, id));
+    }
+    Time reference = Time::zero();
+    for (const auto& [machine, set] : per_machine) {
+      reference += set.measure();
+    }
+    EXPECT_EQ(result.total_busy, reference) << "g=" << g;
+    EXPECT_GE(result.total_busy, busy_time_lower_bound(run.instance, g));
+  }
+}
+
+TEST(BusyTime, CapacityInvariantUnderConcurrencyProbe) {
+  WorkloadConfig cfg;
+  cfg.job_count = 80;
+  const Instance raw = generate_workload(cfg, 3);
+  const auto scheduler = make_scheduler("eager");
+  const SimulationResult run = simulate(raw, *scheduler, false);
+  const std::size_t g = 2;
+  const BusyTimeResult result = assign_machines(run.instance, run.schedule, g);
+  for (JobId probe = 0; probe < run.instance.size(); ++probe) {
+    const Time t = run.schedule.active_interval(run.instance, probe).lo;
+    std::map<std::size_t, std::size_t> load;
+    for (JobId id = 0; id < run.instance.size(); ++id) {
+      if (run.schedule.active_interval(run.instance, id).contains(t)) {
+        ++load[result.assignment[id]];
+      }
+    }
+    for (const auto& [machine, count] : load) {
+      EXPECT_LE(count, g);
+    }
+  }
+}
+
+TEST(BusyTime, AgreesWithFractionalDbpSubstrate) {
+  // Differential: capacity-g busy time == DBP with items of size 1/g
+  // under the analogous policy (First Fit == first-available).
+  WorkloadConfig cfg;
+  cfg.job_count = 150;
+  cfg.laxity_max = 5.0;
+  const Instance raw = generate_workload(cfg, 29);
+  const auto scheduler = make_scheduler("batch+");
+  const SimulationResult run = simulate(raw, *scheduler, false);
+  for (const std::size_t g : {2u, 4u, 8u}) {
+    const BusyTimeResult integral =
+        assign_machines(run.instance, run.schedule, g);
+    const std::vector<double> sizes(run.instance.size(),
+                                    1.0 / static_cast<double>(g));
+    FirstFitPacker ff;
+    const DbpResult fractional =
+        run_packing(run.instance, run.schedule, sizes, ff);
+    EXPECT_EQ(integral.total_busy, fractional.total_usage) << "g=" << g;
+    EXPECT_EQ(integral.machines_used, fractional.bins_opened) << "g=" << g;
+    EXPECT_EQ(integral.assignment, fractional.assignment) << "g=" << g;
+  }
+}
+
+TEST(BusyTime, LowerBoundCases) {
+  const Instance inst = make_instance({{0, 0, 3}, {0, 0, 3}});
+  // g=1: work bound 6 dominates the span bound 3.
+  EXPECT_EQ(busy_time_lower_bound(inst, 1), units(6.0));
+  // g=2: work bound 3 == span bound 3.
+  EXPECT_EQ(busy_time_lower_bound(inst, 2), units(3.0));
+  // Unbounded: span bound only.
+  EXPECT_EQ(busy_time_lower_bound(inst, kUnboundedCapacity), units(3.0));
+  EXPECT_EQ(busy_time_lower_bound(Instance{}, 1), Time::zero());
+}
+
+TEST(BusyTime, PolicyNames) {
+  EXPECT_EQ(to_string(MachinePolicy::kFirstAvailable), "first-available");
+  EXPECT_EQ(to_string(MachinePolicy::kMostLoaded), "most-loaded");
+  EXPECT_EQ(to_string(MachinePolicy::kLeastLoaded), "least-loaded");
+}
+
+}  // namespace
+}  // namespace fjs

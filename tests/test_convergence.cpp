@@ -1,0 +1,85 @@
+#include "analysis/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/tightness.h"
+#include "schedulers/batch.h"
+#include "schedulers/batch_plus.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+TEST(Asymptote, ExactRecoveryOnSyntheticData) {
+  // y = 3 + 5/x fitted exactly.
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  std::vector<double> ys;
+  for (const double x : xs) {
+    ys.push_back(3.0 + 5.0 / x);
+  }
+  const AsymptoteFit fit = fit_asymptote(xs, ys);
+  EXPECT_NEAR(fit.limit, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 5.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Asymptote, NoisyDataStillClose) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  const std::vector<double> ys = {7.99, 5.52, 4.24, 3.63, 3.32, 3.15};
+  const AsymptoteFit fit = fit_asymptote(xs, ys);  // ~ 3 + 5/x
+  EXPECT_NEAR(fit.limit, 3.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Asymptote, RejectsBadInput) {
+  EXPECT_THROW(fit_asymptote({1.0, 2.0}, {1.0, 2.0}), AssertionError);
+  EXPECT_THROW(fit_asymptote({1.0, 2.0, 3.0}, {1.0, 2.0}), AssertionError);
+  EXPECT_THROW(fit_asymptote({0.0, 1.0, 2.0}, {1.0, 2.0, 3.0}),
+               AssertionError);
+  EXPECT_THROW(fit_asymptote({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}),
+               AssertionError);
+}
+
+TEST(Asymptote, BatchTightnessLimitMatchesTheorem34) {
+  // The Fig. 2 ratio is 2mμ/(m(1+ε)+μ), so its RECIPROCAL is exactly
+  // linear in 1/m: 1/r = (1+ε)/(2μ) + (1/2)·(1/m). Fitting reciprocals
+  // recovers the limit 2μ/(1+ε) exactly.
+  const double mu = 2.0;
+  const double eps = 0.01;
+  std::vector<double> ms;
+  std::vector<double> inverse_ratios;
+  for (const std::size_t m : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const TightnessInstance tight = make_batch_tightness(m, mu, eps);
+    BatchScheduler batch;
+    const Time span = simulate_span(tight.instance, batch, false);
+    ms.push_back(static_cast<double>(m));
+    inverse_ratios.push_back(
+        1.0 / time_ratio(span, tight.reference.span(tight.instance)));
+  }
+  const AsymptoteFit fit = fit_asymptote(ms, inverse_ratios);
+  EXPECT_NEAR(1.0 / fit.limit, 2.0 * mu / (1.0 + eps), 1e-3);
+  EXPECT_GT(fit.r_squared, 0.999999);
+}
+
+TEST(Asymptote, BatchPlusTightnessLimitMatchesTheorem35) {
+  // Fig. 3 ratio = m(μ+1−ε)/(m+μ): reciprocal linear in 1/m again.
+  const double mu = 4.0;
+  const double eps = 0.01;
+  std::vector<double> ms;
+  std::vector<double> inverse_ratios;
+  for (const std::size_t m : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const TightnessInstance tight = make_batch_plus_tightness(m, mu, eps);
+    BatchPlusScheduler bp;
+    const Time span = simulate_span(tight.instance, bp, false);
+    ms.push_back(static_cast<double>(m));
+    inverse_ratios.push_back(
+        1.0 / time_ratio(span, tight.reference.span(tight.instance)));
+  }
+  const AsymptoteFit fit = fit_asymptote(ms, inverse_ratios);
+  EXPECT_NEAR(1.0 / fit.limit, mu + 1.0 - eps, 1e-3);
+  EXPECT_GT(fit.r_squared, 0.999999);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,177 @@
+#include "core/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace fjs {
+namespace {
+
+TEST(IntervalSet, EmptyBehaviour) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.measure(), Time::zero());
+  EXPECT_FALSE(s.contains(Time(0)));
+  EXPECT_THROW(s.lower(), AssertionError);
+}
+
+TEST(IntervalSet, IgnoresEmptyIntervals) {
+  IntervalSet s;
+  s.add(Interval(Time(3), Time(3)));
+  s.add(Interval(Time(5), Time(2)));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, MergesAbuttingComponents) {
+  IntervalSet s;
+  s.add(Interval(Time(0), Time(2)));
+  s.add(Interval(Time(2), Time(4)));
+  EXPECT_EQ(s.component_count(), 1u);
+  EXPECT_EQ(s.component(0), Interval(Time(0), Time(4)));
+}
+
+TEST(IntervalSet, KeepsDisjointComponents) {
+  IntervalSet s;
+  s.add(Interval(Time(0), Time(2)));
+  s.add(Interval(Time(3), Time(5)));
+  EXPECT_EQ(s.component_count(), 2u);
+  EXPECT_EQ(s.measure(), Time(4));
+}
+
+TEST(IntervalSet, MergesSpanningInsert) {
+  IntervalSet s;
+  s.add(Interval(Time(0), Time(1)));
+  s.add(Interval(Time(2), Time(3)));
+  s.add(Interval(Time(4), Time(5)));
+  s.add(Interval(Time(1), Time(4)));  // bridges everything
+  EXPECT_EQ(s.component_count(), 1u);
+  EXPECT_EQ(s.component(0), Interval(Time(0), Time(5)));
+}
+
+TEST(IntervalSet, InsertInsideExisting) {
+  IntervalSet s;
+  s.add(Interval(Time(0), Time(10)));
+  s.add(Interval(Time(2), Time(3)));
+  EXPECT_EQ(s.component_count(), 1u);
+  EXPECT_EQ(s.measure(), Time(10));
+}
+
+TEST(IntervalSet, ContainsIsHalfOpen) {
+  IntervalSet s;
+  s.add(Interval(Time(1), Time(3)));
+  EXPECT_FALSE(s.contains(Time(0)));
+  EXPECT_TRUE(s.contains(Time(1)));
+  EXPECT_TRUE(s.contains(Time(2)));
+  EXPECT_FALSE(s.contains(Time(3)));
+}
+
+TEST(IntervalSet, MeasureWithin) {
+  IntervalSet s;
+  s.add(Interval(Time(0), Time(4)));
+  s.add(Interval(Time(6), Time(8)));
+  EXPECT_EQ(s.measure_within(Interval(Time(2), Time(7))), Time(3));
+  EXPECT_EQ(s.measure_within(Interval(Time(4), Time(6))), Time(0));
+  EXPECT_EQ(s.uncovered_measure(Interval(Time(2), Time(7))), Time(2));
+}
+
+TEST(IntervalSet, GapsWithin) {
+  IntervalSet s;
+  s.add(Interval(Time(2), Time(4)));
+  s.add(Interval(Time(6), Time(8)));
+  const auto gaps = s.gaps_within(Interval(Time(0), Time(10)));
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], Interval(Time(0), Time(2)));
+  EXPECT_EQ(gaps[1], Interval(Time(4), Time(6)));
+  EXPECT_EQ(gaps[2], Interval(Time(8), Time(10)));
+}
+
+TEST(IntervalSet, GapsWithinFullyCovered) {
+  IntervalSet s;
+  s.add(Interval(Time(0), Time(10)));
+  EXPECT_TRUE(s.gaps_within(Interval(Time(2), Time(8))).empty());
+}
+
+TEST(IntervalSet, UniteSets) {
+  IntervalSet a;
+  a.add(Interval(Time(0), Time(2)));
+  IntervalSet b;
+  b.add(Interval(Time(1), Time(5)));
+  b.add(Interval(Time(7), Time(8)));
+  a.unite(b);
+  EXPECT_EQ(a.component_count(), 2u);
+  EXPECT_EQ(a.measure(), Time(6));
+}
+
+TEST(IntervalSet, BoundsAndToString) {
+  IntervalSet s;
+  s.add(Interval(Time(3), Time(5)));
+  s.add(Interval(Time(9), Time(10)));
+  EXPECT_EQ(s.lower(), Time(3));
+  EXPECT_EQ(s.upper(), Time(10));
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+/// Property test: IntervalSet must agree with a brute-force boolean
+/// timeline on random inputs, for measure, contains, measure_within and
+/// component count.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, MatchesBitmapReference) {
+  Rng rng(GetParam());
+  constexpr std::int64_t kHorizon = 200;
+  std::vector<bool> covered(kHorizon, false);
+  IntervalSet s;
+  const int inserts = static_cast<int>(rng.uniform_int(1, 40));
+  for (int i = 0; i < inserts; ++i) {
+    const std::int64_t lo = rng.uniform_int(0, kHorizon - 1);
+    const std::int64_t hi = rng.uniform_int(lo, kHorizon);
+    s.add(Interval(Time(lo), Time(hi)));
+    for (std::int64_t t = lo; t < hi; ++t) {
+      covered[static_cast<std::size_t>(t)] = true;
+    }
+  }
+  // Measure.
+  std::int64_t expected_measure = 0;
+  for (const bool c : covered) {
+    expected_measure += c ? 1 : 0;
+  }
+  EXPECT_EQ(s.measure().ticks(), expected_measure);
+  // Contains at every tick.
+  for (std::int64_t t = 0; t < kHorizon; ++t) {
+    EXPECT_EQ(s.contains(Time(t)), covered[static_cast<std::size_t>(t)])
+        << "tick " << t;
+  }
+  // Component count = number of 0->1 transitions.
+  std::size_t components = 0;
+  for (std::int64_t t = 0; t < kHorizon; ++t) {
+    if (covered[static_cast<std::size_t>(t)] &&
+        (t == 0 || !covered[static_cast<std::size_t>(t - 1)])) {
+      ++components;
+    }
+  }
+  EXPECT_EQ(s.component_count(), components);
+  // measure_within on a random window.
+  const std::int64_t wlo = rng.uniform_int(0, kHorizon - 1);
+  const std::int64_t whi = rng.uniform_int(wlo, kHorizon);
+  std::int64_t expected_within = 0;
+  for (std::int64_t t = wlo; t < whi; ++t) {
+    expected_within += covered[static_cast<std::size_t>(t)] ? 1 : 0;
+  }
+  EXPECT_EQ(s.measure_within(Interval(Time(wlo), Time(whi))).ticks(),
+            expected_within);
+  // Gaps partition the uncovered part of the window.
+  Time gap_total = Time::zero();
+  for (const auto& gap : s.gaps_within(Interval(Time(wlo), Time(whi)))) {
+    gap_total += gap.length();
+  }
+  EXPECT_EQ(gap_total.ticks(), (whi - wlo) - expected_within);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalSetProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,104 @@
+#include "core/time.h"
+
+#include <gtest/gtest.h>
+
+#include "core/interval.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+TEST(Time, UnitsRoundTrip) {
+  EXPECT_EQ(Time::from_units(2.5).ticks(), 2'500'000);
+  EXPECT_DOUBLE_EQ(Time::from_units(2.5).to_units(), 2.5);
+  EXPECT_EQ(Time::from_units(-1.0).ticks(), -1'000'000);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::from_units(3.0);
+  const Time b = Time::from_units(1.5);
+  EXPECT_EQ((a + b).to_units(), 4.5);
+  EXPECT_EQ((a - b).to_units(), 1.5);
+  EXPECT_EQ((-b).to_units(), -1.5);
+  EXPECT_EQ((a * 2).to_units(), 6.0);
+  EXPECT_EQ((2 * a).to_units(), 6.0);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time(1), Time(2));
+  EXPECT_EQ(Time(5), Time(5));
+  EXPECT_GE(Time::max(), Time(123));
+  EXPECT_LE(Time::min(), Time(-123));
+}
+
+TEST(Time, ScaledRounding) {
+  EXPECT_EQ(Time(10).scaled(1.5).ticks(), 15);
+  EXPECT_EQ(Time(3).scaled(0.5).ticks(), 2);  // round half to even-ish llround
+  EXPECT_EQ(Time(1'000'000).scaled(1.6180339887).ticks(), 1'618'034);
+}
+
+TEST(Time, CheckedAddOverflowThrows) {
+  const Time big = Time::max();
+  EXPECT_THROW(big.checked_add(Time(1)), AssertionError);
+  EXPECT_EQ(Time(5).checked_add(Time(6)).ticks(), 11);
+}
+
+TEST(Time, CheckedMulOverflowThrows) {
+  const Time big(std::numeric_limits<std::int64_t>::max() / 2 + 1);
+  EXPECT_THROW(big.checked_mul(2), AssertionError);
+  EXPECT_EQ(Time(7).checked_mul(3).ticks(), 21);
+}
+
+TEST(Time, FromUnitsOverflowThrows) {
+  EXPECT_THROW(Time::from_units(1e19), AssertionError);
+}
+
+TEST(Time, RatioAndToString) {
+  EXPECT_DOUBLE_EQ(time_ratio(Time(3), Time(2)), 1.5);
+  EXPECT_THROW(time_ratio(Time(1), Time(0)), AssertionError);
+  EXPECT_EQ(Time::from_units(2.5).to_string(), "2.5");
+}
+
+TEST(Interval, LengthAndEmpty) {
+  const Interval iv(Time(2), Time(5));
+  EXPECT_EQ(iv.length().ticks(), 3);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(Interval(Time(5), Time(5)).empty());
+  EXPECT_TRUE(Interval(Time(6), Time(5)).empty());
+  EXPECT_EQ(Interval(Time(6), Time(5)).length().ticks(), 0);
+}
+
+TEST(Interval, HalfOpenContains) {
+  const Interval iv(Time(2), Time(5));
+  EXPECT_FALSE(iv.contains(Time(1)));
+  EXPECT_TRUE(iv.contains(Time(2)));
+  EXPECT_TRUE(iv.contains(Time(4)));
+  EXPECT_FALSE(iv.contains(Time(5)));  // half-open
+}
+
+TEST(Interval, OverlapsIsExclusiveAtTouch) {
+  const Interval a(Time(0), Time(2));
+  const Interval b(Time(2), Time(4));
+  EXPECT_FALSE(a.overlaps(b));  // [0,2) and [2,4) share no point
+  EXPECT_TRUE(a.touches(b));    // but their union is one interval
+  EXPECT_TRUE(a.overlaps(Interval(Time(1), Time(3))));
+  EXPECT_FALSE(a.overlaps(Interval(Time(3), Time(3))));  // empty
+}
+
+TEST(Interval, IntersectAndCovers) {
+  const Interval a(Time(0), Time(10));
+  const Interval b(Time(5), Time(15));
+  EXPECT_EQ(a.intersect(b), Interval(Time(5), Time(10)));
+  EXPECT_TRUE(a.intersect(Interval(Time(20), Time(30))).empty());
+  EXPECT_TRUE(a.covers(Interval(Time(2), Time(3))));
+  EXPECT_TRUE(a.covers(Interval(Time(9), Time(4))));  // empty ⊆ anything
+  EXPECT_FALSE(a.covers(b));
+}
+
+TEST(Interval, FromLength) {
+  EXPECT_EQ(Interval::from_length(Time(3), Time(4)),
+            Interval(Time(3), Time(7)));
+}
+
+}  // namespace
+}  // namespace fjs

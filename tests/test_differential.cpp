@@ -1,0 +1,289 @@
+// Differential tests: each paper scheduler is re-implemented DIRECTLY
+// (straight-line computation over the instance, no event engine) and the
+// resulting schedules are compared with the engine-driven ones on random
+// instances. A disagreement flags a bug in either the engine's event
+// semantics or the scheduler's callback logic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "helpers.h"
+#include "schedulers/classify_by_duration.h"
+#include "schedulers/profit.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+
+namespace fjs {
+namespace {
+
+/// Direct Batch (§3.2): repeatedly, the earliest starting deadline among
+/// unstarted jobs defines an iteration; everything arrived by then starts
+/// at that instant.
+Schedule reference_batch(const Instance& inst) {
+  Schedule sched(inst.size());
+  std::vector<bool> started(inst.size(), false);
+  std::size_t remaining = inst.size();
+  while (remaining > 0) {
+    Time flag_deadline = Time::max();
+    for (JobId id = 0; id < inst.size(); ++id) {
+      if (!started[id]) {
+        flag_deadline = std::min(flag_deadline, inst.job(id).deadline);
+      }
+    }
+    for (JobId id = 0; id < inst.size(); ++id) {
+      if (!started[id] && inst.job(id).arrival <= flag_deadline) {
+        sched.set_start(id, flag_deadline);
+        started[id] = true;
+        --remaining;
+      }
+    }
+  }
+  return sched;
+}
+
+/// Direct Batch+ (§3.2): like Batch, but during the flag job's active
+/// interval [d*, d* + p(flag)) every arrival starts immediately. The flag
+/// is the unstarted job with the earliest deadline (ties: earliest
+/// arrival, then id — the engine's event order).
+Schedule reference_batch_plus(const Instance& inst) {
+  Schedule sched(inst.size());
+  std::vector<bool> started(inst.size(), false);
+  std::size_t remaining = inst.size();
+  while (remaining > 0) {
+    JobId flag = kInvalidJob;
+    for (JobId id = 0; id < inst.size(); ++id) {
+      if (started[id]) {
+        continue;
+      }
+      if (flag == kInvalidJob) {
+        flag = id;
+        continue;
+      }
+      const Job& a = inst.job(id);
+      const Job& b = inst.job(flag);
+      if (a.deadline != b.deadline ? a.deadline < b.deadline
+          : a.arrival != b.arrival ? a.arrival < b.arrival
+                                   : id < flag) {
+        flag = id;
+      }
+    }
+    const Time flag_start = inst.job(flag).deadline;
+    const Time flag_end = flag_start + inst.job(flag).length;
+    // Everything arrived by the flag's start joins the batch.
+    for (JobId id = 0; id < inst.size(); ++id) {
+      if (!started[id] && inst.job(id).arrival <= flag_start) {
+        sched.set_start(id, flag_start);
+        started[id] = true;
+        --remaining;
+      }
+    }
+    // Arrivals during the flag's run start immediately.
+    for (JobId id = 0; id < inst.size(); ++id) {
+      if (!started[id] && inst.job(id).arrival < flag_end) {
+        sched.set_start(id, inst.job(id).arrival);
+        started[id] = true;
+        --remaining;
+      }
+    }
+  }
+  return sched;
+}
+
+/// Direct CDB (§4.2): partition by length category, run the direct Batch+
+/// on each category sub-instance independently, merge the starts. This is
+/// exactly the paper's definition and shares no code with the scheduler.
+Schedule reference_cdb(const Instance& inst, double alpha, Time base) {
+  auto category_of = [&](Time length) {
+    const double ratio = static_cast<double>(length.ticks()) /
+                         static_cast<double>(base.ticks());
+    return static_cast<long>(
+        std::ceil(std::log(ratio) / std::log(alpha) - 1e-9));
+  };
+  std::map<long, std::vector<JobId>> categories;
+  for (JobId id = 0; id < inst.size(); ++id) {
+    categories[category_of(inst.job(id).length)].push_back(id);
+  }
+  Schedule sched(inst.size());
+  for (const auto& [category, ids] : categories) {
+    std::vector<Job> jobs;
+    for (const JobId id : ids) {
+      jobs.push_back(inst.job(id));
+    }
+    const Instance sub(std::move(jobs));
+    const Schedule sub_sched = reference_batch_plus(sub);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      sched.set_start(ids[i], sub_sched.start(static_cast<JobId>(i)));
+    }
+  }
+  return sched;
+}
+
+/// Direct Profit (§4.3): chronological pass over arrival and deadline
+/// events with an explicit flag list — no event engine involved.
+Schedule reference_profit(const Instance& inst, double k) {
+  struct Flag {
+    Time start;   // = d(f)
+    Time end;     // = d(f) + p(f)
+  };
+  struct Ev {
+    Time time;
+    bool is_deadline;  // false = arrival
+    JobId job;
+  };
+  std::vector<Ev> events;
+  for (JobId id = 0; id < inst.size(); ++id) {
+    events.push_back(Ev{inst.job(id).arrival, false, id});
+    events.push_back(Ev{inst.job(id).deadline, true, id});
+  }
+  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.is_deadline != b.is_deadline) {
+      return !a.is_deadline;  // arrivals before deadlines
+    }
+    return a.job < b.job;
+  });
+
+  auto profitable = [&](Time p, Time budget) {
+    return static_cast<double>(p.ticks()) <=
+           k * static_cast<double>(budget.ticks());
+  };
+
+  Schedule sched(inst.size());
+  std::vector<bool> started(inst.size(), false);
+  std::vector<Flag> flags;
+  auto start = [&](JobId id, Time t) {
+    sched.set_start(id, t);
+    started[id] = true;
+  };
+  for (const Ev& ev : events) {
+    if (started[ev.job]) {
+      continue;
+    }
+    const Time t = ev.time;
+    if (!ev.is_deadline) {
+      // Arrival: profitable to some flag active at t?
+      for (const Flag& f : flags) {
+        if (f.start <= t && t < f.end &&
+            profitable(inst.job(ev.job).length, f.end - t)) {
+          start(ev.job, t);
+          break;
+        }
+      }
+      continue;
+    }
+    // Deadline event: designate a flag among unstarted arrived jobs whose
+    // deadline is exactly t (ties: longest processing length).
+    JobId flag = ev.job;
+    for (JobId id = 0; id < inst.size(); ++id) {
+      if (!started[id] && inst.job(id).deadline == t &&
+          inst.job(id).length > inst.job(flag).length) {
+        flag = id;
+      }
+    }
+    const Time pf = inst.job(flag).length;
+    start(flag, t);
+    flags.push_back(Flag{t, t + pf});
+    // Start every pending (arrived, unstarted) profitable job.
+    for (JobId id = 0; id < inst.size(); ++id) {
+      if (!started[id] && inst.job(id).arrival <= t &&
+          profitable(inst.job(id).length, pf)) {
+        start(id, t);
+      }
+    }
+  }
+  return sched;
+}
+
+Schedule reference_eager(const Instance& inst) {
+  Schedule sched(inst.size());
+  for (JobId id = 0; id < inst.size(); ++id) {
+    sched.set_start(id, inst.job(id).arrival);
+  }
+  return sched;
+}
+
+Schedule reference_lazy(const Instance& inst) {
+  Schedule sched(inst.size());
+  for (JobId id = 0; id < inst.size(); ++id) {
+    sched.set_start(id, inst.job(id).deadline);
+  }
+  return sched;
+}
+
+void expect_same_schedule(const Schedule& engine_sched,
+                          const Schedule& reference,
+                          const Instance& inst, const char* what) {
+  for (JobId id = 0; id < inst.size(); ++id) {
+    EXPECT_EQ(engine_sched.start(id), reference.start(id))
+        << what << " disagrees on " << inst.job(id).to_string() << '\n'
+        << inst.to_string();
+  }
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // Mixed granularity: some integral, some fractional-laxity instances.
+  Instance instance_ = testing::random_integral_instance(
+      GetParam(), /*jobs=*/12, /*horizon=*/20, /*max_laxity=*/6,
+      /*max_length=*/5);
+};
+
+TEST_P(Differential, EagerMatchesDirectComputation) {
+  const auto eager = make_scheduler("eager");
+  const SimulationResult result = simulate(instance_, *eager, false);
+  expect_same_schedule(result.schedule, reference_eager(result.instance),
+                       result.instance, "eager");
+}
+
+TEST_P(Differential, LazyMatchesDirectComputation) {
+  const auto lazy = make_scheduler("lazy");
+  const SimulationResult result = simulate(instance_, *lazy, false);
+  expect_same_schedule(result.schedule, reference_lazy(result.instance),
+                       result.instance, "lazy");
+}
+
+TEST_P(Differential, BatchMatchesDirectComputation) {
+  const auto batch = make_scheduler("batch");
+  const SimulationResult result = simulate(instance_, *batch, false);
+  expect_same_schedule(result.schedule, reference_batch(result.instance),
+                       result.instance, "batch");
+}
+
+TEST_P(Differential, BatchPlusMatchesDirectComputation) {
+  const auto bp = make_scheduler("batch+");
+  const SimulationResult result = simulate(instance_, *bp, false);
+  expect_same_schedule(result.schedule,
+                       reference_batch_plus(result.instance),
+                       result.instance, "batch+");
+}
+
+TEST_P(Differential, CdbMatchesDirectComputation) {
+  const double alpha = 2.0;
+  const Time base = Time(Time::kTicksPerUnit);
+  CdbScheduler cdb(alpha, base);
+  const SimulationResult result = simulate(instance_, cdb, true);
+  expect_same_schedule(result.schedule,
+                       reference_cdb(result.instance, alpha, base),
+                       result.instance, "cdb");
+}
+
+TEST_P(Differential, ProfitMatchesDirectComputation) {
+  const double k = 1.5;
+  ProfitScheduler profit(k);
+  const SimulationResult result = simulate(instance_, profit, true);
+  expect_same_schedule(result.schedule,
+                       reference_profit(result.instance, k),
+                       result.instance, "profit");
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Differential,
+                         ::testing::Range<std::uint64_t>(0, 80));
+
+}  // namespace
+}  // namespace fjs

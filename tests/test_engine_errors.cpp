@@ -1,0 +1,197 @@
+// Failure-injection tests: every contract the engine enforces against
+// misbehaving sources, oracles, and schedulers must throw AssertionError
+// rather than corrupt the run.
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "schedulers/eager.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::units;
+
+/// Source releasing a single configurable spec.
+class OneShotSource final : public JobSource {
+ public:
+  explicit OneShotSource(JobSpec spec) : spec_(spec) {}
+  SourceAction begin() override {
+    SourceAction a;
+    a.releases.push_back(spec_);
+    return a;
+  }
+
+ private:
+  JobSpec spec_;
+};
+
+TEST(EngineErrors, ReleaseWithDeadlineBeforeArrival) {
+  OneShotSource source(JobSpec{.arrival = units(2.0), .deadline = units(1.0),
+                               .length = units(1.0)});
+  NoDeferralOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  EXPECT_THROW(engine.run(), AssertionError);
+}
+
+TEST(EngineErrors, ReleaseWithNonPositiveLength) {
+  OneShotSource source(JobSpec{.arrival = units(0.0), .deadline = units(1.0),
+                               .length = units(0.0)});
+  NoDeferralOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  EXPECT_THROW(engine.run(), AssertionError);
+}
+
+TEST(EngineErrors, ReleaseInThePast) {
+  class LateSource final : public JobSource {
+   public:
+    SourceAction begin() override {
+      SourceAction a;
+      a.releases.push_back(JobSpec{.arrival = units(5.0),
+                                   .deadline = units(5.0),
+                                   .length = units(1.0)});
+      return a;
+    }
+    SourceAction on_complete(JobId, Time) override {
+      SourceAction a;  // released at t=6 with arrival 1 — in the past
+      a.releases.push_back(JobSpec{.arrival = units(1.0),
+                                   .deadline = units(9.0),
+                                   .length = units(1.0)});
+      return a;
+    }
+  };
+  LateSource source;
+  NoDeferralOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  EXPECT_THROW(engine.run(), AssertionError);
+}
+
+TEST(EngineErrors, WakeupInThePast) {
+  class BadWakeupSource final : public JobSource {
+   public:
+    SourceAction begin() override {
+      SourceAction a;
+      a.releases.push_back(JobSpec{.arrival = units(5.0),
+                                   .deadline = units(5.0),
+                                   .length = units(1.0)});
+      return a;
+    }
+    SourceAction on_complete(JobId, Time) override {
+      SourceAction a;
+      a.wakeup = units(0.5);  // now is 6.0
+      return a;
+    }
+  };
+  BadWakeupSource source;
+  NoDeferralOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  EXPECT_THROW(engine.run(), AssertionError);
+}
+
+TEST(EngineErrors, OracleNonPositiveLength) {
+  class ZeroOracle final : public LengthOracle {
+   public:
+    StartDecision at_start(JobId, Time) override {
+      return StartDecision{.length = Time::zero(), .decide_at = Time::zero()};
+    }
+    Time decide(JobId, Time) override { return Time::zero(); }
+  };
+  OneShotSource source(JobSpec{.arrival = units(0.0), .deadline = units(0.0),
+                               .length = std::nullopt});
+  ZeroOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  EXPECT_THROW(engine.run(), AssertionError);
+}
+
+TEST(EngineErrors, OracleDeferralNotInFuture) {
+  class StaleDeferOracle final : public LengthOracle {
+   public:
+    StartDecision at_start(JobId, Time start) override {
+      return StartDecision{.length = std::nullopt, .decide_at = start};
+    }
+    Time decide(JobId, Time) override { return units(1.0); }
+  };
+  OneShotSource source(JobSpec{.arrival = units(0.0), .deadline = units(0.0),
+                               .length = std::nullopt});
+  StaleDeferOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  EXPECT_THROW(engine.run(), AssertionError);
+}
+
+TEST(EngineErrors, OracleDecidesCompletionInThePast) {
+  class PastDecideOracle final : public LengthOracle {
+   public:
+    StartDecision at_start(JobId, Time start) override {
+      return StartDecision{.length = std::nullopt,
+                           .decide_at = start + units(5.0)};
+    }
+    // Length 1 puts the completion at start+1 < decide time start+5.
+    Time decide(JobId, Time) override { return units(1.0); }
+  };
+  OneShotSource source(JobSpec{.arrival = units(0.0), .deadline = units(0.0),
+                               .length = std::nullopt});
+  PastDecideOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  EXPECT_THROW(engine.run(), AssertionError);
+}
+
+TEST(EngineErrors, SchedulerStartsJobTwice) {
+  class DoubleStarter final : public OnlineScheduler {
+   public:
+    std::string name() const override { return "double-starter"; }
+    void on_arrival(SchedulerContext& ctx, JobId id) override {
+      ctx.start_job(id);
+      ctx.start_job(id);  // illegal
+    }
+    void on_deadline(SchedulerContext& ctx, JobId id) override {
+      ctx.start_job(id);
+    }
+  };
+  const Instance inst = testing::make_instance({{0, 1, 1}});
+  DoubleStarter bad;
+  EXPECT_THROW(simulate(inst, bad, false), AssertionError);
+}
+
+TEST(EngineErrors, SchedulerTimerInPast) {
+  class PastTimer final : public OnlineScheduler {
+   public:
+    std::string name() const override { return "past-timer"; }
+    void on_arrival(SchedulerContext& ctx, JobId id) override {
+      ctx.set_timer(ctx.now() - units(1.0), 0);
+      ctx.start_job(id);
+    }
+    void on_deadline(SchedulerContext& ctx, JobId id) override {
+      ctx.start_job(id);
+    }
+  };
+  const Instance inst = testing::make_instance({{1, 2, 1}});
+  PastTimer bad;
+  EXPECT_THROW(simulate(inst, bad, false), AssertionError);
+}
+
+TEST(EngineErrors, StartUnknownJob) {
+  class WildStarter final : public OnlineScheduler {
+   public:
+    std::string name() const override { return "wild-starter"; }
+    void on_arrival(SchedulerContext& ctx, JobId id) override {
+      ctx.start_job(id + 100);  // no such job
+    }
+    void on_deadline(SchedulerContext& ctx, JobId id) override {
+      ctx.start_job(id);
+    }
+  };
+  const Instance inst = testing::make_instance({{0, 1, 1}});
+  WildStarter bad;
+  EXPECT_THROW(simulate(inst, bad, false), AssertionError);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,207 @@
+// Tests for the extension layer: Gantt rendering, concurrency profiles,
+// the randomized baseline and the greedy-overlap heuristic.
+#include <gtest/gtest.h>
+
+#include "analysis/gantt.h"
+#include "helpers.h"
+#include "schedulers/overlap.h"
+#include "schedulers/randomized.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Gantt, RendersRowsAndSpan) {
+  const Instance inst = make_instance({{0, 0, 2}, {2, 2, 2}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(2.0)});
+  const std::string out = render_gantt(inst, sched);
+  EXPECT_NE(out.find("J0"), std::string::npos);
+  EXPECT_NE(out.find("J1"), std::string::npos);
+  EXPECT_NE(out.find("span"), std::string::npos);
+  EXPECT_NE(out.find("measure 4"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Gantt, HalfCoverageShape) {
+  // J0 covers the first half of the axis, J1 the second; the span row is
+  // fully painted.
+  const Instance inst = make_instance({{0, 0, 2}, {2, 2, 2}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(2.0)});
+  GanttOptions options;
+  options.width = 8;
+  const std::string out = render_gantt(inst, sched, options);
+  EXPECT_NE(out.find("|####....|"), std::string::npos);
+  EXPECT_NE(out.find("|....####|"), std::string::npos);
+  EXPECT_NE(out.find("|########|"), std::string::npos);
+}
+
+TEST(Gantt, TinyIntervalStillVisible) {
+  const Instance inst = make_instance({{0, 0, 0.001}, {0, 100, 100}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(0.0)});
+  GanttOptions options;
+  options.width = 10;
+  const std::string out = render_gantt(inst, sched, options);
+  // The 0.001-length job must still paint at least one '#'.
+  const std::size_t j0_line_end = out.find('\n');
+  EXPECT_NE(out.substr(0, j0_line_end).find('#'), std::string::npos);
+}
+
+TEST(Gantt, TruncatesRowsButKeepsSpan) {
+  InstanceBuilder builder;
+  for (int i = 0; i < 50; ++i) {
+    builder.add_lax(i, 0.0, 1.0);
+  }
+  const Instance inst = builder.build();
+  Schedule sched(inst.size());
+  for (JobId id = 0; id < inst.size(); ++id) {
+    sched.set_start(id, inst.job(id).arrival);
+  }
+  GanttOptions options;
+  options.max_rows = 5;
+  const std::string out = render_gantt(inst, sched, options);
+  EXPECT_NE(out.find("more jobs"), std::string::npos);
+  EXPECT_NE(out.find("span"), std::string::npos);
+}
+
+TEST(Gantt, EmptyInstance) {
+  EXPECT_EQ(render_gantt(Instance{}, Schedule(0)), "(empty instance)\n");
+}
+
+TEST(Gantt, RejectsBadOptions) {
+  const Instance inst = make_instance({{0, 0, 1}});
+  const Schedule sched = Schedule::from_starts({units(0.0)});
+  GanttOptions options;
+  options.width = 4;
+  EXPECT_THROW(render_gantt(inst, sched, options), AssertionError);
+}
+
+TEST(ConcurrencyProfile, StepsMatchEvents) {
+  const Instance inst = make_instance({{0, 9, 4}, {1, 9, 2}, {6, 9, 1}});
+  const Schedule sched =
+      Schedule::from_starts({units(0.0), units(1.0), units(6.0)});
+  const auto profile = sched.concurrency_profile(inst);
+  // [0,1): 1; [1,3): 2; [3,4): 1; [4,6): 0; [6,7): 1; then 0.
+  const std::vector<std::pair<Time, std::size_t>> expected = {
+      {units(0.0), 1}, {units(1.0), 2}, {units(3.0), 1},
+      {units(4.0), 0}, {units(6.0), 1}, {units(7.0), 0}};
+  EXPECT_EQ(profile, expected);
+}
+
+TEST(ConcurrencyProfile, CoalescesSimultaneousEvents) {
+  // One job ends exactly when another starts: no net change, no entry.
+  const Instance inst = make_instance({{0, 0, 2}, {2, 2, 2}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(2.0)});
+  const auto profile = sched.concurrency_profile(inst);
+  const std::vector<std::pair<Time, std::size_t>> expected = {
+      {units(0.0), 1}, {units(4.0), 0}};
+  EXPECT_EQ(profile, expected);
+}
+
+TEST(ConcurrencyProfile, EmptySchedule) {
+  const Instance inst;
+  const Schedule sched(0);
+  EXPECT_TRUE(sched.concurrency_profile(inst).empty());
+}
+
+TEST(Randomized, StartsWithinWindows) {
+  const Instance inst = testing::random_integral_instance(5, 20, 15, 6, 4);
+  RandomizedScheduler random(99);
+  const SimulationResult result = simulate(inst, random, false);
+  EXPECT_TRUE(result.schedule.is_valid(result.instance));
+}
+
+TEST(Randomized, DeterministicForSeedAfterReset) {
+  const Instance inst = testing::random_integral_instance(6, 20, 15, 6, 4);
+  RandomizedScheduler random(1234);
+  const Time a = simulate_span(inst, random, false);
+  const Time b = simulate_span(inst, random, false);  // reset() reseeds
+  EXPECT_EQ(a, b);
+}
+
+TEST(Randomized, DifferentSeedsUsuallyDiffer) {
+  const Instance inst = testing::random_integral_instance(7, 30, 15, 8, 4);
+  RandomizedScheduler a(1);
+  RandomizedScheduler b(2);
+  // Starts (not necessarily spans) should differ somewhere.
+  const SimulationResult ra = simulate(inst, a, false);
+  const SimulationResult rb = simulate(inst, b, false);
+  bool any_diff = false;
+  for (JobId id = 0; id < ra.schedule.size() && !any_diff; ++id) {
+    any_diff = ra.schedule.start(id) != rb.schedule.start(id);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Randomized, ZeroLaxityStartsImmediately) {
+  const Instance inst = make_instance({{3, 3, 2}});
+  RandomizedScheduler random;
+  const SimulationResult result = simulate(inst, random, false);
+  EXPECT_EQ(result.schedule.start(0), units(3.0));
+}
+
+TEST(Overlap, RejectsBadTheta) {
+  EXPECT_THROW(OverlapScheduler(0.0), AssertionError);
+  EXPECT_THROW(OverlapScheduler(1.5), AssertionError);
+}
+
+TEST(Overlap, RequiresClairvoyance) {
+  const Instance inst = make_instance({{0, 1, 1}});
+  OverlapScheduler overlap;
+  EXPECT_THROW(simulate(inst, overlap, false), AssertionError);
+}
+
+TEST(Overlap, StartsWhenCoverageSufficient) {
+  // J0 runs [0,4) (forced). J1 arrives at 2 with p=2: [2,4) is fully
+  // covered -> starts immediately with theta=0.5.
+  const Instance inst = make_instance({{0, 0, 4}, {2, 9, 2}});
+  OverlapScheduler overlap(0.5);
+  const SimulationResult result = simulate(inst, overlap, true);
+  EXPECT_EQ(result.schedule.start(1), units(2.0));
+}
+
+TEST(Overlap, WaitsWhenCoverageInsufficient) {
+  // J1 arrives at 2 with p=6: only [2,4) of [2,8) covered (1/3 < 0.5).
+  const Instance inst = make_instance({{0, 0, 4}, {2, 9, 6}});
+  OverlapScheduler overlap(0.5);
+  const SimulationResult result = simulate(inst, overlap, true);
+  EXPECT_EQ(result.schedule.start(1), units(9.0));
+}
+
+TEST(Overlap, ThetaOneRequiresFullCoverage) {
+  const Instance inst = make_instance({{0, 0, 4}, {2, 9, 2}, {2, 9, 3}});
+  OverlapScheduler overlap(1.0);
+  const SimulationResult result = simulate(inst, overlap, true);
+  EXPECT_EQ(result.schedule.start(1), units(2.0));  // [2,4) fully covered
+  EXPECT_EQ(result.schedule.start(2), units(9.0));  // [2,5) is not
+}
+
+TEST(Overlap, CascadeUnlocksPendingJobs) {
+  // J1 (p=8) is not startable at its arrival (nothing runs). When it hits
+  // its deadline at 5, it opens [5,13); pending J2 (p=7, arrived 3) is now
+  // 7/7 covered from t=5 -> cascades to start at 5 too.
+  const Instance inst =
+      make_instance({{0, 0, 1}, {2, 5, 8}, {3, 20, 7}});
+  OverlapScheduler overlap(0.9);
+  const SimulationResult result = simulate(inst, overlap, true);
+  EXPECT_EQ(result.schedule.start(1), units(5.0));
+  EXPECT_EQ(result.schedule.start(2), units(5.0));
+}
+
+TEST(Overlap, CompletionRemovesCoverage) {
+  // After J0 [0,2) completes, J1 arriving at 2 sees no running coverage.
+  const Instance inst = make_instance({{0, 0, 2}, {2, 9, 1}});
+  OverlapScheduler overlap(0.5);
+  const SimulationResult result = simulate(inst, overlap, true);
+  EXPECT_EQ(result.schedule.start(1), units(9.0));
+}
+
+TEST(Overlap, NameMentionsTheta) {
+  EXPECT_NE(OverlapScheduler(0.75).name().find("0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fjs

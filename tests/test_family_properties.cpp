@@ -1,0 +1,104 @@
+// Cross-family property matrix: every (workload family × seed) cell runs
+// all schedulers and checks validity plus the theorem bounds against the
+// measurement bracket (span <= bound · OPT-upper-bound is implied by
+// span <= bound · OPT, so a violation here is a real bug).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/ratio.h"
+#include "helpers.h"
+#include "schedulers/classify_by_duration.h"
+#include "schedulers/profit.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+namespace fjs {
+namespace {
+
+class FamilyProperties
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  Instance make() const {
+    const auto& suite = standard_suite();
+    const auto family = static_cast<std::size_t>(std::get<0>(GetParam()));
+    WorkloadConfig config = suite[family].config;
+    config.job_count = 60;
+    return generate_workload(config, std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(FamilyProperties, EverySchedulerProducesValidSchedules) {
+  const Instance inst = make();
+  for (const auto& spec : scheduler_registry()) {
+    const auto scheduler = spec.make();
+    const SimulationResult result =
+        simulate(inst, *scheduler, spec.clairvoyant);
+    EXPECT_TRUE(result.schedule.is_valid(result.instance)) << spec.key;
+  }
+}
+
+TEST_P(FamilyProperties, SpanOrderingSanity) {
+  const Instance inst = make();
+  // Nobody beats the certified lower bound; everyone beats serial work.
+  const RatioBracket probe = measure_ratio(inst, "batch+",
+                                           OptMethod::kBracket);
+  for (const auto& spec : scheduler_registry()) {
+    const auto scheduler = spec.make();
+    const Time span = simulate_span(inst, *scheduler, spec.clairvoyant);
+    EXPECT_GE(span, probe.opt_lower) << spec.key;
+    EXPECT_LE(span, inst.total_work()) << spec.key;
+  }
+}
+
+TEST_P(FamilyProperties, BatchPlusBoundViaBracket) {
+  const Instance inst = make();
+  const RatioBracket bracket =
+      measure_ratio(inst, "batch+", OptMethod::kBracket);
+  // span <= (mu+1)·OPT <= (mu+1)·opt_upper.
+  EXPECT_LE(static_cast<double>(bracket.online_span.ticks()),
+            (inst.mu() + 1.0) *
+                static_cast<double>(bracket.opt_upper.ticks()) *
+                (1 + 1e-12));
+}
+
+TEST_P(FamilyProperties, ProfitBoundViaBracket) {
+  const Instance inst = make();
+  const RatioBracket bracket =
+      measure_ratio(inst, "profit", OptMethod::kBracket);
+  const double k = ProfitScheduler::optimal_k();
+  const double bound = 2.0 * k + 2.0 + 1.0 / (k - 1.0);
+  EXPECT_LE(static_cast<double>(bracket.online_span.ticks()),
+            bound * static_cast<double>(bracket.opt_upper.ticks()) *
+                (1 + 1e-12));
+}
+
+TEST_P(FamilyProperties, CdbBoundViaBracket) {
+  const Instance inst = make();
+  const RatioBracket bracket = measure_ratio(inst, "cdb",
+                                             OptMethod::kBracket);
+  const double alpha = CdbScheduler::optimal_alpha();
+  const double bound = 3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0);
+  EXPECT_LE(static_cast<double>(bracket.online_span.ticks()),
+            bound * static_cast<double>(bracket.opt_upper.ticks()) *
+                (1 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuiteGrid, FamilyProperties,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values<std::uint64_t>(11, 22, 33)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>&
+           param_info) {
+      return standard_suite()[static_cast<std::size_t>(
+                                  std::get<0>(param_info.param))]
+                 .name.substr(0, 3) +
+             std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,72 @@
+// Golden-trace regression test: the exact event sequence of a small,
+// carefully chosen Batch+ run is pinned down entry by entry. Any change
+// to the engine's same-tick ordering or the scheduler's iteration logic
+// shows up here first, with a readable diff.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "helpers.h"
+#include "schedulers/batch_plus.h"
+#include "sim/engine.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(GoldenTrace, BatchPlusCanonicalRun) {
+  // J0: rigid at t=0, runs [0,1)            (iteration 1 flag)
+  // J1: arrives 0.5 inside the flag          -> starts at 0.5, runs [0.5,1.5)
+  // J2: arrives exactly at the flag's completion (1.0) -> buffers,
+  //     becomes iteration 2's flag at its deadline 2, runs [2,3)
+  // J3: arrives 2.5 inside iteration 2       -> starts at 2.5, runs [2.5,3.5)
+  const Instance inst = make_instance(
+      {{0, 0, 1}, {0.5, 9, 1}, {1, 2, 1}, {2.5, 9, 1}});
+  BatchPlusScheduler bp;
+  const SimulationResult result = simulate(inst, bp, false, true);
+
+  struct Expected {
+    double time;
+    EventKind kind;
+    JobId job;
+  };
+  const std::vector<Expected> expected = {
+      {0.0, EventKind::kArrival, 0},
+      {0.0, EventKind::kDeadline, 0},   // zero laxity: deadline same tick
+      {0.0, EventKind::kStart, 0},      // flag starts inside the deadline event
+      {0.5, EventKind::kArrival, 1},
+      {0.5, EventKind::kStart, 1},      // started immediately (flag active)
+      {1.0, EventKind::kCompletion, 0}, // flag completes BEFORE J2's arrival
+      {1.0, EventKind::kArrival, 2},    // same tick, ordered after completion
+      {1.5, EventKind::kCompletion, 1},
+      {2.0, EventKind::kDeadline, 2},
+      {2.0, EventKind::kStart, 2},
+      {2.5, EventKind::kArrival, 3},
+      {2.5, EventKind::kStart, 3},
+      {3.0, EventKind::kCompletion, 2},
+      {3.5, EventKind::kCompletion, 3},
+  };
+  ASSERT_EQ(result.trace.size(), expected.size())
+      << result.trace.to_string();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const TraceEntry& entry = result.trace.entry(i);
+    EXPECT_EQ(entry.time, units(expected[i].time)) << "entry " << i;
+    EXPECT_EQ(entry.kind, expected[i].kind) << "entry " << i;
+    EXPECT_EQ(entry.job, expected[i].job) << "entry " << i;
+  }
+}
+
+TEST(GoldenTrace, SpanOfCanonicalRun) {
+  const Instance inst = make_instance(
+      {{0, 0, 1}, {0.5, 9, 1}, {1, 2, 1}, {2.5, 9, 1}});
+  BatchPlusScheduler bp;
+  const SimulationResult result = simulate(inst, bp, false);
+  // Active intervals: [0,1), [0.5,1.5), [2,3), [2.5,3.5)
+  // Union: [0,1.5) ∪ [2,3.5) -> measure 3.
+  EXPECT_EQ(result.span(), units(3.0));
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,88 @@
+#include "offline/annealing.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "offline/exact.h"
+#include "offline/heuristic.h"
+#include "offline/lower_bound.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Annealing, EmptyInstance) {
+  const AnnealingResult result = anneal_schedule(Instance{});
+  EXPECT_EQ(result.span, Time::zero());
+}
+
+TEST(Annealing, RigidInstanceUnchanged) {
+  const Instance inst = make_instance({{0, 0, 1}, {2, 2, 1}});
+  const AnnealingResult result = anneal_schedule(inst);
+  EXPECT_EQ(result.span, units(2.0));
+  EXPECT_EQ(result.accepted, 0u);  // no movable job
+}
+
+TEST(Annealing, FindsPerfectAlignment) {
+  // Three loose unit jobs can all stack on one point.
+  const Instance inst = make_instance({{0, 9, 1}, {0, 9, 1}, {0, 9, 1}});
+  const AnnealingResult result = anneal_schedule(inst);
+  EXPECT_EQ(result.span, units(1.0));
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const Instance inst = testing::random_integral_instance(4, 12, 15, 5, 4);
+  AnnealingOptions options;
+  options.iterations = 5000;
+  const AnnealingResult a = anneal_schedule(inst, options);
+  const AnnealingResult b = anneal_schedule(inst, options);
+  EXPECT_EQ(a.span, b.span);
+  for (JobId id = 0; id < inst.size(); ++id) {
+    EXPECT_EQ(a.schedule.start(id), b.schedule.start(id));
+  }
+}
+
+TEST(Annealing, RejectsBadOptions) {
+  AnnealingOptions options;
+  options.cooling = 1.0;
+  EXPECT_THROW(anneal_schedule(Instance{}, options), AssertionError);
+  options = {};
+  options.cooling_period = 0;
+  EXPECT_THROW(anneal_schedule(Instance{}, options), AssertionError);
+}
+
+/// Sandwich: LB <= exact <= annealing, and annealing lands reasonably
+/// close to exact on small instances.
+class AnnealingQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnealingQuality, BoundsRespected) {
+  const Instance inst = testing::random_integral_instance(
+      GetParam() + 4000, /*jobs=*/7, /*horizon=*/10, /*max_laxity=*/4,
+      /*max_length=*/4);
+  const Time opt = exact_optimal_span(inst);
+  AnnealingOptions options;
+  options.iterations = 8000;
+  const AnnealingResult result = anneal_schedule(inst, options);
+  EXPECT_GE(result.span, opt);
+  EXPECT_GE(opt, best_lower_bound(inst));
+  EXPECT_LE(time_ratio(result.span, opt), 1.35) << inst.to_string();
+  result.schedule.validate(inst);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AnnealingQuality,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Annealing, ComplementsLocalSearch) {
+  // Both heuristics are valid upper bounds; their min is what the
+  // measurement harness would use. Just assert both sit above exact.
+  const Instance inst = testing::random_integral_instance(77, 8, 12, 5, 4);
+  const Time opt = exact_optimal_span(inst);
+  EXPECT_GE(heuristic_span(inst), opt);
+  EXPECT_GE(anneal_schedule(inst).span, opt);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,246 @@
+// Computational checks of the PROOF STRUCTURE of the paper's theorems, not
+// just their final bounds. Each lemma's inequality is asserted on random
+// instances via the schedulers' flag-history introspection:
+//
+//  * Thm 3.4/3.5 proofs: flag deadlines increase; each Batch+ flag arrives
+//    after the previous flag's latest completion; OPT >= Σ p(flags).
+//  * Lemma 4.2: span(CDB) <= (α+1) · span(flag set).
+//  * Lemma 4.3 (conclusion): CDB flag-set span <= (3 + 1/(α−1)) · OPT(flags).
+//  * Lemma 4.5: span(Profit) <= k · span(flag set).
+//  * Lemma 4.6: Profit flags complete in starting-deadline order.
+//  * Lemma 4.10 (conclusion): Profit flag-set span
+//        <= (2 + 1/k + 1/(k−1)) · OPT(flags).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/interval_set.h"
+#include "helpers.h"
+#include "offline/exact.h"
+#include "schedulers/batch.h"
+#include "schedulers/batch_plus.h"
+#include "schedulers/classify_by_duration.h"
+#include "schedulers/profit.h"
+#include "sim/engine.h"
+
+namespace fjs {
+namespace {
+
+/// Sub-instance containing only the given jobs (re-indexed).
+Instance sub_instance(const Instance& inst, const std::vector<JobId>& ids) {
+  std::vector<Job> jobs;
+  for (const JobId id : ids) {
+    jobs.push_back(inst.job(id));
+  }
+  return Instance(std::move(jobs));
+}
+
+/// Union of [d(J), d(J)+p(J)) over the given jobs — the "span of the flag
+/// jobs in the schedule" (flags start at their deadlines).
+Time flag_span(const Instance& inst, const std::vector<JobId>& ids) {
+  IntervalSet set;
+  for (const JobId id : ids) {
+    const Job& j = inst.job(id);
+    set.add(Interval::from_length(j.deadline, j.length));
+  }
+  return set.measure();
+}
+
+class PaperLemmas : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Instance instance_ = testing::random_integral_instance(
+      GetParam() + 7000, /*jobs=*/10, /*horizon=*/14, /*max_laxity=*/5,
+      /*max_length=*/5);
+};
+
+TEST_P(PaperLemmas, BatchFlagDeadlinesStrictlyIncrease) {
+  BatchScheduler batch;
+  const SimulationResult result = simulate(instance_, batch, false);
+  const auto& flags = batch.flag_history();
+  ASSERT_FALSE(flags.empty());
+  for (std::size_t i = 1; i < flags.size(); ++i) {
+    EXPECT_GT(result.instance.job(flags[i]).deadline,
+              result.instance.job(flags[i - 1]).deadline);
+  }
+}
+
+TEST_P(PaperLemmas, BatchPlusFlagSeparation) {
+  // Theorem 3.5's key step: flag J_{i+1} arrives no earlier than
+  // d(J_i) + p(J_i), so flag active intervals can never overlap under ANY
+  // schedule (intervals are half-open, so arrival exactly at d+p is fine).
+  BatchPlusScheduler bp;
+  const SimulationResult result = simulate(instance_, bp, false);
+  const auto& flags = bp.flag_history();
+  ASSERT_FALSE(flags.empty());
+  for (std::size_t i = 1; i < flags.size(); ++i) {
+    const Job& prev = result.instance.job(flags[i - 1]);
+    const Job& next = result.instance.job(flags[i]);
+    EXPECT_GE(next.arrival, prev.latest_completion())
+        << result.instance.to_string();
+    // Flags start at their deadlines.
+    EXPECT_EQ(result.schedule.start(flags[i]), next.deadline);
+  }
+}
+
+TEST_P(PaperLemmas, BatchPlusOptAtLeastSumOfFlagLengths) {
+  BatchPlusScheduler bp;
+  const SimulationResult result = simulate(instance_, bp, false);
+  Time flag_work = Time::zero();
+  for (const JobId id : bp.flag_history()) {
+    flag_work += result.instance.job(id).length;
+  }
+  EXPECT_GE(exact_optimal_span(result.instance), flag_work);
+  // ... and the Batch+ span is within (μ+1) of that certificate.
+  EXPECT_LE(time_ratio(result.span(), flag_work),
+            result.instance.mu() + 1.0 + 1e-9);
+}
+
+TEST_P(PaperLemmas, Lemma42CdbSpanVsFlagSpan) {
+  const double alpha = CdbScheduler::optimal_alpha();
+  CdbScheduler cdb(alpha);
+  const SimulationResult result = simulate(instance_, cdb, true);
+  std::vector<JobId> flag_ids;
+  for (const auto& record : cdb.flag_history()) {
+    flag_ids.push_back(record.id);
+  }
+  ASSERT_FALSE(flag_ids.empty());
+  const Time fspan = flag_span(result.instance, flag_ids);
+  EXPECT_LE(static_cast<double>(result.span().ticks()),
+            (alpha + 1.0) * static_cast<double>(fspan.ticks()) * (1 + 1e-12))
+      << result.instance.to_string();
+}
+
+TEST_P(PaperLemmas, Lemma43CdbFlagSpanVsFlagOpt) {
+  const double alpha = CdbScheduler::optimal_alpha();
+  CdbScheduler cdb(alpha);
+  const SimulationResult result = simulate(instance_, cdb, true);
+  std::vector<JobId> flag_ids;
+  for (const auto& record : cdb.flag_history()) {
+    flag_ids.push_back(record.id);
+  }
+  const Instance flags = sub_instance(result.instance, flag_ids);
+  const Time flag_opt = exact_optimal_span(flags);
+  const Time fspan = flag_span(result.instance, flag_ids);
+  const double bound = 3.0 + 1.0 / (alpha - 1.0);
+  EXPECT_LE(time_ratio(fspan, flag_opt), bound + 1e-9)
+      << result.instance.to_string();
+}
+
+TEST_P(PaperLemmas, Lemma45ProfitSpanVsFlagSpan) {
+  const double k = ProfitScheduler::optimal_k();
+  ProfitScheduler profit(k);
+  const SimulationResult result = simulate(instance_, profit, true);
+  std::vector<JobId> flag_ids;
+  for (const auto& flag : profit.flag_history()) {
+    flag_ids.push_back(flag.id);
+  }
+  ASSERT_FALSE(flag_ids.empty());
+  const Time fspan = flag_span(result.instance, flag_ids);
+  EXPECT_LE(static_cast<double>(result.span().ticks()),
+            k * static_cast<double>(fspan.ticks()) * (1 + 1e-12))
+      << result.instance.to_string();
+}
+
+TEST_P(PaperLemmas, Lemma46ProfitFlagsCompleteInDeadlineOrder) {
+  ProfitScheduler profit;
+  const SimulationResult result = simulate(instance_, profit, true);
+  const auto& flags = profit.flag_history();
+  for (std::size_t i = 1; i < flags.size(); ++i) {
+    // Designation order = deadline order; completions must follow it.
+    const Job& prev = result.instance.job(flags[i - 1].id);
+    const Job& next = result.instance.job(flags[i].id);
+    EXPECT_LT(prev.deadline, next.deadline);
+    EXPECT_LT(flags[i - 1].end, flags[i].end)
+        << "Lemma 4.6 violated on\n" << result.instance.to_string();
+  }
+}
+
+TEST_P(PaperLemmas, Lemma410ProfitFlagSpanVsFlagOpt) {
+  const double k = ProfitScheduler::optimal_k();
+  ProfitScheduler profit(k);
+  const SimulationResult result = simulate(instance_, profit, true);
+  std::vector<JobId> flag_ids;
+  for (const auto& flag : profit.flag_history()) {
+    flag_ids.push_back(flag.id);
+  }
+  const Instance flags = sub_instance(result.instance, flag_ids);
+  const Time flag_opt = exact_optimal_span(flags);
+  const Time fspan = flag_span(result.instance, flag_ids);
+  const double bound = 2.0 + 1.0 / k + 1.0 / (k - 1.0);
+  EXPECT_LE(time_ratio(fspan, flag_opt), bound + 1e-9)
+      << result.instance.to_string();
+}
+
+TEST_P(PaperLemmas, Lemmas47To49ProfitFlagForest) {
+  // Reconstruct the §4.3 graph G(F, E): for each flag J, X(J) = flags J'
+  // with a(J') < d(J)+p(J) and d(J) < d(J'); J's parent is the member of
+  // X(J) with the earliest deadline. The paper proves: the graph is a
+  // forest (4.7) and flags in different trees can never overlap under any
+  // schedule (4.9).
+  ProfitScheduler profit;
+  const SimulationResult result = simulate(instance_, profit, true);
+  const auto& flags = profit.flag_history();
+  const std::size_t n = flags.size();
+  const Instance& inst = result.instance;
+
+  std::vector<std::size_t> parent(n, n);  // n = root (X empty)
+  for (std::size_t i = 0; i < n; ++i) {
+    const Job& ji = inst.job(flags[i].id);
+    std::size_t best = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        continue;
+      }
+      const Job& jj = inst.job(flags[j].id);
+      // jj ∈ X(ji): arrives before ji's latest completion, started after.
+      if (jj.arrival < ji.latest_completion() && ji.deadline < jj.deadline) {
+        if (best == n ||
+            jj.deadline < inst.job(flags[best].id).deadline) {
+          best = j;
+        }
+      }
+    }
+    parent[i] = best;
+  }
+  // Forest check: following parents must terminate (deadlines strictly
+  // increase along parent edges, so cycles are impossible — verify).
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t hops = 0;
+    for (std::size_t cur = i; parent[cur] != n; cur = parent[cur]) {
+      EXPECT_GT(inst.job(flags[parent[cur]].id).deadline,
+                inst.job(flags[cur].id).deadline);
+      ASSERT_LE(++hops, n) << "cycle in the flag graph";
+    }
+  }
+  // Lemma 4.9: flags with NO path between them (different trees, or
+  // non-ancestor pairs within a tree) can never overlap under ANY
+  // schedule: the later-deadline one arrives at/after the earlier's
+  // latest possible completion. (Edges point toward smaller deadlines, so
+  // the only possible path between i < j — designation order = deadline
+  // order — is j being an ancestor of i.)
+  auto is_ancestor = [&](std::size_t anc, std::size_t node) {
+    for (std::size_t cur = node; parent[cur] != n; cur = parent[cur]) {
+      if (parent[cur] == anc) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (is_ancestor(j, i)) {
+        continue;
+      }
+      const Job& early = inst.job(flags[i].id);
+      const Job& late = inst.job(flags[j].id);
+      EXPECT_GE(late.arrival, early.latest_completion())
+          << "Lemma 4.9 violated on\n" << inst.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PaperLemmas,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,93 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Timeline, SingleBusyPeriod) {
+  const Instance inst = make_instance({{0, 0, 2}, {1, 1, 2}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(1.0)});
+  const TimelineReport report = analyze_timeline(inst, sched);
+  ASSERT_EQ(report.busy_periods.size(), 1u);
+  EXPECT_EQ(report.busy_periods[0].interval, Interval(units(0.0), units(3.0)));
+  EXPECT_EQ(report.busy_periods[0].jobs.size(), 2u);
+  EXPECT_EQ(report.busy_periods[0].peak_concurrency, 2u);
+  EXPECT_TRUE(report.idle_gaps.empty());
+  EXPECT_EQ(report.span, units(3.0));
+  EXPECT_EQ(report.horizon, units(3.0));
+  EXPECT_DOUBLE_EQ(report.busy_fraction, 1.0);
+  EXPECT_EQ(report.longest_idle, Time::zero());
+}
+
+TEST(Timeline, TwoPeriodsWithGap) {
+  const Instance inst = make_instance({{0, 0, 1}, {5, 5, 2}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(5.0)});
+  const TimelineReport report = analyze_timeline(inst, sched);
+  ASSERT_EQ(report.busy_periods.size(), 2u);
+  ASSERT_EQ(report.idle_gaps.size(), 1u);
+  EXPECT_EQ(report.idle_gaps[0], Interval(units(1.0), units(5.0)));
+  EXPECT_EQ(report.longest_idle, units(4.0));
+  EXPECT_EQ(report.span, units(3.0));
+  EXPECT_EQ(report.horizon, units(7.0));
+  EXPECT_NEAR(report.busy_fraction, 3.0 / 7.0, 1e-12);
+}
+
+TEST(Timeline, JobsAssignedToTheirPeriods) {
+  const Instance inst =
+      make_instance({{0, 0, 1}, {0.5, 0.5, 1}, {5, 5, 1}});
+  const Schedule sched =
+      Schedule::from_starts({units(0.0), units(0.5), units(5.0)});
+  const TimelineReport report = analyze_timeline(inst, sched);
+  ASSERT_EQ(report.busy_periods.size(), 2u);
+  EXPECT_EQ(report.busy_periods[0].jobs, (std::vector<JobId>{0, 1}));
+  EXPECT_EQ(report.busy_periods[1].jobs, (std::vector<JobId>{2}));
+}
+
+TEST(Timeline, PackingEfficiency) {
+  // Two unit jobs fully overlapped: work 2, span 1, peak 2 -> 1.0.
+  const Instance inst = make_instance({{0, 0, 1}, {0, 0, 1}});
+  const Schedule sched = Schedule::from_starts({units(0.0), units(0.0)});
+  const TimelineReport report = analyze_timeline(inst, sched);
+  EXPECT_DOUBLE_EQ(report.packing_efficiency, 1.0);
+}
+
+TEST(Timeline, SpanMatchesProfileIntegral) {
+  // Cross-check: the span equals the measure of {t : concurrency(t) > 0}
+  // reconstructed from the profile, on a nontrivial schedule.
+  const Instance inst = testing::random_integral_instance(8, 15, 20, 6, 4);
+  const auto scheduler = make_scheduler("batch+");
+  const SimulationResult result = simulate(inst, *scheduler, false);
+  const TimelineReport report =
+      analyze_timeline(result.instance, result.schedule);
+  const auto profile = result.schedule.concurrency_profile(result.instance);
+  Time busy = Time::zero();
+  for (std::size_t i = 0; i + 1 < profile.size(); ++i) {
+    if (profile[i].second > 0) {
+      busy += profile[i + 1].first - profile[i].first;
+    }
+  }
+  EXPECT_EQ(report.span, busy);
+}
+
+TEST(Timeline, RejectsEmptyInstance) {
+  EXPECT_THROW(analyze_timeline(Instance{}, Schedule(0)), AssertionError);
+}
+
+TEST(Timeline, ToStringMentionsPeriods) {
+  const Instance inst = make_instance({{0, 0, 1}});
+  const Schedule sched = Schedule::from_starts({units(0.0)});
+  const std::string out = analyze_timeline(inst, sched).to_string();
+  EXPECT_NE(out.find("busy periods: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,101 @@
+#include "schedulers/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/tightness.h"
+#include "helpers.h"
+#include "sim/engine.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Batch, StartsWholeBatchAtFlagDeadline) {
+  // J0 hits its deadline at t=2; J1 (pending since 0) starts with it.
+  const Instance inst = make_instance({{0, 2, 1}, {0, 9, 3}});
+  BatchScheduler batch;
+  const SimulationResult result = simulate(inst, batch, false);
+  EXPECT_EQ(result.schedule.start(0), units(2.0));
+  EXPECT_EQ(result.schedule.start(1), units(2.0));
+  EXPECT_EQ(result.span(), units(3.0));
+}
+
+TEST(Batch, DoesNotStartArrivalsDuringIteration) {
+  // Flag fires at t=0 (J0 laxity 0). J1 arrives at 0.5 while J0 runs —
+  // Batch buffers it until ITS deadline at 4 (unlike Batch+).
+  const Instance inst = make_instance({{0, 0, 2}, {0.5, 4, 1}});
+  BatchScheduler batch;
+  const SimulationResult result = simulate(inst, batch, false);
+  EXPECT_EQ(result.schedule.start(1), units(4.0));
+  EXPECT_EQ(result.span(), units(3.0));  // [0,2) + [4,5)
+}
+
+TEST(Batch, SuccessiveIterations) {
+  const Instance inst = make_instance(
+      {{0, 1, 1}, {0, 5, 1}, {3, 6, 1}, {3, 8, 2}});
+  BatchScheduler batch;
+  const SimulationResult result = simulate(inst, batch, false);
+  // t=1: flag J0 -> starts J0, J1. t=6: flag J2 -> starts J2, J3.
+  EXPECT_EQ(result.schedule.start(0), units(1.0));
+  EXPECT_EQ(result.schedule.start(1), units(1.0));
+  EXPECT_EQ(result.schedule.start(2), units(6.0));
+  EXPECT_EQ(result.schedule.start(3), units(6.0));
+}
+
+TEST(Batch, SharedDeadlineSingleIteration) {
+  const Instance inst = make_instance({{0, 3, 1}, {0, 3, 2}, {1, 3, 1}});
+  BatchScheduler batch;
+  const SimulationResult result = simulate(inst, batch, false);
+  for (JobId id = 0; id < 3; ++id) {
+    EXPECT_EQ(result.schedule.start(id), units(3.0));
+  }
+  EXPECT_EQ(result.span(), units(2.0));
+}
+
+TEST(Batch, ZeroLaxityJobTriggersImmediately) {
+  const Instance inst = make_instance({{2, 2, 1}, {0, 10, 1}});
+  BatchScheduler batch;
+  const SimulationResult result = simulate(inst, batch, false);
+  // simulate() reorders by arrival: realized J0 = (0,10,1), J1 = (2,2,1).
+  EXPECT_EQ(result.schedule.start(1), units(2.0));
+  EXPECT_EQ(result.schedule.start(0), units(2.0));
+}
+
+/// Figure 2 reproduction at test scale: Batch's measured span must match
+/// the closed form 2mμ, the reference must match m(1+ε)+μ, and the ratio
+/// must approach 2μ with growing m.
+class BatchTightness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(BatchTightness, MatchesClosedForms) {
+  const auto [m, mu] = GetParam();
+  const double eps = 0.01;
+  const TightnessInstance tight = make_batch_tightness(m, mu, eps);
+
+  BatchScheduler batch;
+  const SimulationResult result = simulate(tight.instance, batch, false);
+  EXPECT_EQ(result.span(), tight.predicted_online_span)
+      << "Batch span deviates from the Figure 2 analysis";
+  EXPECT_EQ(tight.reference.span(tight.instance),
+            tight.predicted_reference_span);
+
+  const double ratio = time_ratio(result.span(),
+                                  tight.reference.span(tight.instance));
+  // ratio = 2mμ / (m(1+ε)+μ) — approaches 2μ/(1+ε) from below.
+  const double exact = 2.0 * static_cast<double>(m) * mu /
+                       (static_cast<double>(m) * (1.0 + eps) + mu);
+  EXPECT_NEAR(ratio, exact, 1e-6);
+  if (m >= 64) {
+    EXPECT_GT(ratio, 2.0 * mu * 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, BatchTightness,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 4, 16, 64, 128),
+                       ::testing::Values(1.5, 2.0, 4.0)));
+
+}  // namespace
+}  // namespace fjs

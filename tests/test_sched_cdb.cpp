@@ -1,0 +1,112 @@
+#include "schedulers/classify_by_duration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Cdb, OptimalAlphaMatchesTheorem44) {
+  const double alpha = CdbScheduler::optimal_alpha();
+  EXPECT_NEAR(alpha, 1.0 + std::sqrt(2.0 / 3.0), 1e-12);
+  // The bound 3α + 4 + 2/(α−1) at the optimum is 7 + 2√6.
+  const double bound = 3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0);
+  EXPECT_NEAR(bound, 7.0 + 2.0 * std::sqrt(6.0), 1e-9);
+}
+
+TEST(Cdb, CategoryBoundaries) {
+  // alpha=2, base=1 unit: category i covers lengths in (2^(i-1), 2^i].
+  const CdbScheduler cdb(2.0, Time(Time::kTicksPerUnit));
+  EXPECT_EQ(cdb.category_of(units(1.0)), 0);
+  EXPECT_EQ(cdb.category_of(units(1.001)), 1);
+  EXPECT_EQ(cdb.category_of(units(2.0)), 1);  // boundary goes DOWN
+  EXPECT_EQ(cdb.category_of(units(2.5)), 2);
+  EXPECT_EQ(cdb.category_of(units(4.0)), 2);
+  EXPECT_EQ(cdb.category_of(units(0.5)), -1);
+  EXPECT_EQ(cdb.category_of(units(0.75)), 0);
+  EXPECT_THROW(cdb.category_of(Time::zero()), AssertionError);
+}
+
+TEST(Cdb, RejectsBadParameters) {
+  EXPECT_THROW(CdbScheduler(1.0), AssertionError);
+  EXPECT_THROW(CdbScheduler(2.0, Time::zero()), AssertionError);
+}
+
+TEST(Cdb, RequiresClairvoyance) {
+  const Instance inst = make_instance({{0, 1, 1}});
+  CdbScheduler cdb;
+  EXPECT_THROW(simulate(inst, cdb, false), AssertionError);
+}
+
+TEST(Cdb, CategoriesScheduleIndependently) {
+  // Short category: J0 (p=1, laxity 0) flags at 0. Long job J1 (p=8)
+  // arrives during J0's run but belongs to another category — it must NOT
+  // start immediately (plain Batch+ would start it).
+  const Instance inst = make_instance({{0, 0, 1}, {0.5, 6, 8}});
+  CdbScheduler cdb(2.0, Time(Time::kTicksPerUnit));
+  const SimulationResult result = simulate(inst, cdb, true);
+  EXPECT_EQ(result.schedule.start(0), units(0.0));
+  EXPECT_EQ(result.schedule.start(1), units(6.0));
+}
+
+TEST(Cdb, SameCategoryArrivalsStartDuringFlag) {
+  // Both jobs have p=1 (same category); the second arrives during the
+  // first's flag interval and starts immediately, Batch+-style.
+  const Instance inst = make_instance({{0, 0, 1}, {0.5, 9, 1}});
+  CdbScheduler cdb(2.0, Time(Time::kTicksPerUnit));
+  const SimulationResult result = simulate(inst, cdb, true);
+  EXPECT_EQ(result.schedule.start(1), units(0.5));
+}
+
+TEST(Cdb, PendingJobsOfOtherCategoriesStayPending) {
+  // J0 (p=1) and J1 (p=8) both pending when J0 flags at t=2: only the
+  // same-category pending J2 starts with the flag.
+  const Instance inst =
+      make_instance({{0, 2, 1}, {0, 20, 8}, {1, 30, 1}});
+  CdbScheduler cdb(2.0, Time(Time::kTicksPerUnit));
+  const SimulationResult result = simulate(inst, cdb, true);
+  EXPECT_EQ(result.schedule.start(0), units(2.0));
+  EXPECT_EQ(result.schedule.start(2), units(2.0));  // same category, pending
+  EXPECT_EQ(result.schedule.start(1), units(20.0));  // other category waits
+}
+
+TEST(Cdb, ConcurrentFlagsAcrossCategories) {
+  // A long flag (p=8) is running when a short job hits its deadline: two
+  // category-iterations active at once, each Batch+-style.
+  const Instance inst = make_instance(
+      {{0, 0, 8}, {1, 1, 1}, {1.5, 9, 1}, {2, 30, 8}});
+  CdbScheduler cdb(2.0, Time(Time::kTicksPerUnit));
+  const SimulationResult result = simulate(inst, cdb, true);
+  EXPECT_EQ(result.schedule.start(0), units(0.0));  // long flag
+  EXPECT_EQ(result.schedule.start(1), units(1.0));  // short flag
+  EXPECT_EQ(result.schedule.start(2), units(1.5));  // short during short flag
+  EXPECT_EQ(result.schedule.start(3), units(2.0));  // long during long flag
+}
+
+TEST(Cdb, FlagCompletionClosesOnlyItsCategory) {
+  // Short flag [0,1) completes; a short arriving at 1 buffers, while the
+  // long category's flag [0,8) still absorbs long arrivals immediately.
+  const Instance inst =
+      make_instance({{0, 0, 1}, {0, 0, 8}, {1, 9, 1}, {1, 30, 8}});
+  CdbScheduler cdb(2.0, Time(Time::kTicksPerUnit));
+  const SimulationResult result = simulate(inst, cdb, true);
+  EXPECT_EQ(result.schedule.start(2), units(9.0));   // short buffers
+  EXPECT_EQ(result.schedule.start(3), units(1.0));   // long starts now
+}
+
+TEST(Cdb, NameMentionsAlpha) {
+  const CdbScheduler cdb(2.0);
+  EXPECT_NE(cdb.name().find("cdb"), std::string::npos);
+  EXPECT_NE(cdb.name().find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fjs

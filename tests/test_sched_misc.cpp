@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "schedulers/doubler.h"
+#include "schedulers/eager.h"
+#include "schedulers/lazy.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Eager, AlwaysStartsAtArrival) {
+  const Instance inst = make_instance({{0, 9, 1}, {0.5, 9, 1}, {7, 7, 2}});
+  EagerScheduler eager;
+  const SimulationResult result = simulate(inst, eager, false);
+  EXPECT_EQ(result.schedule.start(0), units(0.0));
+  EXPECT_EQ(result.schedule.start(1), units(0.5));
+  EXPECT_EQ(result.schedule.start(2), units(7.0));
+}
+
+TEST(Eager, UnboundedRatioFamily) {
+  // §3.2: eager cannot exploit laxity. m unit jobs arriving 1 apart, all
+  // with huge laxity: eager spans m, OPT spans 1.
+  InstanceBuilder builder;
+  const int m = 20;
+  for (int i = 0; i < m; ++i) {
+    builder.add_lax(i, 100.0, 1.0);
+  }
+  const Instance inst = builder.build();
+  EagerScheduler eager;
+  EXPECT_EQ(simulate_span(inst, eager, false), units(20.0));
+  // The all-at-deadline-of-first schedule shows OPT <= 1.
+  Schedule opt(inst.size());
+  for (JobId id = 0; id < inst.size(); ++id) {
+    opt.set_start(id, units(50.0));
+  }
+  EXPECT_EQ(opt.span(inst), units(1.0));
+}
+
+TEST(Lazy, AlwaysStartsAtDeadline) {
+  const Instance inst = make_instance({{0, 2, 1}, {0, 4, 1}});
+  LazyScheduler lazy;
+  const SimulationResult result = simulate(inst, lazy, false);
+  EXPECT_EQ(result.schedule.start(0), units(2.0));
+  EXPECT_EQ(result.schedule.start(1), units(4.0));
+  EXPECT_EQ(result.span(), units(2.0));
+}
+
+TEST(Lazy, UnboundedRatioFamily) {
+  // m unit jobs released together with staggered distinct deadlines:
+  // lazy runs them sequentially (span m), OPT runs them together (1).
+  InstanceBuilder builder;
+  const int m = 20;
+  for (int i = 0; i < m; ++i) {
+    builder.add(0.0, static_cast<double>(i), 1.0);
+  }
+  const Instance inst = builder.build();
+  LazyScheduler lazy;
+  EXPECT_EQ(simulate_span(inst, lazy, false), units(20.0));
+  Schedule opt(inst.size());
+  for (JobId id = 0; id < inst.size(); ++id) {
+    opt.set_start(id, units(0.0));
+  }
+  EXPECT_EQ(opt.span(inst), units(1.0));
+}
+
+TEST(Doubler, PendingWithinDoubleLengthStartWithFlag) {
+  // Flag J0 (p=2) at deadline 1; pending J1 (p=4 <= 2*2) starts with it;
+  // pending J2 (p=4.5) waits.
+  const Instance inst =
+      make_instance({{0, 1, 2}, {0, 9, 4}, {0, 9, 4.5}});
+  DoublerScheduler doubler;
+  const SimulationResult result = simulate(inst, doubler, true);
+  EXPECT_EQ(result.schedule.start(0), units(1.0));
+  EXPECT_EQ(result.schedule.start(1), units(1.0));
+  EXPECT_EQ(result.schedule.start(2), units(9.0));
+}
+
+TEST(Doubler, ArrivalMustFinishInsideWindow) {
+  // Window of flag J0 (starts 1, p=2) closes at 1+4=5. J1 arrives at 3
+  // with p=2 (3+2=5 <= 5): starts. J2 arrives at 3 with p=2.5: waits.
+  const Instance inst =
+      make_instance({{0, 1, 2}, {3, 9, 2}, {3, 9, 2.5}});
+  DoublerScheduler doubler;
+  const SimulationResult result = simulate(inst, doubler, true);
+  EXPECT_EQ(result.schedule.start(1), units(3.0));
+  EXPECT_EQ(result.schedule.start(2), units(9.0));
+}
+
+TEST(Doubler, WindowExpires) {
+  // Window closes at 5; an arrival at 5 (even a tiny job) waits.
+  const Instance inst = make_instance({{0, 1, 2}, {5, 9, 0.5}});
+  DoublerScheduler doubler;
+  const SimulationResult result = simulate(inst, doubler, true);
+  EXPECT_EQ(result.schedule.start(1), units(9.0));
+}
+
+TEST(Registry, ListsAllNineSchedulers) {
+  EXPECT_EQ(scheduler_registry().size(), 9u);
+  const auto keys = known_scheduler_keys();
+  EXPECT_EQ(keys.size(), 9u);
+  EXPECT_EQ(keys.front(), "eager");
+  EXPECT_EQ(keys.back(), "overlap");
+}
+
+TEST(Registry, ModelFiltering) {
+  EXPECT_EQ(schedulers_for_model(false).size(), 5u);  // non-clairvoyant
+  EXPECT_EQ(schedulers_for_model(true).size(), 9u);
+}
+
+TEST(Registry, MakeByKey) {
+  for (const auto& key : known_scheduler_keys()) {
+    const auto sched = make_scheduler(key);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_FALSE(sched->name().empty());
+  }
+  EXPECT_THROW(make_scheduler("nope"), AssertionError);
+}
+
+TEST(Registry, ParameterizedKeys) {
+  EXPECT_NE(make_scheduler("profit:k=2.5")->name().find("2.5"),
+            std::string::npos);
+  EXPECT_NE(make_scheduler("cdb:alpha=2")->name().find("2"),
+            std::string::npos);
+  EXPECT_NE(make_scheduler("overlap:theta=0.7")->name().find("0.7"),
+            std::string::npos);
+  EXPECT_EQ(make_scheduler("random:seed=9")->name(), "random");
+}
+
+TEST(Registry, ParameterizedKeyErrors) {
+  EXPECT_THROW(make_scheduler("profit:alpha=2"), AssertionError);  // wrong
+  EXPECT_THROW(make_scheduler("profit:k"), AssertionError);        // no '='
+  EXPECT_THROW(make_scheduler("profit:k=abc"), AssertionError);    // bad val
+  EXPECT_THROW(make_scheduler("batch:x=1"), AssertionError);       // no params
+  EXPECT_THROW(make_scheduler("profit:k=0.5"), AssertionError);    // k <= 1
+}
+
+TEST(Registry, ParameterizedSchedulersRun) {
+  const Instance inst = make_instance({{0, 2, 1}, {0, 5, 2}});
+  for (const char* key :
+       {"profit:k=3", "cdb:alpha=1.5", "overlap:theta=0.9"}) {
+    const auto sched = make_scheduler(key);
+    EXPECT_NO_THROW(simulate(inst, *sched, true)) << key;
+  }
+}
+
+TEST(Registry, SpecClairvoyanceMatchesScheduler) {
+  for (const auto& spec : scheduler_registry()) {
+    const auto sched = spec.make();
+    EXPECT_EQ(sched->requires_clairvoyance(), spec.clairvoyant)
+        << spec.key;
+  }
+}
+
+}  // namespace
+}  // namespace fjs

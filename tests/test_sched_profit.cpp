@@ -1,0 +1,121 @@
+#include "schedulers/profit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.h"
+#include "sim/engine.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Profit, OptimalKMatchesTheorem411) {
+  const double k = ProfitScheduler::optimal_k();
+  EXPECT_NEAR(k, 1.0 + std::sqrt(2.0) / 2.0, 1e-12);
+  const double bound = 2.0 * k + 2.0 + 1.0 / (k - 1.0);
+  EXPECT_NEAR(bound, 4.0 + 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(Profit, RejectsBadK) {
+  EXPECT_THROW(ProfitScheduler(1.0), AssertionError);
+  EXPECT_THROW(ProfitScheduler(0.5), AssertionError);
+}
+
+TEST(Profit, RequiresClairvoyance) {
+  const Instance inst = make_instance({{0, 1, 1}});
+  ProfitScheduler profit;
+  EXPECT_THROW(simulate(inst, profit, false), AssertionError);
+}
+
+TEST(Profit, PendingProfitableJobsStartWithFlag) {
+  // k = 1.5. Flag J0 (p=2) starts at its deadline 2. Pending J1 (p=3)
+  // satisfies 3 <= 1.5*2 and starts with it; pending J2 (p=3.5) does not
+  // and waits for its own deadline.
+  const Instance inst =
+      make_instance({{0, 2, 2}, {0, 9, 3}, {0, 9, 3.5}});
+  ProfitScheduler profit(1.5);
+  const SimulationResult result = simulate(inst, profit, true);
+  EXPECT_EQ(result.schedule.start(0), units(2.0));
+  EXPECT_EQ(result.schedule.start(1), units(2.0));
+  EXPECT_EQ(result.schedule.start(2), units(9.0));
+}
+
+TEST(Profit, ArrivalProfitabilityUsesRemainingWindow) {
+  // k = 1.5. Flag J0 (p=2) runs [2,4). J1 arrives at 3 with p=1.5:
+  // 1.5 <= 1.5*(4-3) — profitable, starts at arrival. J2 arrives at 3
+  // with p=1.6 — not profitable, waits.
+  const Instance inst =
+      make_instance({{0, 2, 2}, {3, 9, 1.5}, {3, 9, 1.6}});
+  ProfitScheduler profit(1.5);
+  const SimulationResult result = simulate(inst, profit, true);
+  EXPECT_EQ(result.schedule.start(1), units(3.0));
+  EXPECT_EQ(result.schedule.start(2), units(9.0));
+}
+
+TEST(Profit, FlagTieBreakPrefersLongestJob) {
+  // Two jobs share the starting deadline 1: the longer (p=4) becomes the
+  // flag; the shorter is profitable to it (1 <= k*4) and starts too.
+  const Instance inst = make_instance({{0, 1, 1}, {0, 1, 4}});
+  ProfitScheduler profit(1.5);
+  const SimulationResult result = simulate(inst, profit, true, true);
+  EXPECT_EQ(result.schedule.start(0), units(1.0));
+  EXPECT_EQ(result.schedule.start(1), units(1.0));
+  // The longer job defines the iteration window: a job arriving at 3 with
+  // p = 1.5*(5-3) = 3 is profitable iff the flag was the LONG job
+  // (window end 1+4=5), not the short one (window end 2).
+  const Instance probe =
+      make_instance({{0, 1, 1}, {0, 1, 4}, {3, 9, 3}});
+  ProfitScheduler profit2(1.5);
+  const SimulationResult r2 = simulate(probe, profit2, true);
+  EXPECT_EQ(r2.schedule.start(2), units(3.0));
+}
+
+TEST(Profit, OverlappingFlagIterations) {
+  // Flag J0 (p=10) runs [0,10). J1 (p=40) is not profitable (40 > k*10)
+  // and hits its own deadline at 5 WHILE J0 runs — a second flag.
+  // J2 arrives at 6 with p=3: profitable to J0's window (3 <= 1.5*4).
+  // J3 arrives at 6 with p=50: profitable to neither flag
+  // (50 > 1.5*(45-6) = 58.5? no wait 58.5 >= 50 — profitable to J1).
+  const Instance inst =
+      make_instance({{0, 0, 10}, {0, 5, 40}, {6, 90, 3}, {6, 90, 50}});
+  ProfitScheduler profit(1.5);
+  const SimulationResult result = simulate(inst, profit, true);
+  EXPECT_EQ(result.schedule.start(0), units(0.0));
+  EXPECT_EQ(result.schedule.start(1), units(5.0));   // own flag
+  EXPECT_EQ(result.schedule.start(2), units(6.0));   // profitable to J0
+  EXPECT_EQ(result.schedule.start(3), units(6.0));   // profitable to J1
+}
+
+TEST(Profit, NonProfitableArrivalWaitsForNextFlag) {
+  // J1 (p=9) is not profitable to flag J0 (p=2, k=1.5 -> cap 3) at its
+  // arrival. When J2 (p=8) flags at t=10, J1 (9 <= 1.5*8) starts with it.
+  const Instance inst =
+      make_instance({{0, 0, 2}, {1, 50, 9}, {4, 10, 8}});
+  ProfitScheduler profit(1.5);
+  const SimulationResult result = simulate(inst, profit, true);
+  EXPECT_EQ(result.schedule.start(1), units(10.0));
+  EXPECT_EQ(result.schedule.start(2), units(10.0));
+}
+
+TEST(Profit, FlagRemovedOnCompletion) {
+  // After flag J0 [0,2) completes, J1 arriving at 2 sees no active flag
+  // (half-open interval) and waits for its deadline.
+  const Instance inst = make_instance({{0, 0, 2}, {2, 8, 1}});
+  ProfitScheduler profit(2.0);
+  const SimulationResult result = simulate(inst, profit, true);
+  EXPECT_EQ(result.schedule.start(1), units(8.0));
+}
+
+TEST(Profit, NameMentionsK) {
+  const ProfitScheduler profit(1.75);
+  EXPECT_NE(profit.name().find("profit"), std::string::npos);
+  EXPECT_NE(profit.name().find("1.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,111 @@
+// Randomized property tests tying every scheduler to the paper's theory:
+//  * every produced schedule is valid (starts within [a(J), d(J)]);
+//  * no scheduler beats the exact offline optimum;
+//  * Batch respects Theorem 3.4:   span <= (2μ+1)·OPT;
+//  * Batch+ respects Theorem 3.5:  span <= (μ+1)·OPT;
+//  * CDB respects Theorem 4.4:     span <= (3α+4+2/(α−1))·OPT;
+//  * Profit respects Theorem 4.11: span <= (2k+2+1/(k−1))·OPT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.h"
+#include "offline/exact.h"
+#include "offline/lower_bound.h"
+#include "schedulers/classify_by_duration.h"
+#include "schedulers/profit.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+
+namespace fjs {
+namespace {
+
+class SchedulerProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Instance instance_ = testing::random_integral_instance(
+      GetParam(), /*jobs=*/6, /*horizon=*/10, /*max_laxity=*/4,
+      /*max_length=*/4);
+};
+
+TEST_P(SchedulerProperties, AllSchedulesValidAndAtLeastOpt) {
+  const Time opt = exact_optimal_span(instance_);
+  const Time lb = best_lower_bound(instance_);
+  EXPECT_LE(lb, opt);
+  for (const auto& spec : scheduler_registry()) {
+    const auto scheduler = spec.make();
+    const SimulationResult result =
+        simulate(instance_, *scheduler, spec.clairvoyant);
+    // simulate() validates internally; double-check here for the record.
+    EXPECT_TRUE(result.schedule.is_valid(result.instance)) << spec.key;
+    EXPECT_GE(result.span(), opt) << spec.key << " beat the exact optimum";
+    EXPECT_GE(result.span(), lb) << spec.key;
+  }
+}
+
+TEST_P(SchedulerProperties, BatchRespectsTheorem34) {
+  const Time opt = exact_optimal_span(instance_);
+  const double mu = instance_.mu();
+  const auto batch = make_scheduler("batch");
+  const Time span = simulate_span(instance_, *batch, false);
+  EXPECT_LE(time_ratio(span, opt), 2.0 * mu + 1.0 + 1e-9)
+      << instance_.to_string();
+}
+
+TEST_P(SchedulerProperties, BatchPlusRespectsTheorem35) {
+  const Time opt = exact_optimal_span(instance_);
+  const double mu = instance_.mu();
+  const auto bp = make_scheduler("batch+");
+  const Time span = simulate_span(instance_, *bp, false);
+  EXPECT_LE(time_ratio(span, opt), mu + 1.0 + 1e-9) << instance_.to_string();
+}
+
+TEST_P(SchedulerProperties, CdbRespectsTheorem44) {
+  const Time opt = exact_optimal_span(instance_);
+  const double alpha = CdbScheduler::optimal_alpha();
+  const double bound = 3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0);
+  const auto cdb = make_scheduler("cdb");
+  const Time span = simulate_span(instance_, *cdb, true);
+  EXPECT_LE(time_ratio(span, opt), bound + 1e-9) << instance_.to_string();
+}
+
+TEST_P(SchedulerProperties, ProfitRespectsTheorem411) {
+  const Time opt = exact_optimal_span(instance_);
+  const double k = ProfitScheduler::optimal_k();
+  const double bound = 2.0 * k + 2.0 + 1.0 / (k - 1.0);
+  const auto profit = make_scheduler("profit");
+  const Time span = simulate_span(instance_, *profit, true);
+  EXPECT_LE(time_ratio(span, opt), bound + 1e-9) << instance_.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, SchedulerProperties,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+/// Zero-laxity (rigid) instances: every scheduler is forced into the same
+/// schedule, so all spans must coincide.
+class RigidInstances : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RigidInstances, AllSchedulersCoincide) {
+  const Instance inst = testing::random_integral_instance(
+      GetParam() + 1000, /*jobs=*/8, /*horizon=*/10, /*max_laxity=*/0,
+      /*max_length=*/4);
+  Time first = Time::zero();
+  bool first_set = false;
+  for (const auto& spec : scheduler_registry()) {
+    const auto scheduler = spec.make();
+    const Time span = simulate_span(inst, *scheduler, spec.clairvoyant);
+    if (!first_set) {
+      first = span;
+      first_set = true;
+    } else {
+      EXPECT_EQ(span, first) << spec.key;
+    }
+  }
+  // And the exact optimum equals that forced span.
+  EXPECT_EQ(exact_optimal_span(inst), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RigidInstances,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,166 @@
+// Fine-grained engine/state tests: pending/running bookkeeping order,
+// event stringification, wakeup chains, and trace details.
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "schedulers/batch.h"
+#include "schedulers/eager.h"
+#include "sim/engine.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+/// Records what pending()/running() looked like inside callbacks.
+class IntrospectingScheduler final : public OnlineScheduler {
+ public:
+  std::string name() const override { return "introspecting"; }
+
+  void on_arrival(SchedulerContext& ctx, JobId id) override {
+    pending_at_arrival.push_back(ctx.pending());
+    if (start_on_arrival) {
+      ctx.start_job(id);
+      running_after_start.push_back(ctx.running());
+    }
+  }
+  void on_deadline(SchedulerContext& ctx, JobId id) override {
+    ctx.start_job(id);
+  }
+  void on_completion(SchedulerContext& ctx, JobId) override {
+    running_at_completion.push_back(ctx.running());
+  }
+
+  bool start_on_arrival = true;
+  std::vector<std::vector<JobId>> pending_at_arrival;
+  std::vector<std::vector<JobId>> running_after_start;
+  std::vector<std::vector<JobId>> running_at_completion;
+};
+
+TEST(EngineDetails, PendingListsInArrivalOrder) {
+  const Instance inst = make_instance({{0, 9, 1}, {1, 9, 1}, {2, 9, 1}});
+  IntrospectingScheduler sched;
+  sched.start_on_arrival = false;  // accumulate pending
+  (void)simulate(inst, sched, false);
+  ASSERT_EQ(sched.pending_at_arrival.size(), 3u);
+  EXPECT_EQ(sched.pending_at_arrival[0], (std::vector<JobId>{0}));
+  EXPECT_EQ(sched.pending_at_arrival[1], (std::vector<JobId>{0, 1}));
+  EXPECT_EQ(sched.pending_at_arrival[2], (std::vector<JobId>{0, 1, 2}));
+}
+
+TEST(EngineDetails, RunningListsInStartOrder) {
+  const Instance inst = make_instance({{0, 9, 5}, {1, 9, 5}});
+  IntrospectingScheduler sched;
+  (void)simulate(inst, sched, false);
+  ASSERT_EQ(sched.running_after_start.size(), 2u);
+  EXPECT_EQ(sched.running_after_start[0], (std::vector<JobId>{0}));
+  EXPECT_EQ(sched.running_after_start[1], (std::vector<JobId>{0, 1}));
+}
+
+TEST(EngineDetails, RunningShrinksOnCompletion) {
+  const Instance inst = make_instance({{0, 0, 1}, {0, 0, 3}});
+  IntrospectingScheduler sched;
+  (void)simulate(inst, sched, false);
+  ASSERT_EQ(sched.running_at_completion.size(), 2u);
+  EXPECT_EQ(sched.running_at_completion[0], (std::vector<JobId>{1}));
+  EXPECT_TRUE(sched.running_at_completion[1].empty());
+}
+
+TEST(EngineDetails, EventKindNames) {
+  EXPECT_EQ(to_string(EventKind::kLengthDecision), "length-decision");
+  EXPECT_EQ(to_string(EventKind::kCompletion), "completion");
+  EXPECT_EQ(to_string(EventKind::kArrival), "arrival");
+  EXPECT_EQ(to_string(EventKind::kDeadline), "deadline");
+  EXPECT_EQ(to_string(EventKind::kSchedulerTimer), "scheduler-timer");
+  EXPECT_EQ(to_string(EventKind::kSourceWakeup), "source-wakeup");
+  EXPECT_EQ(to_string(EventKind::kStart), "start");
+}
+
+TEST(EngineDetails, TraceEntryToString) {
+  const TraceEntry entry{.time = units(1.5), .kind = EventKind::kStart,
+                         .job = 3, .detail = 0};
+  const std::string s = entry.to_string();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("start"), std::string::npos);
+  EXPECT_NE(s.find("J3"), std::string::npos);
+}
+
+TEST(EngineDetails, SourceWakeupChain) {
+  // A source that wakes itself three times, releasing one job per wakeup.
+  class ChainedWakeups final : public JobSource {
+   public:
+    SourceAction begin() override {
+      SourceAction a;
+      a.wakeup = units(1.0);
+      // Engine needs at least one event anyway — release the first job.
+      a.releases.push_back(JobSpec{.arrival = units(0.0),
+                                   .deadline = units(0.0),
+                                   .length = units(0.5)});
+      return a;
+    }
+    SourceAction on_wakeup(Time now) override {
+      ++wakeups;
+      SourceAction a;
+      a.releases.push_back(JobSpec{.arrival = now, .deadline = now,
+                                   .length = units(0.5)});
+      if (wakeups < 3) {
+        a.wakeup = now + units(1.0);
+      }
+      return a;
+    }
+    int wakeups = 0;
+  };
+  ChainedWakeups source;
+  NoDeferralOracle oracle;
+  EagerScheduler eager;
+  Engine engine(source, oracle, eager, {});
+  const SimulationResult result = engine.run();
+  EXPECT_EQ(source.wakeups, 3);
+  ASSERT_EQ(result.instance.size(), 4u);
+  EXPECT_EQ(result.schedule.start(3), units(3.0));
+}
+
+TEST(EngineDetails, LengthDecisionRecordedInTrace) {
+  class DeferringAdversary final : public JobSource, public LengthOracle {
+   public:
+    SourceAction begin() override {
+      SourceAction a;
+      a.releases.push_back(JobSpec{.arrival = units(0.0),
+                                   .deadline = units(0.0),
+                                   .length = std::nullopt});
+      return a;
+    }
+    StartDecision at_start(JobId, Time start) override {
+      return StartDecision{.length = std::nullopt,
+                           .decide_at = start + units(1.0)};
+    }
+    Time decide(JobId, Time) override { return units(2.0); }
+  };
+  DeferringAdversary adversary;
+  EagerScheduler eager;
+  Engine engine(adversary, adversary, eager,
+                EngineOptions{.record_trace = true});
+  const SimulationResult result = engine.run();
+  const auto decisions = result.trace.filter(EventKind::kLengthDecision);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].time, units(1.0));
+  EXPECT_EQ(decisions[0].detail, units(2.0).ticks());
+  EXPECT_EQ(result.span(), units(2.0));
+}
+
+TEST(EngineDetails, BatchSingleCallbackStartsWholeBatch) {
+  // All three pending jobs must start inside ONE deadline event (the trace
+  // shows three starts between the deadline entry and anything else).
+  const Instance inst = make_instance({{0, 2, 1}, {0, 5, 1}, {1, 6, 1}});
+  BatchScheduler batch;
+  const SimulationResult result = simulate(inst, batch, false, true);
+  const auto starts = result.trace.filter(EventKind::kStart);
+  ASSERT_EQ(starts.size(), 3u);
+  for (const auto& s : starts) {
+    EXPECT_EQ(s.time, units(2.0));
+  }
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,118 @@
+// Large-scale integration stress: thousands of jobs through every
+// scheduler, with the independent trace validator auditing each run, plus
+// heavier IntervalSet fuzzing (unite of whole sets vs bitmap reference).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/interval_set.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "sim/trace_check.h"
+#include "support/rng.h"
+#include "workload/generator.h"
+
+namespace fjs {
+namespace {
+
+TEST(Stress, FiveThousandJobsThroughEveryScheduler) {
+  WorkloadConfig cfg;
+  cfg.job_count = 5000;
+  cfg.arrival_rate = 5.0;
+  cfg.laxity_max = 8.0;
+  const Instance inst = generate_workload(cfg, 2024);
+  for (const auto& spec : scheduler_registry()) {
+    const auto scheduler = spec.make();
+    const SimulationResult result =
+        simulate(inst, *scheduler, spec.clairvoyant, /*record_trace=*/true);
+    EXPECT_TRUE(result.schedule.is_valid(result.instance)) << spec.key;
+    const auto violations =
+        check_trace(result.instance, result.schedule, result.trace);
+    EXPECT_TRUE(violations.empty())
+        << spec.key << ":\n" << violations_to_string(violations);
+    // Spans are bounded by the trivial serial schedule.
+    EXPECT_LE(result.span(), result.instance.total_work()) << spec.key;
+  }
+}
+
+TEST(Stress, BurstyHighConcurrency) {
+  WorkloadConfig cfg;
+  cfg.job_count = 3000;
+  cfg.arrivals = ArrivalProcess::kBursty;
+  cfg.burst_size_mean = 50.0;
+  cfg.burst_gap = 10.0;
+  cfg.laxity_max = 3.0;
+  const Instance inst = generate_workload(cfg, 7);
+  for (const char* key : {"batch", "batch+", "profit"}) {
+    const auto scheduler = make_scheduler(key);
+    const SimulationResult result =
+        simulate(inst, *scheduler, scheduler->requires_clairvoyance());
+    EXPECT_GT(result.schedule.max_concurrency(result.instance), 10u) << key;
+  }
+}
+
+TEST(Stress, EngineDeterminismAcrossRepeatedRuns) {
+  WorkloadConfig cfg;
+  cfg.job_count = 1000;
+  const Instance inst = generate_workload(cfg, 99);
+  for (const auto& spec : scheduler_registry()) {
+    const auto scheduler = spec.make();
+    const SimulationResult a = simulate(inst, *scheduler, spec.clairvoyant);
+    const SimulationResult b = simulate(inst, *scheduler, spec.clairvoyant);
+    for (JobId id = 0; id < a.schedule.size(); ++id) {
+      ASSERT_EQ(a.schedule.start(id), b.schedule.start(id)) << spec.key;
+    }
+  }
+}
+
+TEST(Stress, IntervalSetUniteFuzz) {
+  Rng rng(31337);
+  constexpr std::int64_t kHorizon = 500;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<bool> covered(kHorizon, false);
+    IntervalSet a;
+    IntervalSet b;
+    for (int i = 0; i < 60; ++i) {
+      const std::int64_t lo = rng.uniform_int(0, kHorizon - 1);
+      const std::int64_t hi = rng.uniform_int(lo, kHorizon);
+      (i % 2 == 0 ? a : b).add(Interval(Time(lo), Time(hi)));
+      for (std::int64_t t = lo; t < hi; ++t) {
+        covered[static_cast<std::size_t>(t)] = true;
+      }
+    }
+    a.unite(b);
+    std::int64_t expected = 0;
+    for (const bool c : covered) {
+      expected += c ? 1 : 0;
+    }
+    ASSERT_EQ(a.measure().ticks(), expected);
+    // Components sorted, disjoint, non-abutting.
+    for (std::size_t i = 1; i < a.component_count(); ++i) {
+      ASSERT_LT(a.component(i - 1).hi, a.component(i).lo);
+    }
+  }
+}
+
+TEST(Stress, ExtremeLaxityRatios) {
+  // Mix of zero-laxity and enormous-laxity jobs; schedulers must stay
+  // valid and batchers should exploit the big windows.
+  InstanceBuilder builder;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double a = static_cast<double>(rng.uniform_int(0, 200));
+    if (rng.bernoulli(0.5)) {
+      builder.add_lax(a, 0.0, 1.0 + rng.uniform01());
+    } else {
+      builder.add_lax(a, 1e5, 1.0 + rng.uniform01());
+    }
+  }
+  const Instance inst = builder.build();
+  const auto batch_plus = make_scheduler("batch+");
+  const auto eager = make_scheduler("eager");
+  const Time bp_span = simulate_span(inst, *batch_plus, false);
+  const Time eager_span = simulate_span(inst, *eager, false);
+  EXPECT_LT(bp_span, eager_span);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/parallel.h"
+#include "support/thread_pool.h"
+
+namespace fjs {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor must run all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 8,
+                            [](std::size_t i) {
+                              if (i == 3) {
+                                throw std::runtime_error("task failed");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map(pool, 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  ThreadPool pool(4);
+  const std::size_t n = 5000;
+  const auto parallel_sum = parallel_reduce<std::uint64_t>(
+      pool, n, 0, [](std::size_t i) { return static_cast<std::uint64_t>(i); },
+      [](std::uint64_t acc, std::uint64_t v) { return acc + v; });
+  EXPECT_EQ(parallel_sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelFor, DeterministicAcrossThreadCounts) {
+  auto compute = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(256);
+    parallel_for(pool, out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(7));
+}
+
+TEST(GlobalPool, IsUsable) {
+  auto f = global_pool().submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+}  // namespace
+}  // namespace fjs

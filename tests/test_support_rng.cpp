@@ -1,0 +1,188 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace fjs {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform_int(0, 7));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ParetoTruncatedBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.pareto_truncated(1.0, 1.5, 10.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 10.0 + 1e-9);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeros) {
+  Rng rng(31);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 3.0};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(weights) == 1) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.75, 0.02);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.split();
+  // Child should not replay the parent's stream.
+  Rng parent_again(43);
+  (void)parent_again();  // consume what split() consumed
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent_again()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng(53);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) {
+    v[static_cast<std::size_t>(i)] = i;
+  }
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+}
+
+TEST(Rng, RejectsBadArguments) {
+  Rng rng(59);
+  EXPECT_THROW(rng.uniform_int(3, 2), AssertionError);
+  EXPECT_THROW(rng.uniform_real(1.0, 1.0), AssertionError);
+  EXPECT_THROW(rng.bernoulli(1.5), AssertionError);
+  EXPECT_THROW(rng.exponential(0.0), AssertionError);
+  EXPECT_THROW(rng.pareto_truncated(1.0, 1.0, 0.5), AssertionError);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), AssertionError);
+}
+
+}  // namespace
+}  // namespace fjs

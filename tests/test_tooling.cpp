@@ -1,0 +1,179 @@
+// Tests for the tooling layer: ASCII plots, the independent trace
+// validator, and schedule serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "sim/trace_check.h"
+#include "support/asciiplot.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Series s{.name = "ratio", .ys = {1.0, 2.0, 1.5, 3.0}, .mark = '*'};
+  const std::string out = ascii_plot(xs, {s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("* = ratio"), std::string::npos);
+  EXPECT_NE(out.find('3'), std::string::npos);  // y max label
+  EXPECT_NE(out.find('1'), std::string::npos);  // y min label
+}
+
+TEST(AsciiPlot, MultipleSeriesDistinctMarks) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const Series a{.name = "a", .ys = {1.0, 2.0}, .mark = 'a'};
+  const Series b{.name = "b", .ys = {2.0, 1.0}, .mark = 'b'};
+  const std::string out = ascii_plot(xs, {a, b});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlot, ExtremesLandOnEdges) {
+  const std::vector<double> xs = {0.0, 10.0};
+  const Series s{.name = "s", .ys = {0.0, 1.0}, .mark = '#'};
+  AsciiPlotOptions options;
+  options.width = 10;
+  options.height = 4;
+  const std::string out = ascii_plot(xs, {s}, options);
+  // First plot row (max y) must contain the mark in the last column region;
+  // last plot row (min y) in the first.
+  std::istringstream lines(out);
+  std::string first_row;
+  std::getline(lines, first_row);
+  EXPECT_NE(first_row.find('#'), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const Series s{.name = "flat", .ys = {5.0, 5.0, 5.0}, .mark = '*'};
+  EXPECT_NO_THROW(ascii_plot(xs, {s}));
+}
+
+TEST(AsciiPlot, LogXRequiresPositive) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const Series s{.name = "s", .ys = {1.0, 2.0}, .mark = '*'};
+  AsciiPlotOptions options;
+  options.log_x = true;
+  EXPECT_THROW(ascii_plot(xs, {s}, options), AssertionError);
+}
+
+TEST(AsciiPlot, RejectsBadInput) {
+  const Series s{.name = "s", .ys = {1.0}, .mark = '*'};
+  EXPECT_THROW(ascii_plot({1.0}, {s}), AssertionError);          // <2 points
+  EXPECT_THROW(ascii_plot({1.0, 2.0}, {}), AssertionError);      // no series
+  EXPECT_THROW(ascii_plot({1.0, 2.0}, {s}), AssertionError);     // mismatch
+}
+
+TEST(TraceCheck, CleanRunHasNoViolations) {
+  const Instance inst = testing::random_integral_instance(3, 10, 12, 5, 4);
+  for (const auto& spec : scheduler_registry()) {
+    const auto scheduler = spec.make();
+    const SimulationResult result =
+        simulate(inst, *scheduler, spec.clairvoyant, /*record_trace=*/true);
+    const auto violations =
+        check_trace(result.instance, result.schedule, result.trace);
+    EXPECT_TRUE(violations.empty())
+        << spec.key << ":\n" << violations_to_string(violations);
+  }
+}
+
+TEST(TraceCheck, DetectsMissingCompletion) {
+  const Instance inst = make_instance({{0, 1, 1}});
+  Trace trace;
+  trace.record({.time = units(0.0), .kind = EventKind::kArrival, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(0.5), .kind = EventKind::kStart, .job = 0,
+                .detail = 0});
+  const Schedule sched = Schedule::from_starts({units(0.5)});
+  const auto violations = check_trace(inst, sched, trace);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations_to_string(violations).find("never completed"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, DetectsStartOutsideWindow) {
+  const Instance inst = make_instance({{0, 1, 1}});
+  Trace trace;
+  trace.record({.time = units(0.0), .kind = EventKind::kArrival, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(2.0), .kind = EventKind::kStart, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(3.0), .kind = EventKind::kCompletion,
+                .job = 0, .detail = 0});
+  const Schedule sched = Schedule::from_starts({units(2.0)});
+  const auto violations = check_trace(inst, sched, trace);
+  EXPECT_NE(violations_to_string(violations).find("outside window"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, DetectsWrongCompletionTime) {
+  const Instance inst = make_instance({{0, 1, 1}});
+  Trace trace;
+  trace.record({.time = units(0.0), .kind = EventKind::kArrival, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(0.0), .kind = EventKind::kStart, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(2.0), .kind = EventKind::kCompletion,
+                .job = 0, .detail = 0});
+  const Schedule sched = Schedule::from_starts({units(0.0)});
+  const auto violations = check_trace(inst, sched, trace);
+  EXPECT_NE(violations_to_string(violations).find("start + length"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, DetectsBackwardsTime) {
+  const Instance inst = make_instance({{0, 1, 1}});
+  Trace trace;
+  trace.record({.time = units(1.0), .kind = EventKind::kArrival, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(0.5), .kind = EventKind::kStart, .job = 0,
+                .detail = 0});
+  const Schedule sched = Schedule::from_starts({units(0.5)});
+  const auto violations = check_trace(inst, sched, trace);
+  EXPECT_NE(violations_to_string(violations).find("backwards"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, DetectsScheduleMismatch) {
+  const Instance inst = make_instance({{0, 2, 1}});
+  Trace trace;
+  trace.record({.time = units(0.0), .kind = EventKind::kArrival, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(1.0), .kind = EventKind::kStart, .job = 0,
+                .detail = 0});
+  trace.record({.time = units(2.0), .kind = EventKind::kCompletion,
+                .job = 0, .detail = 0});
+  const Schedule sched = Schedule::from_starts({units(2.0)});  // differs
+  const auto violations = check_trace(inst, sched, trace);
+  EXPECT_NE(violations_to_string(violations).find("differs"),
+            std::string::npos);
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  Schedule sched(3);
+  sched.set_start(0, units(0.0));
+  sched.set_start(2, units(2.5));
+  std::stringstream ss;
+  sched.write(ss);
+  const Schedule parsed = Schedule::parse(ss);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed.start(0), units(0.0));
+  EXPECT_FALSE(parsed.is_set(1));
+  EXPECT_EQ(parsed.start(2), units(2.5));
+}
+
+TEST(ScheduleIo, ParseRejectsGarbage) {
+  std::stringstream ss("not-a-count");
+  EXPECT_THROW(Schedule::parse(ss), AssertionError);
+}
+
+}  // namespace
+}  // namespace fjs

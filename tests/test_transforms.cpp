@@ -1,0 +1,103 @@
+#include "workload/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+#include "support/assert.h"
+#include "workload/generator.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+using testing::units;
+
+TEST(Transforms, ScaleLaxity) {
+  const Instance inst = make_instance({{0, 4, 1}, {2, 2, 1}});
+  const Instance doubled = scale_laxity(inst, 2.0);
+  EXPECT_EQ(doubled.job(0).deadline, units(8.0));
+  EXPECT_EQ(doubled.job(1).deadline, units(2.0));  // zero stays zero
+  const Instance rigid = scale_laxity(inst, 0.0);
+  EXPECT_EQ(rigid.job(0).deadline, rigid.job(0).arrival);
+  EXPECT_THROW(scale_laxity(inst, -1.0), AssertionError);
+}
+
+TEST(Transforms, ScaleLengths) {
+  const Instance inst = make_instance({{0, 4, 2}});
+  EXPECT_EQ(scale_lengths(inst, 1.5).job(0).length, units(3.0));
+  EXPECT_THROW(scale_lengths(inst, 0.0), AssertionError);
+}
+
+TEST(Transforms, ShiftTimes) {
+  const Instance inst = make_instance({{1, 3, 2}});
+  const Instance shifted = shift_times(inst, units(10.0));
+  EXPECT_EQ(shifted.job(0).arrival, units(11.0));
+  EXPECT_EQ(shifted.job(0).deadline, units(13.0));
+  EXPECT_EQ(shifted.job(0).length, units(2.0));
+  // Negative shifts too.
+  const Instance back = shift_times(shifted, units(-10.0));
+  EXPECT_EQ(back.job(0).arrival, inst.job(0).arrival);
+}
+
+TEST(Transforms, MergeInstances) {
+  const Instance a = make_instance({{0, 1, 1}});
+  const Instance b = make_instance({{5, 6, 2}, {7, 8, 1}});
+  const Instance merged = merge_instances(a, b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.job(0).arrival, units(0.0));
+  EXPECT_EQ(merged.job(2).arrival, units(7.0));
+  EXPECT_EQ(merged.job(2).id, 2u);  // renumbered
+}
+
+TEST(Transforms, Subsample) {
+  WorkloadConfig cfg;
+  cfg.job_count = 50;
+  const Instance inst = generate_workload(cfg, 1);
+  const Instance sub = subsample(inst, 10, 42);
+  EXPECT_EQ(sub.size(), 10u);
+  // Deterministic.
+  const Instance sub2 = subsample(inst, 10, 42);
+  for (JobId id = 0; id < sub.size(); ++id) {
+    EXPECT_EQ(sub.job(id).arrival, sub2.job(id).arrival);
+  }
+  // Oversized count returns everything.
+  EXPECT_EQ(subsample(inst, 100, 1).size(), 50u);
+}
+
+TEST(Transforms, SnapToGrid) {
+  const Instance inst = make_instance({{0.4, 2.9, 1.2}, {1.7, 1.9, 0.3}});
+  const Instance snapped = snap_to_grid(inst, units(1.0));
+  EXPECT_TRUE(snapped.is_multiple_of(units(1.0)));
+  EXPECT_EQ(snapped.job(0).arrival, units(0.0));   // floor
+  EXPECT_EQ(snapped.job(0).length, units(2.0));    // ceil
+  EXPECT_EQ(snapped.job(0).laxity(), units(2.0));  // floor(2.5)
+  EXPECT_EQ(snapped.job(1).length, units(1.0));    // never zero
+  EXPECT_EQ(snapped.job(1).laxity(), units(0.0));
+  for (const Job& j : snapped.jobs()) {
+    EXPECT_TRUE(j.valid());
+  }
+}
+
+TEST(Transforms, MakeRigid) {
+  WorkloadConfig cfg;
+  cfg.job_count = 20;
+  cfg.laxity_max = 5.0;
+  const Instance rigid = make_rigid(generate_workload(cfg, 3));
+  for (const Job& j : rigid.jobs()) {
+    EXPECT_EQ(j.laxity(), Time::zero());
+  }
+}
+
+TEST(Transforms, ComposedPipeline) {
+  WorkloadConfig cfg;
+  cfg.job_count = 30;
+  const Instance inst = generate_workload(cfg, 9);
+  const Instance processed =
+      snap_to_grid(scale_laxity(shift_times(inst, units(5.0)), 3.0),
+                   units(1.0));
+  EXPECT_EQ(processed.size(), 30u);
+  EXPECT_TRUE(processed.is_multiple_of(units(1.0)));
+}
+
+}  // namespace
+}  // namespace fjs

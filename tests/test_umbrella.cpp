@@ -1,0 +1,38 @@
+// Compile-level test: the umbrella header is self-contained and exposes
+// the whole public API coherently (one end-to-end flow through it).
+#include "fjs.h"
+
+#include <gtest/gtest.h>
+
+namespace fjs {
+namespace {
+
+TEST(Umbrella, VersionExposed) {
+  EXPECT_STREQ(kVersion, "1.0.0");
+}
+
+TEST(Umbrella, EndToEndThroughPublicApi) {
+  // Generate -> schedule online -> measure -> compare offline -> report.
+  WorkloadConfig config;
+  config.job_count = 25;
+  config.integral = true;
+  config.laxity_max = 4.0;
+  const Instance inst = generate_workload(config, 123);
+
+  const auto scheduler = make_scheduler("batch+");
+  const SimulationResult run = simulate(inst, *scheduler, false);
+  EXPECT_TRUE(run.schedule.is_valid(run.instance));
+
+  const RatioBracket bracket = measure_ratio(inst, "batch+",
+                                             OptMethod::kBracket);
+  EXPECT_GE(bracket.ratio_upper(), 1.0 - 1e-12);
+
+  const TimelineReport report = analyze_timeline(run.instance, run.schedule);
+  EXPECT_EQ(report.span, run.span());
+
+  const std::string chart = render_gantt(run.instance, run.schedule);
+  EXPECT_FALSE(chart.empty());
+}
+
+}  // namespace
+}  // namespace fjs

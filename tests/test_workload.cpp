@@ -1,0 +1,218 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+#include "workload/cloud_trace.h"
+#include "workload/suite.h"
+
+namespace fjs {
+namespace {
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.job_count = 50;
+  const Instance a = generate_workload(cfg, 123);
+  const Instance b = generate_workload(cfg, 123);
+  ASSERT_EQ(a.size(), b.size());
+  for (JobId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.job(id).arrival, b.job(id).arrival);
+    EXPECT_EQ(a.job(id).deadline, b.job(id).deadline);
+    EXPECT_EQ(a.job(id).length, b.job(id).length);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadConfig cfg;
+  cfg.job_count = 50;
+  const Instance a = generate_workload(cfg, 1);
+  const Instance b = generate_workload(cfg, 2);
+  bool any_diff = false;
+  for (JobId id = 0; id < a.size() && !any_diff; ++id) {
+    any_diff = a.job(id).arrival != b.job(id).arrival ||
+               a.job(id).length != b.job(id).length;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, RespectsCountAndRanges) {
+  WorkloadConfig cfg;
+  cfg.job_count = 200;
+  cfg.length_min = 2.0;
+  cfg.length_max = 5.0;
+  cfg.laxity_min = 1.0;
+  cfg.laxity_max = 3.0;
+  const Instance inst = generate_workload(cfg, 7);
+  ASSERT_EQ(inst.size(), 200u);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_GE(j.length, Time::from_units(2.0));
+    EXPECT_LE(j.length, Time::from_units(5.0));
+    EXPECT_GE(j.laxity(), Time::from_units(1.0));
+    EXPECT_LE(j.laxity(), Time::from_units(3.0) + Time(1));
+  }
+}
+
+TEST(Workload, ZeroLaxityModel) {
+  WorkloadConfig cfg;
+  cfg.job_count = 30;
+  cfg.laxity = LaxityModel::kZero;
+  const Instance inst = generate_workload(cfg, 3);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_EQ(j.laxity(), Time::zero());
+  }
+}
+
+TEST(Workload, ProportionalLaxity) {
+  WorkloadConfig cfg;
+  cfg.job_count = 30;
+  cfg.laxity = LaxityModel::kProportional;
+  cfg.laxity_factor = 2.0;
+  const Instance inst = generate_workload(cfg, 3);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_NEAR(time_ratio(j.laxity(), j.length), 2.0, 1e-5);
+  }
+}
+
+TEST(Workload, BimodalLengthsAreTwoValued) {
+  WorkloadConfig cfg;
+  cfg.job_count = 100;
+  cfg.lengths = LengthDistribution::kBimodal;
+  cfg.length_min = 1.0;
+  cfg.length_max = 8.0;
+  const Instance inst = generate_workload(cfg, 11);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_TRUE(j.length == Time::from_units(1.0) ||
+                j.length == Time::from_units(8.0));
+  }
+  EXPECT_DOUBLE_EQ(inst.mu(), 8.0);
+}
+
+TEST(Workload, FixedLengthDistribution) {
+  WorkloadConfig cfg;
+  cfg.job_count = 20;
+  cfg.lengths = LengthDistribution::kFixed;
+  cfg.length_min = 3.0;
+  const Instance inst = generate_workload(cfg, 5);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_EQ(j.length, Time::from_units(3.0));
+  }
+}
+
+TEST(Workload, IntegralSnapsToGrid) {
+  WorkloadConfig cfg;
+  cfg.job_count = 60;
+  cfg.integral = true;
+  const Instance inst = generate_workload(cfg, 17);
+  EXPECT_TRUE(inst.is_multiple_of(Time(Time::kTicksPerUnit)));
+  for (const Job& j : inst.jobs()) {
+    EXPECT_GE(j.length, Time::from_units(1.0));
+  }
+}
+
+TEST(Workload, PeriodicArrivalsEvenlySpaced) {
+  WorkloadConfig cfg;
+  cfg.job_count = 10;
+  cfg.arrivals = ArrivalProcess::kPeriodic;
+  cfg.arrival_rate = 2.0;  // every 0.5 units
+  const Instance inst = generate_workload(cfg, 23);
+  for (JobId id = 1; id < inst.size(); ++id) {
+    EXPECT_EQ(inst.job(id).arrival - inst.job(id - 1).arrival,
+              Time::from_units(0.5));
+  }
+}
+
+TEST(Workload, BurstyProducesSimultaneousArrivals) {
+  WorkloadConfig cfg;
+  cfg.job_count = 200;
+  cfg.arrivals = ArrivalProcess::kBursty;
+  cfg.burst_size_mean = 8.0;
+  const Instance inst = generate_workload(cfg, 29);
+  std::size_t simultaneous = 0;
+  for (JobId id = 1; id < inst.size(); ++id) {
+    if (inst.job(id).arrival == inst.job(id - 1).arrival) {
+      ++simultaneous;
+    }
+  }
+  EXPECT_GT(simultaneous, 50u);
+}
+
+TEST(Workload, RejectsBadConfig) {
+  WorkloadConfig cfg;
+  cfg.job_count = 0;
+  EXPECT_THROW(generate_workload(cfg, 1), AssertionError);
+  cfg = {};
+  cfg.length_min = -1.0;
+  EXPECT_THROW(generate_workload(cfg, 1), AssertionError);
+  cfg = {};
+  cfg.arrival_rate = 0.0;
+  EXPECT_THROW(generate_workload(cfg, 1), AssertionError);
+}
+
+TEST(Suite, StandardSuiteShape) {
+  const auto& suite = standard_suite();
+  EXPECT_EQ(suite.size(), 8u);
+  for (const auto& named : suite) {
+    EXPECT_FALSE(named.name.empty());
+    // Every family must actually generate.
+    const Instance inst = generate_workload(named.config, 1);
+    EXPECT_EQ(inst.size(), named.config.job_count);
+  }
+}
+
+TEST(Suite, IntegralSuiteOnGrid) {
+  for (const auto& named : integral_suite(12)) {
+    const Instance inst = generate_workload(named.config, 2);
+    EXPECT_EQ(inst.size(), 12u);
+    EXPECT_TRUE(inst.is_multiple_of(Time(Time::kTicksPerUnit)))
+        << named.name;
+  }
+}
+
+TEST(CloudTrace, GeneratesAlignedArrays) {
+  CloudTraceConfig cfg;
+  cfg.job_count = 120;
+  const CloudTrace trace = generate_cloud_trace(cfg, 99);
+  EXPECT_EQ(trace.instance.size(), 120u);
+  EXPECT_EQ(trace.sizes.size(), 120u);
+  EXPECT_EQ(trace.class_of.size(), 120u);
+  for (std::size_t i = 0; i < trace.sizes.size(); ++i) {
+    EXPECT_GT(trace.sizes[i], 0.0);
+    EXPECT_LE(trace.sizes[i], 1.0);
+    EXPECT_LT(trace.class_of[i], trace.classes.size());
+  }
+}
+
+TEST(CloudTrace, Deterministic) {
+  CloudTraceConfig cfg;
+  cfg.job_count = 40;
+  const CloudTrace a = generate_cloud_trace(cfg, 4);
+  const CloudTrace b = generate_cloud_trace(cfg, 4);
+  for (JobId id = 0; id < a.instance.size(); ++id) {
+    EXPECT_EQ(a.instance.job(id).arrival, b.instance.job(id).arrival);
+  }
+  EXPECT_EQ(a.sizes, b.sizes);
+}
+
+TEST(CloudTrace, ClassLaxityRespected) {
+  CloudTraceConfig cfg;
+  cfg.job_count = 150;
+  const CloudTrace trace = generate_cloud_trace(cfg, 5);
+  for (JobId id = 0; id < trace.instance.size(); ++id) {
+    const auto& cls = trace.classes[trace.class_of[id]];
+    const Job& j = trace.instance.job(id);
+    EXPECT_NEAR(time_ratio(j.laxity(), j.length), cls.laxity_factor, 1e-5)
+        << cls.name;
+  }
+}
+
+TEST(CloudTrace, RejectsBadConfig) {
+  CloudTraceConfig cfg;
+  cfg.job_count = 0;
+  EXPECT_THROW(generate_cloud_trace(cfg, 1), AssertionError);
+  cfg = {};
+  cfg.diurnal_amplitude = 1.5;
+  EXPECT_THROW(generate_cloud_trace(cfg, 1), AssertionError);
+}
+
+}  // namespace
+}  // namespace fjs
