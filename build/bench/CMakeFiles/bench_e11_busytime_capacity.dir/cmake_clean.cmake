@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_busytime_capacity.dir/bench_e11_busytime_capacity.cpp.o"
+  "CMakeFiles/bench_e11_busytime_capacity.dir/bench_e11_busytime_capacity.cpp.o.d"
+  "bench_e11_busytime_capacity"
+  "bench_e11_busytime_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_busytime_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_opt_methodology.dir/bench_e12_opt_methodology.cpp.o"
+  "CMakeFiles/bench_e12_opt_methodology.dir/bench_e12_opt_methodology.cpp.o.d"
+  "bench_e12_opt_methodology"
+  "bench_e12_opt_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_opt_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

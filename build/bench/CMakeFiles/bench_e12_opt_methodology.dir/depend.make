@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e12_opt_methodology.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_randomization.dir/bench_e13_randomization.cpp.o"
+  "CMakeFiles/bench_e13_randomization.dir/bench_e13_randomization.cpp.o.d"
+  "bench_e13_randomization"
+  "bench_e13_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_worst_case_miner.dir/bench_e14_worst_case_miner.cpp.o"
+  "CMakeFiles/bench_e14_worst_case_miner.dir/bench_e14_worst_case_miner.cpp.o.d"
+  "bench_e14_worst_case_miner"
+  "bench_e14_worst_case_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_worst_case_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

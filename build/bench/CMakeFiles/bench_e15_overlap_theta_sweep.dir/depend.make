@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e15_overlap_theta_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_scheduler_separation.dir/bench_e16_scheduler_separation.cpp.o"
+  "CMakeFiles/bench_e16_scheduler_separation.dir/bench_e16_scheduler_separation.cpp.o.d"
+  "bench_e16_scheduler_separation"
+  "bench_e16_scheduler_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_scheduler_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

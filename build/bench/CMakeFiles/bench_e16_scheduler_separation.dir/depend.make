@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e16_scheduler_separation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_clairvoyant_lb.dir/bench_e4_clairvoyant_lb.cpp.o"
+  "CMakeFiles/bench_e4_clairvoyant_lb.dir/bench_e4_clairvoyant_lb.cpp.o.d"
+  "bench_e4_clairvoyant_lb"
+  "bench_e4_clairvoyant_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_clairvoyant_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_random_workloads.dir/bench_e7_random_workloads.cpp.o"
+  "CMakeFiles/bench_e7_random_workloads.dir/bench_e7_random_workloads.cpp.o.d"
+  "bench_e7_random_workloads"
+  "bench_e7_random_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_random_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_dbp_extension.dir/bench_e8_dbp_extension.cpp.o"
+  "CMakeFiles/bench_e8_dbp_extension.dir/bench_e8_dbp_extension.cpp.o.d"
+  "bench_e8_dbp_extension"
+  "bench_e8_dbp_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_dbp_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_cost.dir/cloud_cost.cpp.o"
+  "CMakeFiles/cloud_cost.dir/cloud_cost.cpp.o.d"
+  "cloud_cost"
+  "cloud_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_cli.dir/fjs_cli.cpp.o"
+  "CMakeFiles/fjs_cli.dir/fjs_cli.cpp.o.d"
+  "fjs_cli"
+  "fjs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/clairvoyant_lb.cpp" "src/adversary/CMakeFiles/fjs_adversary.dir/clairvoyant_lb.cpp.o" "gcc" "src/adversary/CMakeFiles/fjs_adversary.dir/clairvoyant_lb.cpp.o.d"
+  "/root/repo/src/adversary/instance_miner.cpp" "src/adversary/CMakeFiles/fjs_adversary.dir/instance_miner.cpp.o" "gcc" "src/adversary/CMakeFiles/fjs_adversary.dir/instance_miner.cpp.o.d"
+  "/root/repo/src/adversary/nonclairvoyant_lb.cpp" "src/adversary/CMakeFiles/fjs_adversary.dir/nonclairvoyant_lb.cpp.o" "gcc" "src/adversary/CMakeFiles/fjs_adversary.dir/nonclairvoyant_lb.cpp.o.d"
+  "/root/repo/src/adversary/tightness.cpp" "src/adversary/CMakeFiles/fjs_adversary.dir/tightness.cpp.o" "gcc" "src/adversary/CMakeFiles/fjs_adversary.dir/tightness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/fjs_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/fjs_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

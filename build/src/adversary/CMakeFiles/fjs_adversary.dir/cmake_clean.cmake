@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_adversary.dir/clairvoyant_lb.cpp.o"
+  "CMakeFiles/fjs_adversary.dir/clairvoyant_lb.cpp.o.d"
+  "CMakeFiles/fjs_adversary.dir/instance_miner.cpp.o"
+  "CMakeFiles/fjs_adversary.dir/instance_miner.cpp.o.d"
+  "CMakeFiles/fjs_adversary.dir/nonclairvoyant_lb.cpp.o"
+  "CMakeFiles/fjs_adversary.dir/nonclairvoyant_lb.cpp.o.d"
+  "CMakeFiles/fjs_adversary.dir/tightness.cpp.o"
+  "CMakeFiles/fjs_adversary.dir/tightness.cpp.o.d"
+  "libfjs_adversary.a"
+  "libfjs_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/convergence.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/convergence.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/convergence.cpp.o.d"
+  "/root/repo/src/analysis/flag_forest.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/flag_forest.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/flag_forest.cpp.o.d"
+  "/root/repo/src/analysis/gantt.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/gantt.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/gantt.cpp.o.d"
+  "/root/repo/src/analysis/instance_stats.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/instance_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/instance_stats.cpp.o.d"
+  "/root/repo/src/analysis/ratio.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/ratio.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/ratio.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/svg.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/svg.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/svg.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/analysis/CMakeFiles/fjs_analysis.dir/sweep.cpp.o" "gcc" "src/analysis/CMakeFiles/fjs_analysis.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/fjs_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/fjs_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

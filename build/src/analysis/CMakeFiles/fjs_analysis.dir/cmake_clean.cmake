@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_analysis.dir/convergence.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/convergence.cpp.o.d"
+  "CMakeFiles/fjs_analysis.dir/flag_forest.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/flag_forest.cpp.o.d"
+  "CMakeFiles/fjs_analysis.dir/gantt.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/gantt.cpp.o.d"
+  "CMakeFiles/fjs_analysis.dir/instance_stats.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/instance_stats.cpp.o.d"
+  "CMakeFiles/fjs_analysis.dir/ratio.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/ratio.cpp.o.d"
+  "CMakeFiles/fjs_analysis.dir/report.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/fjs_analysis.dir/svg.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/svg.cpp.o.d"
+  "CMakeFiles/fjs_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/fjs_analysis.dir/sweep.cpp.o.d"
+  "libfjs_analysis.a"
+  "libfjs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/busytime/busytime.cpp" "src/busytime/CMakeFiles/fjs_busytime.dir/busytime.cpp.o" "gcc" "src/busytime/CMakeFiles/fjs_busytime.dir/busytime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/fjs_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

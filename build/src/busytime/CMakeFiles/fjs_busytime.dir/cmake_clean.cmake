@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_busytime.dir/busytime.cpp.o"
+  "CMakeFiles/fjs_busytime.dir/busytime.cpp.o.d"
+  "libfjs_busytime.a"
+  "libfjs_busytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_busytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

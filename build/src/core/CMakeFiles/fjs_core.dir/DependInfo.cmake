@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/fjs_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/fjs_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/interval.cpp" "src/core/CMakeFiles/fjs_core.dir/interval.cpp.o" "gcc" "src/core/CMakeFiles/fjs_core.dir/interval.cpp.o.d"
+  "/root/repo/src/core/interval_set.cpp" "src/core/CMakeFiles/fjs_core.dir/interval_set.cpp.o" "gcc" "src/core/CMakeFiles/fjs_core.dir/interval_set.cpp.o.d"
+  "/root/repo/src/core/job.cpp" "src/core/CMakeFiles/fjs_core.dir/job.cpp.o" "gcc" "src/core/CMakeFiles/fjs_core.dir/job.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/fjs_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/fjs_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/time.cpp" "src/core/CMakeFiles/fjs_core.dir/time.cpp.o" "gcc" "src/core/CMakeFiles/fjs_core.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

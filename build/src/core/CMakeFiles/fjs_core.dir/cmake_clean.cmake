@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_core.dir/instance.cpp.o"
+  "CMakeFiles/fjs_core.dir/instance.cpp.o.d"
+  "CMakeFiles/fjs_core.dir/interval.cpp.o"
+  "CMakeFiles/fjs_core.dir/interval.cpp.o.d"
+  "CMakeFiles/fjs_core.dir/interval_set.cpp.o"
+  "CMakeFiles/fjs_core.dir/interval_set.cpp.o.d"
+  "CMakeFiles/fjs_core.dir/job.cpp.o"
+  "CMakeFiles/fjs_core.dir/job.cpp.o.d"
+  "CMakeFiles/fjs_core.dir/schedule.cpp.o"
+  "CMakeFiles/fjs_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/fjs_core.dir/time.cpp.o"
+  "CMakeFiles/fjs_core.dir/time.cpp.o.d"
+  "libfjs_core.a"
+  "libfjs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

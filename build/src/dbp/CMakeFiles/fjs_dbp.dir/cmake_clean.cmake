@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_dbp.dir/packing.cpp.o"
+  "CMakeFiles/fjs_dbp.dir/packing.cpp.o.d"
+  "CMakeFiles/fjs_dbp.dir/pipeline.cpp.o"
+  "CMakeFiles/fjs_dbp.dir/pipeline.cpp.o.d"
+  "CMakeFiles/fjs_dbp.dir/simulator.cpp.o"
+  "CMakeFiles/fjs_dbp.dir/simulator.cpp.o.d"
+  "libfjs_dbp.a"
+  "libfjs_dbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_dbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

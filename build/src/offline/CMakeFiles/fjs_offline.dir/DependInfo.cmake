@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/annealing.cpp" "src/offline/CMakeFiles/fjs_offline.dir/annealing.cpp.o" "gcc" "src/offline/CMakeFiles/fjs_offline.dir/annealing.cpp.o.d"
+  "/root/repo/src/offline/certify.cpp" "src/offline/CMakeFiles/fjs_offline.dir/certify.cpp.o" "gcc" "src/offline/CMakeFiles/fjs_offline.dir/certify.cpp.o.d"
+  "/root/repo/src/offline/exact.cpp" "src/offline/CMakeFiles/fjs_offline.dir/exact.cpp.o" "gcc" "src/offline/CMakeFiles/fjs_offline.dir/exact.cpp.o.d"
+  "/root/repo/src/offline/heuristic.cpp" "src/offline/CMakeFiles/fjs_offline.dir/heuristic.cpp.o" "gcc" "src/offline/CMakeFiles/fjs_offline.dir/heuristic.cpp.o.d"
+  "/root/repo/src/offline/lower_bound.cpp" "src/offline/CMakeFiles/fjs_offline.dir/lower_bound.cpp.o" "gcc" "src/offline/CMakeFiles/fjs_offline.dir/lower_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_offline.dir/annealing.cpp.o"
+  "CMakeFiles/fjs_offline.dir/annealing.cpp.o.d"
+  "CMakeFiles/fjs_offline.dir/certify.cpp.o"
+  "CMakeFiles/fjs_offline.dir/certify.cpp.o.d"
+  "CMakeFiles/fjs_offline.dir/exact.cpp.o"
+  "CMakeFiles/fjs_offline.dir/exact.cpp.o.d"
+  "CMakeFiles/fjs_offline.dir/heuristic.cpp.o"
+  "CMakeFiles/fjs_offline.dir/heuristic.cpp.o.d"
+  "CMakeFiles/fjs_offline.dir/lower_bound.cpp.o"
+  "CMakeFiles/fjs_offline.dir/lower_bound.cpp.o.d"
+  "libfjs_offline.a"
+  "libfjs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/batch.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/batch.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/batch.cpp.o.d"
+  "/root/repo/src/schedulers/batch_plus.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/batch_plus.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/batch_plus.cpp.o.d"
+  "/root/repo/src/schedulers/classify_by_duration.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/classify_by_duration.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/classify_by_duration.cpp.o.d"
+  "/root/repo/src/schedulers/doubler.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/doubler.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/doubler.cpp.o.d"
+  "/root/repo/src/schedulers/eager.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/eager.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/eager.cpp.o.d"
+  "/root/repo/src/schedulers/lazy.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/lazy.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/lazy.cpp.o.d"
+  "/root/repo/src/schedulers/overlap.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/overlap.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/overlap.cpp.o.d"
+  "/root/repo/src/schedulers/profit.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/profit.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/profit.cpp.o.d"
+  "/root/repo/src/schedulers/randomized.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/randomized.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/randomized.cpp.o.d"
+  "/root/repo/src/schedulers/registry.cpp" "src/schedulers/CMakeFiles/fjs_schedulers.dir/registry.cpp.o" "gcc" "src/schedulers/CMakeFiles/fjs_schedulers.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_schedulers.dir/batch.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/batch.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/batch_plus.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/batch_plus.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/classify_by_duration.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/classify_by_duration.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/doubler.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/doubler.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/eager.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/eager.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/lazy.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/lazy.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/overlap.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/overlap.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/profit.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/profit.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/randomized.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/randomized.cpp.o.d"
+  "CMakeFiles/fjs_schedulers.dir/registry.cpp.o"
+  "CMakeFiles/fjs_schedulers.dir/registry.cpp.o.d"
+  "libfjs_schedulers.a"
+  "libfjs_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/conformance.cpp" "src/sim/CMakeFiles/fjs_sim.dir/conformance.cpp.o" "gcc" "src/sim/CMakeFiles/fjs_sim.dir/conformance.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/fjs_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/fjs_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/events.cpp" "src/sim/CMakeFiles/fjs_sim.dir/events.cpp.o" "gcc" "src/sim/CMakeFiles/fjs_sim.dir/events.cpp.o.d"
+  "/root/repo/src/sim/length_oracle.cpp" "src/sim/CMakeFiles/fjs_sim.dir/length_oracle.cpp.o" "gcc" "src/sim/CMakeFiles/fjs_sim.dir/length_oracle.cpp.o.d"
+  "/root/repo/src/sim/source.cpp" "src/sim/CMakeFiles/fjs_sim.dir/source.cpp.o" "gcc" "src/sim/CMakeFiles/fjs_sim.dir/source.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/fjs_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/fjs_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_check.cpp" "src/sim/CMakeFiles/fjs_sim.dir/trace_check.cpp.o" "gcc" "src/sim/CMakeFiles/fjs_sim.dir/trace_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

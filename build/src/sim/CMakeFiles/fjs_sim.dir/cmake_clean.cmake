@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_sim.dir/conformance.cpp.o"
+  "CMakeFiles/fjs_sim.dir/conformance.cpp.o.d"
+  "CMakeFiles/fjs_sim.dir/engine.cpp.o"
+  "CMakeFiles/fjs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/fjs_sim.dir/events.cpp.o"
+  "CMakeFiles/fjs_sim.dir/events.cpp.o.d"
+  "CMakeFiles/fjs_sim.dir/length_oracle.cpp.o"
+  "CMakeFiles/fjs_sim.dir/length_oracle.cpp.o.d"
+  "CMakeFiles/fjs_sim.dir/source.cpp.o"
+  "CMakeFiles/fjs_sim.dir/source.cpp.o.d"
+  "CMakeFiles/fjs_sim.dir/trace.cpp.o"
+  "CMakeFiles/fjs_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/fjs_sim.dir/trace_check.cpp.o"
+  "CMakeFiles/fjs_sim.dir/trace_check.cpp.o.d"
+  "libfjs_sim.a"
+  "libfjs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_support.dir/asciiplot.cpp.o"
+  "CMakeFiles/fjs_support.dir/asciiplot.cpp.o.d"
+  "CMakeFiles/fjs_support.dir/csv.cpp.o"
+  "CMakeFiles/fjs_support.dir/csv.cpp.o.d"
+  "CMakeFiles/fjs_support.dir/rng.cpp.o"
+  "CMakeFiles/fjs_support.dir/rng.cpp.o.d"
+  "CMakeFiles/fjs_support.dir/stats.cpp.o"
+  "CMakeFiles/fjs_support.dir/stats.cpp.o.d"
+  "CMakeFiles/fjs_support.dir/string_util.cpp.o"
+  "CMakeFiles/fjs_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/fjs_support.dir/table.cpp.o"
+  "CMakeFiles/fjs_support.dir/table.cpp.o.d"
+  "CMakeFiles/fjs_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/fjs_support.dir/thread_pool.cpp.o.d"
+  "libfjs_support.a"
+  "libfjs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfjs_support.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cloud_trace.cpp" "src/workload/CMakeFiles/fjs_workload.dir/cloud_trace.cpp.o" "gcc" "src/workload/CMakeFiles/fjs_workload.dir/cloud_trace.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/fjs_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/fjs_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "src/workload/CMakeFiles/fjs_workload.dir/suite.cpp.o" "gcc" "src/workload/CMakeFiles/fjs_workload.dir/suite.cpp.o.d"
+  "/root/repo/src/workload/transforms.cpp" "src/workload/CMakeFiles/fjs_workload.dir/transforms.cpp.o" "gcc" "src/workload/CMakeFiles/fjs_workload.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

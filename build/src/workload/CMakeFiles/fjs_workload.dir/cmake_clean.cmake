@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_workload.dir/cloud_trace.cpp.o"
+  "CMakeFiles/fjs_workload.dir/cloud_trace.cpp.o.d"
+  "CMakeFiles/fjs_workload.dir/generator.cpp.o"
+  "CMakeFiles/fjs_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/fjs_workload.dir/suite.cpp.o"
+  "CMakeFiles/fjs_workload.dir/suite.cpp.o.d"
+  "CMakeFiles/fjs_workload.dir/transforms.cpp.o"
+  "CMakeFiles/fjs_workload.dir/transforms.cpp.o.d"
+  "libfjs_workload.a"
+  "libfjs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjs_test_helpers.dir/helpers.cpp.o"
+  "CMakeFiles/fjs_test_helpers.dir/helpers.cpp.o.d"
+  "libfjs_test_helpers.a"
+  "libfjs_test_helpers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjs_test_helpers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversary_clairvoyant.dir/test_adversary_clairvoyant.cpp.o"
+  "CMakeFiles/test_adversary_clairvoyant.dir/test_adversary_clairvoyant.cpp.o.d"
+  "test_adversary_clairvoyant"
+  "test_adversary_clairvoyant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversary_clairvoyant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

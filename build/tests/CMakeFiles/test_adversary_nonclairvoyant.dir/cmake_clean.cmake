@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversary_nonclairvoyant.dir/test_adversary_nonclairvoyant.cpp.o"
+  "CMakeFiles/test_adversary_nonclairvoyant.dir/test_adversary_nonclairvoyant.cpp.o.d"
+  "test_adversary_nonclairvoyant"
+  "test_adversary_nonclairvoyant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversary_nonclairvoyant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_extras.dir/test_analysis_extras.cpp.o"
+  "CMakeFiles/test_analysis_extras.dir/test_analysis_extras.cpp.o.d"
+  "test_analysis_extras"
+  "test_analysis_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_busytime.dir/test_busytime.cpp.o"
+  "CMakeFiles/test_busytime.dir/test_busytime.cpp.o.d"
+  "test_busytime"
+  "test_busytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_busytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

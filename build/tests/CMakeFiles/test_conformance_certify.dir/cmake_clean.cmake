@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conformance_certify.dir/test_conformance_certify.cpp.o"
+  "CMakeFiles/test_conformance_certify.dir/test_conformance_certify.cpp.o.d"
+  "test_conformance_certify"
+  "test_conformance_certify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conformance_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbp.dir/test_dbp.cpp.o"
+  "CMakeFiles/test_dbp.dir/test_dbp.cpp.o.d"
+  "test_dbp"
+  "test_dbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_errors.dir/test_engine_errors.cpp.o"
+  "CMakeFiles/test_engine_errors.dir/test_engine_errors.cpp.o.d"
+  "test_engine_errors"
+  "test_engine_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/fjs_test_helpers.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fjs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fjs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedulers/CMakeFiles/fjs_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/offline/CMakeFiles/fjs_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/fjs_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fjs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbp/CMakeFiles/fjs_dbp.dir/DependInfo.cmake"
+  "/root/repo/build/src/busytime/CMakeFiles/fjs_busytime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fjs_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

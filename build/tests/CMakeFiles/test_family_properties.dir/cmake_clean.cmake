@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_family_properties.dir/test_family_properties.cpp.o"
+  "CMakeFiles/test_family_properties.dir/test_family_properties.cpp.o.d"
+  "test_family_properties"
+  "test_family_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_family_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_annealing.dir/test_offline_annealing.cpp.o"
+  "CMakeFiles/test_offline_annealing.dir/test_offline_annealing.cpp.o.d"
+  "test_offline_annealing"
+  "test_offline_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_bounds.dir/test_offline_bounds.cpp.o"
+  "CMakeFiles/test_offline_bounds.dir/test_offline_bounds.cpp.o.d"
+  "test_offline_bounds"
+  "test_offline_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_exact.dir/test_offline_exact.cpp.o"
+  "CMakeFiles/test_offline_exact.dir/test_offline_exact.cpp.o.d"
+  "test_offline_exact"
+  "test_offline_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

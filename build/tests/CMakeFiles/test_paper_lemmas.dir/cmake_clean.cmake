@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_lemmas.dir/test_paper_lemmas.cpp.o"
+  "CMakeFiles/test_paper_lemmas.dir/test_paper_lemmas.cpp.o.d"
+  "test_paper_lemmas"
+  "test_paper_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

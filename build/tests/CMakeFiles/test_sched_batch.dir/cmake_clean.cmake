@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_batch.dir/test_sched_batch.cpp.o"
+  "CMakeFiles/test_sched_batch.dir/test_sched_batch.cpp.o.d"
+  "test_sched_batch"
+  "test_sched_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_batch_plus.dir/test_sched_batch_plus.cpp.o"
+  "CMakeFiles/test_sched_batch_plus.dir/test_sched_batch_plus.cpp.o.d"
+  "test_sched_batch_plus"
+  "test_sched_batch_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_batch_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_cdb.dir/test_sched_cdb.cpp.o"
+  "CMakeFiles/test_sched_cdb.dir/test_sched_cdb.cpp.o.d"
+  "test_sched_cdb"
+  "test_sched_cdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_cdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_misc.dir/test_sched_misc.cpp.o"
+  "CMakeFiles/test_sched_misc.dir/test_sched_misc.cpp.o.d"
+  "test_sched_misc"
+  "test_sched_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

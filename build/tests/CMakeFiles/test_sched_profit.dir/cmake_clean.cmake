@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_profit.dir/test_sched_profit.cpp.o"
+  "CMakeFiles/test_sched_profit.dir/test_sched_profit.cpp.o.d"
+  "test_sched_profit"
+  "test_sched_profit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_profit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tooling.dir/test_tooling.cpp.o"
+  "CMakeFiles/test_tooling.dir/test_tooling.cpp.o.d"
+  "test_tooling"
+  "test_tooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
