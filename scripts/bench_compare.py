@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+For every benchmark present in both files the script compares
+items_per_second when available (higher is better) and falls back to
+real_time (lower is better) otherwise. A benchmark regressing by more
+than the threshold (default 15%) is reported and the script exits
+non-zero, so the committed BENCH_e9.json baseline acts as a gate:
+
+    ./build/bench/bench_e9_throughput \
+        --benchmark_out=bench_current.json --benchmark_out_format=json
+    scripts/bench_compare.py BENCH_e9.json bench_current.json
+
+Benchmarks present in only one file are listed but never fatal, so the
+gate does not block adding or retiring benchmarks. Single-machine noise
+easily reaches a few percent; compare runs taken back-to-back on an
+otherwise idle machine before trusting a failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: (metric_name, value, higher_is_better)}."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: {path} is not valid benchmark JSON ({err})")
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if "items_per_second" in bench:
+            out[name] = ("items_per_second", float(bench["items_per_second"]), True)
+        elif "real_time" in bench:
+            out[name] = ("real_time", float(bench["real_time"]), False)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="fractional regression that fails the gate (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+
+    regressions = []
+    rows = []
+    for name in sorted(set(base) & set(curr)):
+        base_metric, base_value, higher_is_better = base[name]
+        curr_metric, curr_value, _ = curr[name]
+        if base_metric != curr_metric or base_value == 0:
+            continue
+        if higher_is_better:
+            # Fractional change in throughput; negative = regression.
+            change = curr_value / base_value - 1.0
+        else:
+            # Lower time is better; negative change = regression.
+            change = base_value / curr_value - 1.0
+        regressed = change < -args.threshold
+        rows.append((name, base_metric, base_value, curr_value, change, regressed))
+        if regressed:
+            regressions.append(name)
+
+    width = max((len(r[0]) for r in rows), default=4)
+    print(f"{'benchmark':<{width}}  {'metric':<16}  {'baseline':>12}  "
+          f"{'current':>12}  {'change':>8}")
+    for name, metric, base_value, curr_value, change, regressed in rows:
+        flag = "  REGRESSION" if regressed else ""
+        print(f"{name:<{width}}  {metric:<16}  {base_value:>12.4g}  "
+              f"{curr_value:>12.4g}  {change:>+7.1%}{flag}")
+
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+    if only_base:
+        print(f"only in baseline: {', '.join(only_base)}")
+    if only_curr:
+        print(f"only in current:  {', '.join(only_curr)}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({len(rows)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,17 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Fast perf smoke: a short E9 subset on every run, emitted as JSON and
+# diffed against the committed baseline. A >15% drop on this machine is
+# only a warning here (single runs are noisy); rerun the full bench
+# back-to-back against the baseline before trusting it.
+build/bench/bench_e9_throughput \
+  --benchmark_filter='BM_EngineThroughput/(eager|batch)$|BM_IntervalSetAdd/10000' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out=bench_smoke.json --benchmark_out_format=json
+scripts/bench_compare.py BENCH_e9.json bench_smoke.json \
+  || echo "WARNING: bench smoke regressed vs BENCH_e9.json (noisy single run)"
+
 : > bench_output.txt
 for b in build/bench/bench_*; do
   echo "==================== $(basename "$b") ====================" \

@@ -42,6 +42,9 @@ std::vector<SchedulerAggregate> run_ratio_sweep(
   ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
 
   // Phase 1: per-case OPT bounds (the expensive part), computed once.
+  // Case costs are uneven (annealing/heuristic effort varies with the
+  // instance), so workers pull cases dynamically instead of being handed
+  // fixed chunks; slot-indexed writes keep the result deterministic.
   std::vector<OptBounds> bounds(cases.size());
   auto compute_bounds = [&](std::size_t i) {
     bounds[i] = opt_bounds_for(cases[i].instance, options);
@@ -49,7 +52,7 @@ std::vector<SchedulerAggregate> run_ratio_sweep(
   if (options.serial) {
     serial_for(cases.size(), compute_bounds);
   } else {
-    parallel_for(pool, cases.size(), compute_bounds);
+    parallel_for(pool, cases.size(), compute_bounds, 1, ChunkPolicy::kDynamic);
   }
 
   // Phase 2: the (case × scheduler) grid of simulations.
@@ -65,7 +68,7 @@ std::vector<SchedulerAggregate> run_ratio_sweep(
   if (options.serial) {
     serial_for(grid, run_cell);
   } else {
-    parallel_for(pool, grid, run_cell);
+    parallel_for(pool, grid, run_cell, 1, ChunkPolicy::kDynamic);
   }
 
   // Phase 3: deterministic reduction in index order.

@@ -7,10 +7,79 @@
 
 namespace fjs {
 
-IntervalSet::IntervalSet(const std::vector<Interval>& intervals) {
-  for (const auto& iv : intervals) {
-    add(iv);
+IntervalSet::IntervalSet(std::vector<Interval> intervals) {
+  std::erase_if(intervals, [](const Interval& iv) { return iv.empty(); });
+  if (intervals.empty()) {
+    return;
   }
+  // Sorting by lo alone is enough: the merge below accumulates max hi, so
+  // the relative order of equal-lo intervals cannot change the result.
+  // Callers that maintain sorted interval lists (simulation start order,
+  // the offline local-search loops) skip the sort entirely.
+  const auto by_lo = [](const Interval& a, const Interval& b) {
+    return a.lo < b.lo;
+  };
+  if (!std::is_sorted(intervals.begin(), intervals.end(), by_lo)) {
+    std::sort(intervals.begin(), intervals.end(), by_lo);
+  }
+  components_.reserve(intervals.size());
+  components_.push_back(intervals.front());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    const Interval& iv = intervals[i];
+    Interval& back = components_.back();
+    if (iv.lo <= back.hi) {
+      back.hi = std::max(back.hi, iv.hi);
+    } else {
+      components_.push_back(iv);
+    }
+  }
+}
+
+Time IntervalSet::sorted_union_measure(const std::vector<Interval>& sorted) {
+  Time total = Time::zero();
+  Time run_lo;
+  Time run_hi;
+  bool open = false;
+  for (const Interval& iv : sorted) {
+    if (iv.empty()) {
+      continue;
+    }
+    if (!open) {
+      run_lo = iv.lo;
+      run_hi = iv.hi;
+      open = true;
+      continue;
+    }
+    FJS_CHECK(iv.lo >= run_lo, "sorted_union_measure: input not sorted");
+    if (iv.lo <= run_hi) {
+      run_hi = std::max(run_hi, iv.hi);
+    } else {
+      total += run_hi - run_lo;
+      run_lo = iv.lo;
+      run_hi = iv.hi;
+    }
+  }
+  if (open) {
+    total += run_hi - run_lo;
+  }
+  return total;
+}
+
+void IntervalSet::replace_in_sorted(std::vector<Interval>& sorted,
+                                    const Interval& old_iv,
+                                    const Interval& new_iv) {
+  const auto by_lo = [](const Interval& a, const Interval& b) {
+    return a.lo < b.lo;
+  };
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), old_iv, by_lo);
+  while (it != sorted.end() && *it != old_iv) {
+    ++it;  // walk the equal-lo run to the matching instance
+  }
+  FJS_REQUIRE(it != sorted.end() && *it == old_iv,
+              "replace_in_sorted: old interval not found");
+  sorted.erase(it);
+  sorted.insert(
+      std::lower_bound(sorted.begin(), sorted.end(), new_iv, by_lo), new_iv);
 }
 
 void IntervalSet::add(const Interval& interval) {
@@ -38,10 +107,61 @@ void IntervalSet::add(const Interval& interval) {
   components_.erase(first + 1, last);
 }
 
-void IntervalSet::unite(const IntervalSet& other) {
-  for (const auto& iv : other.components_) {
-    add(iv);
+void IntervalSet::add_hint(const Interval& interval) {
+  if (interval.empty()) {
+    return;
   }
+  if (components_.empty()) {
+    components_.push_back(interval);
+    return;
+  }
+  Interval& back = components_.back();
+  if (interval.lo >= back.lo) {
+    // The interval can only touch the last component: every earlier
+    // component ends strictly before the last one starts.
+    if (interval.lo <= back.hi) {
+      back.hi = std::max(back.hi, interval.hi);
+    } else {
+      components_.push_back(interval);
+    }
+    return;
+  }
+  add(interval);
+}
+
+void IntervalSet::unite(const IntervalSet& other) {
+  if (other.components_.empty()) {
+    return;
+  }
+  if (components_.empty()) {
+    components_ = other.components_;
+    return;
+  }
+  std::vector<Interval> merged;
+  merged.reserve(components_.size() + other.components_.size());
+  auto a = components_.begin();
+  auto b = other.components_.begin();
+  const auto take = [&merged](const Interval& iv) {
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  };
+  while (a != components_.end() && b != other.components_.end()) {
+    if (a->lo <= b->lo) {
+      take(*a++);
+    } else {
+      take(*b++);
+    }
+  }
+  for (; a != components_.end(); ++a) {
+    take(*a);
+  }
+  for (; b != other.components_.end(); ++b) {
+    take(*b);
+  }
+  components_ = std::move(merged);
 }
 
 const Interval& IntervalSet::component(std::size_t i) const {

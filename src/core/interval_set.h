@@ -16,14 +16,36 @@ class IntervalSet {
  public:
   IntervalSet() = default;
 
-  /// Builds from arbitrary (unsorted, overlapping) intervals.
-  explicit IntervalSet(const std::vector<Interval>& intervals);
+  /// Builds from arbitrary (unsorted, overlapping) intervals in
+  /// O(n log n): sort by left endpoint, then merge in one linear pass.
+  explicit IntervalSet(std::vector<Interval> intervals);
 
   /// Adds one interval, merging as needed. Empty intervals are ignored.
   void add(const Interval& interval);
 
-  /// Union with another set.
+  /// Like add(), but O(1) when the interval starts at or after the last
+  /// component's start — the common case for inserts whose left endpoints
+  /// arrive in nondecreasing order (e.g. simulation time order). Falls
+  /// back to add() otherwise; always produces the same set.
+  void add_hint(const Interval& interval);
+
+  /// Union with another set: linear two-pointer merge of the two sorted
+  /// component lists.
   void unite(const IntervalSet& other);
+
+  /// Measure of the union of intervals already sorted by left endpoint
+  /// (overlaps and empties allowed): one linear pass, no allocation. The
+  /// zero-materialization path for tight loops that re-evaluate a span
+  /// after every local move.
+  static Time sorted_union_measure(const std::vector<Interval>& sorted);
+
+  /// Replaces one instance of `old_iv` with `new_iv` in a list sorted by
+  /// left endpoint, keeping it sorted (two memmoves). Companion to
+  /// sorted_union_measure for local-search loops that move one interval
+  /// at a time. `old_iv` must be present.
+  static void replace_in_sorted(std::vector<Interval>& sorted,
+                                const Interval& old_iv,
+                                const Interval& new_iv);
 
   void clear() { components_.clear(); }
 

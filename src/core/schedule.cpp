@@ -48,11 +48,12 @@ Interval Schedule::active_interval(const Instance& inst, JobId id) const {
 IntervalSet Schedule::active_set(const Instance& inst) const {
   FJS_REQUIRE(inst.size() == starts_.size(),
               "Schedule: instance size mismatch");
-  IntervalSet set;
+  std::vector<Interval> intervals;
+  intervals.reserve(starts_.size());
   for (JobId id = 0; id < starts_.size(); ++id) {
-    set.add(active_interval(inst, id));
+    intervals.push_back(active_interval(inst, id));
   }
-  return set;
+  return IntervalSet(std::move(intervals));
 }
 
 Time Schedule::span(const Instance& inst) const {

@@ -1,0 +1,51 @@
+// Incremental span maintenance: the running measure of a growing union of
+// active intervals, updated in O(log n) amortized per insert instead of
+// rebuilding the IntervalSet from scratch on every query.
+//
+// The simulation engine feeds it one interval per job start (or per
+// deferred length decision), so the span of an online run is available in
+// O(1) at any point during and after the run.
+#pragma once
+
+#include "core/interval.h"
+#include "core/interval_set.h"
+
+namespace fjs {
+
+/// Maintains measure(∪ inserted intervals) under inserts.
+///
+/// Inserts whose left endpoints arrive in nondecreasing order (simulation
+/// time order) take the IntervalSet::add_hint O(1) append path.
+class SpanTracker {
+ public:
+  /// Inserts an interval and updates the cached measure. Empty intervals
+  /// are ignored.
+  void add(const Interval& interval) {
+    if (interval.empty()) {
+      return;
+    }
+    measure_ += covered_.uncovered_measure(interval);
+    covered_.add_hint(interval);
+  }
+
+  /// Current measure of the union — the span when the tracker holds all
+  /// active intervals of a schedule.
+  Time span() const { return measure_; }
+
+  /// The union itself (sorted disjoint components).
+  const IntervalSet& covered() const { return covered_; }
+
+  bool empty() const { return covered_.empty(); }
+
+  /// Resets to the empty union, keeping allocated capacity.
+  void clear() {
+    covered_.clear();
+    measure_ = Time::zero();
+  }
+
+ private:
+  IntervalSet covered_;
+  Time measure_;
+};
+
+}  // namespace fjs

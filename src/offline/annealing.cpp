@@ -15,14 +15,6 @@ Time clamp_time(Time value, Time lo, Time hi) {
   return std::max(lo, std::min(value, hi));
 }
 
-Time span_of(const Instance& inst, const std::vector<Time>& starts) {
-  IntervalSet set;
-  for (JobId id = 0; id < inst.size(); ++id) {
-    set.add(inst.job(id).active_interval(starts[id]));
-  }
-  return set.measure();
-}
-
 }  // namespace
 
 AnnealingResult anneal_schedule(const Instance& instance,
@@ -40,7 +32,20 @@ AnnealingResult anneal_schedule(const Instance& instance,
   for (JobId id = 0; id < instance.size(); ++id) {
     starts[id] = instance.job(id).deadline;
   }
-  Time current = span_of(instance, starts);
+  // Each job's active interval, plus the same intervals sorted by left
+  // endpoint. A move replaces one interval in the sorted list (two
+  // memmoves), so every span evaluation is a single linear pass with no
+  // allocation — this loop runs once per annealing iteration.
+  std::vector<Interval> intervals(instance.size());
+  std::vector<Interval> sorted;
+  sorted.reserve(instance.size());
+  for (JobId id = 0; id < instance.size(); ++id) {
+    intervals[id] = instance.job(id).active_interval(starts[id]);
+    sorted.push_back(intervals[id]);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  Time current = IntervalSet::sorted_union_measure(sorted);
   Time best = current;
   std::vector<Time> best_starts = starts;
 
@@ -76,8 +81,12 @@ AnnealingResult anneal_schedule(const Instance& instance,
     }
 
     const Time saved = starts[id];
+    const Interval old_iv = intervals[id];
+    const Interval new_iv = job.active_interval(proposal);
     starts[id] = proposal;
-    const Time candidate = span_of(instance, starts);
+    intervals[id] = new_iv;
+    IntervalSet::replace_in_sorted(sorted, old_iv, new_iv);
+    const Time candidate = IntervalSet::sorted_union_measure(sorted);
     const double delta =
         static_cast<double>((candidate - current).ticks());
     const bool accept =
@@ -91,6 +100,8 @@ AnnealingResult anneal_schedule(const Instance& instance,
       }
     } else {
       starts[id] = saved;
+      intervals[id] = old_iv;
+      IntervalSet::replace_in_sorted(sorted, new_iv, old_iv);
     }
     if ((iter + 1) % options.cooling_period == 0) {
       temperature = std::max(temperature * options.cooling, 1.0);

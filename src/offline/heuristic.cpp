@@ -70,20 +70,42 @@ bool improve_pass(const Instance& inst, std::vector<Time>& starts,
                   const std::vector<JobId>& order) {
   bool moved = false;
   std::vector<Time> scratch;
+  // Every job's active interval plus the same list sorted by left
+  // endpoint, maintained across moves. "Everyone else's union" is then a
+  // linear skip-copy of the sorted list, and the bulk IntervalSet
+  // constructor sees pre-sorted input, so it never pays a sort — where
+  // rebuilding via n× add() per candidate job made this pass O(n² log n).
+  std::vector<Interval> intervals(inst.size());
+  std::vector<Interval> sorted;
+  sorted.reserve(inst.size());
+  for (JobId id = 0; id < inst.size(); ++id) {
+    intervals[id] = inst.job(id).active_interval(starts[id]);
+    sorted.push_back(intervals[id]);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  std::vector<Interval> others_intervals;
   for (const JobId id : order) {
     const Job& j = inst.job(id);
-    // Union of everyone else's intervals.
-    IntervalSet others;
-    for (JobId other = 0; other < inst.size(); ++other) {
-      if (other != id) {
-        others.add(inst.job(other).active_interval(starts[other]));
+    others_intervals.clear();
+    others_intervals.reserve(sorted.size());
+    bool skipped = false;
+    for (const Interval& iv : sorted) {
+      if (!skipped && iv == intervals[id]) {
+        skipped = true;  // drop exactly one instance of this job's interval
+        continue;
       }
+      others_intervals.push_back(iv);
     }
+    const IntervalSet others(std::move(others_intervals));
     const Time current_marginal =
         others.uncovered_measure(j.active_interval(starts[id]));
     const auto [best_start, best_marginal] = best_placement(j, others, scratch);
     if (best_marginal < current_marginal) {
+      const Interval old_iv = intervals[id];
       starts[id] = best_start;
+      intervals[id] = j.active_interval(best_start);
+      IntervalSet::replace_in_sorted(sorted, old_iv, intervals[id]);
       moved = true;
     }
   }
@@ -91,11 +113,12 @@ bool improve_pass(const Instance& inst, std::vector<Time>& starts,
 }
 
 Time span_of(const Instance& inst, const std::vector<Time>& starts) {
-  IntervalSet set;
+  std::vector<Interval> intervals;
+  intervals.reserve(inst.size());
   for (JobId id = 0; id < inst.size(); ++id) {
-    set.add(inst.job(id).active_interval(starts[id]));
+    intervals.push_back(inst.job(id).active_interval(starts[id]));
   }
-  return set.measure();
+  return IntervalSet(std::move(intervals)).measure();
 }
 
 }  // namespace

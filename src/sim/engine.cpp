@@ -1,10 +1,26 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/assert.h"
 
 namespace fjs {
+namespace {
+
+/// Min-heap ordering used by the 4-ary event heap; the strict-weak mirror
+/// of EventAfter (earliest time, then kind, then insertion order first).
+inline bool event_before(const Event& a, const Event& b) {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  if (a.kind != b.kind) {
+    return a.kind < b.kind;
+  }
+  return a.seq < b.seq;
+}
+
+}  // namespace
 
 /// Engine-backed implementation of the scheduler-facing context.
 class Engine::Context final : public SchedulerContext {
@@ -29,11 +45,11 @@ class Engine::Context final : public SchedulerContext {
   }
 
   const std::vector<JobId>& pending() const override {
-    return engine_.pending_;
+    return engine_.pending_view();
   }
 
   const std::vector<JobId>& running() const override {
-    return engine_.running_;
+    return engine_.running_view();
   }
 
   void start_job(JobId id) override { engine_.start_job(id); }
@@ -41,10 +57,10 @@ class Engine::Context final : public SchedulerContext {
   void set_timer(Time t, std::uint64_t tag) override {
     FJS_REQUIRE(t >= engine_.now_, "set_timer: time in the past");
     engine_.push(Event{.time = t,
-                       .kind = EventKind::kSchedulerTimer,
                        .seq = 0,
+                       .tag = tag,
                        .job = kInvalidJob,
-                       .tag = tag});
+                       .kind = EventKind::kSchedulerTimer});
   }
 
  private:
@@ -52,15 +68,66 @@ class Engine::Context final : public SchedulerContext {
 };
 
 Engine::Engine(JobSource& source, LengthOracle& oracle,
-               OnlineScheduler& scheduler, EngineOptions options)
+               OnlineScheduler& scheduler, EngineOptions options,
+               EngineWorkspace* recycle)
     : source_(source),
       oracle_(oracle),
       scheduler_(scheduler),
       options_(options),
+      workspace_(recycle),
       now_(Time::min()),
-      context_(std::make_unique<Context>(*this)) {}
+      context_(std::make_unique<Context>(*this)) {
+  adopt_workspace();
+  if (options_.reserve_jobs > 0) {
+    const std::size_t n = options_.reserve_jobs;
+    jobs_.reserve(n);
+    pending_.reserve(n);
+    running_.reserve(n);
+    pending_view_.reserve(n);
+    running_view_.reserve(n);
+    staged_.reserve(n);
+    // With arrivals staged, heap occupancy tracks outstanding jobs (their
+    // deadline + completion events), not total jobs; still reserve for the
+    // worst case so adversarial sources never reallocate mid-run.
+    heap_.reserve(2 * n + 16);
+  }
+}
 
 Engine::~Engine() = default;
+
+void Engine::adopt_workspace() {
+  if (workspace_ == nullptr) {
+    return;
+  }
+  jobs_.swap(workspace_->jobs_);
+  heap_.swap(workspace_->heap_);
+  staged_.swap(workspace_->staged_);
+  pending_.swap(workspace_->pending_);
+  running_.swap(workspace_->running_);
+  pending_view_.swap(workspace_->pending_view_);
+  running_view_.swap(workspace_->running_view_);
+  jobs_.clear();
+  heap_.clear();
+  staged_.clear();
+  pending_.clear();
+  running_.clear();
+  pending_view_.clear();
+  running_view_.clear();
+}
+
+void Engine::recycle_workspace() {
+  if (workspace_ == nullptr) {
+    return;
+  }
+  jobs_.swap(workspace_->jobs_);
+  heap_.swap(workspace_->heap_);
+  staged_.swap(workspace_->staged_);
+  pending_.swap(workspace_->pending_);
+  running_.swap(workspace_->running_);
+  pending_view_.swap(workspace_->pending_view_);
+  running_view_.swap(workspace_->running_view_);
+  workspace_ = nullptr;
+}
 
 Engine::JobRecord& Engine::record(JobId id) {
   FJS_REQUIRE(id < jobs_.size(), "engine: unknown job id");
@@ -69,7 +136,106 @@ Engine::JobRecord& Engine::record(JobId id) {
 
 void Engine::push(Event event) {
   event.seq = next_seq_++;
-  queue_.push(event);
+  heap_insert(event);
+}
+
+void Engine::heap_insert(const Event& event) {
+  // Hole-based sift-up: shift losing parents down into the hole and place
+  // the new event once, instead of swapping (one copy per level, not three).
+  std::size_t i = heap_.size();
+  heap_.push_back(event);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!event_before(event, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = event;
+}
+
+Event Engine::pop_event() {
+  const Event top = heap_.front();
+  const Event last_event = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) {
+    return top;
+  }
+  // Hole-based sift-down of the displaced last element.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) {
+      break;
+    }
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (event_before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!event_before(heap_[best], last_event)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last_event;
+  return top;
+}
+
+void Engine::list_push(std::vector<JobId>& list, std::vector<JobId>& view,
+                       JobId id) {
+  JobRecord& rec = jobs_[id];
+  rec.order = next_order_++;
+  rec.slot = static_cast<std::uint32_t>(list.size());
+  list.push_back(id);
+  // The new id carries the largest order rank, so appending keeps the view
+  // in rank order; removals only mark the view dirty and are filtered out
+  // lazily (compact_view), never re-sorted.
+  view.push_back(id);
+}
+
+void Engine::list_remove(std::vector<JobId>& list, bool& view_dirty,
+                         JobId id) {
+  JobRecord& rec = jobs_[id];
+  const std::uint32_t slot = rec.slot;
+  FJS_CHECK(slot < list.size() && list[slot] == id,
+            "engine: job missing from its membership list");
+  const JobId moved = list.back();
+  list[slot] = moved;
+  jobs_[moved].slot = slot;
+  list.pop_back();
+  view_dirty = true;
+}
+
+void Engine::compact_view(std::vector<JobId>& view, JobState wanted) const {
+  // Jobs enter each view at most once (pending at arrival, running at
+  // start) and never return to an earlier state, so dropping the ids that
+  // moved on leaves exactly the current members, still in rank order.
+  // Each id is appended once and erased once: amortized O(1) per
+  // transition, where a sort-based rebuild would pay O(k log k) per query.
+  std::erase_if(view,
+                [&](JobId id) { return jobs_[id].state != wanted; });
+}
+
+const std::vector<JobId>& Engine::pending_view() {
+  if (pending_view_dirty_) {
+    compact_view(pending_view_, JobState::kPending);
+    pending_view_dirty_ = false;
+  }
+  return pending_view_;
+}
+
+const std::vector<JobId>& Engine::running_view() {
+  if (running_view_dirty_) {
+    compact_view(running_view_, JobState::kRunning);
+    running_view_dirty_ = false;
+  }
+  return running_view_;
 }
 
 void Engine::trace_event(Time t, EventKind kind, JobId job,
@@ -100,11 +266,22 @@ void Engine::release(const JobSpec& spec) {
                 .length = spec.length.value_or(Time::zero())};
   rec.length_known = spec.length.has_value();
   jobs_.push_back(rec);
-  push(Event{.time = spec.arrival,
-             .kind = EventKind::kArrival,
-             .seq = 0,
-             .job = id,
-             .tag = 0});
+  const Event arrival{.time = spec.arrival,
+                      .seq = next_seq_++,
+                      .tag = 0,
+                      .job = id,
+                      .kind = EventKind::kArrival};
+  // Releases almost always come in nondecreasing arrival order (static
+  // replays sort up front; adaptive sources release at >= now). Those go
+  // to the FIFO staging vector so the heap never sees them; an
+  // out-of-order release falls back to the heap. pop order is identical
+  // either way — both structures are merged by (time, kind, seq).
+  if (staged_head_ >= staged_.size() ||
+      spec.arrival >= staged_.back().time) {
+    staged_.push_back(arrival);
+  } else {
+    heap_insert(arrival);
+  }
 }
 
 void Engine::apply(const SourceAction& action) {
@@ -115,10 +292,10 @@ void Engine::apply(const SourceAction& action) {
     FJS_REQUIRE(!started_ || *action.wakeup >= now_,
                 "source wakeup in the past");
     push(Event{.time = *action.wakeup,
-               .kind = EventKind::kSourceWakeup,
                .seq = 0,
+               .tag = 0,
                .job = kInvalidJob,
-               .tag = 0});
+               .kind = EventKind::kSourceWakeup});
   }
 }
 
@@ -132,18 +309,17 @@ void Engine::start_job(JobId id) {
                   " started after its starting deadline");
   rec.state = JobState::kRunning;
   rec.start = now_;
-  auto it = std::find(pending_.begin(), pending_.end(), id);
-  FJS_CHECK(it != pending_.end(), "start_job: job missing from pending list");
-  pending_.erase(it);
-  running_.push_back(id);
+  list_remove(pending_, pending_view_dirty_, id);
+  list_push(running_, running_view_, id);
   trace_event(now_, EventKind::kStart, id, 0);
 
   if (rec.length_known) {
+    span_.add(Interval::from_length(now_, rec.job.length));
     push(Event{.time = now_ + rec.job.length,
-               .kind = EventKind::kCompletion,
                .seq = 0,
+               .tag = 0,
                .job = id,
-               .tag = 0});
+               .kind = EventKind::kCompletion});
   } else {
     const LengthOracle::StartDecision decision = oracle_.at_start(id, now_);
     if (decision.length.has_value()) {
@@ -151,19 +327,20 @@ void Engine::start_job(JobId id) {
                   "oracle returned non-positive length");
       rec.job.length = *decision.length;
       rec.length_known = true;
+      span_.add(Interval::from_length(now_, rec.job.length));
       push(Event{.time = now_ + rec.job.length,
-                 .kind = EventKind::kCompletion,
                  .seq = 0,
+                 .tag = 0,
                  .job = id,
-                 .tag = 0});
+                 .kind = EventKind::kCompletion});
     } else {
       FJS_REQUIRE(decision.decide_at > now_,
                   "oracle deferral must be strictly in the future");
       push(Event{.time = decision.decide_at,
-                 .kind = EventKind::kLengthDecision,
                  .seq = 0,
+                 .tag = 0,
                  .job = id,
-                 .tag = 0});
+                 .kind = EventKind::kLengthDecision});
     }
   }
 
@@ -182,21 +359,21 @@ void Engine::process(const Event& event) {
                   "oracle decided a completion in the past");
       rec.job.length = length;
       rec.length_known = true;
+      span_.add(Interval::from_length(rec.start, length));
       trace_event(now_, EventKind::kLengthDecision, event.job, length.ticks());
       push(Event{.time = rec.start + length,
-                 .kind = EventKind::kCompletion,
                  .seq = 0,
+                 .tag = 0,
                  .job = event.job,
-                 .tag = 0});
+                 .kind = EventKind::kCompletion});
       break;
     }
     case EventKind::kCompletion: {
       JobRecord& rec = record(event.job);
       FJS_CHECK(rec.state == JobState::kRunning, "completion of non-running job");
       rec.state = JobState::kDone;
-      auto it = std::find(running_.begin(), running_.end(), event.job);
-      FJS_CHECK(it != running_.end(), "completed job missing from running list");
-      running_.erase(it);
+      list_remove(running_, running_view_dirty_, event.job);
+      ++done_count_;
       trace_event(now_, EventKind::kCompletion, event.job,
                   rec.job.length.ticks());
       scheduler_.on_completion(*context_, event.job);
@@ -206,12 +383,12 @@ void Engine::process(const Event& event) {
     case EventKind::kArrival: {
       JobRecord& rec = record(event.job);
       FJS_CHECK(rec.state == JobState::kPending, "duplicate arrival");
-      pending_.push_back(event.job);
+      list_push(pending_, pending_view_, event.job);
       push(Event{.time = rec.job.deadline,
-                 .kind = EventKind::kDeadline,
                  .seq = 0,
+                 .tag = 0,
                  .job = event.job,
-                 .tag = 0});
+                 .kind = EventKind::kDeadline});
       trace_event(now_, EventKind::kArrival, event.job, 0);
       scheduler_.on_arrival(*context_, event.job);
       break;
@@ -223,9 +400,12 @@ void Engine::process(const Event& event) {
       }
       trace_event(now_, EventKind::kDeadline, event.job, 0);
       scheduler_.on_deadline(*context_, event.job);
-      FJS_REQUIRE(rec.state != JobState::kPending,
+      // Re-fetch: the callback may have released jobs (via an adaptive
+      // source reacting to starts), reallocating jobs_ under `rec`.
+      const JobRecord& after = record(event.job);
+      FJS_REQUIRE(after.state != JobState::kPending,
                   "scheduler " + scheduler_.name() +
-                      " left job " + rec.job.to_string() +
+                      " left job " + after.job.to_string() +
                       " unstarted at its starting deadline");
       break;
     }
@@ -245,7 +425,7 @@ void Engine::process(const Event& event) {
   }
 }
 
-SimulationResult Engine::run() {
+void Engine::drive() {
   FJS_REQUIRE(!started_, "Engine::run called twice");
   if (scheduler_.requires_clairvoyance()) {
     FJS_REQUIRE(options_.clairvoyant,
@@ -256,9 +436,20 @@ SimulationResult Engine::run() {
   apply(source_.begin());
   started_ = true;
 
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
+  // Two-source merge: the staged arrival FIFO and the heap are combined
+  // by the same (time, kind, seq) order the heap alone would yield.
+  while (true) {
+    const bool have_staged = staged_head_ < staged_.size();
+    if (!have_staged && heap_.empty()) {
+      break;
+    }
+    Event event;
+    if (have_staged &&
+        (heap_.empty() || event_before(staged_[staged_head_], heap_.front()))) {
+      event = staged_[staged_head_++];
+    } else {
+      event = pop_event();
+    }
     FJS_CHECK(now_ == Time::min() || event.time >= now_,
               "event time went backwards");
     now_ = event.time;
@@ -267,6 +458,10 @@ SimulationResult Engine::run() {
                 "engine exceeded max_events");
     process(event);
   }
+}
+
+SimulationResult Engine::run() {
+  drive();
 
   SimulationResult result;
   std::vector<Job> realized;
@@ -285,22 +480,44 @@ SimulationResult Engine::run() {
   result.schedule.validate(result.instance);
   result.trace = std::move(trace_);
   result.event_count = event_count_;
+  result.realized_span = span_.span();
+  recycle_workspace();
   return result;
+}
+
+Time Engine::run_span() {
+  drive();
+  FJS_CHECK(done_count_ == jobs_.size(),
+            "run_span: not every released job completed");
+  const Time span = span_.span();
+  recycle_workspace();
+  return span;
 }
 
 SimulationResult simulate(const Instance& instance, OnlineScheduler& scheduler,
                           bool clairvoyant, bool record_trace) {
+  thread_local EngineWorkspace workspace;
   StaticSource source(instance);
   NoDeferralOracle oracle;
   Engine engine(source, oracle, scheduler,
                 EngineOptions{.clairvoyant = clairvoyant,
-                              .record_trace = record_trace});
+                              .record_trace = record_trace,
+                              .reserve_jobs = instance.size()},
+                &workspace);
   return engine.run();
 }
 
 Time simulate_span(const Instance& instance, OnlineScheduler& scheduler,
                    bool clairvoyant) {
-  return simulate(instance, scheduler, clairvoyant).span();
+  thread_local EngineWorkspace workspace;
+  StaticSource source(instance);
+  NoDeferralOracle oracle;
+  Engine engine(source, oracle, scheduler,
+                EngineOptions{.clairvoyant = clairvoyant,
+                              .record_trace = false,
+                              .reserve_jobs = instance.size()},
+                &workspace);
+  return engine.run_span();
 }
 
 }  // namespace fjs

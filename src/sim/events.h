@@ -32,13 +32,15 @@ enum class EventKind : std::uint8_t {
 std::string to_string(EventKind kind);
 
 struct Event {
+  // Field order packs the struct into 32 bytes (wide members first); events
+  // are copied constantly on the engine's hot path.
   Time time;
-  EventKind kind = EventKind::kArrival;
   /// FIFO tie-break for identical (time, kind).
   std::uint64_t seq = 0;
-  JobId job = kInvalidJob;
   /// User data for scheduler timers.
   std::uint64_t tag = 0;
+  JobId job = kInvalidJob;
+  EventKind kind = EventKind::kArrival;
 };
 
 /// Min-heap ordering: earliest time, then kind, then insertion order.

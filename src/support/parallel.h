@@ -1,12 +1,17 @@
 // parallel_for / parallel_map over index ranges, built on ThreadPool.
 //
-// Work is split into static contiguous chunks (one per worker by default):
-// sweep iterations have similar cost, so static partitioning avoids
-// queue traffic without load-imbalance risk. Results are written to
-// pre-sized slots, so the output order is deterministic and independent of
-// the thread count — the property the serial-vs-parallel tests pin down.
+// Two chunking policies:
+//  * kStatic — contiguous chunks, one per worker. Right for sweeps whose
+//    iterations cost about the same: no queue traffic, no shared counter.
+//  * kDynamic — workers pull chunks from a shared atomic counter, so an
+//    expensive item (a slow annealing case, a pathological instance) does
+//    not leave the rest of its static chunk stranded behind it.
+// Either way results are written to pre-sized slots keyed by index, so the
+// output is deterministic and independent of thread count and policy —
+// the property the serial-vs-parallel tests pin down.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <future>
 #include <vector>
@@ -16,19 +21,53 @@
 
 namespace fjs {
 
+/// How parallel_for splits [0, count) across workers.
+enum class ChunkPolicy {
+  kStatic,   ///< contiguous chunks fixed up front (one per worker)
+  kDynamic,  ///< workers claim `min_chunk`-sized chunks from an atomic counter
+};
+
 /// Invokes fn(i) for every i in [0, count) using the given pool.
 /// Rethrows the first task exception.
 template <typename F>
 void parallel_for(ThreadPool& pool, std::size_t count, F&& fn,
-                  std::size_t min_chunk = 1) {
+                  std::size_t min_chunk = 1,
+                  ChunkPolicy policy = ChunkPolicy::kStatic) {
   FJS_REQUIRE(min_chunk >= 1, "parallel_for: min_chunk must be >= 1");
   if (count == 0) {
     return;
   }
   const std::size_t workers = pool.thread_count();
+  std::vector<std::future<void>> futures;
+  if (policy == ChunkPolicy::kDynamic) {
+    // Shared work counter; stack-local is safe because every future is
+    // awaited before return.
+    std::atomic<std::size_t> next{0};
+    const std::size_t tasks =
+        std::min(workers, (count + min_chunk - 1) / min_chunk);
+    futures.reserve(tasks);
+    for (std::size_t w = 0; w < tasks; ++w) {
+      futures.push_back(pool.submit([&fn, &next, count, min_chunk]() {
+        for (;;) {
+          const std::size_t begin =
+              next.fetch_add(min_chunk, std::memory_order_relaxed);
+          if (begin >= count) {
+            return;
+          }
+          const std::size_t end = std::min(begin + min_chunk, count);
+          for (std::size_t i = begin; i < end; ++i) {
+            fn(i);
+          }
+        }
+      }));
+    }
+    for (auto& f : futures) {
+      f.get();
+    }
+    return;
+  }
   std::size_t chunk = (count + workers - 1) / workers;
   chunk = std::max(chunk, min_chunk);
-  std::vector<std::future<void>> futures;
   for (std::size_t begin = 0; begin < count; begin += chunk) {
     const std::size_t end = std::min(begin + chunk, count);
     futures.push_back(pool.submit([&fn, begin, end]() {
@@ -52,11 +91,12 @@ void serial_for(std::size_t count, F&& fn) {
 
 /// Maps fn over [0, count) into a vector, preserving index order.
 template <typename F>
-auto parallel_map(ThreadPool& pool, std::size_t count, F&& fn)
+auto parallel_map(ThreadPool& pool, std::size_t count, F&& fn,
+                  ChunkPolicy policy = ChunkPolicy::kStatic)
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using R = decltype(fn(std::size_t{0}));
   std::vector<R> out(count);
-  parallel_for(pool, count, [&](std::size_t i) { out[i] = fn(i); });
+  parallel_for(pool, count, [&](std::size_t i) { out[i] = fn(i); }, 1, policy);
   return out;
 }
 
@@ -65,8 +105,8 @@ auto parallel_map(ThreadPool& pool, std::size_t count, F&& fn)
 /// serially over index order, so the result is deterministic.
 template <typename R, typename F, typename C>
 R parallel_reduce(ThreadPool& pool, std::size_t count, R init, F&& fn,
-                  C&& combine) {
-  auto mapped = parallel_map(pool, count, std::forward<F>(fn));
+                  C&& combine, ChunkPolicy policy = ChunkPolicy::kStatic) {
+  auto mapped = parallel_map(pool, count, std::forward<F>(fn), policy);
   R acc = std::move(init);
   for (auto& value : mapped) {
     acc = combine(std::move(acc), std::move(value));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "support/assert.h"
@@ -172,6 +173,188 @@ TEST_P(IntervalSetProperty, MatchesBitmapReference) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalSetProperty,
                          ::testing::Range<std::uint64_t>(0, 40));
+
+// ---------------------------------------------------------------------------
+// Differential coverage for the bulk-build constructor, add_hint, and the
+// linear two-pointer unite: each must produce exactly the set the n× add()
+// path produces, on edge cases and randomized inputs alike.
+
+std::vector<Interval> mixed_intervals(Rng& rng, std::size_t n) {
+  std::vector<Interval> intervals;
+  intervals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t lo = rng.uniform_int(0, 200);
+    // Mix of empty (hi == lo), short, and long intervals so runs contain
+    // duplicates, abutting pairs, containments, and full overlaps.
+    intervals.emplace_back(Time(lo), Time(lo + rng.uniform_int(0, 30)));
+  }
+  return intervals;
+}
+
+IntervalSet via_adds(const std::vector<Interval>& intervals) {
+  IntervalSet s;
+  for (const auto& iv : intervals) {
+    s.add(iv);
+  }
+  return s;
+}
+
+TEST(IntervalSetBulk, EmptyInputs) {
+  EXPECT_TRUE(IntervalSet(std::vector<Interval>{}).empty());
+  // All-empty intervals collapse to the empty set.
+  EXPECT_TRUE(IntervalSet(std::vector<Interval>{
+                              Interval(Time(3), Time(3)),
+                              Interval(Time(9), Time(4)),
+                          })
+                  .empty());
+}
+
+TEST(IntervalSetBulk, MergesAbuttingAndOverlapping) {
+  const std::vector<Interval> input = {
+      Interval(Time(4), Time(6)), Interval(Time(0), Time(2)),
+      Interval(Time(2), Time(4)),  // abuts both neighbours once sorted
+      Interval(Time(5), Time(5)),  // empty, ignored
+      Interval(Time(1), Time(3)),  // overlaps
+  };
+  const IntervalSet bulk(input);
+  EXPECT_EQ(bulk, via_adds(input));
+  EXPECT_EQ(bulk.component_count(), 1u);
+  EXPECT_EQ(bulk.component(0), Interval(Time(0), Time(6)));
+}
+
+TEST(IntervalSetBulk, KeepsDisjointComponents) {
+  const std::vector<Interval> input = {
+      Interval(Time(10), Time(12)),
+      Interval(Time(0), Time(1)),
+      Interval(Time(5), Time(7)),
+  };
+  const IntervalSet bulk(input);
+  EXPECT_EQ(bulk, via_adds(input));
+  EXPECT_EQ(bulk.component_count(), 3u);
+}
+
+TEST(IntervalSetBulk, MatchesAddsOnRandomInputs) {
+  Rng rng(11);
+  for (int round = 0; round < 200; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const std::vector<Interval> input = mixed_intervals(rng, n);
+    EXPECT_EQ(IntervalSet(input), via_adds(input));
+  }
+}
+
+TEST(IntervalSetAddHint, MatchesAddOnRandomInputs) {
+  Rng rng(13);
+  for (int round = 0; round < 200; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 60));
+    const std::vector<Interval> input = mixed_intervals(rng, n);
+    IntervalSet hinted;
+    IntervalSet plain;
+    for (const auto& iv : input) {
+      hinted.add_hint(iv);
+      plain.add(iv);
+      ASSERT_EQ(hinted, plain);
+    }
+  }
+}
+
+TEST(IntervalSetAddHint, SortedInsertsStayOnFastPath) {
+  // Nondecreasing left endpoints — the simulation-time insert order the
+  // hint is designed for, including the abutting and covered cases.
+  IntervalSet hinted;
+  IntervalSet plain;
+  const std::vector<Interval> input = {
+      Interval(Time(0), Time(3)), Interval(Time(3), Time(5)),
+      Interval(Time(4), Time(4)), Interval(Time(4), Time(9)),
+      Interval(Time(12), Time(14)),
+  };
+  for (const auto& iv : input) {
+    hinted.add_hint(iv);
+    plain.add(iv);
+  }
+  EXPECT_EQ(hinted, plain);
+  EXPECT_EQ(hinted.component_count(), 2u);
+}
+
+TEST(IntervalSetUnite, EdgeCases) {
+  IntervalSet empty;
+  IntervalSet some = via_adds({Interval(Time(1), Time(4))});
+  IntervalSet lhs = empty;
+  lhs.unite(some);
+  EXPECT_EQ(lhs, some);
+  IntervalSet rhs = some;
+  rhs.unite(empty);
+  EXPECT_EQ(rhs, some);
+  // Abutting components across the two sets must fuse.
+  IntervalSet a = via_adds({Interval(Time(0), Time(2))});
+  const IntervalSet b = via_adds({Interval(Time(2), Time(4))});
+  a.unite(b);
+  EXPECT_EQ(a.component_count(), 1u);
+  EXPECT_EQ(a.component(0), Interval(Time(0), Time(4)));
+}
+
+TEST(IntervalSetSortedUnionMeasure, MatchesSetMeasure) {
+  Rng rng(29);
+  for (int round = 0; round < 200; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 60));
+    std::vector<Interval> input = mixed_intervals(rng, n);
+    std::sort(input.begin(), input.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    EXPECT_EQ(IntervalSet::sorted_union_measure(input),
+              IntervalSet(input).measure());
+  }
+}
+
+TEST(IntervalSetReplaceInSorted, KeepsOrderAndContents) {
+  Rng rng(37);
+  for (int round = 0; round < 100; ++round) {
+    const auto n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 30));
+    std::vector<Interval> sorted = mixed_intervals(rng, n);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const Interval old_iv = sorted[victim];
+    const std::int64_t lo = rng.uniform_int(0, 200);
+    const Interval new_iv(Time(lo), Time(lo + rng.uniform_int(0, 30)));
+    std::vector<Interval> expected = sorted;
+    expected[victim] = new_iv;
+    std::sort(expected.begin(), expected.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    IntervalSet::replace_in_sorted(sorted, old_iv, new_iv);
+    // Same multiset of intervals, still sorted by lo; union measures agree.
+    ASSERT_TRUE(std::is_sorted(
+        sorted.begin(), sorted.end(),
+        [](const Interval& a, const Interval& b) { return a.lo < b.lo; }));
+    EXPECT_EQ(IntervalSet::sorted_union_measure(sorted),
+              IntervalSet::sorted_union_measure(expected));
+    EXPECT_EQ(IntervalSet(sorted), IntervalSet(expected));
+  }
+}
+
+TEST(IntervalSetReplaceInSorted, MissingOldIntervalThrows) {
+  std::vector<Interval> sorted = {Interval(Time(0), Time(2)),
+                                  Interval(Time(5), Time(9))};
+  EXPECT_THROW(IntervalSet::replace_in_sorted(
+                   sorted, Interval(Time(0), Time(3)), Interval(Time(1), Time(2))),
+               AssertionError);
+}
+
+TEST(IntervalSetUnite, MatchesAddLoopOnRandomInputs) {
+  Rng rng(17);
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<Interval> first =
+        mixed_intervals(rng, static_cast<std::size_t>(rng.uniform_int(0, 40)));
+    const std::vector<Interval> second =
+        mixed_intervals(rng, static_cast<std::size_t>(rng.uniform_int(0, 40)));
+    IntervalSet merged = via_adds(first);
+    merged.unite(via_adds(second));
+    IntervalSet expected = via_adds(first);
+    for (const auto& iv : second) {
+      expected.add(iv);
+    }
+    EXPECT_EQ(merged, expected);
+  }
+}
 
 }  // namespace
 }  // namespace fjs

@@ -6,6 +6,7 @@
 #include "schedulers/eager.h"
 #include "schedulers/lazy.h"
 #include "support/assert.h"
+#include "workload/generator.h"
 
 namespace fjs {
 namespace {
@@ -284,6 +285,65 @@ TEST(Engine, ClairvoyantRunRequiresLengthsAtRelease) {
   EagerScheduler eager;
   Engine engine(source, oracle, eager, EngineOptions{.clairvoyant = true});
   EXPECT_THROW(engine.run(), AssertionError);
+}
+
+Instance sim_workload(std::size_t jobs, double rate, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.job_count = jobs;
+  config.arrival_rate = rate;
+  return generate_workload(config, seed);
+}
+
+TEST(Engine, RealizedSpanMatchesScheduleSpan) {
+  const Instance inst = sim_workload(60, 3.0, 31);
+  EagerScheduler eager;
+  const SimulationResult result = simulate(inst, eager, false);
+  EXPECT_EQ(result.span(), result.schedule.span(result.instance));
+}
+
+TEST(Engine, SimulateSpanMatchesFullSimulation) {
+  // The fast path must agree with the full result on realistic workloads
+  // (eager exercises immediate starts, lazy exercises deadline starts).
+  for (const std::uint64_t seed : {1ULL, 7ULL, 19ULL}) {
+    const Instance inst = sim_workload(80, 2.5, seed);
+    EagerScheduler eager;
+    LazyScheduler lazy;
+    EXPECT_EQ(simulate_span(inst, eager, false),
+              simulate(inst, eager, false).span());
+    EXPECT_EQ(simulate_span(inst, lazy, false),
+              simulate(inst, lazy, false).span());
+  }
+}
+
+TEST(Engine, RepeatedSimulationsAreIdentical) {
+  // simulate() recycles a thread-local workspace; reuse must not leak any
+  // state between runs.
+  const Instance inst = sim_workload(50, 2.0, 5);
+  EagerScheduler eager;
+  const SimulationResult first = simulate(inst, eager, false);
+  for (int i = 0; i < 3; ++i) {
+    const SimulationResult again = simulate(inst, eager, false);
+    EXPECT_EQ(again.event_count, first.event_count);
+    EXPECT_EQ(again.span(), first.span());
+    ASSERT_EQ(again.schedule.size(), first.schedule.size());
+    for (JobId id = 0; id < first.schedule.size(); ++id) {
+      EXPECT_EQ(again.schedule.start(id), first.schedule.start(id));
+    }
+  }
+}
+
+TEST(Engine, WorkspaceReuseAcrossDifferentInstances) {
+  // Interleave runs of different sizes through the same thread-local
+  // workspace; each must match a fresh computation.
+  EagerScheduler eager;
+  const Instance small = sim_workload(5, 1.0, 2);
+  const Instance large = sim_workload(120, 2.0, 3);
+  const Time small_span = simulate(small, eager, false).span();
+  const Time large_span = simulate(large, eager, false).span();
+  EXPECT_EQ(simulate(large, eager, false).span(), large_span);
+  EXPECT_EQ(simulate(small, eager, false).span(), small_span);
+  EXPECT_EQ(simulate_span(small, eager, false), small_span);
+  EXPECT_EQ(simulate_span(large, eager, false), large_span);
 }
 
 }  // namespace

@@ -106,6 +106,87 @@ TEST(ParallelFor, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(compute(1), compute(7));
 }
 
+TEST(ParallelForDynamic, VisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; }, 1,
+               ChunkPolicy::kDynamic);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForDynamic, RespectsMinChunk) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(97);  // not a multiple of min_chunk
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; }, 8,
+               ChunkPolicy::kDynamic);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForDynamic, DeterministicAcrossThreadCounts) {
+  // Slot-indexed writes make the output independent of which worker
+  // claims which chunk; 1, 2, and 8 threads must agree exactly even with
+  // deliberately uneven per-item costs.
+  auto compute = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(512);
+    parallel_for(
+        pool, out.size(),
+        [&](std::size_t i) {
+          std::uint64_t acc = i;
+          // Uneven work: later indices spin longer.
+          for (std::size_t k = 0; k < i * 10; ++k) {
+            acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+          }
+          out[i] = acc;
+        },
+        1, ChunkPolicy::kDynamic);
+    return out;
+  };
+  const auto one = compute(1);
+  EXPECT_EQ(one, compute(2));
+  EXPECT_EQ(one, compute(8));
+}
+
+TEST(ParallelForDynamic, MatchesStaticPolicy) {
+  ThreadPool pool(4);
+  std::vector<double> dynamic_out(300);
+  std::vector<double> static_out(300);
+  parallel_for(pool, dynamic_out.size(),
+               [&](std::size_t i) { dynamic_out[i] = i * 0.5; }, 1,
+               ChunkPolicy::kDynamic);
+  parallel_for(pool, static_out.size(),
+               [&](std::size_t i) { static_out[i] = i * 0.5; }, 1,
+               ChunkPolicy::kStatic);
+  EXPECT_EQ(dynamic_out, static_out);
+}
+
+TEST(ParallelForDynamic, RethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   pool, 64,
+                   [](std::size_t i) {
+                     if (i == 17) {
+                       throw std::runtime_error("dynamic task failed");
+                     }
+                   },
+                   1, ChunkPolicy::kDynamic),
+               std::runtime_error);
+}
+
+TEST(ParallelMapDynamic, PreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out = parallel_map(
+      pool, 100, [](std::size_t i) { return i * i; }, ChunkPolicy::kDynamic);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
 TEST(GlobalPool, IsUsable) {
   auto f = global_pool().submit([] { return 1; });
   EXPECT_EQ(f.get(), 1);
