@@ -23,7 +23,7 @@ int main() {
   using namespace fjs;
 
   std::cout << "E12: offline-OPT estimator quality on exact-solvable"
-               " instances\n(10 jobs, integral, 8 workload families x 8"
+               " instances\n(12 jobs, integral, 8 workload families x 8"
                " seeds).\n\n";
 
   struct Case {
@@ -31,7 +31,7 @@ int main() {
     Instance instance;
   };
   std::vector<Case> cases;
-  for (const auto& named : integral_suite(10)) {
+  for (const auto& named : integral_suite(12)) {
     for (std::uint64_t seed = 0; seed < 8; ++seed) {
       cases.push_back(
           Case{named.name, generate_workload(named.config, seed)});
@@ -44,6 +44,7 @@ int main() {
     Time annealed;
     Time lb;
     std::size_t nodes;
+    std::size_t cache_hits;
   };
   std::vector<Row> rows(cases.size());
   parallel_for(global_pool(), cases.size(), [&](std::size_t i) {
@@ -53,13 +54,15 @@ int main() {
                   .heuristic = heuristic_span(inst),
                   .annealed = anneal_schedule(inst).span,
                   .lb = best_lower_bound(inst),
-                  .nodes = exact.nodes_explored};
+                  .nodes = exact.nodes_explored,
+                  .cache_hits = exact.cache_hits};
   });
 
   Summary heuristic_gap;
   Summary anneal_gap;
   Summary lb_gap;
   Summary nodes;
+  Summary cache_hits;
   std::size_t heuristic_exact_hits = 0;
   std::size_t anneal_exact_hits = 0;
   for (const Row& row : rows) {
@@ -67,6 +70,7 @@ int main() {
     anneal_gap.add(time_ratio(row.annealed, row.opt));
     lb_gap.add(time_ratio(row.opt, row.lb));
     nodes.add(static_cast<double>(row.nodes));
+    cache_hits.add(static_cast<double>(row.cache_hits));
     heuristic_exact_hits += row.heuristic == row.opt ? 1u : 0u;
     anneal_exact_hits += row.annealed == row.opt ? 1u : 0u;
   }
@@ -92,7 +96,9 @@ int main() {
 
   std::cout << "exact solver nodes: mean "
             << format_double(nodes.mean(), 1) << ", max "
-            << format_double(nodes.max(), 0) << "\n"
+            << format_double(nodes.max(), 0) << " (transposition hits: mean "
+            << format_double(cache_hits.mean(), 1) << ", max "
+            << format_double(cache_hits.max(), 0) << ")\n"
             << "Reading: the local search is near-exact on small"
                " instances, so E5-E8 ratio brackets are tight;\nthe LB gap"
                " shows how conservative upper ratio estimates are.\n";

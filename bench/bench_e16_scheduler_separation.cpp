@@ -36,7 +36,7 @@ double pair_objective(const Instance& instance, const std::string& a,
 }  // namespace
 
 int main() {
-  std::cout << "E16: pairwise separation mining (8 jobs, unit grid)."
+  std::cout << "E16: pairwise separation mining (10 jobs, unit grid)."
                " Objective: maximize span(A)/span(B)\n— how badly can A"
                " lose to B on a crafted instance?\n\n";
 
@@ -57,6 +57,7 @@ int main() {
     options.population = 256;
     options.rounds = 80;
     options.mutations_per_round = 32;
+    options.jobs = 10;
     options.seed = 0xE16ULL + i;
     results[i] = mine_instance(
         [&](const Instance& inst) {

@@ -6,6 +6,7 @@
 // cost, and parallel sweep speedup.
 #include <benchmark/benchmark.h>
 
+#include "adversary/instance_miner.h"
 #include "analysis/sweep.h"
 #include "core/interval_set.h"
 #include "offline/exact.h"
@@ -107,20 +108,86 @@ void BM_IntervalSetAddIncremental(benchmark::State& state) {
 
 BENCHMARK(BM_IntervalSetAddIncremental)->Arg(100)->Arg(1'000)->Arg(10'000);
 
-void BM_ExactSolver(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
+Instance solver_instance(std::size_t jobs) {
   WorkloadConfig config;
   config.job_count = jobs;
   config.integral = true;
   config.laxity_max = 4.0;
-  const Instance inst = generate_workload(config, 3);
+  return generate_workload(config, 3);
+}
+
+// Branch-and-bound solver: the extended args (12, 14) were out of reach for
+// the grid DFS, which is benchmarked separately below at its feasible sizes.
+void BM_ExactSolver(benchmark::State& state) {
+  const Instance inst = solver_instance(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(exact_optimal_span(inst));
   }
 }
 
-BENCHMARK(BM_ExactSolver)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+BENCHMARK(BM_ExactSolver)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14)
     ->Unit(benchmark::kMicrosecond);
+
+// Legacy grid DFS on the same instances — the "before" curve.
+void BM_ExactSolverReference(benchmark::State& state) {
+  const Instance inst = solver_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_optimal_span_reference(inst));
+  }
+}
+
+BENCHMARK(BM_ExactSolverReference)->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMicrosecond);
+
+// Miner throughput at fixed search effort (identical candidate sequences in
+// both variants — the objective values, and therefore the hill-climbing
+// path, are the same). items/s counts candidate evaluations.
+MinerOptions miner_bench_options() {
+  MinerOptions options;
+  options.population = 32;
+  options.rounds = 12;
+  options.mutations_per_round = 16;
+  options.jobs = 10;  // large enough that certification dominates mining
+  options.seed = 17;
+  return options;
+}
+
+void BM_Miner(benchmark::State& state) {
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    const MinerResult result = mine_worst_case("batch", miner_bench_options());
+    evaluations += result.evaluations;
+    benchmark::DoNotOptimize(result.worst_ratio);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.SetLabel("candidate evaluations");
+}
+
+BENCHMARK(BM_Miner)->Unit(benchmark::kMillisecond);
+
+// The pre-PR-2 mining stack at the same search effort: no objective memo
+// and grid-DFS certification.
+void BM_MinerLegacy(benchmark::State& state) {
+  MinerOptions options = miner_bench_options();
+  options.use_objective_memo = false;
+  const bool clairvoyant = make_scheduler("batch")->requires_clairvoyance();
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    const MinerResult result = mine_instance(
+        [clairvoyant](const Instance& instance) {
+          const auto scheduler = make_scheduler("batch");
+          const Time span = simulate_span(instance, *scheduler, clairvoyant);
+          return time_ratio(span, exact_optimal_span_reference(instance));
+        },
+        options);
+    evaluations += result.evaluations;
+    benchmark::DoNotOptimize(result.worst_ratio);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.SetLabel("candidate evaluations");
+}
+
+BENCHMARK(BM_MinerLegacy)->Unit(benchmark::kMillisecond);
 
 void BM_Heuristic(benchmark::State& state) {
   const Instance inst =

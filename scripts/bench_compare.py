@@ -14,10 +14,12 @@ non-zero, so the committed BENCH_e9.json baseline acts as a gate:
         --benchmark_out=bench_current.json --benchmark_out_format=json
     scripts/bench_compare.py BENCH_e9.json bench_current.json
 
-Benchmarks present in only one file are listed but never fatal, so the
-gate does not block adding or retiring benchmarks. Single-machine noise
-easily reaches a few percent; compare runs taken back-to-back on an
-otherwise idle machine before trusting a failure.
+Benchmarks present in only one file are reported as added/removed with a
+warning but are never fatal, so the gate does not block adding or
+retiring benchmarks. Pass --json PATH (or --json -) to also emit a
+machine-readable summary of the comparison. Single-machine noise easily
+reaches a few percent; compare runs taken back-to-back on an otherwise
+idle machine before trusting a failure.
 """
 
 import argparse
@@ -57,6 +59,12 @@ def main():
         default=0.15,
         help="fractional regression that fails the gate (default 0.15)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write a machine-readable comparison summary to PATH "
+        "('-' for stdout)",
+    )
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -88,12 +96,46 @@ def main():
         print(f"{name:<{width}}  {metric:<16}  {base_value:>12.4g}  "
               f"{curr_value:>12.4g}  {change:>+7.1%}{flag}")
 
-    only_base = sorted(set(base) - set(curr))
-    only_curr = sorted(set(curr) - set(base))
-    if only_base:
-        print(f"only in baseline: {', '.join(only_base)}")
-    if only_curr:
-        print(f"only in current:  {', '.join(only_curr)}")
+    # One-sided benchmarks: the set changed (benchmark added or retired).
+    # Worth a warning — a rename silently drops a gate — but never fatal.
+    removed = sorted(set(base) - set(curr))
+    added = sorted(set(curr) - set(base))
+    if removed:
+        print(f"warning: {len(removed)} benchmark(s) removed since the "
+              f"baseline (not compared): {', '.join(removed)}")
+    if added:
+        print(f"warning: {len(added)} benchmark(s) added since the "
+              f"baseline (not compared): {', '.join(added)}")
+
+    if args.json:
+        summary = {
+            "baseline": args.baseline,
+            "current": args.current,
+            "threshold": args.threshold,
+            "compared": len(rows),
+            "regressions": regressions,
+            "added": added,
+            "removed": removed,
+            "benchmarks": [
+                {
+                    "name": name,
+                    "metric": metric,
+                    "baseline": base_value,
+                    "current": curr_value,
+                    "change": change,
+                    "regressed": regressed,
+                }
+                for name, metric, base_value, curr_value, change, regressed
+                in rows
+            ],
+        }
+        if args.json == "-":
+            json.dump(summary, sys.stdout, indent=2)
+            print()
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2)
+                fh.write("\n")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "

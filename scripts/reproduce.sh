@@ -10,6 +10,17 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Sanitizer smoke: the offline certification stack (exact solver, bounds,
+# miner, differential pins) under ASan+UBSan. Fast mode — only the tests
+# whose memory behavior PR 2 changed, not the full suite.
+cmake --preset asan-ubsan
+cmake --build build-asan --target \
+  test_offline_exact test_offline_bounds test_adversary_miner \
+  test_differential
+ctest --test-dir build-asan --output-on-failure \
+  -R 'test_offline_exact|test_offline_bounds|test_adversary_miner|test_differential' \
+  2>&1 | tee -a test_output.txt
+
 # Fast perf smoke: a short E9 subset on every run, emitted as JSON and
 # diffed against the committed baseline. A >15% drop on this machine is
 # only a warning here (single runs are noisy); rerun the full bench

@@ -1,12 +1,19 @@
 #include "adversary/instance_miner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "offline/exact.h"
 #include "schedulers/registry.h"
 #include "sim/engine.h"
 #include "support/assert.h"
+#include "support/parallel.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace fjs {
 namespace {
@@ -76,6 +83,94 @@ Instance mutate(const Instance& instance, Rng& rng,
   return Instance(std::move(jobs));
 }
 
+/// Memo key: the exact job list in tick units. Mutations preserve job
+/// order, so revisited candidates (the common case in hill climbing) hit;
+/// permuted duplicates are treated as distinct, which only costs a call.
+using MemoKey = std::vector<std::int64_t>;
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& key) const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const std::int64_t v : key) {
+      h ^= static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+MemoKey memo_key(const Instance& instance) {
+  MemoKey key;
+  key.reserve(instance.size() * 3);
+  for (const Job& j : instance.jobs()) {
+    key.push_back(j.arrival.ticks());
+    key.push_back(j.deadline.ticks());
+    key.push_back(j.length.ticks());
+  }
+  return key;
+}
+
+/// Evaluates candidate batches: dedupes against the memo, runs the misses
+/// through parallel_map when a pool is attached, and hands values back in
+/// proposal order. Deterministic for any thread count because candidate
+/// order is fixed before evaluation and the objective is deterministic.
+class BatchEvaluator {
+ public:
+  BatchEvaluator(const std::function<double(const Instance&)>& objective,
+                 const MinerOptions& options)
+      : objective_(objective), options_(options) {}
+
+  std::vector<double> evaluate(const std::vector<Instance>& batch) {
+    std::vector<MemoKey> keys(batch.size());
+    std::vector<std::size_t> misses;  // first occurrence of each unknown key
+    misses.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      keys[i] = memo_key(batch[i]);
+      if (!options_.use_objective_memo) {
+        misses.push_back(i);
+      } else if (memo_.find(keys[i]) == memo_.end()) {
+        memo_.emplace(keys[i], kPending);  // reserve: intra-batch dup = hit
+        misses.push_back(i);
+      }
+    }
+    std::vector<double> fresh;
+    if (options_.pool != nullptr && options_.pool->thread_count() > 1 &&
+        misses.size() > 1) {
+      fresh = parallel_map(
+          *options_.pool, misses.size(),
+          [&](std::size_t m) { return objective_(batch[misses[m]]); },
+          ChunkPolicy::kDynamic);
+    } else {
+      fresh.reserve(misses.size());
+      for (const std::size_t m : misses) {
+        fresh.push_back(objective_(batch[m]));
+      }
+    }
+    if (!options_.use_objective_memo) {
+      return fresh;
+    }
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      memo_[keys[misses[m]]] = fresh[m];
+    }
+    std::vector<double> values(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      values[i] = memo_.at(keys[i]);
+    }
+    memo_hits_ += batch.size() - misses.size();
+    return values;
+  }
+
+  std::size_t memo_hits() const { return memo_hits_; }
+
+ private:
+  static constexpr double kPending = 0.0;  // placeholder until filled above
+
+  const std::function<double(const Instance&)>& objective_;
+  const MinerOptions& options_;
+  std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
+  std::size_t memo_hits_ = 0;
+};
+
 }  // namespace
 
 MinerResult mine_instance(
@@ -85,46 +180,58 @@ MinerResult mine_instance(
   FJS_REQUIRE(options.jobs >= 1, "miner: jobs must be >= 1");
   Rng rng(options.seed);
   MinerResult result;
+  BatchEvaluator evaluator(objective, options);
 
-  auto evaluate = [&](const Instance& instance) {
-    ++result.evaluations;
-    return objective(instance);
-  };
+  // Candidates are generated serially — one RNG stream, same draw order as
+  // the original interleaved miner — then evaluated as a batch. Picking the
+  // first strict improvement in proposal order reproduces the original
+  // running-max selection exactly, so trajectories are bit-identical to the
+  // serial miner's for any pool size.
+  std::vector<Instance> batch;
+  batch.reserve(std::max(options.population, options.mutations_per_round));
 
   // Seeding round.
-  Instance best = random_instance(rng, options);
-  double best_ratio = evaluate(best);
-  for (std::size_t i = 1; i < options.population; ++i) {
-    Instance candidate = random_instance(rng, options);
-    const double ratio = evaluate(candidate);
-    if (ratio > best_ratio) {
-      best_ratio = ratio;
-      best = std::move(candidate);
+  for (std::size_t i = 0; i < options.population; ++i) {
+    batch.push_back(random_instance(rng, options));
+  }
+  std::vector<double> values = evaluator.evaluate(batch);
+  result.evaluations += batch.size();
+  std::size_t best_idx = 0;
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    if (values[i] > values[best_idx]) {
+      best_idx = i;
     }
   }
+  Instance best = std::move(batch[best_idx]);
+  double best_ratio = values[best_idx];
   result.trajectory.push_back(best_ratio);
 
   // Hill climbing.
   for (std::size_t round = 0; round < options.rounds; ++round) {
-    Instance round_best = best;
-    double round_ratio = best_ratio;
+    batch.clear();
     for (std::size_t m = 0; m < options.mutations_per_round; ++m) {
-      Instance candidate = mutate(best, rng, options);
-      const double ratio = evaluate(candidate);
-      if (ratio > round_ratio) {
-        round_ratio = ratio;
-        round_best = std::move(candidate);
+      batch.push_back(mutate(best, rng, options));
+    }
+    values = evaluator.evaluate(batch);
+    result.evaluations += batch.size();
+    std::size_t pick = batch.size();
+    double round_ratio = best_ratio;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (values[i] > round_ratio) {
+        round_ratio = values[i];
+        pick = i;
       }
     }
-    if (round_ratio > best_ratio) {
+    if (pick != batch.size()) {
+      best = std::move(batch[pick]);
       best_ratio = round_ratio;
-      best = std::move(round_best);
     }
     result.trajectory.push_back(best_ratio);
   }
 
   result.worst_instance = std::move(best);
   result.worst_ratio = best_ratio;
+  result.memo_hits = evaluator.memo_hits();
   return result;
 }
 
@@ -132,13 +239,28 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
                             MinerOptions options) {
   const auto probe = make_scheduler(scheduler_key);
   const bool clairvoyant = probe->requires_clairvoyance();
-  return mine_instance(
-      [&scheduler_key, clairvoyant](const Instance& instance) {
+  auto budget_skips = std::make_shared<std::atomic<std::size_t>>(0);
+  MinerResult result = mine_instance(
+      [&scheduler_key, clairvoyant, budget_skips](const Instance& instance) {
         const auto scheduler = make_scheduler(scheduler_key);
         const Time span = simulate_span(instance, *scheduler, clairvoyant);
-        return time_ratio(span, exact_optimal_span(instance));
+        // At mining sizes the heuristic incumbent costs more than the whole
+        // branch-and-bound, and a budget-exceeded candidate is discarded
+        // anyway — skip the seeding pass.
+        ExactOptions exact_options;
+        exact_options.seed_with_heuristic = false;
+        const ExactResult opt = exact_optimal(instance, exact_options);
+        if (!opt.optimal()) {
+          // Uncertifiable candidate: discard it instead of aborting the
+          // whole mine — a ratio of 0 never survives selection.
+          budget_skips->fetch_add(1, std::memory_order_relaxed);
+          return 0.0;
+        }
+        return time_ratio(span, opt.span);
       },
       options);
+  result.budget_skips = budget_skips->load(std::memory_order_relaxed);
+  return result;
 }
 
 }  // namespace fjs

@@ -17,6 +17,8 @@
 
 namespace fjs {
 
+class ThreadPool;
+
 struct MinerOptions {
   /// Random instances evaluated in the seeding round.
   std::size_t population = 64;
@@ -30,6 +32,17 @@ struct MinerOptions {
   std::int64_t max_laxity = 5;
   std::int64_t max_length = 5;
   std::uint64_t seed = 0xBADF00DULL;
+  /// Optional pool: each seeding/mutation batch is evaluated through
+  /// parallel_map. The objective must then be thread-safe. Candidate
+  /// generation stays serial (one RNG stream), and values are reduced in
+  /// proposal order, so the mined result and the whole `trajectory` are
+  /// identical for ANY thread count, including none.
+  ThreadPool* pool = nullptr;
+  /// Memoize objective values keyed on the exact job list. Hill climbing
+  /// re-proposes near-duplicate candidates constantly; with the memo a
+  /// revisited instance is never re-solved. The objective is required to be
+  /// deterministic, so memoization never changes any result.
+  bool use_objective_memo = true;
 };
 
 struct MinerResult {
@@ -38,7 +51,14 @@ struct MinerResult {
   double worst_ratio = 0.0;
   /// Best ratio after seeding and after each round (non-decreasing).
   std::vector<double> trajectory;
+  /// Candidate evaluations consumed (memoized or not) — the search effort.
+  /// Objective *calls* are evaluations - memo_hits.
   std::size_t evaluations = 0;
+  /// Evaluations served from the objective memo instead of a fresh call.
+  std::size_t memo_hits = 0;
+  /// mine_worst_case only: candidates discarded because the exact solver's
+  /// node budget ran out before certifying OPT (objective treated as 0).
+  std::size_t budget_skips = 0;
 };
 
 /// Mines a worst case for the scheduler registry key (clairvoyance is

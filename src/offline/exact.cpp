@@ -1,136 +1,784 @@
+// Branch-and-bound exact solver. See exact.h for the critical-start
+// completeness argument; the short version of the design:
+//
+//  * Nodes are (remaining-job set, union of placed intervals). Branching is
+//    over (job, critical start) pairs — job choice included, so the
+//    anchor-first placement orders the completeness proof needs are
+//    reachable.
+//  * A transposition cache keyed on the node state collapses the
+//    permutation redundancy job-choice branching creates: the minimal
+//    completion span is a function of the state alone, not of the path.
+//    Entries are fail-soft: exact values short-circuit whole subtrees,
+//    lower bounds prune re-visits under a tighter incumbent.
+//  * The admissible bound merges the placed components with the remaining
+//    jobs' mandatory regions through IntervalSet::sorted_union_measure on
+//    depth-indexed scratch buffers — no IntervalSet materialization per
+//    node.
+//  * Budget exhaustion is a structured result (best-so-far incumbent), not
+//    an assertion: miners and sweeps decide how to handle it.
 #include "offline/exact.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/interval_set.h"
+#include "offline/heuristic.h"
 #include "support/assert.h"
+#include "support/parallel.h"
+#include "support/thread_pool.h"
 
 namespace fjs {
 namespace {
 
-/// DFS state shared across the recursion.
-struct Search {
-  const Instance& instance;
-  const ExactOptions& options;
-  std::vector<JobId> order;               // most-constrained-first
-  std::vector<IntervalSet> mandatory_sfx; // suffix unions of mandatory regions
-  std::vector<Time> chosen;               // start per order position
-  std::vector<Time> best_starts;
-  Time best_span = Time::max();
-  std::size_t nodes = 0;
+using Mask = std::uint64_t;
 
-  Search(const Instance& inst, const ExactOptions& opts)
-      : instance(inst), options(opts) {}
+/// Sorted, disjoint, non-abutting components of the placed union — a plain
+/// vector so child states are one bounded memmove, not an IntervalSet.
+using Components = std::vector<Interval>;
 
-  void run() {
-    build_order();
-    build_mandatory_suffixes();
-    chosen.resize(order.size());
-    best_starts.resize(order.size());
-    IntervalSet placed;
-    dfs(0, placed);
-    FJS_CHECK(best_span < Time::max(), "exact: no schedule found");
+constexpr Mask bit(JobId j) { return Mask{1} << j; }
+
+Time components_measure(const Components& comps) {
+  Time total = Time::zero();
+  for (const Interval& c : comps) {
+    total += c.length();
   }
+  return total;
+}
 
-  void build_order() {
-    order = instance.ids_by_deadline();
-    // Most-constrained-first: small laxity branches less; longer jobs first
-    // among equals so big intervals prune early.
-    std::stable_sort(order.begin(), order.end(), [this](JobId a, JobId b) {
-      const Job& ja = instance.job(a);
-      const Job& jb = instance.job(b);
-      if (ja.laxity() != jb.laxity()) {
-        return ja.laxity() < jb.laxity();
-      }
-      return ja.length > jb.length;
-    });
+/// dst = src with `iv` merged in (abutting intervals coalesce, matching
+/// IntervalSet semantics so spans agree tick-for-tick).
+void with_inserted(const Components& src, const Interval& iv,
+                   Components& dst) {
+  dst.clear();
+  std::size_t i = 0;
+  while (i < src.size() && src[i].hi < iv.lo) {
+    dst.push_back(src[i++]);
   }
-
-  void build_mandatory_suffixes() {
-    mandatory_sfx.assign(order.size() + 1, IntervalSet{});
-    for (std::size_t i = order.size(); i-- > 0;) {
-      mandatory_sfx[i] = mandatory_sfx[i + 1];
-      const Job& j = instance.job(order[i]);
-      mandatory_sfx[i].add(Interval(j.deadline, j.arrival + j.length));
-    }
+  Time lo = iv.lo;
+  Time hi = iv.hi;
+  while (i < src.size() && src[i].lo <= hi) {
+    lo = std::min(lo, src[i].lo);
+    hi = std::max(hi, src[i].hi);
+    ++i;
   }
-
-  Time bound_with_mandatory(const IntervalSet& placed, std::size_t index) {
-    IntervalSet merged = placed;
-    merged.unite(mandatory_sfx[index]);
-    return merged.measure();
+  dst.push_back(Interval(lo, hi));
+  while (i < src.size()) {
+    dst.push_back(src[i++]);
   }
+}
 
-  void dfs(std::size_t index, const IntervalSet& placed) {
-    ++nodes;
-    FJS_REQUIRE(nodes <= options.max_nodes,
-                "exact: node budget exhausted — instance too large for the "
-                "exact solver");
-    if (index == order.size()) {
-      const Time span = placed.measure();
-      if (span < best_span) {
-        best_span = span;
-        best_starts = chosen;
-      }
-      return;
+/// Measure of `iv` not covered by the components — the marginal span cost
+/// of placing an interval there.
+Time uncovered(const Components& comps, const Interval& iv) {
+  Time covered = Time::zero();
+  for (const Interval& c : comps) {
+    if (c.lo >= iv.hi) {
+      break;
     }
-    if (bound_with_mandatory(placed, index) >= best_span) {
-      return;  // admissible bound: cannot beat the incumbent
-    }
-    const Job& j = instance.job(order[index]);
+    covered += c.intersect(iv).length();
+  }
+  return iv.length() - covered;
+}
 
-    // Enumerate grid starts, cheapest marginal contribution first — good
-    // incumbents early make the bound bite.
-    struct Candidate {
-      Time start;
-      Time marginal;
-    };
-    std::vector<Candidate> candidates;
-    const std::int64_t q = options.quantum.ticks();
-    for (std::int64_t s = j.arrival.ticks(); s <= j.deadline.ticks(); s += q) {
-      const Interval iv = j.active_interval(Time(s));
-      candidates.push_back(Candidate{Time(s), placed.uncovered_measure(iv)});
-    }
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [](const Candidate& a, const Candidate& b) {
-                       return a.marginal < b.marginal;
-                     });
-    for (const Candidate& cand : candidates) {
-      IntervalSet next = placed;
-      next.add(j.active_interval(cand.start));
-      chosen[index] = cand.start;
-      dfs(index + 1, next);
+/// State shared between the per-worker searches of one exact_optimal call.
+struct Shared {
+  std::atomic<std::int64_t> incumbent;  // best known complete-span ticks
+  std::atomic<std::size_t> nodes{0};
+  std::atomic<bool> aborted{false};
+  std::size_t max_nodes;
+
+  Shared(Time seed_span, std::size_t budget)
+      : incumbent(seed_span.ticks()), max_nodes(budget) {}
+
+  void offer_incumbent(Time span) {
+    std::int64_t cur = incumbent.load(std::memory_order_relaxed);
+    while (span.ticks() < cur &&
+           !incumbent.compare_exchange_weak(cur, span.ticks(),
+                                            std::memory_order_relaxed)) {
     }
   }
 };
 
+struct StateKey {
+  Mask mask = 0;
+  std::vector<std::int64_t> comps;  // flattened (lo, hi) ticks
+
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& key) const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ key.mask;
+    for (const std::int64_t v : key.comps) {
+      h ^= static_cast<std::uint64_t>(v) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct CacheEntry {
+  std::int64_t value;
+  bool exact;  // true: value == optimal completion; false: value <= it
+};
+
+struct Move {
+  JobId job;
+  Time start;
+  Time marginal;
+};
+
+struct Outcome {
+  Time value;
+  bool exact;
+};
+
+/// One worker's search: owns its transposition cache and scratch buffers;
+/// shares the incumbent / node budget through Shared.
+class Search {
+ public:
+  Search(const Instance& inst, const ExactOptions& opts, Shared& shared)
+      : inst_(inst), opts_(opts), shared_(shared) {
+    const std::size_t n = inst.size();
+    lengths_.resize(n);
+    lower_twins_.assign(n, 0);
+    for (JobId j = 0; j < n; ++j) {
+      const Job& job = inst.job(j);
+      lengths_[j] = job.length;
+      for (JobId k = 0; k < j; ++k) {
+        const Job& other = inst.job(k);
+        if (other.arrival == job.arrival && other.deadline == job.deadline &&
+            other.length == job.length) {
+          lower_twins_[j] |= bit(k);
+        }
+      }
+      const Interval mand(job.deadline, job.arrival + job.length);
+      if (!mand.empty()) {
+        mandatory_.push_back(MandatoryRegion{mand, j});
+      }
+    }
+    std::stable_sort(mandatory_.begin(), mandatory_.end(),
+                     [](const MandatoryRegion& a, const MandatoryRegion& b) {
+                       return a.iv.lo < b.iv.lo;
+                     });
+    by_arrival_ = inst.ids_by_arrival();
+
+    if (opts.use_integral_fast_path) {
+      std::int64_t g = 0;
+      for (const Job& job : inst.jobs()) {
+        g = std::gcd(g, job.arrival.ticks());
+        g = std::gcd(g, job.deadline.ticks());
+        g = std::gcd(g, job.length.ticks());
+      }
+      std::int64_t max_starts = 0;
+      if (g > 0) {
+        for (const Job& job : inst.jobs()) {
+          max_starts =
+              std::max(max_starts, (job.deadline - job.arrival).ticks() / g + 1);
+        }
+      }
+      if (g > 0 && max_starts <= kMaxGridStarts) {
+        grid_ = g;
+        // Most-constrained-first, matching the reference DFS: small laxity
+        // branches less, longer jobs among equals prune earlier.
+        fixed_order_.resize(n);
+        for (JobId j = 0; j < n; ++j) {
+          fixed_order_[j] = j;
+        }
+        std::sort(fixed_order_.begin(), fixed_order_.end(),
+                  [&inst](JobId a, JobId b) {
+                    const Job& ja = inst.job(a);
+                    const Job& jb = inst.job(b);
+                    if (ja.laxity() != jb.laxity()) {
+                      return ja.laxity() < jb.laxity();
+                    }
+                    if (ja.length != jb.length) {
+                      return ja.length > jb.length;
+                    }
+                    return a < b;
+                  });
+      }
+    }
+    lb_scratch_.resize(n + 2);
+    cand_scratch_.resize(n + 2);
+    move_scratch_.resize(n + 2);
+    comp_scratch_.resize(n + 2);
+    keys_.resize(n + 2);
+    path_.resize(n);
+    best_starts_.resize(n);
+  }
+
+  /// Fail-soft search: returns (value, exact) where exact means value is
+  /// the optimal completion span of the state; otherwise value is a valid
+  /// lower bound on it (>= bound unless the run aborted).
+  Outcome solve(Mask mask, const Components& comps, Time bound,
+                std::size_t depth) {
+    if (shared_.aborted.load(std::memory_order_relaxed)) {
+      return Outcome{bound, false};
+    }
+    if (shared_.nodes.fetch_add(1, std::memory_order_relaxed) + 1 >
+        shared_.max_nodes) {
+      shared_.aborted.store(true, std::memory_order_relaxed);
+      return Outcome{bound, false};
+    }
+    if (mask == 0) {
+      const Time span = components_measure(comps);
+      if (span < best_sched_span_) {
+        best_sched_span_ = span;
+        best_starts_ = path_;
+      }
+      shared_.offer_incumbent(span);
+      return Outcome{span, true};
+    }
+    Time eff = bound;
+    if (!reconstructing_) {
+      eff = std::min(
+          eff, Time(shared_.incumbent.load(std::memory_order_relaxed)));
+    }
+    // The cache only pays for itself once a search is big enough to revisit
+    // states; below the activation threshold the per-node key/hash/insert
+    // cost outweighs any possible hit, so easy instances skip it entirely.
+    const bool cacheable = opts_.max_cache_entries > 0 &&
+                           std::popcount(mask) >= 2 &&
+                           ++local_nodes_ > kCacheActivationNodes;
+    if (cacheable) {
+      StateKey& key = fill_key(mask, comps, depth);
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        if (it->second.exact) {
+          ++cache_hits_;
+          const Time value(it->second.value);
+          shared_.offer_incumbent(value);
+          return Outcome{value, true};
+        }
+        if (Time(it->second.value) >= eff) {
+          return Outcome{Time(it->second.value), false};
+        }
+      }
+    }
+    const Time lb = lower_bound(mask, comps, depth, eff);
+    if (lb >= eff) {
+      if (cacheable) {
+        store(fill_key(mask, comps, depth), lb, false);
+      }
+      return Outcome{lb, false};
+    }
+    auto& moves = move_scratch_[depth];
+    collect_moves(mask, comps, depth, moves);
+    Time best = Time::max();
+    bool best_exact = false;
+    auto& child = comp_scratch_[depth];
+    for (const Move& m : moves) {
+      const Time child_bound = std::min(eff, best);
+      with_inserted(comps, inst_.job(m.job).active_interval(m.start), child);
+      path_[m.job] = m.start;
+      const Outcome o =
+          solve(mask & ~bit(m.job), child, child_bound, depth + 1);
+      if (o.value < best || (o.value == best && o.exact && !best_exact)) {
+        best = o.value;
+        best_exact = o.exact;
+      }
+      if (shared_.aborted.load(std::memory_order_relaxed)) {
+        return Outcome{best, false};
+      }
+      if (best_exact && best <= lb) {
+        break;  // optimality-gap cut: no child can beat the admissible bound
+      }
+    }
+    if (cacheable) {
+      store(fill_key(mask, comps, depth), best, best_exact);
+    }
+    return Outcome{best, best_exact};
+  }
+
+  /// Walks the cache (re-solving where entries are missing or inexact) to
+  /// extract starts achieving `target` from `state`. Returns false only if
+  /// the node budget ran out mid-walk.
+  bool reconstruct(Mask mask, Components comps, Time target,
+                   std::vector<Time>& starts) {
+    reconstructing_ = true;
+    std::vector<Move> moves;
+    Components child;
+    std::size_t depth = inst_.size() - static_cast<std::size_t>(
+                                           std::popcount(mask));
+    while (mask != 0) {
+      collect_moves(mask, comps, depth, moves);
+      bool advanced = false;
+      for (const Move& m : moves) {
+        with_inserted(comps, inst_.job(m.job).active_interval(m.start),
+                      child);
+        const Mask child_mask = mask & ~bit(m.job);
+        Outcome o{Time::zero(), false};
+        bool have = false;
+        if (opts_.max_cache_entries > 0 && std::popcount(child_mask) >= 2) {
+          const auto it = cache_.find(fill_key(child_mask, child, depth));
+          if (it != cache_.end() && it->second.exact) {
+            o = Outcome{Time(it->second.value), true};
+            have = true;
+          }
+        }
+        if (!have) {
+          o = solve(child_mask, child, target + Time(1), depth + 1);
+          if (shared_.aborted.load(std::memory_order_relaxed)) {
+            reconstructing_ = false;
+            return false;
+          }
+        }
+        const Time total = o.value;
+        if (o.exact && total == target) {
+          starts[m.job] = m.start;
+          comps = child;
+          mask = child_mask;
+          ++depth;
+          advanced = true;
+          break;
+        }
+      }
+      FJS_CHECK(advanced, "exact: reconstruction found no child achieving "
+                          "the proven optimal span");
+    }
+    reconstructing_ = false;
+    FJS_CHECK(components_measure(comps) == target,
+              "exact: reconstructed span mismatch");
+    return true;
+  }
+
+  Time best_sched_span() const { return best_sched_span_; }
+  const std::vector<Time>& best_starts() const { return best_starts_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_entries() const { return cache_.size(); }
+
+  /// Root branching, shared with the parallel driver: moves on the empty
+  /// union, deterministic order.
+  void root_moves(Mask mask, std::vector<Move>& out) {
+    collect_moves(mask, Components{}, 0, out);
+  }
+
+ private:
+  struct MandatoryRegion {
+    Interval iv;
+    JobId job;
+  };
+
+  /// Builds the cache key in the depth's scratch slot (no allocation once
+  /// warm). The reference stays valid until the next fill at this depth;
+  /// store() moves it out.
+  StateKey& fill_key(Mask mask, const Components& comps, std::size_t depth) {
+    StateKey& key = keys_[depth];
+    key.mask = mask;
+    key.comps.clear();
+    key.comps.reserve(comps.size() * 2);
+    for (const Interval& c : comps) {
+      key.comps.push_back(c.lo.ticks());
+      key.comps.push_back(c.hi.ticks());
+    }
+    return key;
+  }
+
+  void store(StateKey& key, Time value, bool exact) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (exact) {
+        it->second = CacheEntry{value.ticks(), true};
+      } else if (!it->second.exact) {
+        it->second.value = std::max(it->second.value, value.ticks());
+      }
+      return;
+    }
+    if (cache_.size() >= opts_.max_cache_entries) {
+      return;  // full: stop inserting, keep serving lookups
+    }
+    cache_.emplace(std::move(key), CacheEntry{value.ticks(), exact});
+  }
+
+  /// Admissible bound: measure(placed ∪ mandatory(remaining)), merged on a
+  /// scratch buffer, maxed with the chain bound. The chain term is skipped
+  /// when the mandatory merge alone already reaches `eff` — the caller
+  /// prunes either way.
+  Time lower_bound(Mask mask, const Components& comps, std::size_t depth,
+                   Time eff) {
+    auto& scratch = lb_scratch_[depth];
+    scratch.clear();
+    std::size_t ci = 0;
+    for (const MandatoryRegion& m : mandatory_) {
+      if ((mask & bit(m.job)) == 0) {
+        continue;
+      }
+      while (ci < comps.size() && comps[ci].lo <= m.iv.lo) {
+        scratch.push_back(comps[ci++]);
+      }
+      scratch.push_back(m.iv);
+    }
+    while (ci < comps.size()) {
+      scratch.push_back(comps[ci++]);
+    }
+    const Time lb = IntervalSet::sorted_union_measure(scratch);
+    if (lb >= eff) {
+      return lb;
+    }
+    return std::max(lb, chain_bound(mask));
+  }
+
+  /// Chain bound over the remaining jobs: along any chain with
+  /// d(I) + p(I) <= a(J) the placements are disjoint, so the span is at
+  /// least the heaviest chain weight (single jobs included, so this
+  /// subsumes the max-remaining-length bound). Independent of the placed
+  /// union, hence memoized per remaining-job mask — masks repeat across
+  /// permutations far more often than full states.
+  Time chain_bound(Mask mask) {
+    const auto it = chain_memo_.find(mask);
+    if (it != chain_memo_.end()) {
+      return it->second;
+    }
+    std::map<Time, Time> pareto;  // completion key -> best chain weight
+    Time best = Time::zero();
+    for (const JobId id : by_arrival_) {
+      if ((mask & bit(id)) == 0) {
+        continue;
+      }
+      const Job& j = inst_.job(id);
+      Time prefix = Time::zero();
+      {
+        const auto up = pareto.upper_bound(j.arrival);
+        if (up != pareto.begin()) {
+          prefix = std::prev(up)->second;
+        }
+      }
+      const Time f = prefix + j.length;
+      best = std::max(best, f);
+      const Time key = j.deadline + j.length;
+      const auto up = pareto.upper_bound(key);
+      if (up == pareto.begin() || std::prev(up)->second < f) {
+        const auto [pos, ignored] = pareto.insert_or_assign(key, f);
+        auto next = std::next(pos);
+        while (next != pareto.end() && next->second <= f) {
+          next = pareto.erase(next);
+        }
+      }
+    }
+    chain_memo_.emplace(mask, best);
+    return best;
+  }
+
+  /// True iff the job has a start whose whole active interval is already
+  /// covered; reports the leftmost such start.
+  bool zero_marginal_start(const Components& comps, const Job& job,
+                           Time* out) const {
+    for (const Interval& c : comps) {
+      if (c.lo > job.deadline) {
+        break;
+      }
+      const Time lo = std::max(c.lo, job.arrival);
+      const Time hi = std::min(c.hi - job.length, job.deadline);
+      if (lo <= hi) {
+        *out = lo;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Children of a node, cheapest marginal first. Applies dominance (a
+  /// zero-marginal placement is committed as the single forced move) and
+  /// twin symmetry breaking. Deterministic — reconstruction replays it.
+  void collect_moves(Mask mask, const Components& comps, std::size_t depth,
+                     std::vector<Move>& moves) {
+    moves.clear();
+    for (Mask rest = mask; rest != 0; rest &= rest - 1) {
+      const JobId j = static_cast<JobId>(std::countr_zero(rest));
+      if ((mask & lower_twins_[j]) != 0) {
+        continue;  // an identical lower-id job stands in for this one
+      }
+      Time s;
+      if (zero_marginal_start(comps, inst_.job(j), &s)) {
+        moves.push_back(Move{j, s, Time::zero()});
+        return;  // dominance: free placement, no branching
+      }
+    }
+    if (grid_ != 0) {
+      // Integral fast path: one fixed job per depth, grid starts only.
+      JobId j = 0;
+      for (const JobId candidate : fixed_order_) {
+        if ((mask & bit(candidate)) != 0) {
+          j = candidate;
+          break;
+        }
+      }
+      const Job& job = inst_.job(j);
+      for (std::int64_t s = job.arrival.ticks(); s <= job.deadline.ticks();
+           s += grid_) {
+        const Time start(s);
+        moves.push_back(
+            Move{j, start, uncovered(comps, job.active_interval(start))});
+      }
+      std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+        if (a.marginal != b.marginal) {
+          return a.marginal < b.marginal;
+        }
+        return a.start < b.start;
+      });
+      return;
+    }
+    auto& cands = cand_scratch_[depth];
+    for (Mask rest = mask; rest != 0; rest &= rest - 1) {
+      const JobId j = static_cast<JobId>(std::countr_zero(rest));
+      if ((mask & lower_twins_[j]) != 0) {
+        continue;
+      }
+      const Job& job = inst_.job(j);
+      cands.clear();
+      cands.push_back(job.arrival);
+      cands.push_back(job.deadline);
+      for (const Interval& c : comps) {
+        for (const Time e : {c.lo, c.hi}) {
+          for (const Time s : {e, e - job.length}) {
+            if (s >= job.arrival && s <= job.deadline) {
+              cands.push_back(s);
+            }
+          }
+        }
+      }
+      std::sort(cands.begin(), cands.end());
+      cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+      for (const Time s : cands) {
+        moves.push_back(Move{j, s, uncovered(comps, job.active_interval(s))});
+      }
+    }
+    // (marginal, job, start) is unique per move, so plain sort is
+    // deterministic.
+    std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+      if (a.marginal != b.marginal) {
+        return a.marginal < b.marginal;
+      }
+      if (a.job != b.job) {
+        return a.job < b.job;
+      }
+      return a.start < b.start;
+    });
+  }
+
+  const Instance& inst_;
+  const ExactOptions& opts_;
+  Shared& shared_;
+  static constexpr std::int64_t kMaxGridStarts = 128;
+  static constexpr std::size_t kCacheActivationNodes = 256;
+  std::size_t local_nodes_ = 0;  // this worker's nodes, for cache activation
+
+  std::vector<Time> lengths_;
+  std::vector<Mask> lower_twins_;
+  std::vector<JobId> by_arrival_;
+  std::int64_t grid_ = 0;           // grid step in ticks; 0 = general mode
+  std::vector<JobId> fixed_order_;  // fast path's per-depth job order
+  std::vector<MandatoryRegion> mandatory_;  // sorted by left endpoint
+  std::unordered_map<Mask, Time> chain_memo_;
+  std::unordered_map<StateKey, CacheEntry, StateKeyHash> cache_;
+  std::size_t cache_hits_ = 0;
+  bool reconstructing_ = false;
+  // Depth-indexed scratch (the recursion touches one slot per level).
+  std::vector<std::vector<Interval>> lb_scratch_;
+  std::vector<std::vector<Time>> cand_scratch_;
+  std::vector<std::vector<Move>> move_scratch_;
+  std::vector<Components> comp_scratch_;
+  std::vector<StateKey> keys_;
+  // Current path's starts by job id; complete exactly at terminals.
+  std::vector<Time> path_;
+  Time best_sched_span_ = Time::max();
+  std::vector<Time> best_starts_;
+};
+
+Schedule schedule_from_starts(const Instance& inst,
+                              const std::vector<Time>& starts) {
+  Schedule schedule(inst.size());
+  for (JobId j = 0; j < inst.size(); ++j) {
+    schedule.set_start(j, starts[j]);
+  }
+  schedule.validate(inst);
+  return schedule;
+}
+
+ExactResult finish(const Instance& inst, Time span, Schedule schedule,
+                   ExactStatus status, const Shared& shared,
+                   std::size_t cache_hits, std::size_t cache_entries) {
+  FJS_CHECK(schedule.span(inst) == span,
+            "exact: span mismatch on reconstruction");
+  ExactResult result;
+  result.span = span;
+  result.schedule = std::move(schedule);
+  result.nodes_explored = shared.nodes.load(std::memory_order_relaxed);
+  result.status = status;
+  result.cache_hits = cache_hits;
+  result.cache_entries = cache_entries;
+  return result;
+}
+
 }  // namespace
 
 ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
-  FJS_REQUIRE(options.quantum > Time::zero(), "exact: quantum must be > 0");
   if (instance.empty()) {
-    return ExactResult{.span = Time::zero(), .schedule = Schedule(0),
-                       .nodes_explored = 0};
+    return ExactResult{.span = Time::zero(), .schedule = Schedule(0)};
   }
-  FJS_REQUIRE(instance.is_multiple_of(options.quantum),
-              "exact: instance is not aligned to the quantum grid");
-  Search search(instance, options);
-  search.run();
+  FJS_REQUIRE(instance.size() <= 64,
+              "exact: more than 64 jobs — use the heuristic + lower bounds");
 
-  Schedule schedule(instance.size());
-  for (std::size_t i = 0; i < search.order.size(); ++i) {
-    schedule.set_start(search.order[i], search.best_starts[i]);
+  // Seed incumbent: a valid schedule exists before the first node, so a
+  // budget-exceeded result always carries a usable best-so-far, and the
+  // admissible bound prunes from the start.
+  Schedule seed_schedule(instance.size());
+  if (options.seed_with_heuristic) {
+    HeuristicOptions h;
+    h.restarts = 0;
+    h.max_passes = 8;
+    seed_schedule = heuristic_optimal(instance, h).schedule;
+  } else {
+    for (JobId j = 0; j < instance.size(); ++j) {
+      seed_schedule.set_start(j, instance.job(j).arrival);
+    }
   }
-  schedule.validate(instance);
-  FJS_CHECK(schedule.span(instance) == search.best_span,
-            "exact: span mismatch on reconstruction");
-  return ExactResult{.span = search.best_span, .schedule = std::move(schedule),
-                     .nodes_explored = search.nodes};
+  seed_schedule.validate(instance);
+  const Time seed_span = seed_schedule.span(instance);
+
+  Shared shared(seed_span, options.max_nodes);
+  const Mask full = instance.size() == 64
+                        ? ~Mask{0}
+                        : (Mask{1} << instance.size()) - 1;
+
+  const std::size_t workers =
+      options.pool != nullptr ? options.pool->thread_count() : 1;
+  if (workers <= 1 || instance.size() < 8) {
+    Search search(instance, options, shared);
+    const Outcome o = search.solve(full, Components{}, seed_span, 0);
+    if (shared.aborted.load(std::memory_order_relaxed)) {
+      // Best-so-far: the seed unless the search surfaced a better terminal.
+      if (search.best_sched_span() < seed_span) {
+        return finish(instance, search.best_sched_span(),
+                      schedule_from_starts(instance, search.best_starts()),
+                      ExactStatus::kBudgetExceeded, shared,
+                      search.cache_hits(), search.cache_entries());
+      }
+      return finish(instance, seed_span, std::move(seed_schedule),
+                    ExactStatus::kBudgetExceeded, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    if (!o.exact || o.value >= seed_span) {
+      // The search proved nothing beats the seed: the seed is optimal.
+      return finish(instance, seed_span, std::move(seed_schedule),
+                    ExactStatus::kOptimal, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    if (search.best_sched_span() == o.value) {
+      return finish(instance, o.value,
+                    schedule_from_starts(instance, search.best_starts()),
+                    ExactStatus::kOptimal, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    std::vector<Time> starts(instance.size());
+    if (!search.reconstruct(full, Components{}, o.value, starts)) {
+      return finish(instance, seed_span, std::move(seed_schedule),
+                    ExactStatus::kBudgetExceeded, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    return finish(instance, o.value, schedule_from_starts(instance, starts),
+                  ExactStatus::kOptimal, shared, search.cache_hits(),
+                  search.cache_entries());
+  }
+
+  // Parallel root split: the root's (job, start) branches are chunked
+  // contiguously across workers, each with its own cache, all sharing the
+  // atomic incumbent. Reduction runs in branch order, so the optimal span
+  // is independent of the thread count and of scheduling timing.
+  std::vector<Move> roots;
+  {
+    Search probe(instance, options, shared);
+    probe.root_moves(full, roots);
+  }
+  const std::size_t chunks = std::min(workers, roots.size());
+  std::vector<std::unique_ptr<Search>> searches(chunks);
+  std::vector<Outcome> outcomes(roots.size(),
+                                Outcome{Time::max(), false});
+  parallel_for(*options.pool, chunks, [&](std::size_t c) {
+    searches[c] = std::make_unique<Search>(instance, options, shared);
+    const std::size_t begin = c * roots.size() / chunks;
+    const std::size_t end = (c + 1) * roots.size() / chunks;
+    Components child;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Move& m = roots[i];
+      with_inserted(Components{}, instance.job(m.job).active_interval(m.start),
+                    child);
+      outcomes[i] = searches[c]->solve(
+          full & ~bit(m.job), child,
+          Time(shared.incumbent.load(std::memory_order_relaxed)), 1);
+    }
+  });
+
+  std::size_t cache_hits = 0;
+  std::size_t cache_entries = 0;
+  for (const auto& s : searches) {
+    if (s != nullptr) {
+      cache_hits += s->cache_hits();
+      cache_entries += s->cache_entries();
+    }
+  }
+
+  Time best = seed_span;
+  std::size_t best_idx = roots.size();
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (outcomes[i].exact && outcomes[i].value < best) {
+      best = outcomes[i].value;
+      best_idx = i;
+    }
+  }
+  const bool aborted = shared.aborted.load(std::memory_order_relaxed);
+  if (best_idx == roots.size()) {
+    // Seed optimal (nothing strictly better), or budget ran out first.
+    return finish(instance, seed_span, std::move(seed_schedule),
+                  aborted ? ExactStatus::kBudgetExceeded
+                          : ExactStatus::kOptimal,
+                  shared, cache_hits, cache_entries);
+  }
+  // Reconstruct the winner's subtree inside its own cache.
+  const std::size_t winner_chunk = [&] {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * roots.size() / chunks;
+      const std::size_t end = (c + 1) * roots.size() / chunks;
+      if (best_idx >= begin && best_idx < end) {
+        return c;
+      }
+    }
+    FJS_UNREACHABLE("exact: winning root branch outside every chunk");
+  }();
+  Search& winner = *searches[winner_chunk];
+  std::vector<Time> starts(instance.size());
+  const Move& wm = roots[best_idx];
+  starts[wm.job] = wm.start;
+  Components child;
+  with_inserted(Components{}, instance.job(wm.job).active_interval(wm.start),
+                child);
+  if (!winner.reconstruct(full & ~bit(wm.job), std::move(child), best,
+                          starts)) {
+    return finish(instance, seed_span, std::move(seed_schedule),
+                  ExactStatus::kBudgetExceeded, shared, cache_hits,
+                  cache_entries);
+  }
+  return finish(instance, best, schedule_from_starts(instance, starts),
+                aborted ? ExactStatus::kBudgetExceeded : ExactStatus::kOptimal,
+                shared, cache_hits, cache_entries);
 }
 
 Time exact_optimal_span(const Instance& instance, ExactOptions options) {
-  return exact_optimal(instance, options).span;
+  const ExactResult result = exact_optimal(instance, std::move(options));
+  FJS_REQUIRE(result.optimal(),
+              "exact: node budget exhausted — instance too large for the "
+              "exact solver; use exact_optimal for the best-so-far result");
+  return result.span;
 }
 
 }  // namespace fjs

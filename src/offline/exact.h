@@ -1,21 +1,37 @@
-// Exact offline optimum for small integral instances.
+// Exact offline optimum via pruned branch-and-bound over critical start
+// times.
 //
 // The paper cites Khandekar et al. [11] for a polynomial offline algorithm;
 // for reproduction purposes we need a solver whose correctness is easy to
-// audit, because it anchors every measured competitive ratio. We therefore
-// use exhaustive branch-and-bound over a time grid:
+// audit, because it anchors every measured competitive ratio.
 //
-//   Precondition: every arrival/deadline/length is a multiple of `quantum`.
-//   Fact: such an instance has an optimal schedule on the grid. Sketch:
-//   fix an optimal schedule; group jobs whose start is pinned to a window
-//   endpoint or aligned (abutting) to another job's interval into rigid
-//   alignment components; any unpinned component can shift as a block
-//   without increasing the span until something pins, so an optimal
-//   schedule exists where every start is a window endpoint plus a signed
-//   sum of processing lengths — all grid points.
+// Critical-start argument (why a finite candidate set suffices): fix an
+// optimal schedule and group jobs whose interval endpoints coincide or abut
+// into rigid alignment components. Any component with no job pinned at a
+// window endpoint can shift as a block without increasing the span until
+// something pins (the span is piecewise linear in the shift and
+// non-increasing in one direction), so an optimal schedule exists in which
+// every component contains an anchor job starting at its own arrival or
+// deadline, and every other member chains off the anchor by endpoint
+// alignment. Ordering each component anchor-first, every job starts at one
+// of: its arrival, its deadline, or a point aligning one of its interval
+// endpoints with a component endpoint of the union of previously placed
+// intervals. The search therefore branches over (remaining job, critical
+// start) pairs — the job-choice branching is what realizes the anchor-first
+// orders, and a transposition cache keyed on (remaining-job set, placed
+// union) collapses the resulting permutation redundancy. The argument
+// never uses integrality, so unlike the grid reference solver below the
+// branch-and-bound accepts arbitrary tick-valued instances.
 //
-// The search places jobs in most-constrained-first order and prunes with
-// the admissible bound  measure(placed-union ∪ mandatory(remaining)).
+// Pruning (speed only, never correctness):
+//  * admissible bound  measure(placed ∪ mandatory(remaining)) evaluated
+//    incrementally with IntervalSet::sorted_union_measure (no allocation);
+//  * dominance: a remaining job with a zero-marginal start (active interval
+//    contained in the placed union) is committed there without branching;
+//  * twin symmetry: among identical remaining jobs only the lowest id
+//    branches;
+//  * incumbent seeding: the offline heuristic's schedule primes the upper
+//    bound so the admissible bound bites from the first node.
 #pragma once
 
 #include <cstddef>
@@ -25,25 +41,82 @@
 
 namespace fjs {
 
+class ThreadPool;
+
 struct ExactOptions {
-  /// Grid step; the instance must satisfy Instance::is_multiple_of.
+  /// Grid step for the *reference* solver only (exact_optimal_reference);
+  /// the branch-and-bound ignores it. The reference requires
+  /// Instance::is_multiple_of(quantum).
   Time quantum = Time(Time::kTicksPerUnit);
-  /// Search-node budget; exceeded => AssertionError (instance too big for
-  /// the exact solver — use the heuristic + lower bounds instead).
+  /// Search-node budget. The branch-and-bound returns a structured
+  /// ExactStatus::kBudgetExceeded result (best-so-far incumbent) when
+  /// exhausted; the reference solver throws AssertionError. Kept as a node
+  /// count rather than wall-clock so results stay machine-independent.
   std::size_t max_nodes = 20'000'000;
+  /// Transposition-cache entry cap. When full the cache stops inserting
+  /// (lookups keep working); 0 disables caching entirely.
+  std::size_t max_cache_entries = 2'000'000;
+  /// Prime the incumbent with the offline heuristic's schedule. Costs one
+  /// heuristic run up front; repays it by making the admissible bound cut
+  /// from the first node. Disable for micro-instances measured in isolation.
+  bool seed_with_heuristic = true;
+  /// When every arrival/deadline/length is a multiple of a common grid g
+  /// (and windows hold few grid points), an optimal schedule exists on the
+  /// g-grid: every critical start is a ±sum-of-lengths away from some
+  /// arrival or deadline, all multiples of g. The solver then branches one
+  /// fixed most-constrained job per depth over its grid starts (branching
+  /// factor = window/g + 1) instead of over all (job, critical-start)
+  /// pairs, keeping the same cache/bound/budget machinery. Disable to
+  /// force the general critical-start branching everywhere (differential
+  /// tests do; it is also what runs automatically when windows are wide
+  /// relative to the instance grid).
+  bool use_integral_fast_path = true;
+  /// Optional pool for splitting the root branches across workers. nullptr
+  /// or a 1-thread pool keeps the fully deterministic serial search. With
+  /// a real pool the optimal SPAN is still deterministic (tasks share an
+  /// atomic incumbent, reduced in branch order), but which of several
+  /// equally-optimal schedules is returned may vary run to run.
+  ThreadPool* pool = nullptr;
+};
+
+enum class ExactStatus {
+  kOptimal,         ///< span/schedule are provably optimal
+  kBudgetExceeded,  ///< node budget hit; span/schedule are best-so-far
 };
 
 struct ExactResult {
+  /// Span of `schedule` — the optimum iff status == kOptimal, otherwise the
+  /// best incumbent found before the budget ran out (an upper bound).
   Time span;
   Schedule schedule;
   std::size_t nodes_explored = 0;
+  ExactStatus status = ExactStatus::kOptimal;
+  /// Transposition-cache statistics (exact-entry hits that short-circuited
+  /// a subtree, and entries stored).
+  std::size_t cache_hits = 0;
+  std::size_t cache_entries = 0;
+
+  bool optimal() const { return status == ExactStatus::kOptimal; }
 };
 
-/// Computes a provably optimal schedule. Throws AssertionError if the
-/// instance is off-grid or the node budget is exhausted.
+/// Computes a provably optimal schedule (any tick-valued instance). Never
+/// throws on budget exhaustion — check `result.status`.
 ExactResult exact_optimal(const Instance& instance, ExactOptions options = {});
 
-/// Convenience: the optimal span only.
+/// Convenience: the optimal span only. Throws AssertionError if the node
+/// budget is exhausted (callers that want the structured best-so-far result
+/// use exact_optimal).
 Time exact_optimal_span(const Instance& instance, ExactOptions options = {});
+
+/// Legacy grid DFS, kept verbatim as the differential-testing oracle for
+/// the branch-and-bound (and as the "before" body in the E9 solver
+/// benchmarks). Requires the instance on the `options.quantum` grid and
+/// throws AssertionError when the node budget is exhausted.
+ExactResult exact_optimal_reference(const Instance& instance,
+                                    ExactOptions options = {});
+
+/// Convenience: the reference solver's optimal span only.
+Time exact_optimal_span_reference(const Instance& instance,
+                                  ExactOptions options = {});
 
 }  // namespace fjs

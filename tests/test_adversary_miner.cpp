@@ -1,0 +1,92 @@
+// Determinism and memoization guarantees of the batched instance miner:
+// the mined result must be a pure function of MinerOptions, independent of
+// the thread pool attached (or none), and the objective memo must only
+// remove objective calls, never change a value.
+#include "adversary/instance_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "helpers.h"
+#include "offline/exact.h"
+#include "sim/engine.h"
+#include "support/thread_pool.h"
+
+namespace fjs {
+namespace {
+
+MinerOptions small_options() {
+  MinerOptions options;
+  options.population = 24;
+  options.rounds = 10;
+  options.mutations_per_round = 12;
+  options.jobs = 6;
+  options.horizon = 8;
+  options.max_laxity = 4;
+  options.max_length = 3;
+  return options;
+}
+
+TEST(MinerDeterminism, TrajectoryIdenticalAcrossThreadCounts) {
+  const MinerResult serial = mine_worst_case("lazy", small_options());
+  for (const std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    MinerOptions options = small_options();
+    options.pool = &pool;
+    const MinerResult parallel = mine_worst_case("lazy", options);
+    EXPECT_EQ(parallel.worst_ratio, serial.worst_ratio)
+        << threads << " threads";
+    EXPECT_EQ(parallel.trajectory, serial.trajectory) << threads
+                                                      << " threads";
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+    EXPECT_EQ(parallel.worst_instance.to_string(),
+              serial.worst_instance.to_string());
+  }
+}
+
+TEST(MinerDeterminism, MemoOffMatchesMemoOn) {
+  const MinerResult memoized = mine_worst_case("lazy", small_options());
+  MinerOptions raw = small_options();
+  raw.use_objective_memo = false;
+  const MinerResult unmemoized = mine_worst_case("lazy", raw);
+  EXPECT_EQ(memoized.trajectory, unmemoized.trajectory);
+  EXPECT_EQ(memoized.worst_ratio, unmemoized.worst_ratio);
+  EXPECT_EQ(memoized.evaluations, unmemoized.evaluations);
+  // Hill climbing revisits near-duplicates: the memo must actually bite.
+  EXPECT_GT(memoized.memo_hits, 0u);
+  EXPECT_EQ(unmemoized.memo_hits, 0u);
+}
+
+TEST(MinerDeterminism, EvaluationsCountSearchEffort) {
+  const MinerOptions options = small_options();
+  const MinerResult result = mine_worst_case("lazy", options);
+  EXPECT_EQ(result.evaluations,
+            options.population + options.rounds * options.mutations_per_round);
+  EXPECT_EQ(result.trajectory.size(), options.rounds + 1);
+}
+
+TEST(MinerBudget, UncertifiableCandidatesAreSkippedNotFatal) {
+  // A custom objective wrapping a tiny solver budget: every candidate the
+  // solver cannot certify scores 0 and the mine still completes.
+  MinerOptions options = small_options();
+  options.jobs = 8;
+  std::size_t skips = 0;
+  const MinerResult result = mine_instance(
+      [&skips](const Instance& instance) {
+        ExactOptions exact;
+        exact.max_nodes = 40;  // tight enough to trip on some candidates
+        const ExactResult opt = exact_optimal(instance, exact);
+        if (!opt.optimal()) {
+          ++skips;
+          return 0.0;
+        }
+        return time_ratio(opt.span, Time(Time::kTicksPerUnit));
+      },
+      options);
+  EXPECT_GE(result.worst_ratio, 0.0);
+  EXPECT_EQ(result.trajectory.size(), options.rounds + 1);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -74,6 +74,7 @@ TEST(Certify, ExactSchedulesAreLocallyOptimal) {
         seed + 300, /*jobs=*/6, /*horizon=*/10, /*max_laxity=*/4,
         /*max_length=*/4);
     const ExactResult exact = exact_optimal(inst);
+    ASSERT_TRUE(exact.optimal()) << inst.to_string();
     EXPECT_TRUE(is_locally_optimal(inst, exact.schedule))
         << inst.to_string();
   }

@@ -4,6 +4,7 @@
 
 #include "helpers.h"
 #include "support/assert.h"
+#include "support/thread_pool.h"
 
 namespace fjs {
 namespace {
@@ -44,20 +45,33 @@ TEST(Exact, EmptyInstance) {
   EXPECT_EQ(result.span, Time::zero());
 }
 
-TEST(Exact, RejectsOffGridInstance) {
+TEST(Exact, SolvesOffGridInstance) {
+  // The critical-start argument never uses integrality, so unlike the grid
+  // reference solver the branch-and-bound takes arbitrary tick instances.
   const Instance inst = make_instance({{0, 1, 1.5}});
-  EXPECT_THROW(exact_optimal(inst), AssertionError);
-  // But succeeds on a finer grid.
+  EXPECT_EQ(exact_optimal_span(inst), units(1.5));
+  // The reference solver still demands grid alignment.
+  EXPECT_THROW(exact_optimal_reference(inst), AssertionError);
   ExactOptions options;
   options.quantum = Time(Time::kTicksPerUnit / 2);
-  EXPECT_EQ(exact_optimal_span(inst, options), units(1.5));
+  EXPECT_EQ(exact_optimal_span_reference(inst, options), units(1.5));
 }
 
-TEST(Exact, NodeBudgetEnforced) {
+TEST(Exact, BudgetExhaustionIsStructured) {
   const Instance inst = testing::random_integral_instance(1, 8, 20, 8, 4);
   ExactOptions options;
   options.max_nodes = 3;
-  EXPECT_THROW(exact_optimal(inst, options), AssertionError);
+  const ExactResult result = exact_optimal(inst, options);
+  EXPECT_EQ(result.status, ExactStatus::kBudgetExceeded);
+  EXPECT_FALSE(result.optimal());
+  // Best-so-far is still a valid schedule achieving the reported span.
+  result.schedule.validate(inst);
+  EXPECT_EQ(result.schedule.span(inst), result.span);
+  EXPECT_GE(result.nodes_explored, options.max_nodes);
+  // Its span upper-bounds the true optimum.
+  EXPECT_GE(result.span, exact_optimal_span(inst));
+  // The throwing convenience wrapper preserves the legacy hard-stop.
+  EXPECT_THROW(exact_optimal_span(inst, options), AssertionError);
 }
 
 TEST(Exact, ScheduleAchievesReportedSpan) {
@@ -83,6 +97,74 @@ TEST_P(ExactVsBruteForce, Agrees) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactVsBruteForce,
                          ::testing::Range<std::uint64_t>(0, 90));
+
+/// Differential corpus: the branch-and-bound must match the legacy grid DFS
+/// span-for-span at the sizes the old solver could still handle (n <= 10).
+class BnBVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnBVsReference, Agrees) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t jobs = 6 + seed % 5;  // 6..10
+  const Instance inst =
+      testing::random_integral_instance(seed, jobs, /*horizon=*/12,
+                                        /*max_laxity=*/5, /*max_length=*/4);
+  const ExactResult bnb = exact_optimal(inst);
+  const ExactResult ref = exact_optimal_reference(inst);
+  ASSERT_TRUE(bnb.optimal());
+  EXPECT_EQ(bnb.span, ref.span) << inst.to_string();
+  bnb.schedule.validate(inst);
+  EXPECT_EQ(bnb.schedule.span(inst), bnb.span);
+  // Pin the general critical-start branching too — integral instances
+  // normally take the grid fast path, which would leave it untested.
+  ExactOptions general;
+  general.use_integral_fast_path = false;
+  const ExactResult crit = exact_optimal(inst, general);
+  ASSERT_TRUE(crit.optimal());
+  EXPECT_EQ(crit.span, ref.span) << inst.to_string();
+  crit.schedule.validate(inst);
+  EXPECT_EQ(crit.schedule.span(inst), crit.span);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BnBVsReference,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(Exact, SolvesFourteenJobsWithinDefaultBudget) {
+  for (const std::uint64_t seed : {11u, 23u, 37u}) {
+    const Instance inst = testing::random_integral_instance(
+        seed, /*jobs=*/14, /*horizon=*/16, /*max_laxity=*/6, /*max_length=*/5);
+    const ExactResult result = exact_optimal(inst);
+    EXPECT_TRUE(result.optimal()) << "seed " << seed;
+    result.schedule.validate(inst);
+    EXPECT_EQ(result.schedule.span(inst), result.span);
+  }
+}
+
+TEST(Exact, ParallelRootSplitMatchesSerialSpan) {
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance inst = testing::random_integral_instance(
+        seed, /*jobs=*/10, /*horizon=*/12, /*max_laxity=*/5, /*max_length=*/4);
+    ExactOptions par;
+    par.pool = &pool;
+    const ExactResult parallel = exact_optimal(inst, par);
+    const ExactResult serial = exact_optimal(inst);
+    ASSERT_TRUE(parallel.optimal());
+    EXPECT_EQ(parallel.span, serial.span) << inst.to_string();
+    parallel.schedule.validate(inst);
+    EXPECT_EQ(parallel.schedule.span(inst), parallel.span);
+  }
+}
+
+TEST(Exact, CacheDisabledStillCorrect) {
+  ExactOptions no_cache;
+  no_cache.max_cache_entries = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Instance inst = testing::random_integral_instance(
+        seed, /*jobs=*/8, /*horizon=*/12, /*max_laxity=*/5, /*max_length=*/4);
+    EXPECT_EQ(exact_optimal_span(inst, no_cache),
+              exact_optimal_span_reference(inst));
+  }
+}
 
 }  // namespace
 }  // namespace fjs
