@@ -10,16 +10,41 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Differential fuzzing smoke: a fixed seed window through every oracle
+# (schedulers + trace validator + span recomputation + offline sandwich).
+# Deterministic; failures are shrunk and land in fuzz_repros/.
+mkdir -p fuzz_repros
+build/src/fuzz/fjs_fuzz --smoke --repro-dir fuzz_repros 2>&1 | tee -a test_output.txt
+
 # Sanitizer smoke: the offline certification stack (exact solver, bounds,
-# miner, differential pins) under ASan+UBSan. Fast mode — only the tests
-# whose memory behavior PR 2 changed, not the full suite.
+# miner, differential pins) plus the fuzz harness under ASan+UBSan. Fast
+# mode — only the tests whose memory behavior recent PRs changed, not the
+# full suite.
 cmake --preset asan-ubsan
 cmake --build build-asan --target \
   test_offline_exact test_offline_bounds test_adversary_miner \
-  test_differential
+  test_differential fjs_fuzz
 ctest --test-dir build-asan --output-on-failure \
   -R 'test_offline_exact|test_offline_bounds|test_adversary_miner|test_differential' \
   2>&1 | tee -a test_output.txt
+# The same fuzz smoke under the sanitizers (undefined behavior in an
+# oracle or scheduler fails the run even when spans agree).
+build-asan/src/fuzz/fjs_fuzz --smoke 2>&1 | tee -a test_output.txt
+
+# Planted-bug drill: a build with -DFJS_PLANTED_TIEBREAK_BUG=ON swaps the
+# engine's same-tick completion/arrival priority. The fuzzer MUST catch it
+# (via the independent trace validator) and shrink it to a tiny repro —
+# this proves the harness detects the class of bug it exists for.
+cmake -B build-planted -G Ninja -DFJS_PLANTED_TIEBREAK_BUG=ON > /dev/null
+cmake --build build-planted --target fjs_fuzz
+if build-planted/src/fuzz/fjs_fuzz --smoke > planted_output.txt 2>&1; then
+  echo "ERROR: planted tie-break bug was NOT caught by the fuzzer" \
+    | tee -a test_output.txt
+  exit 1
+fi
+echo "planted tie-break bug caught and shrunk, as expected:" \
+  | tee -a test_output.txt
+head -8 planted_output.txt | tee -a test_output.txt
 
 # Fast perf smoke: a short E9 subset on every run, emitted as JSON and
 # diffed against the committed baseline. A >15% drop on this machine is

@@ -37,6 +37,23 @@ Time Time::checked_mul(std::int64_t k) const {
   return Time(out);
 }
 
+Time Time::saturating_add(Time rhs) const {
+  std::int64_t out = 0;
+  if (!__builtin_add_overflow(ticks_, rhs.ticks_, &out)) {
+    return Time(out);
+  }
+  // Signed overflow direction follows the (equal) operand signs.
+  return rhs.ticks_ > 0 ? Time::max() : Time::min();
+}
+
+Time Time::saturating_mul(std::int64_t k) const {
+  std::int64_t out = 0;
+  if (!__builtin_mul_overflow(ticks_, k, &out)) {
+    return Time(out);
+  }
+  return (ticks_ > 0) == (k > 0) ? Time::max() : Time::min();
+}
+
 std::string Time::to_string() const { return format_double(to_units(), 6); }
 
 double time_ratio(Time numerator, Time denominator) {

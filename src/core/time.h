@@ -70,6 +70,12 @@ class Time {
   /// Checked integer scaling with overflow detection.
   Time checked_mul(std::int64_t k) const;
 
+  /// Saturating variants: clamp to Time::max()/min() instead of throwing.
+  /// For "horizon" arithmetic (window closes, completion estimates) where a
+  /// value past the representable range is equivalent to "never".
+  Time saturating_add(Time rhs) const;
+  Time saturating_mul(std::int64_t k) const;
+
   /// Renders as a decimal number of units ("2.5") for human output.
   std::string to_string() const;
 

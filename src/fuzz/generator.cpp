@@ -1,0 +1,144 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace fjs {
+namespace {
+
+constexpr std::int64_t kUnit = Time::kTicksPerUnit;
+constexpr std::int64_t kMaxTicks = std::numeric_limits<std::int64_t>::max();
+
+/// True iff deadline + length stays representable.
+bool completion_fits(std::int64_t deadline, std::int64_t length) {
+  return deadline <= kMaxTicks - length;
+}
+
+}  // namespace
+
+Instance generate_fuzz_instance(const FuzzGenConfig& config,
+                                std::uint64_t seed) {
+  FJS_REQUIRE(config.min_jobs >= 1 && config.min_jobs <= config.max_jobs,
+              "fuzz generator: bad job-count range");
+  FJS_REQUIRE(config.horizon_units >= 1 && config.max_laxity_units >= 0 &&
+                  config.max_length_units >= 1,
+              "fuzz generator: bad unit ranges");
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(config.min_jobs),
+                      static_cast<std::int64_t>(config.max_jobs)));
+
+  // Every event time produced so far: arrivals, deadlines, and potential
+  // completion times a+p / d+p. Re-drawing from here is what makes tied
+  // arrivals, deadlines-on-completions, and shared boundaries common.
+  std::vector<std::int64_t> pool;
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+
+  auto fresh_ticks = [&](std::int64_t max_units,
+                         bool allow_zero) -> std::int64_t {
+    const std::int64_t lo = allow_zero ? 0 : 1;
+    if (rng.bernoulli(config.p_fractional)) {
+      return rng.uniform_int(lo, max_units * kUnit);
+    }
+    return rng.uniform_int(allow_zero ? 0 : 1, max_units) * kUnit;
+  };
+
+  auto pool_pick = [&]() -> std::int64_t {
+    return pool[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  };
+
+  while (jobs.size() < n) {
+    if (!jobs.empty() && rng.bernoulli(config.p_duplicate_job)) {
+      // Duplicate arrival/window/length verbatim — the tie the engine's
+      // FIFO seq order and the twin-symmetry pruning both have to handle.
+      const Job& twin = jobs[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(jobs.size()) - 1))];
+      jobs.push_back(twin);
+      continue;
+    }
+
+    std::int64_t arrival = 0;
+    std::int64_t laxity = 0;
+    std::int64_t length = 0;
+
+    if (rng.bernoulli(config.p_huge)) {
+      // Near the Time::max() boundary: arrival in the top eighth of the
+      // representable range, window and length small, completion checked
+      // below. Exercises overflow discipline, not scheduling logic.
+      const std::int64_t top = kMaxTicks / 8 * 7;
+      arrival = top + rng.uniform_int(0, kMaxTicks / 64);
+      laxity = rng.uniform_int(0, 4) * kUnit;
+      length = rng.uniform_int(1, 4 * kUnit);
+    } else {
+      const bool tie_arrival = !pool.empty() && rng.bernoulli(config.p_tie);
+      arrival = tie_arrival ? pool_pick()
+                            : fresh_ticks(config.horizon_units, true);
+
+      if (rng.bernoulli(config.p_zero_laxity)) {
+        laxity = 0;
+      } else if (rng.bernoulli(config.p_one_tick_laxity)) {
+        laxity = 1;
+      } else if (!pool.empty() && rng.bernoulli(config.p_tie)) {
+        // Aim the deadline at an existing event time; keep only forward
+        // distances so the window stays non-empty.
+        const std::int64_t target = pool_pick();
+        laxity = target > arrival
+                     ? target - arrival
+                     : fresh_ticks(config.max_laxity_units, true);
+      } else {
+        laxity = fresh_ticks(config.max_laxity_units, true);
+      }
+
+      if (!pool.empty() && rng.bernoulli(config.p_tie)) {
+        // Aim the completion d+p (or a+p for an immediate start) at an
+        // existing event time.
+        const std::int64_t deadline = arrival + laxity;
+        const std::int64_t target = pool_pick();
+        length = target > deadline ? target - deadline
+                                   : fresh_ticks(config.max_length_units,
+                                                 false);
+      } else {
+        length = fresh_ticks(config.max_length_units, false);
+      }
+    }
+
+    length = std::max<std::int64_t>(length, 1);
+    // Clamp so the window and the latest completion stay representable.
+    if (arrival > kMaxTicks - laxity) {
+      arrival = kMaxTicks - laxity;
+    }
+    std::int64_t deadline = arrival + laxity;
+    if (!completion_fits(deadline, length)) {
+      const std::int64_t shift = length - (kMaxTicks - deadline);
+      arrival -= shift;
+      deadline -= shift;
+    }
+    FJS_CHECK(arrival >= 0 || arrival > kMaxTicks / 2,
+              "fuzz generator: clamp produced a nonsense arrival");
+
+    jobs.push_back(Job{.id = kInvalidJob,
+                       .arrival = Time(arrival),
+                       .deadline = Time(deadline),
+                       .length = Time(length)});
+    pool.push_back(arrival);
+    pool.push_back(deadline);
+    if (completion_fits(arrival, length)) {
+      pool.push_back(arrival + length);
+    }
+    pool.push_back(deadline + length);  // fits by construction
+  }
+
+  Instance instance{std::move(jobs)};
+  // Paranoia the whole harness rests on: every job individually valid and
+  // overflow-safe (latest_completion throws otherwise).
+  (void)instance.latest_completion();
+  return instance;
+}
+
+}  // namespace fjs

@@ -1,0 +1,252 @@
+#include "fuzz/oracles.h"
+
+#include <sstream>
+
+#include "core/interval_set.h"
+#include "offline/annealing.h"
+#include "offline/exact.h"
+#include "offline/heuristic.h"
+#include "offline/lower_bound.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "sim/trace_check.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+constexpr std::int64_t kUnit = Time::kTicksPerUnit;
+
+/// From-scratch span recomputation: fresh IntervalSet over the realized
+/// schedule, no SpanTracker involved.
+Time recomputed_span(const Instance& instance, const Schedule& schedule) {
+  IntervalSet set;
+  for (JobId id = 0; id < instance.size(); ++id) {
+    set.add(schedule.active_interval(instance, id));
+  }
+  return set.measure();
+}
+
+std::optional<std::string> check_simulation(const Instance& instance,
+                                            const SchedulerSpec& spec,
+                                            bool clairvoyant,
+                                            SimulationResult* out) {
+  const auto scheduler = spec.make();
+  SimulationResult result;
+  try {
+    result = simulate(instance, *scheduler, clairvoyant,
+                      /*record_trace=*/true);
+  } catch (const std::exception& e) {
+    return std::string("simulation threw: ") + e.what();
+  }
+  if (!result.schedule.is_valid(result.instance)) {
+    return std::string("schedule is invalid");
+  }
+  const auto violations =
+      check_trace(result.instance, result.schedule, result.trace);
+  if (!violations.empty()) {
+    return "trace violations: " + violations_to_string(violations);
+  }
+  const Time recomputed = recomputed_span(result.instance, result.schedule);
+  if (result.realized_span != recomputed) {
+    return "incremental SpanTracker span " + result.realized_span.to_string() +
+           " != from-scratch IntervalSet span " + recomputed.to_string();
+  }
+  if (out != nullptr) {
+    *out = std::move(result);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+/// One oracle per registered scheduler. Clairvoyance-requiring schedulers
+/// run in the clairvoyant model only; the rest run in BOTH models and must
+/// behave identically (they cannot observe lengths, so revealing them must
+/// not change a single start).
+Oracle scheduler_oracle(const SchedulerSpec& spec) {
+  return Oracle{
+      "sched:" + spec.key,
+      [spec](const Instance& instance) -> std::optional<std::string> {
+        SimulationResult primary;
+        if (auto issue = check_simulation(instance, spec,
+                                          /*clairvoyant=*/spec.clairvoyant,
+                                          &primary)) {
+          return (spec.clairvoyant ? "[cv] " : "[nc] ") + *issue;
+        }
+        if (spec.clairvoyant) {
+          return std::nullopt;
+        }
+        SimulationResult revealed;
+        if (auto issue = check_simulation(instance, spec,
+                                          /*clairvoyant=*/true, &revealed)) {
+          return "[cv] " + *issue;
+        }
+        for (JobId id = 0; id < primary.instance.size(); ++id) {
+          if (primary.schedule.start(id) != revealed.schedule.start(id)) {
+            return "length-oracle inconsistency: job " + std::to_string(id) +
+                   " starts at " + primary.schedule.start(id).to_string() +
+                   " non-clairvoyantly but " +
+                   revealed.schedule.start(id).to_string() +
+                   " clairvoyantly";
+          }
+        }
+        return std::nullopt;
+      }};
+}
+
+namespace {
+
+bool offline_in_scope(const Instance& instance, const OracleOptions& options,
+                      std::size_t max_jobs) {
+  if (instance.empty() || instance.size() > max_jobs) {
+    return false;
+  }
+  const Time cap = Time(options.offline_horizon_cap_units * kUnit);
+  return instance.earliest_arrival() >= Time::zero() &&
+         instance.latest_completion() <= cap;
+}
+
+Oracle offline_sandwich_oracle(const OracleOptions& options) {
+  return Oracle{
+      "offline-sandwich",
+      [options](const Instance& instance) -> std::optional<std::string> {
+        if (!offline_in_scope(instance, options, options.exact_max_jobs)) {
+          return std::nullopt;
+        }
+        const Time lb = best_lower_bound(instance);
+
+        const HeuristicResult heur = heuristic_optimal(instance);
+        if (!heur.schedule.is_valid(instance)) {
+          return std::string("heuristic produced an invalid schedule");
+        }
+        if (heur.span != heur.schedule.span(instance)) {
+          return std::string("heuristic span disagrees with its schedule");
+        }
+        if (lb > heur.span) {
+          return "lower bound " + lb.to_string() + " exceeds heuristic span " +
+                 heur.span.to_string();
+        }
+
+        AnnealingOptions anneal_options;
+        anneal_options.iterations = options.annealing_iterations;
+        const AnnealingResult anneal =
+            anneal_schedule(instance, anneal_options);
+        if (!anneal.schedule.is_valid(instance)) {
+          return std::string("annealing produced an invalid schedule");
+        }
+        if (anneal.span != anneal.schedule.span(instance)) {
+          return std::string("annealing span disagrees with its schedule");
+        }
+
+        ExactOptions exact_options;
+        exact_options.max_nodes = options.exact_max_nodes;
+        const ExactResult exact = exact_optimal(instance, exact_options);
+        if (!exact.schedule.is_valid(instance)) {
+          return std::string("exact solver produced an invalid schedule");
+        }
+        if (exact.span != exact.schedule.span(instance)) {
+          return std::string("exact span disagrees with its schedule");
+        }
+        // Incumbents are valid schedules even on budget exhaustion, so the
+        // lower bound must never exceed them; the tighter claims below
+        // need a certified optimum.
+        if (lb > exact.span) {
+          return "lower bound " + lb.to_string() + " exceeds exact span " +
+                 exact.span.to_string() +
+                 (exact.optimal() ? "" : " (budget-exceeded incumbent)");
+        }
+        if (!exact.optimal()) {
+          return std::nullopt;
+        }
+        if (exact.span > heur.span) {
+          return "OPT " + exact.span.to_string() + " exceeds heuristic UB " +
+                 heur.span.to_string();
+        }
+        if (exact.span > anneal.span) {
+          return "OPT " + exact.span.to_string() + " exceeds annealing UB " +
+                 anneal.span.to_string();
+        }
+        // Every online schedule is feasible offline, so OPT bounds it.
+        for (const auto& spec : schedulers_for_model(/*clairvoyant=*/true)) {
+          const auto scheduler = spec.make();
+          Time online;
+          try {
+            online = simulate_span(instance, *scheduler, /*clairvoyant=*/true);
+          } catch (const std::exception& e) {
+            return "online " + spec.key +
+                   " threw during sandwich check: " + e.what();
+          }
+          if (online < exact.span) {
+            return "online " + spec.key + " span " + online.to_string() +
+                   " beats OPT " + exact.span.to_string();
+          }
+        }
+        return std::nullopt;
+      }};
+}
+
+Oracle exact_vs_reference_oracle(const OracleOptions& options) {
+  return Oracle{
+      "exact-vs-reference",
+      [options](const Instance& instance) -> std::optional<std::string> {
+        if (!offline_in_scope(instance, options,
+                              options.reference_max_jobs) ||
+            !instance.is_multiple_of(Time(kUnit))) {
+          return std::nullopt;
+        }
+        ExactOptions exact_options;
+        exact_options.max_nodes = options.reference_max_nodes;
+        // Force the general critical-start search so the two solvers share
+        // no branching strategy.
+        exact_options.use_integral_fast_path = false;
+        const ExactResult bnb = exact_optimal(instance, exact_options);
+        if (!bnb.optimal()) {
+          return std::nullopt;  // out of budget: no exactness claim
+        }
+        ExactResult reference;
+        try {
+          reference = exact_optimal_reference(instance, exact_options);
+        } catch (const AssertionError& e) {
+          const std::string what = e.what();
+          if (what.find("node budget") != std::string::npos) {
+            return std::nullopt;  // reference out of budget: skip
+          }
+          return "reference solver threw: " + what;
+        }
+        if (bnb.span != reference.span) {
+          return "branch-and-bound OPT " + bnb.span.to_string() +
+                 " != grid reference OPT " + reference.span.to_string();
+        }
+        return std::nullopt;
+      }};
+}
+
+}  // namespace
+
+std::vector<Oracle> standard_oracles(const OracleOptions& options) {
+  std::vector<Oracle> oracles;
+  if (options.run_schedulers) {
+    for (const auto& spec : scheduler_registry()) {
+      oracles.push_back(scheduler_oracle(spec));
+    }
+  }
+  if (options.run_offline) {
+    oracles.push_back(offline_sandwich_oracle(options));
+    oracles.push_back(exact_vs_reference_oracle(options));
+  }
+  return oracles;
+}
+
+std::vector<FuzzFailure> run_oracles(const Instance& instance,
+                                     const std::vector<Oracle>& oracles) {
+  std::vector<FuzzFailure> failures;
+  for (const Oracle& oracle : oracles) {
+    if (auto detail = oracle.check(instance)) {
+      failures.push_back(FuzzFailure{oracle.name, *detail});
+    }
+  }
+  return failures;
+}
+
+}  // namespace fjs

@@ -1,0 +1,143 @@
+#include "fuzz/repro.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/assert.h"
+#include "support/string_util.h"
+
+namespace fjs {
+namespace {
+
+std::string one_line(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return out;
+}
+
+void write_jobs(std::ostream& os, const std::string& header,
+                const Instance& instance) {
+  os << header << ' ' << instance.size() << '\n';
+  for (const Job& j : instance.jobs()) {
+    os << j.arrival.ticks() << ' ' << j.deadline.ticks() << ' '
+       << j.length.ticks() << '\n';
+  }
+}
+
+/// Reads the next non-comment, non-blank line; false at EOF.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    line = trim(line);
+    if (!line.empty() && line[0] != '#') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t parse_i64(const std::string& token, const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(token, &used);
+    FJS_REQUIRE(used == token.size(),
+                std::string("repro: trailing junk in ") + what);
+    return value;
+  } catch (const AssertionError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw AssertionError(std::string("repro: cannot parse ") + what + " '" +
+                         token + "'");
+  }
+}
+
+Instance parse_jobs(std::istream& is, std::size_t count) {
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  std::string line;
+  for (std::size_t i = 0; i < count; ++i) {
+    FJS_REQUIRE(next_line(is, line), "repro: truncated job list");
+    const auto fields = split(line, ' ');
+    std::vector<std::int64_t> ticks;
+    for (const auto& field : fields) {
+      if (!trim(field).empty()) {
+        ticks.push_back(parse_i64(trim(field), "job field"));
+      }
+    }
+    FJS_REQUIRE(ticks.size() == 3,
+                "repro: job line must be 'arrival deadline length' ticks");
+    jobs.push_back(Job{.id = kInvalidJob,
+                       .arrival = Time(ticks[0]),
+                       .deadline = Time(ticks[1]),
+                       .length = Time(ticks[2])});
+  }
+  return Instance{std::move(jobs)};
+}
+
+}  // namespace
+
+void write_repro(std::ostream& os, const ReproFile& repro) {
+  os << "fjs-fuzz-repro v1\n";
+  os << "seed " << repro.seed << '\n';
+  os << "oracle " << one_line(repro.oracle) << '\n';
+  os << "detail " << one_line(repro.detail) << '\n';
+  write_jobs(os, "original", repro.original);
+  if (repro.shrunk) {
+    write_jobs(os, "shrunk", *repro.shrunk);
+  }
+}
+
+ReproFile parse_repro(std::istream& is) {
+  std::string line;
+  FJS_REQUIRE(next_line(is, line) && line == "fjs-fuzz-repro v1",
+              "repro: missing 'fjs-fuzz-repro v1' header");
+  ReproFile repro;
+
+  FJS_REQUIRE(next_line(is, line) && starts_with(line, "seed "),
+              "repro: expected 'seed <n>'");
+  repro.seed =
+      static_cast<std::uint64_t>(std::stoull(trim(line.substr(5))));
+
+  FJS_REQUIRE(next_line(is, line) && starts_with(line, "oracle "),
+              "repro: expected 'oracle <name>'");
+  repro.oracle = trim(line.substr(7));
+
+  FJS_REQUIRE(next_line(is, line) && starts_with(line, "detail "),
+              "repro: expected 'detail <text>'");
+  repro.detail = trim(line.substr(7));
+
+  FJS_REQUIRE(next_line(is, line) && starts_with(line, "original "),
+              "repro: expected 'original <count>'");
+  const auto original_count = static_cast<std::size_t>(
+      parse_i64(trim(line.substr(9)), "original count"));
+  repro.original = parse_jobs(is, original_count);
+
+  if (next_line(is, line)) {
+    FJS_REQUIRE(starts_with(line, "shrunk "),
+                "repro: expected 'shrunk <count>' or end of file");
+    const auto shrunk_count = static_cast<std::size_t>(
+        parse_i64(trim(line.substr(7)), "shrunk count"));
+    repro.shrunk = parse_jobs(is, shrunk_count);
+  }
+  return repro;
+}
+
+void save_repro(const std::string& path, const ReproFile& repro) {
+  std::ofstream out(path);
+  FJS_REQUIRE(out.is_open(), "repro: cannot open '" + path + "' for writing");
+  write_repro(out, repro);
+  out.flush();
+  FJS_REQUIRE(out.good(), "repro: write failed on '" + path + "'");
+}
+
+ReproFile load_repro(const std::string& path) {
+  std::ifstream in(path);
+  FJS_REQUIRE(in.is_open(), "repro: cannot open '" + path + "' for reading");
+  return parse_repro(in);
+}
+
+}  // namespace fjs

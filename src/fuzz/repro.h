@@ -1,0 +1,53 @@
+// Deterministic repro files for fuzz failures.
+//
+// A repro file captures everything needed to replay a failure without the
+// generator: the seed it came from, the oracle that rejected it, the
+// one-line failure detail, and both the original and the shrunk instance
+// as raw tick triples. Raw ticks matter: Instance::write/parse round-trips
+// through unit-valued doubles, which is lossy for magnitudes near
+// Time::max() — exactly the instances the overflow mutators produce.
+//
+// Format (line-oriented, '#' comments ignored):
+//
+//   fjs-fuzz-repro v1
+//   seed 12345
+//   oracle sched:eager
+//   detail trace violations: ...
+//   original 3
+//   0 0 1000000
+//   500000 1500000 2000000
+//   ...
+//   shrunk 1
+//   0 0 1000000
+//
+// The "shrunk" section is optional (shrinking can be disabled).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/instance.h"
+
+namespace fjs {
+
+struct ReproFile {
+  std::uint64_t seed = 0;
+  std::string oracle;
+  /// Single line; newlines are flattened to spaces on write.
+  std::string detail;
+  Instance original;
+  std::optional<Instance> shrunk;
+};
+
+/// Serializes to / parses from the format above. parse throws
+/// AssertionError on any malformed input; round-trips tick-exactly.
+void write_repro(std::ostream& os, const ReproFile& repro);
+ReproFile parse_repro(std::istream& is);
+
+/// File wrappers; save throws AssertionError if the file cannot be
+/// written, load if it cannot be read or parsed.
+void save_repro(const std::string& path, const ReproFile& repro);
+ReproFile load_repro(const std::string& path);
+
+}  // namespace fjs

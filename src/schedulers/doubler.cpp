@@ -14,9 +14,11 @@ void DoublerScheduler::expire(Time now) {
 
 void DoublerScheduler::on_arrival(SchedulerContext& ctx, JobId id) {
   expire(ctx.now());
-  const Time completion = ctx.now() + ctx.length_of(id);
+  // Saturating: a completion past Time::max() fits in no window, which is
+  // exactly what the clamped value (never <= a window close) expresses.
+  const Time completion = ctx.now().saturating_add(ctx.length_of(id));
   for (const Window& w : windows_) {
-    if (completion <= w.close) {
+    if (completion <= w.close && completion < Time::max()) {
       ctx.start_job(id);
       return;
     }
@@ -37,11 +39,17 @@ void DoublerScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
     }
   }
   ctx.start_job(flag);
-  const Time close = now + flag_p * 2;
+  // Saturating arithmetic: 2·p(flag) can exceed Time::max() for adversarial
+  // lengths, and wrapping negative here once made the window close before it
+  // opened — leaving same-deadline jobs unstarted past their starting
+  // deadline (found by fuzzing). A saturated close just means "the window
+  // never closes", which is the right reading.
+  const Time budget = flag_p.saturating_mul(2);
+  const Time close = now.saturating_add(budget);
   windows_.push_back(Window{.flag = flag, .close = close});
   const std::vector<JobId> pending = ctx.pending();
   for (const JobId job : pending) {
-    if (ctx.length_of(job) <= flag_p * 2) {
+    if (ctx.length_of(job) <= budget) {
       ctx.start_job(job);
     }
   }

@@ -38,6 +38,42 @@ std::vector<Probe> battery() {
       InstanceBuilder().add(0, 10, 1).add(2, 8, 1).add(4, 6, 1));
   add("tiny-and-huge-lengths",
       InstanceBuilder().add(0, 1, 0.001).add(0, 1, 500.0));
+  // Clairvoyant-sensitive probes: identical windows, lengths spread across
+  // classification categories — a scheduler that reads length_of at
+  // arrival (CDB, Profit, Doubler) takes different branches per job while
+  // a non-clairvoyant one cannot tell them apart.
+  add("clairvoyant-category-spread",
+      InstanceBuilder()
+          .add(0, 3, 0.25)
+          .add(0, 3, 1)
+          .add(0, 3, 2)
+          .add(0, 3, 4.5)
+          .add(0, 3, 16));
+  // A rigid flag followed by arrivals during its run whose lengths
+  // straddle any reasonable profitability threshold: the decision to join
+  // the flag's interval hinges on the length known at arrival.
+  add("clairvoyant-profit-straddle",
+      InstanceBuilder()
+          .add(0, 0, 4)
+          .add(1, 10, 0.5)
+          .add(1, 10, 2)
+          .add(1.5, 10, 8)
+          .add(2, 10, 3.999));
+  // Deadline and completion events sharing one timestamp: the first job
+  // completes at t=2 exactly when the second's starting deadline fires.
+  // Completions outrank deadlines at the same tick, so the scheduler sees
+  // on_completion before the forced on_deadline start.
+  add("completion-ties-deadline",
+      InstanceBuilder().add(0, 0, 2).add(0, 2, 3));
+  // The full same-tick pile-up: at t=2 a completion, a deadline, an
+  // arrival, and a zero-laxity arrival (its own deadline included) all
+  // coincide — one tick exercising the entire kind tie-break chain.
+  add("completion-deadline-arrival-pileup",
+      InstanceBuilder()
+          .add(0, 0, 2)    // completes exactly at t=2
+          .add(0, 2, 1)    // starting deadline at t=2
+          .add(2, 5, 1)    // arrives at t=2
+          .add(2, 2, 1));  // zero-laxity arrival at t=2
   add("burst-of-twenty", [] {
     InstanceBuilder b;
     for (int i = 0; i < 20; ++i) {

@@ -15,7 +15,7 @@ inline bool event_before(const Event& a, const Event& b) {
     return a.time < b.time;
   }
   if (a.kind != b.kind) {
-    return a.kind < b.kind;
+    return same_tick_rank(a.kind) < same_tick_rank(b.kind);
   }
   return a.seq < b.seq;
 }
@@ -42,6 +42,10 @@ class Engine::Context final : public SchedulerContext {
     const JobRecord& r = engine_.record(id);
     FJS_CHECK(r.length_known, "clairvoyant job without a known length");
     return r.job.length;
+  }
+
+  bool is_pending(JobId id) const override {
+    return engine_.record(id).state == JobState::kPending;
   }
 
   const std::vector<JobId>& pending() const override {

@@ -31,6 +31,28 @@ enum class EventKind : std::uint8_t {
 
 std::string to_string(EventKind kind);
 
+/// Same-tick priority used by every event queue and merge in the engine
+/// (lower rank pops first). Kept as a single function so the heap, the
+/// staged-arrival merge, and any external replayer cannot disagree.
+///
+/// FJS_FUZZ_PLANTED_TIEBREAK_BUG deliberately swaps the
+/// completion/arrival priority — a job arriving exactly at a completion
+/// would join the CURRENT iteration, violating the half-open interval
+/// semantics. The flag exists only to validate the fuzzing harness
+/// end-to-end (the harness must catch the planted bug and shrink it);
+/// never enable it for real experiments.
+constexpr int same_tick_rank(EventKind kind) {
+#ifdef FJS_FUZZ_PLANTED_TIEBREAK_BUG
+  if (kind == EventKind::kCompletion) {
+    return static_cast<int>(EventKind::kArrival);
+  }
+  if (kind == EventKind::kArrival) {
+    return static_cast<int>(EventKind::kCompletion);
+  }
+#endif
+  return static_cast<int>(kind);
+}
+
 struct Event {
   // Field order packs the struct into 32 bytes (wide members first); events
   // are copied constantly on the engine's hot path.
@@ -50,7 +72,7 @@ struct EventAfter {
       return a.time > b.time;
     }
     if (a.kind != b.kind) {
-      return a.kind > b.kind;
+      return same_tick_rank(a.kind) > same_tick_rank(b.kind);
     }
     return a.seq > b.seq;
   }

@@ -43,6 +43,11 @@ class SchedulerContext {
   /// non-clairvoyant mode.
   virtual Time length_of(JobId id) const = 0;
 
+  /// True iff the job has arrived and not yet started. O(1) — the check a
+  /// timer callback needs to stay robust against a job force-started by
+  /// on_deadline at the same event time (deadline events outrank timers).
+  virtual bool is_pending(JobId id) const = 0;
+
   /// Jobs that have arrived but not yet started, in arrival order.
   virtual const std::vector<JobId>& pending() const = 0;
 

@@ -24,10 +24,37 @@ std::vector<TraceViolation> check_trace(const Instance& instance,
 
   std::vector<JobLog> logs(instance.size());
   Time last_time = Time::min();
+  // Half-open same-tick semantics ([s, s+p) excludes s+p): within one tick
+  // every completion precedes every arrival, and every deferred length
+  // decision precedes every completion. Both orders are invariant even
+  // under adaptive sources — completion and length-decision events are
+  // always enqueued at earlier ticks, so the queue's kind priority fully
+  // determines their position in the tick. Tracked independently of the
+  // engine's compiled tie-break so a broken queue order is caught here.
+  bool tick_saw_arrival = false;
+  bool tick_saw_completion = false;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const TraceEntry& e = trace.entry(i);
     if (e.time < last_time) {
       violate(i, "timestamps went backwards");
+    }
+    if (e.time != last_time) {
+      tick_saw_arrival = false;
+      tick_saw_completion = false;
+    }
+    if (e.kind == EventKind::kArrival) {
+      tick_saw_arrival = true;
+    } else if (e.kind == EventKind::kCompletion) {
+      tick_saw_completion = true;
+      if (tick_saw_arrival) {
+        violate(i,
+                "completion processed after an arrival at the same tick "
+                "(half-open semantics require completions first)");
+      }
+    } else if (e.kind == EventKind::kLengthDecision && tick_saw_completion) {
+      violate(i,
+              "length decision processed after a completion at the same "
+              "tick");
     }
     last_time = e.time;
     if (e.job == kInvalidJob) {

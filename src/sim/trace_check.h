@@ -19,7 +19,10 @@ struct TraceViolation {
 };
 
 /// Checks, over the recorded trace:
-///  * timestamps are non-decreasing, with same-tick kinds in engine order;
+///  * timestamps are non-decreasing;
+///  * same-tick half-open semantics: completions before arrivals, length
+///    decisions before completions (checked against the paper's canonical
+///    order, independent of the engine's compiled tie-break);
 ///  * every job arrives exactly once, starts exactly once within
 ///    [arrival, deadline], completes exactly once at start + length;
 ///  * no deadline event for an already-started job carries a start;

@@ -1,5 +1,7 @@
 #include "support/csv.h"
 
+#include <cmath>
+
 #include "support/assert.h"
 #include "support/string_util.h"
 
@@ -9,6 +11,8 @@ CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : out_(path), width_(header.size()) {
   FJS_REQUIRE(!header.empty(), "csv: header must be non-empty");
+  FJS_REQUIRE(out_.is_open(), "csv: cannot open '" + path + "' for writing");
+  path_ = path;
   write_row(header);
 }
 
@@ -30,7 +34,10 @@ std::string CsvWriter::escape(const std::string& cell) {
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
-  FJS_REQUIRE(cells.size() == width_, "csv: row width does not match header");
+  FJS_REQUIRE(cells.size() == width_,
+              "csv: row width " + std::to_string(cells.size()) +
+                  " does not match header width " + std::to_string(width_) +
+                  " in '" + path_ + "'");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) {
       out_ << ',';
@@ -38,6 +45,9 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
     out_ << escape(cells[i]);
   }
   out_ << '\n';
+  // A bench that keeps streaming into a full disk or a closed pipe must
+  // fail at the offending row, not deliver a silently truncated table.
+  FJS_REQUIRE(ok(), "csv: write failed on '" + path_ + "'");
 }
 
 void CsvWriter::write_row_numeric(const std::vector<double>& cells,
@@ -45,7 +55,15 @@ void CsvWriter::write_row_numeric(const std::vector<double>& cells,
   std::vector<std::string> formatted;
   formatted.reserve(cells.size());
   for (const double v : cells) {
-    formatted.push_back(format_double(v, decimals));
+    // Canonical spellings for non-finite values; never printf's
+    // platform-dependent "nan(0x...)" / "-nan" forms.
+    if (std::isnan(v)) {
+      formatted.emplace_back("nan");
+    } else if (std::isinf(v)) {
+      formatted.emplace_back(v > 0 ? "inf" : "-inf");
+    } else {
+      formatted.push_back(format_double(v, decimals));
+    }
   }
   write_row(formatted);
 }

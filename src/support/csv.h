@@ -10,20 +10,29 @@ namespace fjs {
 
 /// Streams rows to a CSV file. Cells containing commas/quotes/newlines are
 /// quoted per RFC 4180.
+///
+/// Failures are loud: the constructor throws AssertionError if the file
+/// cannot be opened, and every write_row throws on a stream error or a
+/// row-width mismatch — a bench can never deliver a silently truncated
+/// table.
 class CsvWriter {
  public:
-  /// Opens (truncates) `path` and writes the header row.
+  /// Opens (truncates) `path` and writes the header row. Throws
+  /// AssertionError if the file cannot be opened.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
 
-  /// Writes one row; width must match the header.
+  /// Writes one row; throws AssertionError unless the width matches the
+  /// header and the underlying stream accepted the write.
   void write_row(const std::vector<std::string>& cells);
 
-  /// Convenience overload formatting doubles.
+  /// Convenience overload formatting doubles. Non-finite values are
+  /// emitted with the canonical spellings "nan", "inf", "-inf".
   void write_row_numeric(const std::vector<double>& cells, int decimals = 6);
 
+  /// Stream health; retained for callers that probe instead of catching.
   bool ok() const { return static_cast<bool>(out_); }
 
  private:
@@ -31,6 +40,7 @@ class CsvWriter {
 
   std::ofstream out_;
   std::size_t width_;
+  std::string path_;
 };
 
 }  // namespace fjs

@@ -1,0 +1,193 @@
+// Regression tests for the edge-case bugfix sweep: CsvWriter fail-loud
+// semantics, RandomizedScheduler tied timer/deadline events, the Doubler
+// window-close overflow, saturating Time helpers, the conformance-suite
+// coverage additions, and the strengthened same-tick trace rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/time.h"
+#include "helpers.h"
+#include "schedulers/doubler.h"
+#include "schedulers/randomized.h"
+#include "schedulers/registry.h"
+#include "sim/conformance.h"
+#include "sim/engine.h"
+#include "sim/trace_check.h"
+#include "support/assert.h"
+#include "support/csv.h"
+
+namespace fjs {
+namespace {
+
+using testing::make_instance;
+
+TEST(CsvWriterRegression, OpenFailureThrowsInsteadOfSilentlyDroppingRows) {
+  EXPECT_THROW(
+      CsvWriter("/nonexistent-dir-fjs-test/out.csv", {"a", "b"}),
+      AssertionError);
+}
+
+TEST(CsvWriterRegression, RowWidthMismatchThrows) {
+  const auto path = std::filesystem::temp_directory_path() / "fjs_csv_w.csv";
+  CsvWriter csv(path.string(), {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only-one"}), AssertionError);
+  EXPECT_THROW(csv.write_row({"1", "2", "3"}), AssertionError);
+  csv.write_row({"1", "2"});
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriterRegression, WriteFailureThrows) {
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  EXPECT_THROW(
+      {
+        CsvWriter csv("/dev/full", {"col"});
+        const std::string big(1 << 16, 'x');
+        for (int i = 0; i < 64; ++i) {
+          csv.write_row({big});
+        }
+      },
+      AssertionError);
+}
+
+TEST(CsvWriterRegression, NonFiniteValuesGetCanonicalSpellings) {
+  const auto path = std::filesystem::temp_directory_path() / "fjs_csv_n.csv";
+  {
+    CsvWriter csv(path.string(), {"nan", "pinf", "ninf", "num"});
+    csv.write_row_numeric({std::nan(""),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(), 1.5});
+  }
+  std::ifstream in(path);
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  EXPECT_EQ(row, "nan,inf,-inf,1.5");
+  std::filesystem::remove(path);
+}
+
+// A one-tick-laxity job draws its random start offset from {0, 1}; the
+// offset-1 draw lands the timer exactly on the deadline tick, where the
+// deadline event (higher queue priority) force-starts the job first.
+// Before the fix, the timer callback then called start_job on a job that
+// was no longer pending and the engine threw mid-simulation.
+TEST(RandomizedRegression, TimerTiedWithDeadlineIsHandled) {
+  InstanceBuilder builder;
+  for (int i = 0; i < 12; ++i) {
+    builder.add_ticks(Time(i * 3), Time(i * 3 + 1), Time(5));
+  }
+  const Instance inst = builder.build();
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomizedScheduler scheduler(seed);
+    SimulationResult result;
+    ASSERT_NO_THROW(result = simulate(inst, scheduler, /*clairvoyant=*/false,
+                                      /*record_trace=*/true))
+        << "seed " << seed;
+    EXPECT_TRUE(result.schedule.is_valid(result.instance));
+    EXPECT_TRUE(check_trace(result.instance, result.schedule, result.trace)
+                    .empty());
+  }
+}
+
+TEST(RandomizedRegression, PassesConformanceSuite) {
+  const auto report = run_conformance_suite(
+      []() { return std::make_unique<RandomizedScheduler>(7); },
+      /*clairvoyant=*/false);
+  EXPECT_TRUE(report.passed()) << report.to_string();
+}
+
+// Found by fuzzing (seed 498): 2·p(flag) overflowed int64 for adversarial
+// lengths, the window "closed" at a negative tick, and same-deadline jobs
+// were left unstarted past their starting deadline.
+TEST(DoublerRegression, NearOverflowLengthsDoNotWrapTheWindowClose) {
+  InstanceBuilder builder;
+  builder.add_ticks(Time(0), Time(0), Time(1));
+  builder.add_ticks(Time(0), Time(0), Time(8'074'744'658'794'000'000));
+  const Instance inst = builder.build();
+  DoublerScheduler scheduler;
+  SimulationResult result;
+  ASSERT_NO_THROW(result = simulate(inst, scheduler, /*clairvoyant=*/true,
+                                    /*record_trace=*/true));
+  EXPECT_TRUE(result.schedule.is_valid(result.instance));
+  EXPECT_TRUE(
+      check_trace(result.instance, result.schedule, result.trace).empty());
+}
+
+TEST(DoublerRegression, HugeArrivalDuringOpenWindowDoesNotOverflow) {
+  // Arrival near Time::max() while a window is open: the completion
+  // estimate now() + p must saturate, not wrap into the window.
+  const std::int64_t top = Time::max().ticks() - 10;
+  InstanceBuilder builder;
+  builder.add_ticks(Time(top - 4), Time(top - 4), Time(3));
+  builder.add_ticks(Time(top - 3), Time(top - 2), Time(9));
+  const Instance inst = builder.build();
+  DoublerScheduler scheduler;
+  SimulationResult result;
+  ASSERT_NO_THROW(
+      result = simulate(inst, scheduler, /*clairvoyant=*/true, true));
+  EXPECT_TRUE(result.schedule.is_valid(result.instance));
+}
+
+TEST(TimeSaturating, AddAndMulClampInsteadOfWrapping) {
+  EXPECT_EQ(Time::max().saturating_add(Time(1)), Time::max());
+  EXPECT_EQ(Time::min().saturating_add(Time(-1)), Time::min());
+  EXPECT_EQ(Time(5).saturating_add(Time(7)), Time(12));
+  EXPECT_EQ(Time::max().saturating_mul(2), Time::max());
+  EXPECT_EQ(Time::max().saturating_mul(-2), Time::min());
+  EXPECT_EQ(Time(-3).saturating_mul(4), Time(-12));
+  EXPECT_EQ(Time(8'074'744'658'794'000'000).saturating_mul(2), Time::max());
+}
+
+TEST(ConformanceRegression, EveryRegisteredSchedulerPassesExtendedSuite) {
+  for (const auto& spec : scheduler_registry()) {
+    const auto report = run_conformance_suite(spec.make, spec.clairvoyant);
+    EXPECT_TRUE(report.passed()) << spec.key << ":\n" << report.to_string();
+    // The battery includes the new clairvoyant-spread / same-tick pileup
+    // probes; pin a floor so a probe can't silently vanish.
+    EXPECT_GE(report.probes_run, 12u) << spec.key;
+  }
+}
+
+// The trace validator must reject same-tick orders that violate half-open
+// semantics, independent of how the engine's queue is compiled — this is
+// what catches the planted tie-break bug build.
+TEST(TraceCheckRegression, FlagsCompletionAfterArrivalAtSameTick) {
+  const Instance inst = make_instance({{0, 0, 1}, {1, 1, 1}});
+  Schedule schedule(inst.size());
+  schedule.set_start(0, Time::zero());
+  schedule.set_start(1, Time::from_units(1.0));
+
+  const Time unit = Time::from_units(1.0);
+  Trace good;
+  good.record({Time::zero(), EventKind::kArrival, 0, 0});
+  good.record({Time::zero(), EventKind::kStart, 0, 0});
+  good.record({unit, EventKind::kCompletion, 0, unit.ticks()});
+  good.record({unit, EventKind::kArrival, 1, 0});
+  good.record({unit, EventKind::kStart, 1, 0});
+  good.record({unit + unit, EventKind::kCompletion, 1, unit.ticks()});
+  EXPECT_TRUE(check_trace(inst, schedule, good).empty());
+
+  Trace bad;
+  bad.record({Time::zero(), EventKind::kArrival, 0, 0});
+  bad.record({Time::zero(), EventKind::kStart, 0, 0});
+  bad.record({unit, EventKind::kArrival, 1, 0});  // before J0's completion
+  bad.record({unit, EventKind::kCompletion, 0, unit.ticks()});
+  bad.record({unit, EventKind::kStart, 1, 0});
+  bad.record({unit + unit, EventKind::kCompletion, 1, unit.ticks()});
+  bool flagged = false;
+  for (const auto& v : check_trace(inst, schedule, bad)) {
+    flagged |= v.message.find("completion processed after an arrival") !=
+               std::string::npos;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+}  // namespace
+}  // namespace fjs
