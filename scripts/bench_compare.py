@@ -10,9 +10,12 @@ real_time (lower is better) otherwise. A benchmark regressing by more
 than the threshold (default 15%) is reported and the script exits
 non-zero, so the committed BENCH_e9.json baseline acts as a gate:
 
-    ./build/bench/bench_e9_throughput \
-        --benchmark_out=bench_current.json --benchmark_out_format=json
-    scripts/bench_compare.py BENCH_e9.json bench_current.json
+    ./build/src/experiments/fjs_experiments --only e9 --smoke \
+        --out results --run-id e9-smoke --quiet
+    scripts/bench_compare.py BENCH_e9.json results/e9-smoke/e9/benchmarks.json
+
+With --manifests OLD NEW it additionally prints per-experiment wall-time
+trends between two fjs_experiments manifest.json files (warnings only).
 
 Benchmarks present in only one file are reported as added/removed with a
 warning but are never fatal, so the gate does not block adding or
@@ -24,7 +27,13 @@ idle machine before trusting a failure.
 
 import argparse
 import json
+import re
 import sys
+
+# Per-benchmark runtime options google-benchmark appends to the name
+# (e.g. "BM_Foo/min_time:0.050"). Stripped before comparing so a smoke
+# run with a short MinTime still gates against the full-profile baseline.
+_NAME_NOISE = re.compile(r"/(?:min_time|min_warmup_time|repeats|iterations):[^/]+")
 
 
 def load_benchmarks(path):
@@ -41,7 +50,7 @@ def load_benchmarks(path):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used.
         if bench.get("run_type") == "aggregate":
             continue
-        name = bench["name"]
+        name = _NAME_NOISE.sub("", bench["name"])
         if "items_per_second" in bench:
             out[name] = ("items_per_second", float(bench["items_per_second"]), True)
         elif "real_time" in bench:
@@ -49,10 +58,52 @@ def load_benchmarks(path):
     return out
 
 
+def compare_manifests(old_path, new_path, slowdown=1.5):
+    """Prints wall-time trends between two runner manifests.
+
+    Wall times on a shared machine are noisy, so this never fails the
+    gate; it exists to surface gross slowdowns (default: >1.5x) between
+    smoke runs early, next to the E9 throughput gate.
+    """
+    def load(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: cannot read manifest {path}: {err}")
+            return None
+        return {e["name"]: e for e in doc.get("experiments", [])}
+
+    old, new = load(old_path), load(new_path)
+    if old is None or new is None:
+        return
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        print("warning: manifests share no experiments; nothing to compare")
+        return
+    print(f"experiment wall times ({old_path} -> {new_path}):")
+    slow = []
+    for name in shared:
+        old_ms, new_ms = old[name].get("wall_ms"), new[name].get("wall_ms")
+        if not old_ms or new_ms is None:
+            continue
+        change = new_ms / old_ms - 1.0
+        flag = ""
+        if new_ms > old_ms * slowdown:
+            flag = "  SLOWER"
+            slow.append(name)
+        print(f"  {name:<6} {old_ms:>10.1f} ms -> {new_ms:>10.1f} ms "
+              f"({change:+.1%}){flag}")
+    if slow:
+        print(f"warning: {len(slow)} experiment(s) ran >{slowdown:.1f}x "
+              f"slower than the previous manifest: {', '.join(slow)} "
+              "(informational; rerun on an idle machine before acting)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline benchmark JSON")
-    parser.add_argument("current", help="current benchmark JSON")
+    parser.add_argument("baseline", nargs="?", help="baseline benchmark JSON")
+    parser.add_argument("current", nargs="?", help="current benchmark JSON")
     parser.add_argument(
         "--threshold",
         type=float,
@@ -65,7 +116,22 @@ def main():
         help="write a machine-readable comparison summary to PATH "
         "('-' for stdout)",
     )
+    parser.add_argument(
+        "--manifests",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="also compare per-experiment wall times from two "
+        "fjs_experiments manifest.json files (warnings only, never fatal)",
+    )
     args = parser.parse_args()
+
+    if args.manifests:
+        compare_manifests(*args.manifests)
+    if args.baseline is None or args.current is None:
+        if args.manifests:
+            return 0
+        parser.error("BASELINE and CURRENT benchmark JSON files are "
+                     "required unless --manifests is given")
 
     base = load_benchmarks(args.baseline)
     curr = load_benchmarks(args.current)

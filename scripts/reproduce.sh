@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Reproduce everything: build, run the full test suite, run every
-# experiment bench (E1-E16 tables + E9 microbenchmarks), and leave the
-# transcripts in test_output.txt / bench_output.txt at the repo root.
+# experiment's smoke profile through fjs_experiments (E1-E16 tables,
+# verdicts + E9 microbenchmarks), and leave the transcripts in
+# test_output.txt / bench_output.txt at the repo root. Full-profile
+# reproduction: `build/src/experiments/fjs_experiments` (no --smoke).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +32,13 @@ ctest --test-dir build-asan --output-on-failure \
 # The same fuzz smoke under the sanitizers (undefined behavior in an
 # oracle or scheduler fails the run even when spans agree).
 build-asan/src/fuzz/fjs_fuzz --smoke 2>&1 | tee -a test_output.txt
+# Experiment smoke under the sanitizers too: every scheduler, adversary
+# and solver gets exercised end-to-end with ASan+UBSan watching. E9 is
+# skipped — timing microbenchmarks are meaningless under sanitizers.
+cmake --build build-asan --target fjs_experiments
+rm -rf results/asan-smoke
+build-asan/src/experiments/fjs_experiments --smoke --skip e9 \
+  --out results --run-id asan-smoke --quiet 2>&1 | tee -a test_output.txt
 
 # Planted-bug drill: a build with -DFJS_PLANTED_TIEBREAK_BUG=ON swaps the
 # engine's same-tick completion/arrival priority. The fuzzer MUST catch it
@@ -46,22 +55,27 @@ echo "planted tie-break bug caught and shrunk, as expected:" \
   | tee -a test_output.txt
 head -8 planted_output.txt | tee -a test_output.txt
 
-# Fast perf smoke: a short E9 subset on every run, emitted as JSON and
-# diffed against the committed baseline. A >15% drop on this machine is
-# only a warning here (single runs are noisy); rerun the full bench
+# Fast perf smoke: E9's smoke profile, emitted as JSON and diffed
+# against the committed baseline. A >15% drop on this machine is only a
+# warning here (single runs are noisy); rerun the full profile
 # back-to-back against the baseline before trusting it.
-build/bench/bench_e9_throughput \
-  --benchmark_filter='BM_EngineThroughput/(eager|batch)$|BM_IntervalSetAdd/10000' \
-  --benchmark_min_time=0.05 \
-  --benchmark_out=bench_smoke.json --benchmark_out_format=json
-scripts/bench_compare.py BENCH_e9.json bench_smoke.json \
+rm -rf results/e9-smoke
+build/src/experiments/fjs_experiments --only e9 --smoke \
+  --out results --run-id e9-smoke --quiet
+scripts/bench_compare.py BENCH_e9.json results/e9-smoke/e9/benchmarks.json \
   || echo "WARNING: bench smoke regressed vs BENCH_e9.json (noisy single run)"
 
-: > bench_output.txt
-for b in build/bench/bench_*; do
-  echo "==================== $(basename "$b") ====================" \
+# All sixteen experiments, smoke profile: tables, verdicts, manifest.
+# Nonzero exit = a machine-checked paper claim failed. Wall-time trends
+# vs the previous smoke run are informational only.
+rm -rf results/smoke
+build/src/experiments/fjs_experiments --smoke --out results --run-id smoke \
+  2>&1 | tee bench_output.txt
+if [ -f results/last-smoke-manifest.json ]; then
+  scripts/bench_compare.py --manifests \
+    results/last-smoke-manifest.json results/smoke/manifest.json \
     | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
-done
+fi
+cp results/smoke/manifest.json results/last-smoke-manifest.json
 
-echo "Done. See test_output.txt, bench_output.txt and EXPERIMENTS.md."
+echo "Done. See test_output.txt, bench_output.txt, results/smoke/ and EXPERIMENTS.md."

@@ -1,0 +1,92 @@
+// E2 — Theorem 3.4 / Figure 2: Batch's tightness family.
+//
+// Batch's span on the Figure 2 instance is exactly 2mμ against a reference
+// of m(1+ε)+μ, so the ratio approaches 2μ as m grows; the theorem also
+// caps Batch at 2μ+1 on every instance. Verdicts: the reciprocal
+// asymptote fit recovers the closed-form limit 2μ/(1+ε), and no measured
+// ratio crosses the 2μ+1 cap.
+#include <string>
+#include <vector>
+
+#include "adversary/tightness.h"
+#include "analysis/convergence.h"
+#include "experiments/experiments_all.h"
+#include "schedulers/batch.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+class E2Experiment final : public Experiment {
+ public:
+  std::string name() const override { return "e2"; }
+  std::string title() const override { return "Batch tightness family"; }
+  std::string description() const override {
+    return "Figure 2 family driving Batch's ratio to 2*mu; the 2*mu+1 "
+           "upper bound is never crossed.";
+  }
+  std::string paper_ref() const override { return "Thm 3.4 / Fig. 2"; }
+
+  ExperimentResult run(ExperimentContext& ctx) const override {
+    ExperimentResult result;
+    ctx.out() << "E2: Batch tightness family (Thm 3.4, Fig. 2).\n\n";
+
+    const double eps = 0.01;
+    const std::vector<std::size_t> ms =
+        ctx.smoke ? std::vector<std::size_t>{1u, 4u, 16u, 64u}
+                  : std::vector<std::size_t>{1u, 4u, 16u, 64u, 256u, 1024u};
+
+    Table table({"mu", "m", "batch span", "reference span", "ratio",
+                 "lower 2mu", "upper 2mu+1"});
+    Table limits({"mu", "fitted limit (m->inf)", "closed form 2mu/(1+eps)",
+                  "R^2"});
+    for (const double mu : {1.5, 2.0, 4.0, 8.0}) {
+      std::vector<double> xs;
+      std::vector<double> ratios;
+      for (const std::size_t m : ms) {
+        const TightnessInstance tight = make_batch_tightness(m, mu, eps);
+        BatchScheduler batch;
+        const Time span = simulate_span(tight.instance, batch, false);
+        const Time ref = tight.reference.span(tight.instance);
+        const double ratio = time_ratio(span, ref);
+        table.add_row({format_double(mu, 1), std::to_string(m),
+                       format_double(span.to_units(), 2),
+                       format_double(ref.to_units(), 2),
+                       format_double(ratio, 4), format_double(2.0 * mu, 1),
+                       format_double(2.0 * mu + 1.0, 1)});
+        result.verdicts.push_back(Verdict::at_most(
+            "ratio cap mu=" + format_double(mu, 1) + " m=" + std::to_string(m),
+            ratio, 2.0 * mu + 1.0, "Batch <= 2*mu+1 (Thm 3.4)", 1e-9));
+        xs.push_back(static_cast<double>(m));
+        ratios.push_back(1.0 / ratio);  // reciprocal is exactly linear in 1/m
+      }
+      const AsymptoteFit fit = fit_asymptote(xs, ratios);
+      const double fitted = 1.0 / fit.limit;
+      const double closed_form = 2.0 * mu / (1.0 + eps);
+      limits.add_row({format_double(mu, 1), format_double(fitted, 4),
+                      format_double(closed_form, 4),
+                      format_double(fit.r_squared, 6)});
+      result.verdicts.push_back(Verdict::equals(
+          "fitted limit mu=" + format_double(mu, 1), fitted, closed_form,
+          1e-3, "ratio -> 2*mu/(1+eps) as m -> inf"));
+    }
+    emit_table(ctx, result, "E2 Batch tightness (ratio -> 2mu)", table,
+               "e2_batch_tight");
+    ctx.out() << "Fitted asymptotes (reciprocal fit, exact for this"
+                 " family):\n"
+              << limits.render();
+    result.tables.push_back(
+        NamedTable{"e2_limits", "E2 fitted asymptotes", std::move(limits)});
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Experiment> make_e2_experiment() {
+  return std::make_unique<E2Experiment>();
+}
+
+}  // namespace fjs::experiments

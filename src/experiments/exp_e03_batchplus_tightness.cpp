@@ -1,0 +1,90 @@
+// E3 — Theorem 3.5 / Figure 3: Batch+'s tight family.
+//
+// Batch+'s span on the Figure 3 instance is m(μ+1−ε) against a reference
+// of m+μ: the ratio approaches μ+1, which Theorem 3.5 proves is also the
+// worst case — the bound is tight. Verdicts: the fitted limit recovers
+// μ+1−ε and no measured ratio crosses μ+1.
+#include <string>
+#include <vector>
+
+#include "adversary/tightness.h"
+#include "analysis/convergence.h"
+#include "experiments/experiments_all.h"
+#include "schedulers/batch_plus.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+class E3Experiment final : public Experiment {
+ public:
+  std::string name() const override { return "e3"; }
+  std::string title() const override { return "Batch+ tight family"; }
+  std::string description() const override {
+    return "Figure 3 family driving Batch+'s ratio to mu+1, the tight "
+           "worst case of Thm 3.5.";
+  }
+  std::string paper_ref() const override { return "Thm 3.5 / Fig. 3"; }
+
+  ExperimentResult run(ExperimentContext& ctx) const override {
+    ExperimentResult result;
+    ctx.out() << "E3: Batch+ tight family (Thm 3.5, Fig. 3).\n\n";
+
+    const double eps = 0.01;
+    const std::vector<std::size_t> ms =
+        ctx.smoke ? std::vector<std::size_t>{1u, 4u, 16u, 64u}
+                  : std::vector<std::size_t>{1u, 4u, 16u, 64u, 256u, 1024u};
+
+    Table table({"mu", "m", "batch+ span", "reference span", "ratio",
+                 "tight bound mu+1"});
+    Table limits({"mu", "fitted limit (m->inf)", "closed form mu+1-eps",
+                  "R^2"});
+    for (const double mu : {1.5, 2.0, 4.0, 8.0}) {
+      std::vector<double> xs;
+      std::vector<double> ratios;
+      for (const std::size_t m : ms) {
+        const TightnessInstance tight = make_batch_plus_tightness(m, mu, eps);
+        BatchPlusScheduler bp;
+        const Time span = simulate_span(tight.instance, bp, false);
+        const Time ref = tight.reference.span(tight.instance);
+        const double ratio = time_ratio(span, ref);
+        table.add_row({format_double(mu, 1), std::to_string(m),
+                       format_double(span.to_units(), 2),
+                       format_double(ref.to_units(), 2),
+                       format_double(ratio, 4), format_double(mu + 1.0, 1)});
+        result.verdicts.push_back(Verdict::at_most(
+            "ratio cap mu=" + format_double(mu, 1) + " m=" + std::to_string(m),
+            ratio, mu + 1.0, "Batch+ <= mu+1 (Thm 3.5, tight)", 1e-9));
+        xs.push_back(static_cast<double>(m));
+        ratios.push_back(1.0 / ratio);  // reciprocal is exactly linear in 1/m
+      }
+      const AsymptoteFit fit = fit_asymptote(xs, ratios);
+      const double fitted = 1.0 / fit.limit;
+      const double closed_form = mu + 1.0 - eps;
+      limits.add_row({format_double(mu, 1), format_double(fitted, 4),
+                      format_double(closed_form, 4),
+                      format_double(fit.r_squared, 6)});
+      result.verdicts.push_back(Verdict::equals(
+          "fitted limit mu=" + format_double(mu, 1), fitted, closed_form,
+          1e-3, "ratio -> mu+1-eps as m -> inf"));
+    }
+    emit_table(ctx, result, "E3 Batch+ tightness (ratio -> mu+1)", table,
+               "e3_batchplus_tight");
+    ctx.out() << "Fitted asymptotes (reciprocal fit, exact for this"
+                 " family):\n"
+              << limits.render();
+    result.tables.push_back(
+        NamedTable{"e3_limits", "E3 fitted asymptotes", std::move(limits)});
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Experiment> make_e3_experiment() {
+  return std::make_unique<E3Experiment>();
+}
+
+}  // namespace fjs::experiments

@@ -1,0 +1,85 @@
+// E4 — Theorem 4.1 / Figure 4: the clairvoyant golden-ratio adversary.
+//
+// Every deterministic scheduler is forced to a ratio approaching
+// φ = (√5+1)/2 ≈ 1.618: either it refuses to start a long job inside a
+// short job's window (ratio exactly φ at that point), or it rides through
+// all n iterations (ratio nφ/(φ+n−1) → φ). Verdict: the measured ratio
+// matches the adversary's outcome formula to 4 decimals for every
+// scheduler and n.
+#include <string>
+#include <vector>
+
+#include "adversary/clairvoyant_lb.h"
+#include "experiments/experiments_all.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+class E4Experiment final : public Experiment {
+ public:
+  std::string name() const override { return "e4"; }
+  std::string title() const override { return "clairvoyant lower bound"; }
+  std::string description() const override {
+    return "Golden-ratio adversary pinning every deterministic scheduler "
+           "at phi = (sqrt(5)+1)/2 in the limit.";
+  }
+  std::string paper_ref() const override { return "Thm 4.1 / Fig. 4"; }
+
+  ExperimentResult run(ExperimentContext& ctx) const override {
+    ExperimentResult result;
+    ctx.out() << "E4: clairvoyant lower bound (Thm 4.1). phi = "
+              << format_double(ClairvoyantAdversary::phi(), 6) << "\n\n";
+
+    const std::vector<int> ns = ctx.smoke ? std::vector<int>{2, 8, 32}
+                                          : std::vector<int>{2, 8, 32, 128};
+
+    Table table({"scheduler", "n", "outcome", "iters", "measured",
+                 "paper ratio", "phi"});
+    for (const auto& spec : scheduler_registry()) {
+      for (const int n : ns) {
+        const auto scheduler = spec.make();
+        ClairvoyantAdversary adversary(
+            ClairvoyantLbParams{.max_iterations = n});
+        NoDeferralOracle oracle;
+        Engine engine(adversary, oracle, *scheduler,
+                      EngineOptions{.clairvoyant = true});
+        const SimulationResult sim = engine.run();
+        const Schedule reference = adversary.reference_schedule(sim.instance);
+        const double measured =
+            time_ratio(sim.span(), reference.span(sim.instance));
+        const double paper_ratio = adversary.theoretical_ratio();
+        table.add_row({spec.key, std::to_string(n),
+                       adversary.stopped_early() ? "refused" : "rode-through",
+                       std::to_string(adversary.iterations_released()),
+                       format_double(measured, 4),
+                       format_double(paper_ratio, 4),
+                       format_double(ClairvoyantAdversary::phi(), 4)});
+        // The outcome formula is a floor: deterministic schedulers hit it
+        // exactly, the randomized baseline can land above it (its refusal
+        // may come mid-iteration with extra span already committed).
+        result.verdicts.push_back(Verdict::at_least(
+            "outcome formula " + spec.key + " n=" + std::to_string(n),
+            measured, paper_ratio,
+            "measured ratio >= phi on refusal, n*phi/(phi+n-1) riding"
+            " through (floor; exact for deterministic schedulers)",
+            1e-4));
+      }
+    }
+    emit_table(ctx, result,
+               "E4 clairvoyant adversary (ratio -> phi for everyone)", table,
+               "e4_clb");
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Experiment> make_e4_experiment() {
+  return std::make_unique<E4Experiment>();
+}
+
+}  // namespace fjs::experiments

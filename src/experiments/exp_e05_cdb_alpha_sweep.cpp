@@ -1,0 +1,116 @@
+// E5 — Theorem 4.4: Classify-by-Duration Batch+ and the choice of α.
+//
+// The theorem bounds CDB by f(α) = 3α + 4 + 2/(α−1), minimized at
+// α* = 1 + √(2/3) ≈ 1.8165 where f = 7 + 2√6 ≈ 11.9. We sweep α over
+// multi-category workloads (bimodal and heavy-tail lengths), measuring
+// exact competitive ratios on small integral instances. Verdicts: every
+// measured ratio respects the theorem bound, ratios never drop below 1
+// (exact OPT), and the bound curve is minimized at α* on the grid.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments_all.h"
+#include "offline/exact.h"
+#include "schedulers/classify_by_duration.h"
+#include "sim/engine.h"
+#include "support/parallel.h"
+#include "support/stats.h"
+#include "support/string_util.h"
+#include "support/thread_pool.h"
+#include "workload/generator.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+class E5Experiment final : public Experiment {
+ public:
+  std::string name() const override { return "e5"; }
+  std::string title() const override { return "CDB alpha sweep"; }
+  std::string description() const override {
+    return "Classify-by-Duration bound f(alpha)=3a+4+2/(a-1) minimized at "
+           "alpha*=1+sqrt(2/3); exact ratios on multi-category workloads.";
+  }
+  std::string paper_ref() const override { return "Thm 4.4"; }
+
+  ExperimentResult run(ExperimentContext& ctx) const override {
+    ExperimentResult result;
+    const double alpha_star = CdbScheduler::optimal_alpha();
+    const double bound_star = 7.0 + 2.0 * std::sqrt(6.0);
+    ctx.out() << "E5: CDB alpha sweep (Thm 4.4). alpha* = 1+sqrt(2/3) = "
+              << format_double(alpha_star, 4)
+              << ", bound at alpha* = 7+2*sqrt(6) = "
+              << format_double(bound_star, 4) << "\n\n";
+
+    // Multi-category instances: lengths spanning 1..8 force several CDB
+    // categories so alpha actually matters.
+    const std::uint64_t seeds = ctx.smoke ? 4 : 12;
+    std::vector<Instance> cases;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      WorkloadConfig bimodal;
+      bimodal.job_count = 8;
+      bimodal.integral = true;
+      bimodal.lengths = LengthDistribution::kBimodal;
+      bimodal.length_min = 1.0;
+      bimodal.length_max = 8.0;
+      bimodal.bimodal_short_fraction = 0.7;
+      bimodal.laxity_max = 5.0;
+      cases.push_back(generate_workload(bimodal, seed + ctx.seed));
+
+      WorkloadConfig spread = bimodal;
+      spread.lengths = LengthDistribution::kUniform;
+      spread.length_max = 6.0;
+      cases.push_back(generate_workload(spread, seed + 100 + ctx.seed));
+    }
+    std::vector<Time> opts(cases.size());
+    parallel_for(ctx.worker_pool(), cases.size(), [&](std::size_t i) {
+      opts[i] = exact_optimal_span(cases[i]);
+    });
+
+    Table table({"alpha", "mean ratio", "p90 ratio", "worst ratio",
+                 "theorem bound 3a+4+2/(a-1)"});
+    const std::vector<double> alphas =
+        ctx.smoke ? std::vector<double>{1.2, 1.8165, 3.0, 6.0}
+                  : std::vector<double>{1.2, 1.4, 1.6, 1.8165, 2.0,
+                                        2.4, 3.0, 4.0, 6.0};
+    double min_bound = 0.0;
+    for (const double alpha : alphas) {
+      Summary ratios;
+      for (std::size_t i = 0; i < cases.size(); ++i) {
+        CdbScheduler cdb(alpha);
+        const Time span = simulate_span(cases[i], cdb, true);
+        ratios.add(time_ratio(span, opts[i]));
+      }
+      const double bound = 3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0);
+      if (min_bound == 0.0 || bound < min_bound) {
+        min_bound = bound;
+      }
+      table.add_row({format_double(alpha, 4), format_double(ratios.mean(), 4),
+                     format_double(ratios.percentile(90.0), 4),
+                     format_double(ratios.max(), 4),
+                     format_double(bound, 4)});
+      result.verdicts.push_back(Verdict::between(
+          "worst ratio alpha=" + format_double(alpha, 4), ratios.max(), 1.0,
+          bound, "1 <= online/OPT <= 3a+4+2/(a-1) (Thm 4.4)"));
+    }
+    result.verdicts.push_back(Verdict::equals(
+        "bound curve minimum", min_bound, bound_star, 1e-3,
+        "min over the alpha grid = f(alpha*) = 7+2*sqrt(6)"));
+    emit_table(ctx, result, "E5 CDB alpha sweep", table, "e5_cdb_alpha");
+
+    ctx.out() << "Reading: the theorem-bound column is minimized at"
+                 " alpha* = 1.8165; measured ratios on stochastic inputs are\n"
+                 "much smaller and comparatively flat, as expected for a"
+                 " worst-case guarantee.\n";
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Experiment> make_e5_experiment() {
+  return std::make_unique<E5Experiment>();
+}
+
+}  // namespace fjs::experiments

@@ -1,0 +1,324 @@
+// E9 — engineering throughput benchmarks (google-benchmark).
+//
+// Not a paper experiment: measures the simulator's and solvers' raw
+// performance so regressions in the substrate are visible — events/second
+// per scheduler, IntervalSet operations, exact-solver scaling, heuristic
+// cost, and parallel sweep speedup. The benchmarks are registered
+// dynamically so the smoke profile can run the fast regression subset
+// (the one scripts/reproduce.sh diffs against BENCH_e9.json) with a short
+// min-time. Results go to <out_dir>/benchmarks.json in google-benchmark's
+// JSON format — scripts/bench_compare.py consumes it unchanged.
+//
+// Timing numbers are only meaningful when E9 runs alone on an idle
+// machine (`fjs_experiments --only e9`); its verdicts check completion,
+// not speed — the perf gate lives in scripts/bench_compare.py.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "adversary/instance_miner.h"
+#include "analysis/sweep.h"
+#include "core/interval_set.h"
+#include "experiments/experiments_all.h"
+#include "offline/exact.h"
+#include "offline/heuristic.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "workload/generator.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+Instance bench_instance(std::size_t jobs, std::uint64_t seed) {
+  WorkloadConfig config;
+  config.job_count = jobs;
+  config.arrival_rate = 2.0;
+  config.laxity_max = 6.0;
+  return generate_workload(config, seed);
+}
+
+void engine_throughput(benchmark::State& state, const std::string& key) {
+  const Instance inst = bench_instance(10'000, 1);
+  const auto spec_clairvoyant = [&] {
+    for (const auto& spec : scheduler_registry()) {
+      if (spec.key == key) {
+        return spec.clairvoyant;
+      }
+    }
+    return false;
+  }();
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const auto scheduler = make_scheduler(key);
+    const SimulationResult result =
+        simulate(inst, *scheduler, spec_clairvoyant);
+    events += result.event_count;
+    benchmark::DoNotOptimize(result.schedule);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events/iteration");
+}
+
+// Lengths are chosen so the union keeps thousands of components at
+// n=10000 (~60% domain coverage): both construction paths then exercise
+// their real costs. Much longer intervals collapse the union to a single
+// component, reducing n× add() to a degenerate O(1) merge-into-back that
+// benchmarks nothing.
+std::vector<Interval> random_intervals(std::size_t n) {
+  Rng rng(7);
+  std::vector<Interval> intervals;
+  intervals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t lo = rng.uniform_int(0, 1'000'000);
+    intervals.emplace_back(Time(lo), Time(lo + rng.uniform_int(1, 200)));
+  }
+  return intervals;
+}
+
+// Bulk sort-then-merge construction — the path hot callers (active_set,
+// sweeps) use. The per-iteration vector copy is part of the measured cost;
+// the constructor takes its input by value.
+void interval_set_add(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Interval> intervals = random_intervals(n);
+  for (auto _ : state) {
+    IntervalSet set(intervals);
+    benchmark::DoNotOptimize(set.measure());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+// Legacy n× add() path, kept for comparison against the bulk build.
+void interval_set_add_incremental(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<Interval> intervals = random_intervals(n);
+  for (auto _ : state) {
+    IntervalSet set;
+    for (const auto& iv : intervals) {
+      set.add(iv);
+    }
+    benchmark::DoNotOptimize(set.measure());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+Instance solver_instance(std::size_t jobs) {
+  WorkloadConfig config;
+  config.job_count = jobs;
+  config.integral = true;
+  config.laxity_max = 4.0;
+  return generate_workload(config, 3);
+}
+
+// Branch-and-bound solver: the extended args (12, 14) were out of reach
+// for the grid DFS, which is benchmarked separately at its feasible sizes.
+void exact_solver(benchmark::State& state) {
+  const Instance inst =
+      solver_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_optimal_span(inst));
+  }
+}
+
+// Legacy grid DFS on the same instances — the "before" curve.
+void exact_solver_reference(benchmark::State& state) {
+  const Instance inst =
+      solver_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_optimal_span_reference(inst));
+  }
+}
+
+// Miner throughput at fixed search effort (identical candidate sequences
+// in both variants — the objective values, and therefore the
+// hill-climbing path, are the same). items/s counts candidate evaluations.
+MinerOptions miner_bench_options() {
+  MinerOptions options;
+  options.population = 32;
+  options.rounds = 12;
+  options.mutations_per_round = 16;
+  options.jobs = 10;  // large enough that certification dominates mining
+  options.seed = 17;
+  return options;
+}
+
+void miner(benchmark::State& state) {
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    const MinerResult result = mine_worst_case("batch", miner_bench_options());
+    evaluations += result.evaluations;
+    benchmark::DoNotOptimize(result.worst_ratio);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.SetLabel("candidate evaluations");
+}
+
+// The pre-PR-2 mining stack at the same search effort: no objective memo
+// and grid-DFS certification.
+void miner_legacy(benchmark::State& state) {
+  MinerOptions options = miner_bench_options();
+  options.use_objective_memo = false;
+  const bool clairvoyant = make_scheduler("batch")->requires_clairvoyance();
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    const MinerResult result = mine_instance(
+        [clairvoyant](const Instance& instance) {
+          const auto scheduler = make_scheduler("batch");
+          const Time span = simulate_span(instance, *scheduler, clairvoyant);
+          return time_ratio(span, exact_optimal_span_reference(instance));
+        },
+        options);
+    evaluations += result.evaluations;
+    benchmark::DoNotOptimize(result.worst_ratio);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(evaluations));
+  state.SetLabel("candidate evaluations");
+}
+
+void heuristic(benchmark::State& state) {
+  const Instance inst =
+      bench_instance(static_cast<std::size_t>(state.range(0)), 5);
+  HeuristicOptions options;
+  options.restarts = 1;
+  options.max_passes = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristic_span(inst, options));
+  }
+}
+
+void sweep_parallelism(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  WorkloadConfig config;
+  config.job_count = 120;
+  const auto cases = make_cases(config, "bench", 16, 9);
+  ThreadPool pool(threads);
+  SweepOptions options;
+  options.pool = &pool;
+  options.heuristic_options.restarts = 0;
+  options.heuristic_options.max_passes = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_ratio_sweep(cases, {"batch+", "profit"}, options));
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+
+// Registers either the fast regression subset (smoke: the benchmarks
+// reproduce.sh gates against BENCH_e9.json, short min-time) or the full
+// battery with google-benchmark's defaults. Names match the former
+// BENCHMARK()/BENCHMARK_CAPTURE() spellings so BENCH_e9.json baselines
+// keep comparing.
+void register_benchmarks(bool smoke) {
+  const double smoke_min_time = 0.05;
+  const auto engine_keys =
+      smoke ? std::vector<std::string>{"eager", "batch"}
+            : std::vector<std::string>{"eager",  "lazy",   "batch", "batch+",
+                                       "cdb",    "profit", "doubler*"};
+  for (const std::string& key : engine_keys) {
+    // BENCHMARK_CAPTURE named "batch_plus"/"doubler" for the awkward keys.
+    std::string suffix = key == "batch+" ? "batch_plus" : key;
+    if (suffix == "doubler*") {
+      suffix = "doubler";
+    }
+    auto* b = benchmark::RegisterBenchmark(
+        ("BM_EngineThroughput/" + suffix).c_str(),
+        [key](benchmark::State& state) { engine_throughput(state, key); });
+    if (smoke) {
+      b->MinTime(smoke_min_time);
+    }
+  }
+
+  {
+    auto* b = benchmark::RegisterBenchmark("BM_IntervalSetAdd",
+                                           interval_set_add);
+    if (smoke) {
+      b->Arg(10'000)->MinTime(smoke_min_time);
+    } else {
+      b->Arg(100)->Arg(1'000)->Arg(10'000);
+    }
+  }
+  if (!smoke) {
+    benchmark::RegisterBenchmark("BM_IntervalSetAddIncremental",
+                                 interval_set_add_incremental)
+        ->Arg(100)->Arg(1'000)->Arg(10'000);
+    benchmark::RegisterBenchmark("BM_ExactSolver", exact_solver)
+        ->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_ExactSolverReference",
+                                 exact_solver_reference)
+        ->Arg(4)->Arg(6)->Arg(8)->Arg(10)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_Miner", miner)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_MinerLegacy", miner_legacy)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_Heuristic", heuristic)
+        ->Arg(50)->Arg(150)->Arg(400)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_SweepParallelism", sweep_parallelism)
+        ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+        ->Unit(benchmark::kMillisecond)->UseRealTime();
+  }
+}
+
+class E9Experiment final : public Experiment {
+ public:
+  std::string name() const override { return "e9"; }
+  std::string title() const override {
+    return "engineering throughput benchmarks";
+  }
+  std::string description() const override {
+    return "google-benchmark battery over the engine, IntervalSet, exact "
+           "solver, miner, heuristic and sweeps; JSON for bench_compare.py.";
+  }
+  std::string paper_ref() const override { return "-"; }
+
+  ExperimentResult run(ExperimentContext& ctx) const override {
+    ExperimentResult result;
+    ctx.out() << "E9: substrate throughput benchmarks ("
+              << (ctx.smoke ? "smoke subset, min_time=0.05s"
+                            : "full battery")
+              << ").\nJSON results: benchmarks.json (google-benchmark"
+                 " format; gate with scripts/bench_compare.py).\n\n";
+
+    benchmark::ClearRegisteredBenchmarks();
+    register_benchmarks(ctx.smoke);
+
+    // Route the JSON file through benchmark's own --benchmark_out flag:
+    // 1.7.x std::exit(1)s on a custom file reporter without it, and with
+    // it the library opens the file and owns the reporter lifecycle.
+    std::string arg0 = "fjs_experiments";
+    std::string out_flag = "--benchmark_out=" + ctx.out_dir +
+                           "/benchmarks.json";
+    std::string format_flag = "--benchmark_out_format=json";
+    std::vector<char*> bench_argv = {arg0.data(), out_flag.data(),
+                                     format_flag.data()};
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+
+    benchmark::ConsoleReporter display;
+    display.SetOutputStream(&ctx.out());
+    display.SetErrorStream(&ctx.out());
+    const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&display);
+    benchmark::ClearRegisteredBenchmarks();
+
+    result.artifacts.push_back("benchmarks.json");
+    result.verdicts.push_back(Verdict::at_least(
+        "benchmarks executed", static_cast<double>(ran),
+        ctx.smoke ? 3.0 : 10.0,
+        "every registered benchmark family ran to completion"));
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Experiment> make_e9_experiment() {
+  return std::make_unique<E9Experiment>();
+}
+
+}  // namespace fjs::experiments

@@ -1,0 +1,127 @@
+// E11 — extension: busy-time scheduling on capacity-g machines.
+//
+// The paper's concluding remarks connect Clairvoyant FJS to busy-time
+// scheduling (Koehler & Khuller): a machine runs at most g concurrent
+// jobs, and g = ∞ IS the span objective. Using the integer-capacity
+// busytime substrate, we sweep g and machine-assignment policy. Verdicts
+// pin the two boundary identities — at g=1 busy time equals total work,
+// at g=∞ it equals the schedule's span — and soundness of the busy-time
+// lower bound at every g.
+#include <string>
+#include <vector>
+
+#include "busytime/busytime.h"
+#include "experiments/experiments_all.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "support/string_util.h"
+#include "workload/generator.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+class E11Experiment final : public Experiment {
+ public:
+  std::string name() const override { return "e11"; }
+  std::string title() const override {
+    return "busy-time vs machine capacity";
+  }
+  std::string description() const override {
+    return "Busy-time objective on capacity-g machines across schedulers "
+           "and assignment policies; g=1 is total work, g=inf is span.";
+  }
+  std::string paper_ref() const override { return "§6 remarks"; }
+
+  ExperimentResult run(ExperimentContext& ctx) const override {
+    ExperimentResult result;
+    WorkloadConfig cfg;
+    cfg.job_count = ctx.smoke ? 120 : 300;
+    cfg.arrival_rate = 3.0;
+    cfg.laxity_max = 6.0;
+    const Instance raw = generate_workload(cfg, 33 + ctx.seed);
+
+    ctx.out() << "E11: busy-time on capacity-g machines (integer slots,"
+                 " first-available assignment\nunless noted). Workload: "
+              << cfg.job_count
+              << " jobs, Poisson arrivals, uniform lengths 1-4, laxity"
+                 " 0-6.\n\n";
+
+    Table table(
+        {"g", "scheduler", "busy time", "machines", "peak", "busy vs LB"});
+    const std::vector<std::size_t> capacities =
+        ctx.smoke
+            ? std::vector<std::size_t>{1, 4, 16, kUnboundedCapacity}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16, kUnboundedCapacity};
+    for (const std::size_t g : capacities) {
+      const Time lb = busy_time_lower_bound(raw, g);
+      for (const char* key : {"eager", "lazy", "batch+", "profit"}) {
+        const auto scheduler = make_scheduler(key);
+        const SimulationResult run =
+            simulate(raw, *scheduler, scheduler->requires_clairvoyance());
+        const BusyTimeResult busy =
+            assign_machines(run.instance, run.schedule, g);
+        const std::string g_label =
+            g == kUnboundedCapacity ? "inf" : std::to_string(g);
+        table.add_row({g_label, scheduler->name(),
+                       format_double(busy.total_busy.to_units(), 1),
+                       std::to_string(busy.machines_used),
+                       std::to_string(busy.peak_active_machines),
+                       format_double(time_ratio(busy.total_busy, lb), 3) +
+                           "x"});
+        result.verdicts.push_back(Verdict::at_least(
+            "busy >= LB g=" + g_label + " " + std::string(key),
+            time_ratio(busy.total_busy, lb), 1.0,
+            "busy-time lower bound is sound", 1e-9));
+        if (g == 1) {
+          result.verdicts.push_back(Verdict::equals(
+              "g=1 busy == total work " + std::string(key),
+              time_ratio(busy.total_busy, raw.total_work()), 1.0, 1e-9,
+              "at unit capacity every job-hour is billed alone"));
+        }
+        if (g == kUnboundedCapacity) {
+          result.verdicts.push_back(Verdict::equals(
+              "g=inf busy == span " + std::string(key),
+              time_ratio(busy.total_busy, run.span()), 1.0, 1e-9,
+              "with unbounded sharing busy time degenerates to the span"
+              " objective"));
+        }
+      }
+    }
+    emit_table(ctx, result, "E11 busy-time vs machine capacity g", table,
+               "e11_busytime");
+
+    // Policy ablation at g = 4 for the batch+ schedule (log only; the CSV
+    // matches the main sweep exactly as the standalone binary emitted it).
+    const auto bp = make_scheduler("batch+");
+    const SimulationResult run = simulate(raw, *bp, false);
+    Table policies({"policy", "busy time", "machines"});
+    for (const MachinePolicy policy :
+         {MachinePolicy::kFirstAvailable, MachinePolicy::kMostLoaded,
+          MachinePolicy::kLeastLoaded}) {
+      const BusyTimeResult busy =
+          assign_machines(run.instance, run.schedule, 4, policy);
+      policies.add_row({to_string(policy),
+                        format_double(busy.total_busy.to_units(), 1),
+                        std::to_string(busy.machines_used)});
+    }
+    ctx.out() << "--- assignment-policy ablation (batch+ schedule, g=4) ---\n"
+              << policies.render() << '\n';
+
+    ctx.out() << "Reading: at g=1 busy time is total work"
+                 " (scheduler-independent); at g=inf it is the span.\n"
+                 "In between, span-minimizing schedulers concentrate load so"
+                 " fewer machine-hours are billed;\nleast-loaded (balancing)"
+                 " assignment wastes busy time relative to packing"
+                 " policies.\n";
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Experiment> make_e11_experiment() {
+  return std::make_unique<E11Experiment>();
+}
+
+}  // namespace fjs::experiments

@@ -1,0 +1,94 @@
+#include "experiments/experiment.h"
+
+#include <utility>
+
+#include "support/assert.h"
+#include "support/thread_pool.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+// Discards everything; returned when an experiment runs without a log
+// sink (library callers that only want verdicts).
+class NullBuffer : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+};
+
+std::ostream& null_stream() {
+  static NullBuffer buffer;
+  static std::ostream stream(&buffer);
+  return stream;
+}
+
+}  // namespace
+
+Verdict Verdict::equals(std::string name, double measured, double expected,
+                        double tolerance, std::string note) {
+  FJS_REQUIRE(tolerance >= 0.0, "Verdict::equals: negative tolerance");
+  Verdict v;
+  v.name = std::move(name);
+  v.measured = measured;
+  v.expected_lo = expected - tolerance;
+  v.expected_hi = expected + tolerance;
+  v.pass = measured >= v.expected_lo && measured <= v.expected_hi;
+  v.note = std::move(note);
+  return v;
+}
+
+Verdict Verdict::at_most(std::string name, double measured, double bound,
+                         std::string note, double slack) {
+  Verdict v;
+  v.name = std::move(name);
+  v.measured = measured;
+  v.expected_lo = -1e308;
+  v.expected_hi = bound + slack;
+  v.pass = measured <= v.expected_hi;
+  v.note = std::move(note);
+  return v;
+}
+
+Verdict Verdict::at_least(std::string name, double measured, double bound,
+                          std::string note, double slack) {
+  Verdict v;
+  v.name = std::move(name);
+  v.measured = measured;
+  v.expected_lo = bound - slack;
+  v.expected_hi = 1e308;
+  v.pass = measured >= v.expected_lo;
+  v.note = std::move(note);
+  return v;
+}
+
+Verdict Verdict::between(std::string name, double measured, double lo,
+                         double hi, std::string note) {
+  FJS_REQUIRE(lo <= hi, "Verdict::between: lo > hi");
+  Verdict v;
+  v.name = std::move(name);
+  v.measured = measured;
+  v.expected_lo = lo;
+  v.expected_hi = hi;
+  v.pass = measured >= lo && measured <= hi;
+  v.note = std::move(note);
+  return v;
+}
+
+std::ostream& ExperimentContext::out() const {
+  return log != nullptr ? *log : null_stream();
+}
+
+ThreadPool& ExperimentContext::worker_pool() const {
+  FJS_REQUIRE(pool != nullptr,
+              "ExperimentContext: runner did not attach a worker pool");
+  return *pool;
+}
+
+void emit_table(ExperimentContext& ctx, ExperimentResult& result,
+                const std::string& title, Table table,
+                const std::string& csv_name) {
+  ctx.out() << "### " << title << "\n\n" << table.render() << '\n';
+  result.tables.push_back(NamedTable{csv_name, title, std::move(table)});
+}
+
+}  // namespace fjs::experiments

@@ -1,0 +1,29 @@
+// Factory declarations for the built-in experiments, one per
+// exp_e*.cpp translation unit. Adding E17+: add the file, declare its
+// factory here, and append it to the list in registry.cpp.
+#pragma once
+
+#include <memory>
+
+#include "experiments/experiment.h"
+
+namespace fjs::experiments {
+
+std::unique_ptr<Experiment> make_e1_experiment();
+std::unique_ptr<Experiment> make_e2_experiment();
+std::unique_ptr<Experiment> make_e3_experiment();
+std::unique_ptr<Experiment> make_e4_experiment();
+std::unique_ptr<Experiment> make_e5_experiment();
+std::unique_ptr<Experiment> make_e6_experiment();
+std::unique_ptr<Experiment> make_e7_experiment();
+std::unique_ptr<Experiment> make_e8_experiment();
+std::unique_ptr<Experiment> make_e9_experiment();
+std::unique_ptr<Experiment> make_e10_experiment();
+std::unique_ptr<Experiment> make_e11_experiment();
+std::unique_ptr<Experiment> make_e12_experiment();
+std::unique_ptr<Experiment> make_e13_experiment();
+std::unique_ptr<Experiment> make_e14_experiment();
+std::unique_ptr<Experiment> make_e15_experiment();
+std::unique_ptr<Experiment> make_e16_experiment();
+
+}  // namespace fjs::experiments

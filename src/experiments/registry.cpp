@@ -1,0 +1,109 @@
+#include "experiments/registry.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "experiments/experiments_all.h"
+#include "support/assert.h"
+
+namespace fjs::experiments {
+
+namespace {
+
+std::vector<std::unique_ptr<Experiment>>& storage() {
+  static std::vector<std::unique_ptr<Experiment>> experiments = [] {
+    std::vector<std::unique_ptr<Experiment>> all;
+    all.push_back(make_e1_experiment());
+    all.push_back(make_e2_experiment());
+    all.push_back(make_e3_experiment());
+    all.push_back(make_e4_experiment());
+    all.push_back(make_e5_experiment());
+    all.push_back(make_e6_experiment());
+    all.push_back(make_e7_experiment());
+    all.push_back(make_e8_experiment());
+    all.push_back(make_e9_experiment());
+    all.push_back(make_e10_experiment());
+    all.push_back(make_e11_experiment());
+    all.push_back(make_e12_experiment());
+    all.push_back(make_e13_experiment());
+    all.push_back(make_e14_experiment());
+    all.push_back(make_e15_experiment());
+    all.push_back(make_e16_experiment());
+    return all;
+  }();
+  return experiments;
+}
+
+// Rebuilt after every runtime registration; cheap (pointer list).
+std::vector<const Experiment*>& view() {
+  static std::vector<const Experiment*> pointers;
+  pointers.clear();
+  pointers.reserve(storage().size());
+  for (const auto& experiment : storage()) {
+    pointers.push_back(experiment.get());
+  }
+  return pointers;
+}
+
+}  // namespace
+
+const std::vector<const Experiment*>& experiment_registry() { return view(); }
+
+void register_experiment(std::unique_ptr<Experiment> experiment) {
+  FJS_REQUIRE(experiment != nullptr, "register_experiment: null experiment");
+  const std::string name = experiment->name();
+  FJS_REQUIRE(!name.empty(), "register_experiment: empty name");
+  FJS_REQUIRE(find_experiment(name) == nullptr,
+              "register_experiment: duplicate experiment name '" + name + "'");
+  storage().push_back(std::move(experiment));
+}
+
+const Experiment* find_experiment(const std::string& name) {
+  for (const auto& experiment : storage()) {
+    if (experiment->name() == name) {
+      return experiment.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Experiment*> select_experiments(
+    const std::vector<std::string>& only, const std::string& filter) {
+  // Validate the --only names up front so a typo fails loudly even if
+  // the filter would have excluded it anyway.
+  for (const std::string& name : only) {
+    FJS_REQUIRE(find_experiment(name) != nullptr,
+                "unknown experiment '" + name + "' (see --list)");
+  }
+
+  std::regex pattern;
+  if (!filter.empty()) {
+    try {
+      pattern = std::regex(filter, std::regex::ECMAScript | std::regex::icase);
+    } catch (const std::regex_error& e) {
+      FJS_REQUIRE(false, "bad --filter regex '" + filter + "': " + e.what());
+    }
+  }
+
+  std::vector<const Experiment*> selected;
+  for (const Experiment* experiment : experiment_registry()) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), experiment->name()) ==
+            only.end()) {
+      continue;
+    }
+    if (!filter.empty()) {
+      const std::string haystack = experiment->name() + " " +
+                                   experiment->title() + " " +
+                                   experiment->description() + " " +
+                                   experiment->paper_ref();
+      if (!std::regex_search(haystack, pattern)) {
+        continue;
+      }
+    }
+    selected.push_back(experiment);
+  }
+  return selected;
+}
+
+}  // namespace fjs::experiments

@@ -1,0 +1,40 @@
+// Experiment registry: enumerate, look up and select the registered
+// experiments, mirroring schedulers/registry.{h,cpp}.
+//
+// The sixteen built-in experiments (exp_e*.cpp, declared in
+// experiments_all.h) are materialized once on first use; follow-up
+// experiments (E17+, planted test doubles) append at runtime through
+// register_experiment(). Registration is not thread-safe — do it from
+// a single thread before running anything, as main()/tests do.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/experiment.h"
+
+namespace fjs::experiments {
+
+/// All registered experiments, in presentation order (e1..e16, then
+/// runtime registrations in insertion order). Pointers stay valid for
+/// the process lifetime.
+const std::vector<const Experiment*>& experiment_registry();
+
+/// Appends an experiment. Throws AssertionError if the name collides.
+void register_experiment(std::unique_ptr<Experiment> experiment);
+
+/// Looks up by exact name; nullptr when absent.
+const Experiment* find_experiment(const std::string& name);
+
+/// Applies the CLI selection semantics, preserving registry order:
+///  * `only` non-empty: keep exactly those names (each must exist —
+///    AssertionError otherwise; duplicates collapse).
+///  * `filter` non-empty: keep experiments whose name, title,
+///    description or paper reference matches the case-insensitive
+///    ECMAScript regex (AssertionError on a malformed pattern).
+/// Both given: the intersection. Neither: everything.
+std::vector<const Experiment*> select_experiments(
+    const std::vector<std::string>& only, const std::string& filter);
+
+}  // namespace fjs::experiments

@@ -1,0 +1,97 @@
+// The experiment runner: executes a selection of registered experiments
+// in parallel, lays out results/<run-id>/, and aggregates the verdicts.
+//
+// Output layout (docs/EXPERIMENTS_RUNNER.md documents the schemas):
+//   <out_root>/<run_id>/
+//     manifest.json        run configuration, host info, per-experiment
+//                          wall times and emitted files
+//     verdicts.json        every Verdict record; byte-stable across
+//                          repeated runs and --jobs counts at a fixed
+//                          seed (no timestamps inside)
+//     report.txt           the replayed narrative logs + verdict summary
+//     <name>/              one directory per experiment
+//       report.txt         that experiment's narrative log
+//       <csv_name>.csv     tables via CsvWriter
+//       ...                self-written artifacts (e.g. e9 benchmarks)
+//
+// Execution model: experiments run on an OUTER pool (dynamic chunking,
+// one experiment per task) while ExperimentContext::pool points at a
+// SEPARATE inner pool for intra-experiment parallel_for — nesting waits
+// on a single pool would deadlock it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiments/experiment.h"
+#include "support/json.h"
+
+namespace fjs::experiments {
+
+struct RunnerOptions {
+  bool smoke = false;
+  /// Worker threads for BOTH pools; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  /// Base seed. 0 (default) reproduces the legacy bench outputs byte
+  /// for byte; any other value derives a per-experiment offset via
+  /// experiment_seed().
+  std::uint64_t seed = 0;
+  std::string out_root = "results";
+  /// Directory name under out_root. Empty: a fresh "run-<utc>-p<pid>"
+  /// id is generated. Explicit ids must not already exist (refuses to
+  /// overwrite a previous run).
+  std::string run_id;
+  /// Suppresses the console replay (files are always written).
+  bool quiet = false;
+  /// Console sink for progress + replayed logs; nullptr = std::cout.
+  std::ostream* console = nullptr;
+};
+
+/// Outcome of one experiment inside a run.
+struct ExperimentRecord {
+  std::string name;
+  std::string title;
+  std::string paper_ref;
+  std::uint64_t seed = 0;
+  double wall_ms = 0.0;
+  std::vector<Verdict> verdicts;
+  std::vector<std::string> csv_files;  ///< relative to the run directory
+  std::vector<std::string> artifacts;  ///< relative to the run directory
+  std::string error;                   ///< exception text; empty = ran clean
+
+  bool passed() const;
+};
+
+struct RunReport {
+  std::string run_id;
+  std::string run_dir;  ///< <out_root>/<run_id>
+  bool smoke = false;
+  std::uint64_t base_seed = 0;
+  std::size_t jobs = 0;
+  std::vector<ExperimentRecord> records;
+
+  bool all_passed() const;
+};
+
+/// Deterministic per-experiment seed offset: 0 stays 0 (legacy outputs),
+/// otherwise a splitmix-style hash of (base, name) so experiments do not
+/// share RNG streams.
+std::uint64_t experiment_seed(std::uint64_t base, const std::string& name);
+
+/// Runs `selection` under `options`: creates the run directory, executes
+/// in parallel, writes CSVs/reports/manifest.json/verdicts.json, and
+/// replays the narrative logs to the console in selection order.
+RunReport run_experiments(const std::vector<const Experiment*>& selection,
+                          const RunnerOptions& options);
+
+/// The JSON documents the runner persists, exposed for tests.
+JsonValue manifest_json(const RunReport& report);
+JsonValue verdicts_json(const RunReport& report);
+
+/// 0 when every experiment ran clean and every verdict passed, 1
+/// otherwise (the CLI maps usage errors to 2 itself).
+int exit_code(const RunReport& report);
+
+}  // namespace fjs::experiments

@@ -25,6 +25,11 @@ class Table {
   std::size_t row_count() const { return rows_.size(); }
   std::size_t column_count() const { return header_.size(); }
 
+  /// Raw cell access, so structured writers (e.g. the experiment
+  /// runner's CsvWriter emission) need not re-parse rendered text.
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders with a header underline; numeric-looking cells right-align.
   std::string render() const;
 
