@@ -40,6 +40,38 @@ rm -rf results/asan-smoke
 build-asan/src/experiments/fjs_experiments --smoke --skip e9 \
   --out results --run-id asan-smoke --quiet 2>&1 | tee -a test_output.txt
 
+# ThreadSanitizer smoke: the work-stealing pool, the portfolio
+# determinism tests and the experiment pipeline under TSan. This is the
+# gate for the lock-free deque — a race in steal/pop ordering or the
+# injection queue shows up here, not in the (deterministic) unit tests.
+# E9 is skipped for the same reason as under ASan: timing is meaningless.
+cmake --preset tsan
+cmake --build build-tsan --target \
+  test_support_parallel test_sim_portfolio fjs_experiments
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  ctest --test-dir build-tsan --output-on-failure \
+  -R 'test_support_parallel|test_sim_portfolio' 2>&1 | tee -a test_output.txt
+rm -rf results/tsan-smoke
+TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+  build-tsan/src/experiments/fjs_experiments --smoke --skip e9 \
+  --out results --run-id tsan-smoke --quiet 2>&1 | tee -a test_output.txt
+
+# Allocation gate: a -DFJS_COUNT_ALLOCS=ON build counts every operator
+# new. The portfolio tests assert the span-only kernel reaches a
+# zero-allocation steady state, and the E9 smoke re-emits the
+# allocs_per_sim counter so bench_compare's --allocs column warns
+# (non-fatally) if a change re-introduces per-simulation allocations.
+cmake -B build-allocs -G Ninja -DFJS_COUNT_ALLOCS=ON > /dev/null
+cmake --build build-allocs --target test_sim_portfolio fjs_experiments
+ctest --test-dir build-allocs --output-on-failure -R 'test_sim_portfolio' \
+  2>&1 | tee -a test_output.txt
+rm -rf results/e9-allocs
+build-allocs/src/experiments/fjs_experiments --only e9 --smoke \
+  --out results --run-id e9-allocs --quiet
+scripts/bench_compare.py BENCH_allocs.json \
+  results/e9-allocs/e9/benchmarks.json --allocs \
+  || echo "WARNING: allocs-build bench smoke regressed vs BENCH_allocs.json (noisy single run)"
+
 # Planted-bug drill: a build with -DFJS_PLANTED_TIEBREAK_BUG=ON swaps the
 # engine's same-tick completion/arrival priority. The fuzzer MUST catch it
 # (via the independent trace validator) and shrink it to a tiny repro —

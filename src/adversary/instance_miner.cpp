@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <utility>
 
+#include "core/schedule.h"
 #include "offline/exact.h"
+#include "offline/lower_bound.h"
 #include "schedulers/registry.h"
-#include "sim/engine.h"
+#include "sim/portfolio.h"
 #include "support/assert.h"
 #include "support/parallel.h"
 #include "support/rng.h"
@@ -99,37 +102,51 @@ struct MemoKeyHash {
   }
 };
 
-MemoKey memo_key(const Instance& instance) {
-  MemoKey key;
+void fill_memo_key(const Instance& instance, MemoKey& key) {
+  key.clear();
   key.reserve(instance.size() * 3);
   for (const Job& j : instance.jobs()) {
     key.push_back(j.arrival.ticks());
     key.push_back(j.deadline.ticks());
     key.push_back(j.length.ticks());
   }
-  return key;
 }
+
+using ThresholdedObjective =
+    std::function<double(const Instance&, double threshold)>;
 
 /// Evaluates candidate batches: dedupes against the memo, runs the misses
 /// through parallel_map when a pool is attached, and hands values back in
 /// proposal order. Deterministic for any thread count because candidate
-/// order is fixed before evaluation and the objective is deterministic.
+/// order is fixed before evaluation, the threshold is frozen per batch,
+/// and the objective is deterministic.
 class BatchEvaluator {
  public:
-  BatchEvaluator(const std::function<double(const Instance&)>& objective,
+  BatchEvaluator(const ThresholdedObjective& objective,
                  const MinerOptions& options)
       : objective_(objective), options_(options) {}
 
-  std::vector<double> evaluate(const std::vector<Instance>& batch) {
-    std::vector<MemoKey> keys(batch.size());
+  std::vector<double> evaluate(const std::vector<Instance>& batch,
+                               double threshold) {
     std::vector<std::size_t> misses;  // first occurrence of each unknown key
     misses.reserve(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      keys[i] = memo_key(batch[i]);
-      if (!options_.use_objective_memo) {
-        misses.push_back(i);
-      } else if (memo_.find(keys[i]) == memo_.end()) {
-        memo_.emplace(keys[i], kPending);  // reserve: intra-batch dup = hit
+    std::vector<double*> slots;  // memo cell per candidate; stable under
+                                 // rehash (unordered_map nodes don't move)
+    if (options_.use_objective_memo) {
+      slots.resize(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        // One hash walk per candidate: try_emplace reserves the cell for a
+        // miss (so an intra-batch duplicate is a hit) and finds it for a
+        // hit; both paths hand back the cell the fill/read below uses.
+        fill_memo_key(batch[i], key_scratch_);
+        const auto [it, inserted] = memo_.try_emplace(key_scratch_, kPending);
+        slots[i] = &it->second;
+        if (inserted) {
+          misses.push_back(i);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
         misses.push_back(i);
       }
     }
@@ -138,23 +155,25 @@ class BatchEvaluator {
         misses.size() > 1) {
       fresh = parallel_map(
           *options_.pool, misses.size(),
-          [&](std::size_t m) { return objective_(batch[misses[m]]); },
+          [&, threshold](std::size_t m) {
+            return objective_(batch[misses[m]], threshold);
+          },
           ChunkPolicy::kDynamic);
     } else {
       fresh.reserve(misses.size());
       for (const std::size_t m : misses) {
-        fresh.push_back(objective_(batch[m]));
+        fresh.push_back(objective_(batch[m], threshold));
       }
     }
     if (!options_.use_objective_memo) {
       return fresh;
     }
     for (std::size_t m = 0; m < misses.size(); ++m) {
-      memo_[keys[misses[m]]] = fresh[m];
+      *slots[misses[m]] = fresh[m];
     }
     std::vector<double> values(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      values[i] = memo_.at(keys[i]);
+      values[i] = *slots[i];
     }
     memo_hits_ += batch.size() - misses.size();
     return values;
@@ -165,9 +184,10 @@ class BatchEvaluator {
  private:
   static constexpr double kPending = 0.0;  // placeholder until filled above
 
-  const std::function<double(const Instance&)>& objective_;
+  const ThresholdedObjective& objective_;
   const MinerOptions& options_;
   std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
+  MemoKey key_scratch_;  // reused per candidate; copied only on insert
   std::size_t memo_hits_ = 0;
 };
 
@@ -175,6 +195,16 @@ class BatchEvaluator {
 
 MinerResult mine_instance(
     const std::function<double(const Instance&)>& objective,
+    MinerOptions options) {
+  return mine_instance(
+      [&objective](const Instance& instance, double) {
+        return objective(instance);
+      },
+      std::move(options));
+}
+
+MinerResult mine_instance(
+    const std::function<double(const Instance&, double)>& objective,
     MinerOptions options) {
   FJS_REQUIRE(options.population >= 1, "miner: population must be >= 1");
   FJS_REQUIRE(options.jobs >= 1, "miner: jobs must be >= 1");
@@ -190,11 +220,12 @@ MinerResult mine_instance(
   std::vector<Instance> batch;
   batch.reserve(std::max(options.population, options.mutations_per_round));
 
-  // Seeding round.
+  // Seeding round. Threshold 0.0: no incumbent yet, every candidate is
+  // evaluated exactly.
   for (std::size_t i = 0; i < options.population; ++i) {
     batch.push_back(random_instance(rng, options));
   }
-  std::vector<double> values = evaluator.evaluate(batch);
+  std::vector<double> values = evaluator.evaluate(batch, 0.0);
   result.evaluations += batch.size();
   std::size_t best_idx = 0;
   for (std::size_t i = 1; i < batch.size(); ++i) {
@@ -212,7 +243,11 @@ MinerResult mine_instance(
     for (std::size_t m = 0; m < options.mutations_per_round; ++m) {
       batch.push_back(mutate(best, rng, options));
     }
-    values = evaluator.evaluate(batch);
+    // Freeze the threshold at the incumbent before the batch: a candidate
+    // that cannot beat it may be settled cheaply (see header contract),
+    // and the threshold only ever grows, which keeps memoized settled
+    // values unselectable in every later round.
+    values = evaluator.evaluate(batch, best_ratio);
     result.evaluations += batch.size();
     std::size_t pick = batch.size();
     double round_ratio = best_ratio;
@@ -241,15 +276,79 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
   const bool clairvoyant = probe->requires_clairvoyance();
   auto budget_skips = std::make_shared<std::atomic<std::size_t>>(0);
   MinerResult result = mine_instance(
-      [&scheduler_key, clairvoyant, budget_skips](const Instance& instance) {
-        const auto scheduler = make_scheduler(scheduler_key);
-        const Time span = simulate_span(instance, *scheduler, clairvoyant);
+      [&scheduler_key, clairvoyant, budget_skips](const Instance& instance,
+                                                  double threshold) {
+        // Per-thread replay state: the portfolio runner amortizes engine
+        // setup across candidates, and the scheduler object is rebuilt
+        // only when the mined key changes on this thread.
+        thread_local PortfolioRunner runner;
+        thread_local std::unique_ptr<OnlineScheduler> scheduler;
+        thread_local std::string scheduler_key_cache;
+        thread_local std::vector<Time> starts;
+        if (!scheduler || scheduler_key_cache != scheduler_key) {
+          scheduler = make_scheduler(scheduler_key);
+          scheduler_key_cache = scheduler_key;
+        }
+        const Time span = runner.run_span(
+            instance, PortfolioEntry{scheduler.get(), clairvoyant}, &starts);
+        // Pre-certification cut: span/lower_bound upper-bounds the true
+        // ratio. When even that cannot beat the incumbent, settle the
+        // candidate without certifying OPT — the dominant cost here by far
+        // (the thresholded-objective contract makes this value-safe: any
+        // settled value <= the frozen threshold is never selectable, so
+        // which certified bound produced it cannot change a trajectory).
+        // Staged cheapest-first: max-length is free, the mandatory union
+        // costs an IntervalSet, the chain bound a Pareto map — later
+        // stages only run when the cheaper bound failed to settle.
+        if (threshold > 0.0) {
+          Time lb = max_length_lower_bound(instance);
+          if (lb > Time::zero() && time_ratio(span, lb) <= threshold) {
+            return time_ratio(span, lb);
+          }
+          lb = std::max(lb, mandatory_lower_bound(instance));
+          if (lb > Time::zero() && time_ratio(span, lb) <= threshold) {
+            return time_ratio(span, lb);
+          }
+          lb = std::max(lb, chain_lower_bound(instance));
+          if (lb > Time::zero() && time_ratio(span, lb) <= threshold) {
+            return time_ratio(span, lb);
+          }
+        }
         // At mining sizes the heuristic incumbent costs more than the whole
         // branch-and-bound, and a budget-exceeded candidate is discarded
-        // anyway — skip the seeding pass.
+        // anyway — skip the seeding pass. The online run's own schedule is
+        // a free feasible incumbent instead.
+        Schedule online_schedule(instance.size());
+        for (JobId j = 0; j < instance.size(); ++j) {
+          online_schedule.set_start(j, starts[j]);
+        }
         ExactOptions exact_options;
         exact_options.seed_with_heuristic = false;
+        exact_options.seed_schedule = &online_schedule;
+        // At mining sizes (hundreds of nodes per search) the transposition
+        // cache's per-node key/hash/insert cost exceeds what its hits save;
+        // disabling it speeds certification ~2x and cannot change any value.
+        exact_options.max_cache_entries = 0;
+        if (threshold > 0.0) {
+          // Decision floor: the candidate beats the incumbent iff
+          // OPT < span/threshold, so the solver may stop at the floor
+          // instead of certifying OPT. Integer-safe rounding: the floor
+          // must satisfy span/floor <= threshold or the settled value
+          // could become selectable.
+          auto floor_ticks = static_cast<std::int64_t>(
+              std::ceil(static_cast<double>(span.ticks()) / threshold));
+          while (floor_ticks > 0 &&
+                 time_ratio(span, Time(floor_ticks)) > threshold) {
+            ++floor_ticks;
+          }
+          exact_options.decision_floor = Time(floor_ticks);
+        }
         const ExactResult opt = exact_optimal(instance, exact_options);
+        if (opt.status == ExactStatus::kFloorProven) {
+          // OPT >= floor proven: ratio <= span/floor <= threshold, so the
+          // candidate can never be selected — settle it with that bound.
+          return time_ratio(span, exact_options.decision_floor);
+        }
         if (!opt.optimal()) {
           // Uncertifiable candidate: discard it instead of aborting the
           // whole mine — a ratio of 0 never survives selection.

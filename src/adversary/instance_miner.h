@@ -75,4 +75,18 @@ MinerResult mine_instance(
     const std::function<double(const Instance&)>& objective,
     MinerOptions options = {});
 
+/// Threshold-aware form: the miner passes the incumbent best value at
+/// batch-generation time (0.0 during the seeding round). A candidate whose
+/// objective provably cannot exceed `threshold` may be settled with any
+/// deterministic value <= threshold instead of the exact value — e.g. an
+/// upper bound that is cheap to compute (span / lower_bound for the
+/// competitive-ratio objective) — because such a candidate can never be
+/// selected. The threshold is non-decreasing across rounds, so memoized
+/// settled values stay unselectable forever and the mined trajectory,
+/// worst instance and evaluation counts are identical to the exact-only
+/// objective for any pool size and memo setting.
+MinerResult mine_instance(
+    const std::function<double(const Instance&, double threshold)>& objective,
+    MinerOptions options = {});
+
 }  // namespace fjs

@@ -13,7 +13,8 @@ namespace fjs {
 
 RatioBracket measure_ratio(const Instance& instance,
                            OnlineScheduler& scheduler, bool clairvoyant,
-                           OptMethod method, ExactOptions exact_options) {
+                           OptMethod method, ExactOptions exact_options,
+                           std::size_t bracket_anneal_iterations) {
   FJS_REQUIRE(!instance.empty(), "measure_ratio: empty instance");
   RatioBracket bracket;
   bracket.online_span = simulate_span(instance, scheduler, clairvoyant);
@@ -22,12 +23,15 @@ RatioBracket measure_ratio(const Instance& instance,
     bracket.opt_upper = opt;
     bracket.opt_lower = opt;
   } else {
-    // Two independent feasible-schedule constructions; the min is still an
-    // upper bound on OPT and tightens the bracket (see bench E12).
-    AnnealingOptions anneal_opts;
-    anneal_opts.iterations = 10'000;
-    bracket.opt_upper = std::min(heuristic_span(instance),
-                                 anneal_schedule(instance, anneal_opts).span);
+    bracket.opt_upper = heuristic_span(instance);
+    if (bracket_anneal_iterations > 0) {
+      // A second, independent feasible-schedule construction; the min is
+      // still an upper bound on OPT and tightens the bracket (bench E12).
+      AnnealingOptions anneal_opts;
+      anneal_opts.iterations = bracket_anneal_iterations;
+      bracket.opt_upper = std::min(
+          bracket.opt_upper, anneal_schedule(instance, anneal_opts).span);
+    }
     bracket.opt_lower = best_lower_bound(instance);
     FJS_CHECK(bracket.opt_lower <= bracket.opt_upper,
               "measure_ratio: lower bound exceeds heuristic span");
@@ -37,11 +41,12 @@ RatioBracket measure_ratio(const Instance& instance,
 
 RatioBracket measure_ratio(const Instance& instance,
                            const std::string& scheduler_key, OptMethod method,
-                           ExactOptions exact_options) {
+                           ExactOptions exact_options,
+                           std::size_t bracket_anneal_iterations) {
   const auto scheduler = make_scheduler(scheduler_key);
   return measure_ratio(instance, *scheduler,
                        scheduler->requires_clairvoyance(), method,
-                       exact_options);
+                       exact_options, bracket_anneal_iterations);
 }
 
 }  // namespace fjs

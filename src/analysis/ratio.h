@@ -35,13 +35,19 @@ enum class OptMethod {
 };
 
 /// Runs the scheduler on the instance and compares with OPT.
+/// `bracket_anneal_iterations` folds a simulated anneal into the bracket's
+/// OPT upper bound (min with the heuristic); off by default — matching
+/// SweepOptions — because on the standard suite the heuristic never lost
+/// to the anneal and the anneal dominated bracket cost.
 RatioBracket measure_ratio(const Instance& instance,
                            OnlineScheduler& scheduler, bool clairvoyant,
-                           OptMethod method, ExactOptions exact_options = {});
+                           OptMethod method, ExactOptions exact_options = {},
+                           std::size_t bracket_anneal_iterations = 0);
 
 /// Registry-key convenience (clairvoyance inferred from the spec).
 RatioBracket measure_ratio(const Instance& instance,
                            const std::string& scheduler_key, OptMethod method,
-                           ExactOptions exact_options = {});
+                           ExactOptions exact_options = {},
+                           std::size_t bracket_anneal_iterations = 0);
 
 }  // namespace fjs

@@ -1,12 +1,14 @@
 #include "analysis/sweep.h"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_map>
 
 #include "offline/annealing.h"
 #include "offline/heuristic.h"
 #include "offline/lower_bound.h"
 #include "schedulers/registry.h"
-#include "sim/engine.h"
+#include "sim/portfolio.h"
 #include "support/assert.h"
 #include "support/parallel.h"
 #include "workload/generator.h"
@@ -24,11 +26,12 @@ OptBounds opt_bounds_for(const Instance& instance, const SweepOptions& opts) {
     const Time opt = exact_optimal_span(instance, opts.exact_options);
     return OptBounds{opt, opt};
   }
-  AnnealingOptions anneal_opts;
-  anneal_opts.iterations = 10'000;
-  const Time upper =
-      std::min(heuristic_span(instance, opts.heuristic_options),
-               anneal_schedule(instance, anneal_opts).span);
+  Time upper = heuristic_span(instance, opts.heuristic_options);
+  if (opts.bracket_anneal_iterations > 0) {
+    AnnealingOptions anneal_opts;
+    anneal_opts.iterations = opts.bracket_anneal_iterations;
+    upper = std::min(upper, anneal_schedule(instance, anneal_opts).span);
+  }
   return OptBounds{upper, best_lower_bound(instance)};
 }
 
@@ -55,20 +58,40 @@ std::vector<SchedulerAggregate> run_ratio_sweep(
     parallel_for(pool, cases.size(), compute_bounds, 1, ChunkPolicy::kDynamic);
   }
 
-  // Phase 2: the (case × scheduler) grid of simulations.
-  const std::size_t grid = cases.size() * scheduler_keys.size();
+  // Phase 2: the (case × scheduler) grid of simulations, one task per
+  // case. The portfolio kernel prepares each case's arrival timeline once
+  // and replays it for every scheduler; scheduler objects are built once
+  // per worker thread (the engine reset()s them before each run), so the
+  // steady state allocates nothing per cell. Replays are bit-identical to
+  // per-cell simulate_span (pinned by the portfolio determinism tests),
+  // and slot-indexed writes keep the reduction order-independent.
+  const std::size_t n_keys = scheduler_keys.size();
+  const std::size_t grid = cases.size() * n_keys;
   std::vector<Time> spans(grid);
-  auto run_cell = [&](std::size_t cell) {
-    const std::size_t case_idx = cell / scheduler_keys.size();
-    const std::size_t sched_idx = cell % scheduler_keys.size();
-    const auto scheduler = make_scheduler(scheduler_keys[sched_idx]);
-    spans[cell] = simulate_span(cases[case_idx].instance, *scheduler,
-                                scheduler->requires_clairvoyance());
+  auto run_case = [&](std::size_t c) {
+    thread_local PortfolioRunner runner;
+    thread_local std::unordered_map<std::string,
+                                    std::unique_ptr<OnlineScheduler>>
+        scheduler_cache;
+    thread_local std::vector<PortfolioEntry> entries;
+    thread_local std::vector<Time> case_spans;
+    entries.clear();
+    for (const std::string& key : scheduler_keys) {
+      auto& slot = scheduler_cache[key];
+      if (slot == nullptr) {
+        slot = make_scheduler(key);
+      }
+      entries.push_back(
+          PortfolioEntry{slot.get(), slot->requires_clairvoyance()});
+    }
+    runner.run_spans(cases[c].instance, entries, case_spans);
+    std::copy(case_spans.begin(), case_spans.end(),
+              spans.begin() + static_cast<std::ptrdiff_t>(c * n_keys));
   };
   if (options.serial) {
-    serial_for(grid, run_cell);
+    serial_for(cases.size(), run_case);
   } else {
-    parallel_for(pool, grid, run_cell, 1, ChunkPolicy::kDynamic);
+    parallel_for(pool, cases.size(), run_case, 1, ChunkPolicy::kDynamic);
   }
 
   // Phase 3: deterministic reduction in index order.

@@ -144,13 +144,14 @@ RunReport run_experiments(const std::vector<const Experiment*>& selection,
     fs::create_directories(fs::path(report.run_dir) / record.name);
   }
 
-  // Two pools: experiments are tasks on `outer`; `inner` serves each
-  // experiment's own parallel_for. One shared pool would deadlock the
-  // moment an experiment blocks a worker waiting for subtasks.
-  ThreadPool inner(jobs);
-  ThreadPool outer(std::min(jobs, std::max<std::size_t>(1, selection.size())));
+  // One pool for everything: the work-stealing TaskGroup lets a task
+  // waiting on subtasks help execute queued work instead of blocking its
+  // worker, so nesting an experiment's parallel_for inside the experiment
+  // fan-out cannot deadlock — and the machine is no longer oversubscribed
+  // with 2x `jobs` threads the way the old outer/inner pool pair was.
+  ThreadPool pool(jobs);
   parallel_for(
-      outer, selection.size(),
+      pool, selection.size(),
       [&](std::size_t i) {
         const Experiment& exp = *selection[i];
         ExperimentRecord& record = report.records[i];
@@ -161,7 +162,7 @@ RunReport run_experiments(const std::vector<const Experiment*>& selection,
         ExperimentContext ctx;
         ctx.smoke = options.smoke;
         ctx.seed = record.seed;
-        ctx.pool = &inner;
+        ctx.pool = &pool;
         ctx.log = &log;
         ctx.out_dir = exp_dir;
 

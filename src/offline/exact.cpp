@@ -644,18 +644,33 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
     }
   }
   seed_schedule.validate(instance);
-  const Time seed_span = seed_schedule.span(instance);
+  Time seed_span = seed_schedule.span(instance);
+  if (options.seed_schedule != nullptr) {
+    options.seed_schedule->validate(instance);
+    const Time caller_span = options.seed_schedule->span(instance);
+    if (caller_span < seed_span) {
+      seed_schedule = *options.seed_schedule;
+      seed_span = caller_span;
+    }
+  }
 
   Shared shared(seed_span, options.max_nodes);
   const Mask full = instance.size() == 64
                         ? ~Mask{0}
                         : (Mask{1} << instance.size()) - 1;
 
-  const std::size_t workers =
-      options.pool != nullptr ? options.pool->thread_count() : 1;
+  // A floor at or above the seed span proves nothing the seed doesn't; it
+  // only engages when it would genuinely clamp the root bound.
+  const bool floor_active = options.decision_floor > Time::zero() &&
+                            options.decision_floor < seed_span;
+  const std::size_t workers = (options.pool != nullptr && !floor_active)
+                                  ? options.pool->thread_count()
+                                  : 1;
   if (workers <= 1 || instance.size() < 8) {
     Search search(instance, options, shared);
-    const Outcome o = search.solve(full, Components{}, seed_span, 0);
+    const Outcome o = search.solve(
+        full, Components{},
+        floor_active ? options.decision_floor : seed_span, 0);
     if (shared.aborted.load(std::memory_order_relaxed)) {
       // Best-so-far: the seed unless the search surfaced a better terminal.
       if (search.best_sched_span() < seed_span) {
@@ -669,6 +684,15 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
                     search.cache_entries());
     }
     if (!o.exact || o.value >= seed_span) {
+      if (!o.exact && floor_active && o.value < seed_span) {
+        // Fail-soft guarantee: a non-exact, non-aborted outcome is a valid
+        // lower bound on OPT no smaller than the root bound — the floor.
+        FJS_CHECK(o.value >= options.decision_floor,
+                  "exact: floor search returned a bound below the floor");
+        return finish(instance, seed_span, std::move(seed_schedule),
+                      ExactStatus::kFloorProven, shared, search.cache_hits(),
+                      search.cache_entries());
+      }
       // The search proved nothing beats the seed: the seed is optimal.
       return finish(instance, seed_span, std::move(seed_schedule),
                     ExactStatus::kOptimal, shared, search.cache_hits(),

@@ -60,6 +60,30 @@ struct ExactOptions {
   /// heuristic run up front; repays it by making the admissible bound cut
   /// from the first node. Disable for micro-instances measured in isolation.
   bool seed_with_heuristic = true;
+  /// Optional caller-supplied incumbent (non-owning; must be a feasible
+  /// schedule for the instance). When the caller already holds *some*
+  /// valid schedule — the miner holds the online run it just simulated —
+  /// passing it here primes the upper bound for free. Combines with the
+  /// other seeds: the best available incumbent wins. Never changes the
+  /// returned span (the search still proves optimality); only how much of
+  /// the tree the bound can cut.
+  const Schedule* seed_schedule = nullptr;
+  /// Decision floor (zero = disabled). When the caller only needs to know
+  /// whether OPT < floor — the adversarial miner asks "can this candidate's
+  /// ratio beat the incumbent", i.e. "is OPT < span/threshold" — the search
+  /// runs with the root bound clamped to the floor. Branches whose
+  /// admissible bound reaches the floor are cut without being certified,
+  /// which prunes far more of the tree than a full optimality proof. The
+  /// result is then one of:
+  ///  * kOptimal with span < floor: the true optimum (the fail-soft search
+  ///    is unaffected below the bound);
+  ///  * kFloorProven: OPT >= floor is proven; span/schedule hold the best
+  ///    known feasible incumbent (an upper bound), NOT the optimum;
+  ///  * kBudgetExceeded: as without the floor.
+  /// Floor-clamped runs use the serial search even when `pool` is set (the
+  /// parallel reduction cannot distinguish "seed optimal" from "floor
+  /// proven").
+  Time decision_floor = Time::zero();
   /// When every arrival/deadline/length is a multiple of a common grid g
   /// (and windows hold few grid points), an optimal schedule exists on the
   /// g-grid: every critical start is a ±sum-of-lengths away from some
@@ -82,6 +106,7 @@ struct ExactOptions {
 enum class ExactStatus {
   kOptimal,         ///< span/schedule are provably optimal
   kBudgetExceeded,  ///< node budget hit; span/schedule are best-so-far
+  kFloorProven,     ///< OPT >= decision_floor proven; span is an upper bound
 };
 
 struct ExactResult {

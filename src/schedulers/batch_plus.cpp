@@ -21,8 +21,10 @@ void BatchPlusScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
   FJS_CHECK(!flag_.has_value(), "batch+: deadline during an active iteration");
   flag_ = id;
   flag_history_.push_back(id);
-  const std::vector<JobId> batch = ctx.pending();
-  for (const JobId job : batch) {
+  // Snapshot: start_job mutates the pending view mid-iteration. The
+  // member scratch keeps its capacity, so warm runs don't allocate here.
+  batch_scratch_ = ctx.pending();
+  for (const JobId job : batch_scratch_) {
     ctx.start_job(job);
   }
 }

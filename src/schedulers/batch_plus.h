@@ -31,6 +31,7 @@ class BatchPlusScheduler final : public OnlineScheduler {
  private:
   std::optional<JobId> flag_;
   std::vector<JobId> flag_history_;
+  std::vector<JobId> batch_scratch_;  ///< reusable pending-set snapshot
 };
 
 }  // namespace fjs

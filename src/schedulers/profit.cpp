@@ -63,9 +63,11 @@ void ProfitScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
   const FlagInfo info{.id = flag_id, .length = flag_p, .end = now + flag_p};
   flags_.push_back(info);
   flag_history_.push_back(info);
-  // Start every pending job profitable to the new flag.
-  const std::vector<JobId> pending = ctx.pending();
-  for (const JobId job : pending) {
+  // Start every pending job profitable to the new flag. Snapshot into the
+  // member scratch (start_job mutates the view; capacity is reused so
+  // warm runs don't allocate here).
+  pending_scratch_ = ctx.pending();
+  for (const JobId job : pending_scratch_) {
     if (within_factor(ctx.length_of(job), k_, flag_p)) {
       ctx.start_job(job);
     }

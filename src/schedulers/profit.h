@@ -51,6 +51,7 @@ class ProfitScheduler final : public OnlineScheduler {
   double k_;
   std::vector<FlagInfo> flags_;
   std::vector<FlagInfo> flag_history_;
+  std::vector<JobId> pending_scratch_;  ///< reusable pending-set snapshot
 };
 
 }  // namespace fjs

@@ -22,54 +22,51 @@ inline bool event_before(const Event& a, const Event& b) {
 
 }  // namespace
 
-/// Engine-backed implementation of the scheduler-facing context.
-class Engine::Context final : public SchedulerContext {
- public:
-  explicit Context(Engine& engine) : engine_(engine) {}
+namespace detail {
 
-  Time now() const override { return engine_.now_; }
+Time EngineContext::now() const { return engine_.now_; }
 
-  bool clairvoyant() const override { return engine_.options_.clairvoyant; }
+bool EngineContext::clairvoyant() const {
+  return engine_.options_.clairvoyant;
+}
 
-  JobView view(JobId id) const override {
-    const JobRecord& r = engine_.record(id);
-    return JobView{.id = id, .arrival = r.job.arrival, .deadline = r.job.deadline};
-  }
+JobView EngineContext::view(JobId id) const {
+  const EngineJobRecord& r = engine_.record(id);
+  return JobView{.id = id, .arrival = r.job.arrival, .deadline = r.job.deadline};
+}
 
-  Time length_of(JobId id) const override {
-    FJS_REQUIRE(engine_.options_.clairvoyant,
-                "length_of called in non-clairvoyant mode");
-    const JobRecord& r = engine_.record(id);
-    FJS_CHECK(r.length_known, "clairvoyant job without a known length");
-    return r.job.length;
-  }
+Time EngineContext::length_of(JobId id) const {
+  FJS_REQUIRE(engine_.options_.clairvoyant,
+              "length_of called in non-clairvoyant mode");
+  const EngineJobRecord& r = engine_.record(id);
+  FJS_CHECK(r.length_known, "clairvoyant job without a known length");
+  return r.job.length;
+}
 
-  bool is_pending(JobId id) const override {
-    return engine_.record(id).state == JobState::kPending;
-  }
+bool EngineContext::is_pending(JobId id) const {
+  return engine_.record(id).state == EngineJobState::kPending;
+}
 
-  const std::vector<JobId>& pending() const override {
-    return engine_.pending_view();
-  }
+const std::vector<JobId>& EngineContext::pending() const {
+  return engine_.pending_view();
+}
 
-  const std::vector<JobId>& running() const override {
-    return engine_.running_view();
-  }
+const std::vector<JobId>& EngineContext::running() const {
+  return engine_.running_view();
+}
 
-  void start_job(JobId id) override { engine_.start_job(id); }
+void EngineContext::start_job(JobId id) { engine_.start_job(id); }
 
-  void set_timer(Time t, std::uint64_t tag) override {
-    FJS_REQUIRE(t >= engine_.now_, "set_timer: time in the past");
-    engine_.push(Event{.time = t,
-                       .seq = 0,
-                       .tag = tag,
-                       .job = kInvalidJob,
-                       .kind = EventKind::kSchedulerTimer});
-  }
+void EngineContext::set_timer(Time t, std::uint64_t tag) {
+  FJS_REQUIRE(t >= engine_.now_, "set_timer: time in the past");
+  engine_.push(Event{.time = t,
+                     .seq = 0,
+                     .tag = tag,
+                     .job = kInvalidJob,
+                     .kind = EventKind::kSchedulerTimer});
+}
 
- private:
-  Engine& engine_;
-};
+}  // namespace detail
 
 Engine::Engine(JobSource& source, LengthOracle& oracle,
                OnlineScheduler& scheduler, EngineOptions options,
@@ -80,7 +77,7 @@ Engine::Engine(JobSource& source, LengthOracle& oracle,
       options_(options),
       workspace_(recycle),
       now_(Time::min()),
-      context_(std::make_unique<Context>(*this)) {
+      context_(*this) {
   adopt_workspace();
   if (options_.reserve_jobs > 0) {
     const std::size_t n = options_.reserve_jobs;
@@ -110,6 +107,7 @@ void Engine::adopt_workspace() {
   running_.swap(workspace_->running_);
   pending_view_.swap(workspace_->pending_view_);
   running_view_.swap(workspace_->running_view_);
+  std::swap(span_, workspace_->span_);
   jobs_.clear();
   heap_.clear();
   staged_.clear();
@@ -117,6 +115,7 @@ void Engine::adopt_workspace() {
   running_.clear();
   pending_view_.clear();
   running_view_.clear();
+  span_.clear();
 }
 
 void Engine::recycle_workspace() {
@@ -130,7 +129,22 @@ void Engine::recycle_workspace() {
   running_.swap(workspace_->running_);
   pending_view_.swap(workspace_->pending_view_);
   running_view_.swap(workspace_->running_view_);
+  std::swap(span_, workspace_->span_);
   workspace_ = nullptr;
+}
+
+void Engine::preload_static(
+    const std::vector<detail::EngineJobRecord>& records,
+    const std::vector<Event>& staged) {
+  FJS_REQUIRE(!started_ && jobs_.empty() && staged_.empty() && heap_.empty(),
+              "preload_static: engine already holds jobs or events");
+  FJS_REQUIRE(records.size() == staged.size(),
+              "preload_static: one staged arrival per job record");
+  // Copy-assignment reuses the adopted workspace capacity: once warm, a
+  // preload is two memcpy-sized copies and no allocation.
+  jobs_ = records;
+  staged_ = staged;
+  next_seq_ = static_cast<std::uint64_t>(staged_.size());
 }
 
 Engine::JobRecord& Engine::record(JobId id) {
@@ -380,7 +394,7 @@ void Engine::process(const Event& event) {
       ++done_count_;
       trace_event(now_, EventKind::kCompletion, event.job,
                   rec.job.length.ticks());
-      scheduler_.on_completion(*context_, event.job);
+      scheduler_.on_completion(context_, event.job);
       apply(source_.on_complete(event.job, now_));
       break;
     }
@@ -394,7 +408,7 @@ void Engine::process(const Event& event) {
                  .job = event.job,
                  .kind = EventKind::kDeadline});
       trace_event(now_, EventKind::kArrival, event.job, 0);
-      scheduler_.on_arrival(*context_, event.job);
+      scheduler_.on_arrival(context_, event.job);
       break;
     }
     case EventKind::kDeadline: {
@@ -403,7 +417,7 @@ void Engine::process(const Event& event) {
         break;  // already started
       }
       trace_event(now_, EventKind::kDeadline, event.job, 0);
-      scheduler_.on_deadline(*context_, event.job);
+      scheduler_.on_deadline(context_, event.job);
       // Re-fetch: the callback may have released jobs (via an adaptive
       // source reacting to starts), reallocating jobs_ under `rec`.
       const JobRecord& after = record(event.job);
@@ -416,7 +430,7 @@ void Engine::process(const Event& event) {
     case EventKind::kSchedulerTimer: {
       trace_event(now_, EventKind::kSchedulerTimer, kInvalidJob,
                   static_cast<std::int64_t>(event.tag));
-      scheduler_.on_timer(*context_, event.tag);
+      scheduler_.on_timer(context_, event.tag);
       break;
     }
     case EventKind::kSourceWakeup: {
@@ -489,10 +503,16 @@ SimulationResult Engine::run() {
   return result;
 }
 
-Time Engine::run_span() {
+Time Engine::run_span(std::vector<Time>* starts_out) {
   drive();
   FJS_CHECK(done_count_ == jobs_.size(),
             "run_span: not every released job completed");
+  if (starts_out != nullptr) {
+    starts_out->resize(jobs_.size());
+    for (JobId id = 0; id < jobs_.size(); ++id) {
+      (*starts_out)[id] = jobs_[id].start;
+    }
+  }
   const Time span = span_.span();
   recycle_workspace();
   return span;
@@ -500,28 +520,33 @@ Time Engine::run_span() {
 
 SimulationResult simulate(const Instance& instance, OnlineScheduler& scheduler,
                           bool clairvoyant, bool record_trace) {
-  thread_local EngineWorkspace workspace;
+  const EngineWorkspacePool::Lease workspace = engine_workspace_pool().acquire();
   StaticSource source(instance);
   NoDeferralOracle oracle;
   Engine engine(source, oracle, scheduler,
                 EngineOptions{.clairvoyant = clairvoyant,
                               .record_trace = record_trace,
                               .reserve_jobs = instance.size()},
-                &workspace);
+                workspace.get());
   return engine.run();
 }
 
 Time simulate_span(const Instance& instance, OnlineScheduler& scheduler,
                    bool clairvoyant) {
-  thread_local EngineWorkspace workspace;
+  const EngineWorkspacePool::Lease workspace = engine_workspace_pool().acquire();
   StaticSource source(instance);
   NoDeferralOracle oracle;
   Engine engine(source, oracle, scheduler,
                 EngineOptions{.clairvoyant = clairvoyant,
                               .record_trace = false,
                               .reserve_jobs = instance.size()},
-                &workspace);
+                workspace.get());
   return engine.run_span();
+}
+
+EngineWorkspacePool& engine_workspace_pool() {
+  static EngineWorkspacePool pool;
+  return pool;
 }
 
 }  // namespace fjs

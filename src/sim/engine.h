@@ -38,6 +38,7 @@
 #include "sim/scheduler.h"
 #include "sim/source.h"
 #include "sim/trace.h"
+#include "support/object_pool.h"
 
 namespace fjs {
 
@@ -69,6 +70,8 @@ struct SimulationResult {
   Time span() const { return realized_span; }
 };
 
+class Engine;
+
 namespace detail {
 
 enum class EngineJobState : std::uint8_t { kPending, kRunning, kDone };
@@ -86,6 +89,28 @@ struct EngineJobRecord {
   /// Monotone rank assigned at arrival (while pending) and reassigned at
   /// start (while running); the sorted views order by it.
   std::uint64_t order = 0;
+};
+
+/// Engine-backed implementation of the scheduler-facing context. Held by
+/// value inside Engine (it is just a vtable pointer plus a back-reference)
+/// so constructing an engine performs no allocation; methods live in
+/// engine.cpp.
+class EngineContext final : public SchedulerContext {
+ public:
+  explicit EngineContext(Engine& engine) : engine_(engine) {}
+
+  Time now() const override;
+  bool clairvoyant() const override;
+  JobView view(JobId id) const override;
+  Time length_of(JobId id) const override;
+  bool is_pending(JobId id) const override;
+  const std::vector<JobId>& pending() const override;
+  const std::vector<JobId>& running() const override;
+  void start_job(JobId id) override;
+  void set_timer(Time t, std::uint64_t tag) override;
+
+ private:
+  Engine& engine_;
 };
 
 }  // namespace detail
@@ -109,6 +134,7 @@ class EngineWorkspace {
   std::vector<JobId> running_;
   std::vector<JobId> pending_view_;
   std::vector<JobId> running_view_;
+  SpanTracker span_;
 };
 
 /// Runs one simulation. The engine is single-use: construct, run() (or
@@ -129,11 +155,25 @@ class Engine {
   /// Fast path for sweeps: runs the simulation and returns only the span,
   /// skipping the realized instance/schedule construction and the
   /// (redundant — every start was already window-checked) validation pass.
-  Time run_span();
+  /// If `starts_out` is non-null it is resized to the released job count
+  /// and filled with the chosen start times, indexed by engine job id
+  /// (release order) — the cheap way to recover the online schedule
+  /// without materializing an Instance/Schedule pair.
+  Time run_span(std::vector<Time>* starts_out = nullptr);
+
+  /// Portfolio fast path: installs a prebuilt job-record template and the
+  /// matching staged arrival events (seq 0..n-1, nondecreasing times)
+  /// exactly as a StaticSource release stream would have produced them,
+  /// without consulting a source. Both vectors are copied into recycled
+  /// storage — zero allocations once the workspace is warm. Must be called
+  /// before run()/run_span(), with an empty engine, and the run's
+  /// JobSource must release nothing (use a null source). See
+  /// sim/portfolio.h for the public wrapper.
+  void preload_static(const std::vector<detail::EngineJobRecord>& records,
+                      const std::vector<Event>& staged);
 
  private:
-  class Context;
-  friend class Context;
+  friend class detail::EngineContext;
 
   using JobRecord = detail::EngineJobRecord;
   using JobState = detail::EngineJobState;
@@ -189,7 +229,7 @@ class Engine {
   Trace trace_;
   std::size_t event_count_ = 0;
 
-  std::unique_ptr<Context> context_;
+  detail::EngineContext context_;
 };
 
 /// Convenience wrapper: simulate a fixed instance. The returned result's
@@ -203,5 +243,12 @@ SimulationResult simulate(const Instance& instance, OnlineScheduler& scheduler,
 /// no trace, no result construction, no second validation pass.
 Time simulate_span(const Instance& instance, OnlineScheduler& scheduler,
                    bool clairvoyant);
+
+/// Per-thread free-list of engine workspaces. Call sites that used to
+/// hand-thread an EngineWorkspace through their loops acquire() a lease
+/// instead; the workspace returns to the calling thread's list when the
+/// lease dies, capacity ("warmth") intact.
+using EngineWorkspacePool = ObjectPool<EngineWorkspace>;
+EngineWorkspacePool& engine_workspace_pool();
 
 }  // namespace fjs

@@ -1,0 +1,39 @@
+// Heap-allocation observability. When the build defines FJS_COUNT_ALLOCS
+// (cmake -DFJS_COUNT_ALLOCS=ON), global operator new/delete are replaced
+// with counting wrappers around malloc/free, and alloc_counts() reports
+// per-thread totals. The counters are thread-local, so a benchmark or test
+// can bracket a region and assert on exactly the allocations *it* made --
+// the zero-steady-state-allocation guarantee of the span-only portfolio
+// path is pinned this way (see tests/test_sim_portfolio.cpp and E9's
+// allocs/sim column).
+//
+// Without the define, the hooks vanish and alloc_counts() returns zeros;
+// alloc_counting_enabled() lets callers annotate output accordingly.
+#pragma once
+
+#include <cstddef>
+
+namespace fjs {
+
+struct AllocCounts {
+  std::size_t allocations = 0;  // operator new calls on this thread
+  std::size_t frees = 0;        // operator delete calls on this thread
+  std::size_t bytes = 0;        // total bytes requested by this thread
+};
+
+/// Totals for the calling thread since thread start or the last reset.
+AllocCounts alloc_counts() noexcept;
+
+/// Zeroes the calling thread's counters.
+void reset_alloc_counts() noexcept;
+
+/// True when the build replaces operator new with the counting hook.
+constexpr bool alloc_counting_enabled() noexcept {
+#ifdef FJS_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace fjs

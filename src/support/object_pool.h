@@ -1,0 +1,88 @@
+// Per-thread free-list of reusable heavyweight objects (engine workspaces,
+// scratch buffers). acquire() hands out a recycled object when the calling
+// thread has one, otherwise default-constructs; the returned Lease gives
+// the object back on destruction. Because each thread owns its own list
+// there is no locking and no cross-thread traffic -- an object released on
+// thread A is only ever reused by thread A, which also keeps the objects'
+// internal capacity "warm" for the workload that thread is running.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace fjs {
+
+template <typename T>
+class ObjectPool {
+ public:
+  /// RAII handle: owns a T borrowed from the pool, returns it on
+  /// destruction. Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ObjectPool* pool, std::unique_ptr<T> object)
+        : pool_(pool), object_(std::move(object)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          object_(std::move(other.object_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        object_ = std::move(other.object_);
+      }
+      return *this;
+    }
+    ~Lease() { release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    T& operator*() const { return *object_; }
+    T* operator->() const { return object_.get(); }
+    T* get() const { return object_.get(); }
+    explicit operator bool() const { return object_ != nullptr; }
+
+   private:
+    void release() {
+      if (pool_ != nullptr && object_ != nullptr) {
+        pool_->put_back(std::move(object_));
+      }
+      pool_ = nullptr;
+      object_.reset();
+    }
+
+    ObjectPool* pool_ = nullptr;
+    std::unique_ptr<T> object_;
+  };
+
+  /// Borrows an object from the calling thread's free list (or makes one).
+  Lease acquire() {
+    auto& list = free_list();
+    if (!list.empty()) {
+      std::unique_ptr<T> object = std::move(list.back());
+      list.pop_back();
+      return Lease(this, std::move(object));
+    }
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Objects currently cached for the calling thread (test observability).
+  std::size_t cached_count() const { return free_list().size(); }
+
+ private:
+  friend class Lease;
+
+  void put_back(std::unique_ptr<T> object) {
+    free_list().push_back(std::move(object));
+  }
+
+  static std::vector<std::unique_ptr<T>>& free_list() {
+    thread_local std::vector<std::unique_ptr<T>> list;
+    return list;
+  }
+};
+
+}  // namespace fjs

@@ -1,4 +1,7 @@
-// parallel_for / parallel_map over index ranges, built on ThreadPool.
+// parallel_for / parallel_map over index ranges, built on the pool's
+// TaskGroup (work-stealing with helping waits, so these nest freely on a
+// single pool -- an outer parallel_for's body may itself call parallel_for
+// on the same pool without deadlock).
 //
 // Two chunking policies:
 //  * kStatic — contiguous chunks, one per worker. Right for sweeps whose
@@ -9,11 +12,15 @@
 // Either way results are written to pre-sized slots keyed by index, so the
 // output is deterministic and independent of thread count and policy —
 // the property the serial-vs-parallel tests pin down.
+//
+// Exceptions: the first exception thrown by any chunk — including one
+// stolen by another worker — is rethrown exactly once from the call;
+// remaining chunks still run to completion first.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <future>
 #include <vector>
 
 #include "support/assert.h"
@@ -27,8 +34,9 @@ enum class ChunkPolicy {
   kDynamic,  ///< workers claim `min_chunk`-sized chunks from an atomic counter
 };
 
-/// Invokes fn(i) for every i in [0, count) using the given pool.
-/// Rethrows the first task exception.
+/// Invokes fn(i) for every i in [0, count) using the given pool. The
+/// calling thread helps execute chunks while waiting. Rethrows the first
+/// task exception.
 template <typename F>
 void parallel_for(ThreadPool& pool, std::size_t count, F&& fn,
                   std::size_t min_chunk = 1,
@@ -38,16 +46,15 @@ void parallel_for(ThreadPool& pool, std::size_t count, F&& fn,
     return;
   }
   const std::size_t workers = pool.thread_count();
-  std::vector<std::future<void>> futures;
+  ThreadPool::TaskGroup group(pool);
   if (policy == ChunkPolicy::kDynamic) {
-    // Shared work counter; stack-local is safe because every future is
-    // awaited before return.
+    // Shared work counter; stack-local is safe because group.wait()
+    // returns only after every spawned task finished.
     std::atomic<std::size_t> next{0};
     const std::size_t tasks =
-        std::min(workers, (count + min_chunk - 1) / min_chunk);
-    futures.reserve(tasks);
+        std::min(workers + 1, (count + min_chunk - 1) / min_chunk);
     for (std::size_t w = 0; w < tasks; ++w) {
-      futures.push_back(pool.submit([&fn, &next, count, min_chunk]() {
+      group.run([&fn, &next, count, min_chunk]() {
         for (;;) {
           const std::size_t begin =
               next.fetch_add(min_chunk, std::memory_order_relaxed);
@@ -59,26 +66,22 @@ void parallel_for(ThreadPool& pool, std::size_t count, F&& fn,
             fn(i);
           }
         }
-      }));
+      });
     }
-    for (auto& f : futures) {
-      f.get();
-    }
+    group.wait();
     return;
   }
   std::size_t chunk = (count + workers - 1) / workers;
   chunk = std::max(chunk, min_chunk);
   for (std::size_t begin = 0; begin < count; begin += chunk) {
     const std::size_t end = std::min(begin + chunk, count);
-    futures.push_back(pool.submit([&fn, begin, end]() {
+    group.run([&fn, begin, end]() {
       for (std::size_t i = begin; i < end; ++i) {
         fn(i);
       }
-    }));
+    });
   }
-  for (auto& f : futures) {
-    f.get();
-  }
+  group.wait();
 }
 
 /// Serial fallback with the same signature (thread count 1 semantics).

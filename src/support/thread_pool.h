@@ -1,27 +1,100 @@
-// Fixed-size thread pool used to fan parameter sweeps and Monte-Carlo
-// ratio experiments across cores.
+// Work-stealing thread pool used to fan parameter sweeps, Monte-Carlo
+// ratio experiments, and nested experiment/task parallelism across cores.
 //
 // Design notes (shared-memory parallel idioms):
-//  * one mutex + condition variable protecting a FIFO of type-erased tasks —
-//    sweep tasks are coarse (an entire simulation each), so queue contention
-//    is negligible and a lock-free deque would buy nothing;
-//  * std::jthread workers joined in the destructor (RAII — no detached
-//    threads, no leaks on exceptions);
-//  * exceptions thrown by tasks are captured and rethrown to the waiter via
-//    the returned std::future, never swallowed.
+//  * one Chase-Lev deque per worker (owner pushes/pops at the bottom,
+//    thieves CAS the top); a mutex-protected injection queue accepts work
+//    from non-worker threads. All deque indices and cells use seq_cst
+//    atomics -- strictly stronger than the published orderings (Le et al.,
+//    "Correct and Efficient Work-Stealing for Weak Memory Models") and free
+//    of standalone fences, which keeps ThreadSanitizer precise. Tasks here
+//    are coarse (a whole simulation or experiment each), so the stronger
+//    orderings cost nothing measurable;
+//  * TaskGroup provides *nesting*: a task that spawns subtasks and calls
+//    wait() helps execute queued work (its own deque first, then the
+//    injection queue, then stealing) instead of blocking a worker. One pool
+//    can therefore run an outer experiment fan-out and the experiments'
+//    inner loops without deadlock or oversubscription;
+//  * std::jthread workers joined in the destructor (RAII -- no detached
+//    threads, no leaks on exceptions); the destructor drains every task
+//    that was ever enqueued before returning;
+//  * exceptions: submit() futures carry them as before; TaskGroup captures
+//    the first subtask exception and rethrows it exactly once from wait(),
+//    even when the throwing task was stolen by another worker.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
-#include <functional>
+#include <exception>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace fjs {
+
+class ThreadPool;
+
+namespace detail {
+
+/// Type-erased unit of pool work. Nodes are heap-allocated at enqueue time
+/// and deleted by whichever thread executes them. execute() must not throw:
+/// submit() nodes park exceptions in their future, TaskGroup nodes park
+/// them in the group.
+struct TaskNode {
+  virtual ~TaskNode() = default;
+  virtual void execute() noexcept = 0;
+};
+
+/// Chase-Lev work-stealing deque of TaskNode pointers. push()/pop() are
+/// owner-only; steal() is safe from any thread. Grows by ring doubling;
+/// retired rings are kept on a chain until destruction so a racing thief
+/// never reads freed cells.
+class WorkDeque {
+ public:
+  WorkDeque() : ring_(new Ring(kInitialCapacity)) {}
+  ~WorkDeque();
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  void push(TaskNode* node);  // owner only
+  TaskNode* pop();            // owner only; nullptr when empty
+  TaskNode* steal();          // any thread; nullptr when empty or lost race
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          cells(new std::atomic<TaskNode*>[cap]) {}
+    TaskNode* get(std::int64_t i) const {
+      return cells[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, TaskNode* node) {
+      cells[static_cast<std::size_t>(i) & mask].store(
+          node, std::memory_order_relaxed);
+    }
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<TaskNode*>[]> cells;
+    Ring* prev = nullptr;  // retired predecessor, freed in ~WorkDeque
+  };
+
+  static constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+};
+
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -35,31 +108,108 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t thread_count() const { return workers_.size(); }
+  std::size_t thread_count() const { return threads_.size(); }
 
   /// Enqueues a task; the future carries the result or exception.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    auto* node = new FutureNode<R, std::decay_t<F>>(std::forward<F>(fn));
+    std::future<R> fut = node->task.get_future();
+    enqueue(node);
     return fut;
   }
 
+  /// A set of spawned subtasks awaited together. wait() *helps*: the
+  /// waiting thread executes queued pool work (including work from other
+  /// groups) until every subtask of this group has finished, so groups
+  /// nest arbitrarily deep on a single pool -- even a pool of one thread.
+  /// The first exception thrown by any subtask -- local or stolen -- is
+  /// rethrown exactly once from wait(); later exceptions are dropped.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    ~TaskGroup();  // drains (without rethrow) if wait() was never reached
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Spawns fn() as a pool task belonging to this group.
+    template <typename F>
+    void run(F&& fn);
+
+    /// Helps execute pool work until all spawned tasks finished, then
+    /// rethrows the first captured exception (if any).
+    void wait();
+
+   private:
+    friend class ThreadPool;
+
+    void drain() noexcept;
+    void capture(std::exception_ptr ex) noexcept;
+    void finish_one() noexcept {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    ThreadPool& pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex exception_mutex_;
+    std::exception_ptr exception_;
+  };
+
  private:
-  void worker_loop(const std::stop_token& stop);
+  template <typename R, typename F>
+  struct FutureNode final : detail::TaskNode {
+    explicit FutureNode(F&& fn) : task(std::move(fn)) {}
+    explicit FutureNode(const F& fn) : task(fn) {}
+    void execute() noexcept override { task(); }  // exception -> future
+    std::packaged_task<R()> task;
+  };
+
+  template <typename F>
+  struct GroupNode final : detail::TaskNode {
+    GroupNode(TaskGroup* g, F&& body) : group(g), fn(std::move(body)) {}
+    GroupNode(TaskGroup* g, const F& body) : group(g), fn(body) {}
+    void execute() noexcept override {
+      try {
+        fn();
+      } catch (...) {
+        group->capture(std::current_exception());
+      }
+      group->finish_one();
+    }
+    TaskGroup* group;
+    F fn;
+  };
+
+  struct Worker {
+    detail::WorkDeque deque;
+  };
+
+  /// Routes a node to the calling worker's own deque (cheap, stealable) or
+  /// to the injection queue when called from outside the pool.
+  void enqueue(detail::TaskNode* node);
+  /// Own deque -> injection queue -> steal sweep; nullptr when idle.
+  /// Safe from non-worker threads (which skip the own-deque step).
+  detail::TaskNode* find_work();
+  void run_node(detail::TaskNode* node) noexcept;
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::jthread> threads_;
 
   std::mutex mutex_;
-  std::condition_variable_any cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::jthread> workers_;
+  std::condition_variable cv_;
+  std::deque<detail::TaskNode*> injection_;
+  std::atomic<std::size_t> outstanding_{0};  // enqueued, not yet finished
+  std::atomic<bool> stopping_{false};
 };
+
+template <typename F>
+void ThreadPool::TaskGroup::run(F&& fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  pool_.enqueue(new GroupNode<std::decay_t<F>>(this, std::forward<F>(fn)));
+}
 
 /// Process-wide pool for the analysis helpers. Created on first use.
 ThreadPool& global_pool();

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "support/parallel.h"
@@ -190,6 +194,134 @@ TEST(ParallelMapDynamic, PreservesIndexOrder) {
 TEST(GlobalPool, IsUsable) {
   auto f = global_pool().submit([] { return 1; });
   EXPECT_EQ(f.get(), 1);
+}
+
+// --- Work-stealing pool: nesting and exception plumbing ---------------
+
+TEST(TaskGroup, NestedParallelForOnOnePoolDoesNotDeadlock) {
+  // The old futures-per-chunk design deadlocked the moment an outer task
+  // blocked a worker waiting on inner work; the TaskGroup helping wait
+  // must make this complete even on a pool of ONE thread.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> out(24, 0);
+    parallel_for(pool, out.size(), [&](std::size_t i) {
+      std::vector<std::uint64_t> inner(16);
+      parallel_for(pool, inner.size(),
+                   [&](std::size_t j) { inner[j] = i * 100 + j; }, 1,
+                   ChunkPolicy::kDynamic);
+      std::uint64_t sum = 0;
+      for (const auto v : inner) {
+        sum += v;
+      }
+      out[i] = sum;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * 100 * 16 + 120) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(TaskGroup, DeeplyNestedGroupsComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    if (depth == 0) {
+      ++leaves;
+      return;
+    }
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 3; ++i) {
+      group.run([&, depth] { spawn(depth - 1); });
+    }
+    group.wait();
+  };
+  spawn(4);
+  EXPECT_EQ(leaves.load(), 3 * 3 * 3 * 3);
+}
+
+TEST(ParallelFor, ManyThrowingTasksPropagateExactlyOneException) {
+  // Every chunk throws; exactly ONE exception must escape the call (the
+  // first captured), the rest are dropped, and the pool stays usable.
+  for (const auto policy : {ChunkPolicy::kStatic, ChunkPolicy::kDynamic}) {
+    ThreadPool pool(2);
+    int caught = 0;
+    std::string message;
+    try {
+      parallel_for(
+          pool, 64,
+          [](std::size_t i) {
+            throw std::runtime_error("planted " + std::to_string(i));
+          },
+          1, policy);
+    } catch (const std::runtime_error& e) {
+      ++caught;
+      message = e.what();
+    }
+    EXPECT_EQ(caught, 1);
+    EXPECT_EQ(message.rfind("planted ", 0), 0u) << message;
+    // The pool survived: all 64 group nodes were drained before rethrow.
+    std::atomic<int> hits{0};
+    parallel_for(pool, 32, [&](std::size_t) { ++hits; }, 1, policy);
+    EXPECT_EQ(hits.load(), 32);
+  }
+}
+
+TEST(TaskGroup, StolenTaskExceptionPropagatesExactlyOnce) {
+  // Forces a genuine Chase-Lev steal of the throwing task: the group is
+  // created on worker A, so the thrower lands on A's own deque; A then
+  // spins (without helping) until the task has started, which means the
+  // ONLY thread that can possibly execute it is worker B, via steal()
+  // (the main thread is parked in future.get() and never helps). The
+  // exception is captured on B and must be rethrown exactly once from
+  // A's wait().
+  ThreadPool pool(2);
+  std::atomic<bool> thrower_started{false};
+  std::atomic<int> thrower_runs{0};
+  std::atomic<int> caught{0};
+  auto outer = pool.submit([&] {
+    const auto owner_id = std::this_thread::get_id();
+    std::thread::id thief_id;
+    ThreadPool::TaskGroup group(pool);
+    group.run([&] {
+      thief_id = std::this_thread::get_id();
+      ++thrower_runs;
+      thrower_started.store(true);
+      throw std::runtime_error("stolen boom");
+    });
+    while (!thrower_started.load()) {
+      std::this_thread::yield();  // pin the deque owner: force the steal
+    }
+    try {
+      group.wait();
+    } catch (const std::runtime_error& e) {
+      ++caught;
+      EXPECT_STREQ(e.what(), "stolen boom");
+    }
+    EXPECT_NE(thief_id, owner_id) << "task was meant to be stolen";
+    // A second wait() must not rethrow: the exception is delivered once.
+    group.wait();
+  });
+  outer.get();
+  EXPECT_EQ(caught.load(), 1);
+  EXPECT_EQ(thrower_runs.load(), 1);
+}
+
+TEST(TaskGroup, AbandonedGroupDrainsWithoutRethrow) {
+  // Destroying a group without calling wait() (e.g. unwinding through an
+  // outer exception) must drain its tasks and swallow their exceptions.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+      group.run([&ran] {
+        ++ran;
+        throw std::runtime_error("ignored");
+      });
+    }
+  }  // ~TaskGroup: no std::terminate, no leak
+  EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace
