@@ -34,12 +34,17 @@ Instance random_instance(Rng& rng, const MinerOptions& options) {
 }
 
 /// One unit-grained tweak of a random job's arrival, laxity or length.
+/// `earliest_affected` receives the earliest event time the tweak can
+/// influence: the mutated job is invisible to the run before it arrives in
+/// EITHER version, so min(old arrival, new arrival) bounds every affected
+/// event (deadline/length changes are observed no earlier than arrival).
 Instance mutate(const Instance& instance, Rng& rng,
-                const MinerOptions& options) {
+                const MinerOptions& options, Time* earliest_affected) {
   std::vector<Job> jobs(instance.jobs().begin(), instance.jobs().end());
   const auto victim = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(jobs.size()) - 1));
   Job& j = jobs[victim];
+  const Time old_arrival = j.arrival;
   const Time unit(Time::kTicksPerUnit);
   switch (rng.uniform_int(0, 3)) {
     case 0: {  // move arrival (preserving laxity)
@@ -83,6 +88,9 @@ Instance mutate(const Instance& instance, Rng& rng,
       break;
     }
   }
+  if (earliest_affected != nullptr) {
+    *earliest_affected = std::min(old_arrival, j.arrival);
+  }
   return Instance(std::move(jobs));
 }
 
@@ -112,22 +120,28 @@ void fill_memo_key(const Instance& instance, MemoKey& key) {
   }
 }
 
-using ThresholdedObjective =
-    std::function<double(const Instance&, double threshold)>;
+using HintedObjective =
+    std::function<double(const Instance&, double threshold,
+                         Time earliest_affected)>;
 
 /// Evaluates candidate batches: dedupes against the memo, runs the misses
 /// through parallel_map when a pool is attached, and hands values back in
 /// proposal order. Deterministic for any thread count because candidate
 /// order is fixed before evaluation, the threshold is frozen per batch,
-/// and the objective is deterministic.
+/// and the objective is deterministic. `hints[i]` is candidate i's
+/// earliest-affected-event annotation (Time::max() = none); it rides along
+/// to the objective and may not change any value.
 class BatchEvaluator {
  public:
-  BatchEvaluator(const ThresholdedObjective& objective,
+  BatchEvaluator(const HintedObjective& objective,
                  const MinerOptions& options)
       : objective_(objective), options_(options) {}
 
   std::vector<double> evaluate(const std::vector<Instance>& batch,
+                               const std::vector<Time>& hints,
                                double threshold) {
+    FJS_REQUIRE(hints.size() == batch.size(),
+                "miner: one hint per candidate");
     std::vector<std::size_t> misses;  // first occurrence of each unknown key
     misses.reserve(batch.size());
     std::vector<double*> slots;  // memo cell per candidate; stable under
@@ -156,13 +170,13 @@ class BatchEvaluator {
       fresh = parallel_map(
           *options_.pool, misses.size(),
           [&, threshold](std::size_t m) {
-            return objective_(batch[misses[m]], threshold);
+            return objective_(batch[misses[m]], threshold, hints[misses[m]]);
           },
           ChunkPolicy::kDynamic);
     } else {
       fresh.reserve(misses.size());
       for (const std::size_t m : misses) {
-        fresh.push_back(objective_(batch[m], threshold));
+        fresh.push_back(objective_(batch[m], threshold, hints[m]));
       }
     }
     if (!options_.use_objective_memo) {
@@ -184,7 +198,7 @@ class BatchEvaluator {
  private:
   static constexpr double kPending = 0.0;  // placeholder until filled above
 
-  const ThresholdedObjective& objective_;
+  const HintedObjective& objective_;
   const MinerOptions& options_;
   std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
   MemoKey key_scratch_;  // reused per candidate; copied only on insert
@@ -206,6 +220,16 @@ MinerResult mine_instance(
 MinerResult mine_instance(
     const std::function<double(const Instance&, double)>& objective,
     MinerOptions options) {
+  return mine_instance(
+      [&objective](const Instance& instance, double threshold, Time) {
+        return objective(instance, threshold);
+      },
+      std::move(options));
+}
+
+MinerResult mine_instance(
+    const std::function<double(const Instance&, double, Time)>& objective,
+    MinerOptions options) {
   FJS_REQUIRE(options.population >= 1, "miner: population must be >= 1");
   FJS_REQUIRE(options.jobs >= 1, "miner: jobs must be >= 1");
   Rng rng(options.seed);
@@ -219,35 +243,61 @@ MinerResult mine_instance(
   // serial miner's for any pool size.
   std::vector<Instance> batch;
   batch.reserve(std::max(options.population, options.mutations_per_round));
+  std::vector<Time> hints;  // earliest-affected annotation per candidate
+  hints.reserve(batch.capacity());
 
-  // Seeding round. Threshold 0.0: no incumbent yet, every candidate is
-  // evaluated exactly.
-  for (std::size_t i = 0; i < options.population; ++i) {
-    batch.push_back(random_instance(rng, options));
-  }
-  std::vector<double> values = evaluator.evaluate(batch, 0.0);
-  result.evaluations += batch.size();
-  std::size_t best_idx = 0;
-  for (std::size_t i = 1; i < batch.size(); ++i) {
-    if (values[i] > values[best_idx]) {
-      best_idx = i;
+  // Seeding round, in fixed sub-batches with a progressively rising
+  // threshold: after each sub-batch the running max becomes the next
+  // sub-batch's threshold, so most seeds settle on a cheap bound instead of
+  // a full certification. Trajectory-preserving: every settled value is at
+  // most its threshold, i.e. at most the max of some earlier prefix, so it
+  // can neither become the first occurrence of the global max nor displace
+  // it under the strict-> running-max selection below — the selected seed
+  // and trajectory[0] are identical to the single-batch evaluation. The
+  // sub-batch size is a constant (not derived from the pool) so the chunk
+  // boundaries, thresholds and therefore every value are the same for any
+  // thread count.
+  constexpr std::size_t kSeedChunk = 8;
+  Instance best;
+  double best_ratio = 0.0;
+  bool have_best = false;
+  std::vector<double> values;
+  for (std::size_t seeded = 0; seeded < options.population;
+       seeded += kSeedChunk) {
+    batch.clear();
+    hints.clear();
+    const std::size_t count =
+        std::min(kSeedChunk, options.population - seeded);
+    for (std::size_t i = 0; i < count; ++i) {
+      batch.push_back(random_instance(rng, options));
+      hints.push_back(Time::max());  // seeds share no parent: no hint
+    }
+    values = evaluator.evaluate(batch, hints, have_best ? best_ratio : 0.0);
+    result.evaluations += batch.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!have_best || values[i] > best_ratio) {
+        best = std::move(batch[i]);
+        best_ratio = values[i];
+        have_best = true;
+      }
     }
   }
-  Instance best = std::move(batch[best_idx]);
-  double best_ratio = values[best_idx];
   result.trajectory.push_back(best_ratio);
 
   // Hill climbing.
   for (std::size_t round = 0; round < options.rounds; ++round) {
     batch.clear();
+    hints.clear();
     for (std::size_t m = 0; m < options.mutations_per_round; ++m) {
-      batch.push_back(mutate(best, rng, options));
+      Time earliest_affected = Time::max();
+      batch.push_back(mutate(best, rng, options, &earliest_affected));
+      hints.push_back(earliest_affected);
     }
     // Freeze the threshold at the incumbent before the batch: a candidate
     // that cannot beat it may be settled cheaply (see header contract),
     // and the threshold only ever grows, which keeps memoized settled
     // values unselectable in every later round.
-    values = evaluator.evaluate(batch, best_ratio);
+    values = evaluator.evaluate(batch, hints, best_ratio);
     result.evaluations += batch.size();
     std::size_t pick = batch.size();
     double round_ratio = best_ratio;
@@ -275,9 +325,16 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
   const auto probe = make_scheduler(scheduler_key);
   const bool clairvoyant = probe->requires_clairvoyance();
   auto budget_skips = std::make_shared<std::atomic<std::size_t>>(0);
+  struct PrefixCounters {
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
+    std::atomic<std::size_t> arrivals_skipped{0};
+  };
+  auto prefix = std::make_shared<PrefixCounters>();
   MinerResult result = mine_instance(
-      [&scheduler_key, clairvoyant, budget_skips](const Instance& instance,
-                                                  double threshold) {
+      [&scheduler_key, clairvoyant, budget_skips, prefix](
+          const Instance& instance, double threshold,
+          Time earliest_affected) {
         // Per-thread replay state: the portfolio runner amortizes engine
         // setup across candidates, and the scheduler object is rebuilt
         // only when the mined key changes on this thread.
@@ -289,8 +346,26 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
           scheduler = make_scheduler(scheduler_key);
           scheduler_key_cache = scheduler_key;
         }
+        // Checkpointed prefix replay: candidates are single-job mutations
+        // of a shared parent, so consecutive replays on a thread share a
+        // long timeline prefix. The replay is static (preloaded timeline,
+        // NoDeferralOracle) in BOTH models, so the non-clairvoyant opt-in
+        // is sound here; spans are bit-identical to full replay either
+        // way, which the miner determinism tests pin down.
+        runner.enable_prefix_replay(EngineCheckpointSeries::kDefaultSlots,
+                                    /*include_nonclairvoyant=*/true);
+        const PrefixReplayStats before = runner.prefix_stats();
         const Time span = runner.run_span(
-            instance, PortfolioEntry{scheduler.get(), clairvoyant}, &starts);
+            instance, PortfolioEntry{scheduler.get(), clairvoyant}, &starts,
+            PortfolioOptions{}, earliest_affected);
+        const PrefixReplayStats& after = runner.prefix_stats();
+        prefix->hits.fetch_add(after.hits - before.hits,
+                               std::memory_order_relaxed);
+        prefix->misses.fetch_add(after.misses - before.misses,
+                                 std::memory_order_relaxed);
+        prefix->arrivals_skipped.fetch_add(
+            after.arrivals_skipped - before.arrivals_skipped,
+            std::memory_order_relaxed);
         // Pre-certification cut: span/lower_bound upper-bounds the true
         // ratio. When even that cannot beat the incumbent, settle the
         // candidate without certifying OPT — the dominant cost here by far
@@ -316,15 +391,13 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
         }
         // At mining sizes the heuristic incumbent costs more than the whole
         // branch-and-bound, and a budget-exceeded candidate is discarded
-        // anyway — skip the seeding pass. The online run's own schedule is
-        // a free feasible incumbent instead.
-        Schedule online_schedule(instance.size());
-        for (JobId j = 0; j < instance.size(); ++j) {
-          online_schedule.set_start(j, starts[j]);
-        }
+        // anyway — skip the seeding pass. The online run's span is a free
+        // feasible incumbent, and span_only skips witness-schedule
+        // construction and reconstruction (only the ratio is needed here).
         ExactOptions exact_options;
         exact_options.seed_with_heuristic = false;
-        exact_options.seed_schedule = &online_schedule;
+        exact_options.span_only = true;
+        exact_options.seed_span = span;
         // At mining sizes (hundreds of nodes per search) the transposition
         // cache's per-node key/hash/insert cost exceeds what its hits save;
         // disabling it speeds certification ~2x and cannot change any value.
@@ -359,6 +432,10 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
       },
       options);
   result.budget_skips = budget_skips->load(std::memory_order_relaxed);
+  result.prefix_hits = prefix->hits.load(std::memory_order_relaxed);
+  result.prefix_misses = prefix->misses.load(std::memory_order_relaxed);
+  result.prefix_arrivals_skipped =
+      prefix->arrivals_skipped.load(std::memory_order_relaxed);
   return result;
 }
 

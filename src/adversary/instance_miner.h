@@ -59,6 +59,21 @@ struct MinerResult {
   /// mine_worst_case only: candidates discarded because the exact solver's
   /// node budget ran out before certifying OPT (objective treated as 0).
   std::size_t budget_skips = 0;
+  /// mine_worst_case only: checkpointed prefix-replay cache counters for
+  /// the online-simulation half of the objective (see PrefixReplayStats).
+  /// Aggregated over all worker threads; the replayed spans are
+  /// bit-identical with the cache on or off, so these are diagnostics, not
+  /// inputs to the search.
+  std::size_t prefix_hits = 0;
+  std::size_t prefix_misses = 0;
+  std::size_t prefix_arrivals_skipped = 0;
+
+  /// Mean staged-arrival depth of restored checkpoints (0 when no hit).
+  double mean_prefix_depth() const {
+    return prefix_hits == 0 ? 0.0
+                            : static_cast<double>(prefix_arrivals_skipped) /
+                                  static_cast<double>(prefix_hits);
+  }
 };
 
 /// Mines a worst case for the scheduler registry key (clairvoyance is
@@ -75,18 +90,32 @@ MinerResult mine_instance(
     const std::function<double(const Instance&)>& objective,
     MinerOptions options = {});
 
-/// Threshold-aware form: the miner passes the incumbent best value at
-/// batch-generation time (0.0 during the seeding round). A candidate whose
-/// objective provably cannot exceed `threshold` may be settled with any
-/// deterministic value <= threshold instead of the exact value — e.g. an
-/// upper bound that is cheap to compute (span / lower_bound for the
-/// competitive-ratio objective) — because such a candidate can never be
-/// selected. The threshold is non-decreasing across rounds, so memoized
+/// Threshold-aware form: the miner passes the running incumbent best value
+/// at batch-generation time (0.0 only before any candidate has been
+/// evaluated; seeding runs in fixed sub-batches whose threshold is the max
+/// over all earlier sub-batches). A candidate whose objective provably
+/// cannot exceed `threshold` may be settled with any deterministic value
+/// <= threshold instead of the exact value — e.g. an upper bound that is
+/// cheap to compute (span / lower_bound for the competitive-ratio
+/// objective) — because such a candidate can never be selected. The
+/// threshold is non-decreasing across sub-batches and rounds, so memoized
 /// settled values stay unselectable forever and the mined trajectory,
 /// worst instance and evaluation counts are identical to the exact-only
 /// objective for any pool size and memo setting.
 MinerResult mine_instance(
     const std::function<double(const Instance&, double threshold)>& objective,
+    MinerOptions options = {});
+
+/// Hint-aware form: like the threshold-aware overload, but the miner also
+/// annotates each candidate with the earliest event time its mutation can
+/// influence (Time::max() for seeds and re-rolled jobs, min(old arrival,
+/// new arrival) of the mutated job otherwise). Objectives that replay the
+/// candidate through a prefix-replay PortfolioRunner forward the hint so
+/// the deepest valid checkpoint is selected automatically; the hint never
+/// changes any value (it only bounds which prefix may be skipped).
+MinerResult mine_instance(
+    const std::function<double(const Instance&, double threshold,
+                               Time earliest_affected)>& objective,
     MinerOptions options = {});
 
 }  // namespace fjs

@@ -17,11 +17,6 @@ Instance::Instance(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
   }
 }
 
-const Job& Instance::job(JobId id) const {
-  FJS_REQUIRE(id < jobs_.size(), "Instance: job id out of range");
-  return jobs_[id];
-}
-
 double Instance::mu() const {
   FJS_REQUIRE(!jobs_.empty(), "mu of empty instance");
   return time_ratio(max_length(), min_length());

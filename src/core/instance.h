@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/job.h"
+#include "support/assert.h"
 
 namespace fjs {
 
@@ -21,7 +22,12 @@ class Instance {
 
   std::size_t size() const { return jobs_.size(); }
   bool empty() const { return jobs_.empty(); }
-  const Job& job(JobId id) const;
+  /// Defined inline: job lookup is the innermost operation of the exact
+  /// solver and the engine, and an out-of-line call here is measurable.
+  const Job& job(JobId id) const {
+    FJS_REQUIRE(id < jobs_.size(), "Instance: job id out of range");
+    return jobs_[id];
+  }
   const std::vector<Job>& jobs() const { return jobs_; }
 
   /// μ = max p / min p (≥ 1). Requires a non-empty instance.

@@ -22,6 +22,7 @@
 #include "analysis/sweep.h"
 #include "core/interval_set.h"
 #include "experiments/experiments_all.h"
+#include "offline/annealing.h"
 #include "offline/exact.h"
 #include "offline/heuristic.h"
 #include "schedulers/registry.h"
@@ -181,6 +182,87 @@ void miner_legacy(benchmark::State& state) {
   state.SetLabel("candidate evaluations");
 }
 
+// The incremental-simulation half of the miner's objective in isolation:
+// single-job arrival mutations of a 1000-job timeline replayed through one
+// warm prefix-replay PortfolioRunner, hint forwarded exactly as the miner
+// does. BM_Miner measures the full mining stack (where exact certification
+// dominates at 10 jobs); this curve tracks the checkpointed-replay
+// subsystem itself, so a prefix-cache regression is visible even when the
+// solver's noise hides it end to end.
+void miner_incremental(benchmark::State& state) {
+  const Instance base = bench_instance(1'000, 13);
+  std::vector<Job> jobs(base.jobs().begin(), base.jobs().end());
+  const auto scheduler = make_scheduler("batch+");
+  const PortfolioEntry entry{scheduler.get(),
+                             scheduler->requires_clairvoyance()};
+  PortfolioRunner runner;
+  // Same opt-in as the miner: replays are static (preloaded timeline,
+  // NoDeferralOracle), so the cache is sound for batch+'s non-clairvoyant
+  // model too.
+  runner.enable_prefix_replay(EngineCheckpointSeries::kDefaultSlots,
+                              /*include_nonclairvoyant=*/true);
+  Rng rng(29);
+  runner.run_span(Instance(jobs), entry);  // seed the checkpoint lineage
+  const std::int64_t unit = Time::kTicksPerUnit;
+  std::size_t sims = 0;
+  for (auto _ : state) {
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(jobs.size()) - 1));
+    Job& job = jobs[victim];
+    const Time old_arrival = job.arrival;
+    const std::int64_t jitter = rng.uniform_int(-unit, unit);
+    job.arrival = Time(std::max<std::int64_t>(0, job.arrival.ticks() + jitter));
+    job.deadline = std::max(job.deadline, job.arrival);
+    const Time hint = std::min(old_arrival, job.arrival);
+    benchmark::DoNotOptimize(
+        runner.run_span(Instance(jobs), entry, nullptr, {}, hint));
+    ++sims;
+  }
+  const PrefixReplayStats stats = runner.prefix_stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(sims));
+  state.counters["arrivals_skipped_per_sim"] = benchmark::Counter(
+      static_cast<double>(stats.arrivals_skipped) /
+      static_cast<double>(sims > 0 ? sims : 1));
+  state.SetLabel("mutated replays; " + std::to_string(stats.hits) + " hits / " +
+                 std::to_string(stats.misses) + " misses");
+}
+
+// Annealing neighbor-evaluation throughput on a 2048-job instance: the
+// full O(n) union re-measure per proposal vs the incremental
+// committed-state scan (reject = O(affected window), no undo). Spans and
+// schedules are bit-identical either way (pinned in
+// test_offline_annealing); the pair of curves documents the speedup.
+Instance anneal_instance(std::size_t n) {
+  Rng rng(5);
+  const std::int64_t unit = Time::kTicksPerUnit;
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time arrival(
+        unit * rng.uniform_int(0, 2 * static_cast<std::int64_t>(n)));
+    const Time length(unit * rng.uniform_int(1, 8));
+    const Time deadline = arrival + Time(unit * rng.uniform_int(0, 12));
+    jobs.push_back(Job{static_cast<JobId>(jobs.size()), arrival,
+                       std::max(deadline, arrival), length});
+  }
+  return Instance(std::move(jobs));
+}
+
+void anneal(benchmark::State& state, bool incremental) {
+  const Instance inst = anneal_instance(2'048);
+  AnnealingOptions options;
+  options.iterations = 20'000;
+  options.incremental = incremental;
+  std::size_t proposals = 0;
+  for (auto _ : state) {
+    const AnnealingResult result = anneal_schedule(inst, options);
+    proposals += options.iterations;
+    benchmark::DoNotOptimize(result.span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(proposals));
+  state.SetLabel("proposals");
+}
+
 void heuristic(benchmark::State& state) {
   const Instance inst =
       bench_instance(static_cast<std::size_t>(state.range(0)), 5);
@@ -303,6 +385,16 @@ void register_benchmarks(bool smoke) {
     benchmark::RegisterBenchmark("BM_Miner", miner)
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("BM_MinerLegacy", miner_legacy)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_MinerIncremental", miner_incremental)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "BM_AnnealFull",
+        [](benchmark::State& state) { anneal(state, /*incremental=*/false); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        "BM_AnnealIncremental",
+        [](benchmark::State& state) { anneal(state, /*incremental=*/true); })
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("BM_Heuristic", heuristic)
         ->Arg(50)->Arg(150)->Arg(400)

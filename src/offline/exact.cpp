@@ -22,7 +22,6 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <numeric>
 #include <unordered_map>
@@ -45,6 +44,27 @@ using Mask = std::uint64_t;
 using Components = std::vector<Interval>;
 
 constexpr Mask bit(JobId j) { return Mask{1} << j; }
+
+/// Insertion sort for the tiny per-call id orderings: at mining sizes
+/// std::sort's introsort machinery costs more than the sort itself. The
+/// comparators used here are strict total orders (id tie-break), so the
+/// result is exactly std::sort's.
+template <typename Less>
+void sort_ids(std::vector<JobId>& ids, Less less) {
+  if (ids.size() > 32) {
+    std::sort(ids.begin(), ids.end(), less);
+    return;
+  }
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    const JobId v = ids[i];
+    std::size_t j = i;
+    while (j > 0 && less(v, ids[j - 1])) {
+      ids[j] = ids[j - 1];
+      --j;
+    }
+    ids[j] = v;
+  }
+}
 
 Time components_measure(const Components& comps) {
   Time total = Time::zero();
@@ -143,17 +163,49 @@ struct Outcome {
 };
 
 /// One worker's search: owns its transposition cache and scratch buffers;
-/// shares the incumbent / node budget through Shared.
+/// shares the incumbent / node budget through Shared. Reusable: init()
+/// rebinds to a new instance while keeping every scratch buffer's capacity,
+/// so hot loops (the miner certifies thousands of candidates per mine) pay
+/// no per-call allocation churn — the serial driver keeps one thread_local
+/// Search warm.
 class Search {
  public:
-  Search(const Instance& inst, const ExactOptions& opts, Shared& shared)
-      : inst_(inst), opts_(opts), shared_(shared) {
+  Search() = default;
+
+  void init(const Instance& inst, const ExactOptions& opts, Shared& shared,
+            bool serial) {
+    inst_ = &inst;
+    opts_ = &opts;
+    shared_ = &shared;
+    serial_ = serial;
+    serial_nodes_ = 0;
+    serial_aborted_ = false;
+    serial_incumbent_ = shared.incumbent.load(std::memory_order_relaxed);
+    local_nodes_ = 0;
+    cache_hits_ = 0;
+    reconstructing_ = false;
+    best_sched_span_ = Time::max();
+    cache_.clear();
+    mandatory_.clear();
+    grid_ = 0;
     const std::size_t n = inst.size();
-    lengths_.resize(n);
+    chain_direct_active_ = n <= kChainDirectBits;
+    if (chain_direct_active_) {
+      const std::size_t slots = std::size_t{1} << n;
+      if (chain_direct_.size() < slots) {
+        chain_direct_.resize(slots);
+        chain_stamp_.resize(slots, 0);
+      }
+      if (++chain_epoch_ == 0) {  // wrapped: stale stamps could collide
+        std::fill(chain_stamp_.begin(), chain_stamp_.end(), 0);
+        chain_epoch_ = 1;
+      }
+    } else {
+      chain_memo_.clear();
+    }
     lower_twins_.assign(n, 0);
     for (JobId j = 0; j < n; ++j) {
       const Job& job = inst.job(j);
-      lengths_[j] = job.length;
       for (JobId k = 0; k < j; ++k) {
         const Job& other = inst.job(k);
         if (other.arrival == job.arrival && other.deadline == job.deadline &&
@@ -170,8 +222,22 @@ class Search {
                      [](const MandatoryRegion& a, const MandatoryRegion& b) {
                        return a.iv.lo < b.iv.lo;
                      });
-    by_arrival_ = inst.ids_by_arrival();
+    // Same (arrival, id) order as Instance::ids_by_arrival(), filled in
+    // place: init runs once per solver call and the per-call allocation
+    // shows up in miner profiles.
+    by_arrival_.resize(n);
+    for (JobId j = 0; j < n; ++j) {
+      by_arrival_[j] = j;
+    }
+    sort_ids(by_arrival_,
+             [&inst](JobId a, JobId b) {
+               if (inst.job(a).arrival != inst.job(b).arrival) {
+                 return inst.job(a).arrival < inst.job(b).arrival;
+               }
+               return a < b;
+             });
 
+    fixed_order_.clear();
     if (opts.use_integral_fast_path) {
       std::int64_t g = 0;
       for (const Job& job : inst.jobs()) {
@@ -194,27 +260,44 @@ class Search {
         for (JobId j = 0; j < n; ++j) {
           fixed_order_[j] = j;
         }
-        std::sort(fixed_order_.begin(), fixed_order_.end(),
-                  [&inst](JobId a, JobId b) {
-                    const Job& ja = inst.job(a);
-                    const Job& jb = inst.job(b);
-                    if (ja.laxity() != jb.laxity()) {
-                      return ja.laxity() < jb.laxity();
-                    }
-                    if (ja.length != jb.length) {
-                      return ja.length > jb.length;
-                    }
-                    return a < b;
-                  });
+        sort_ids(fixed_order_,
+                 [&inst](JobId a, JobId b) {
+                   const Job& ja = inst.job(a);
+                   const Job& jb = inst.job(b);
+                   if (ja.laxity() != jb.laxity()) {
+                     return ja.laxity() < jb.laxity();
+                   }
+                   if (ja.length != jb.length) {
+                     return ja.length > jb.length;
+                   }
+                   return a < b;
+                 });
       }
     }
-    lb_scratch_.resize(n + 2);
-    cand_scratch_.resize(n + 2);
-    move_scratch_.resize(n + 2);
-    comp_scratch_.resize(n + 2);
-    keys_.resize(n + 2);
+    if (lb_scratch_.size() < n + 2) {
+      lb_scratch_.resize(n + 2);
+      cand_scratch_.resize(n + 2);
+      move_scratch_.resize(n + 2);
+      comp_scratch_.resize(n + 2);
+      la_scratch_.resize(n + 2);
+      keys_.resize(n + 2);
+    }
     path_.resize(n);
     best_starts_.resize(n);
+  }
+
+  /// Serial mode keeps the node/abort/incumbent counters in plain members
+  /// (the atomic fetch_add is a measurable per-node tax); the driver folds
+  /// them back into Shared when the search returns.
+  void flush_serial_counters() {
+    if (!serial_) {
+      return;
+    }
+    shared_->nodes.store(serial_nodes_, std::memory_order_relaxed);
+    if (serial_aborted_) {
+      shared_->aborted.store(true, std::memory_order_relaxed);
+    }
+    shared_->offer_incumbent(Time(serial_incumbent_));
   }
 
   /// Fail-soft search: returns (value, exact) where exact means value is
@@ -222,32 +305,31 @@ class Search {
   /// lower bound on it (>= bound unless the run aborted).
   Outcome solve(Mask mask, const Components& comps, Time bound,
                 std::size_t depth) {
-    if (shared_.aborted.load(std::memory_order_relaxed)) {
+    if (aborted()) {
       return Outcome{bound, false};
     }
-    if (shared_.nodes.fetch_add(1, std::memory_order_relaxed) + 1 >
-        shared_.max_nodes) {
-      shared_.aborted.store(true, std::memory_order_relaxed);
+    if (count_node()) {
       return Outcome{bound, false};
     }
     if (mask == 0) {
       const Time span = components_measure(comps);
       if (span < best_sched_span_) {
         best_sched_span_ = span;
-        best_starts_ = path_;
+        if (!opts_->span_only) {
+          best_starts_ = path_;
+        }
       }
-      shared_.offer_incumbent(span);
+      offer_incumbent(span);
       return Outcome{span, true};
     }
     Time eff = bound;
     if (!reconstructing_) {
-      eff = std::min(
-          eff, Time(shared_.incumbent.load(std::memory_order_relaxed)));
+      eff = std::min(eff, incumbent());
     }
     // The cache only pays for itself once a search is big enough to revisit
     // states; below the activation threshold the per-node key/hash/insert
     // cost outweighs any possible hit, so easy instances skip it entirely.
-    const bool cacheable = opts_.max_cache_entries > 0 &&
+    const bool cacheable = opts_->max_cache_entries > 0 &&
                            std::popcount(mask) >= 2 &&
                            ++local_nodes_ > kCacheActivationNodes;
     if (cacheable) {
@@ -257,7 +339,7 @@ class Search {
         if (it->second.exact) {
           ++cache_hits_;
           const Time value(it->second.value);
-          shared_.offer_incumbent(value);
+          offer_incumbent(value);
           return Outcome{value, true};
         }
         if (Time(it->second.value) >= eff) {
@@ -265,7 +347,41 @@ class Search {
         }
       }
     }
-    const Time lb = lower_bound(mask, comps, depth, eff);
+    // Admissible bound. In the integral fast path the branch job j* at this
+    // node is fixed, so the union bound for `mask` decomposes as
+    // measure(base ∪ mandatory(j*)) with base = comps ∪ mandatory(mask\j*)
+    // — exactly the base every child's one-ply lookahead bound needs below.
+    // Build it once, normalized, and reuse it for both (one merge per node
+    // instead of two); the value is identical to lower_bound's union term.
+    Time lb;
+    auto& la_comps = la_scratch_[depth];
+    bool la_ready = false;
+    Time la_base = Time::zero();
+    if (grid_ != 0) {
+      const JobId bj = branch_job(mask);
+      la_base = merged_components(mask & ~bit(bj), comps, depth, la_comps);
+      la_ready = true;
+      const Job& bjob = inst_->job(bj);
+      const Interval mand(bjob.deadline, bjob.arrival + bjob.length);
+      lb = la_base;
+      if (!mand.empty()) {
+        lb = lb + uncovered(la_comps, mand);
+      }
+      if (lb < eff) {
+        // Chain + outside-window extension, as in lower_bound.
+        const ChainInfo& ch = chain_info(mask);
+        Time cb = ch.weight;
+        if (cb > Time::zero()) {
+          const Interval window(ch.lo, ch.hi);
+          for (const Interval& c : comps) {
+            cb += c.length() - c.intersect(window).length();
+          }
+        }
+        lb = std::max(lb, cb);
+      }
+    } else {
+      lb = lower_bound(mask, comps, depth, eff);
+    }
     if (lb >= eff) {
       if (cacheable) {
         store(fill_key(mask, comps, depth), lb, false);
@@ -274,12 +390,36 @@ class Search {
     }
     auto& moves = move_scratch_[depth];
     collect_moves(mask, comps, depth, moves);
+    // One-ply lookahead pruning (integral fast path): every move at this
+    // node places the same job j*, so each child's mandatory-union bound is
+    // measure(base ∪ iv) = la_base + uncovered(la_comps, iv). A child whose
+    // quick bound (maxed with the move-invariant child chain weight) already
+    // reaches the pruning bar is cut without recursing — the recursion would
+    // recompute the identical merge only to fail its own bound check. Pruned
+    // children still feed the fail-soft return value through pruned_min.
+    // (With a dominance move, moves.size() == 1 and this never fires, so
+    // la_comps always matches moves.front().job when used.)
+    const bool lookahead = la_ready && moves.size() > 1;
+    Time la_chain = Time::zero();
+    if (lookahead) {
+      la_chain = chain_info(mask & ~bit(moves.front().job)).weight;
+    }
     Time best = Time::max();
     bool best_exact = false;
+    Time pruned_min = Time::max();
     auto& child = comp_scratch_[depth];
     for (const Move& m : moves) {
       const Time child_bound = std::min(eff, best);
-      with_inserted(comps, inst_.job(m.job).active_interval(m.start), child);
+      const Interval iv = inst_->job(m.job).active_interval(m.start);
+      if (lookahead) {
+        const Time quick =
+            std::max(la_base + uncovered(la_comps, iv), la_chain);
+        if (quick >= child_bound) {
+          pruned_min = std::min(pruned_min, quick);
+          continue;
+        }
+      }
+      with_inserted(comps, iv, child);
       path_[m.job] = m.start;
       const Outcome o =
           solve(mask & ~bit(m.job), child, child_bound, depth + 1);
@@ -287,12 +427,19 @@ class Search {
         best = o.value;
         best_exact = o.exact;
       }
-      if (shared_.aborted.load(std::memory_order_relaxed)) {
+      if (aborted()) {
         return Outcome{best, false};
       }
       if (best_exact && best <= lb) {
         break;  // optimality-gap cut: no child can beat the admissible bound
       }
+    }
+    if (pruned_min < best) {
+      // Every recursed child came back above some pruned child's quick
+      // bound; the tightest knowledge about this node is that bound, and it
+      // is not exact (the pruned subtree was never explored).
+      best = pruned_min;
+      best_exact = false;
     }
     if (cacheable) {
       store(fill_key(mask, comps, depth), best, best_exact);
@@ -308,18 +455,18 @@ class Search {
     reconstructing_ = true;
     std::vector<Move> moves;
     Components child;
-    std::size_t depth = inst_.size() - static_cast<std::size_t>(
-                                           std::popcount(mask));
+    std::size_t depth = inst_->size() - static_cast<std::size_t>(
+                                            std::popcount(mask));
     while (mask != 0) {
       collect_moves(mask, comps, depth, moves);
       bool advanced = false;
       for (const Move& m : moves) {
-        with_inserted(comps, inst_.job(m.job).active_interval(m.start),
+        with_inserted(comps, inst_->job(m.job).active_interval(m.start),
                       child);
         const Mask child_mask = mask & ~bit(m.job);
         Outcome o{Time::zero(), false};
         bool have = false;
-        if (opts_.max_cache_entries > 0 && std::popcount(child_mask) >= 2) {
+        if (opts_->max_cache_entries > 0 && std::popcount(child_mask) >= 2) {
           const auto it = cache_.find(fill_key(child_mask, child, depth));
           if (it != cache_.end() && it->second.exact) {
             o = Outcome{Time(it->second.value), true};
@@ -328,7 +475,7 @@ class Search {
         }
         if (!have) {
           o = solve(child_mask, child, target + Time(1), depth + 1);
-          if (shared_.aborted.load(std::memory_order_relaxed)) {
+          if (aborted()) {
             reconstructing_ = false;
             return false;
           }
@@ -369,6 +516,53 @@ class Search {
     JobId job;
   };
 
+  /// Heaviest chain over a remaining-job mask, plus the window [lo, hi)
+  /// every chain member's occupancy provably lies in (lo = the first
+  /// member's arrival, hi = the last member's deadline + length; the chain
+  /// condition d(I) + p(I) <= a(J) nests all earlier windows inside it).
+  struct ChainInfo {
+    Time weight = Time::zero();
+    Time lo = Time::zero();
+    Time hi = Time::zero();
+  };
+
+  bool aborted() const {
+    return serial_ ? serial_aborted_
+                   : shared_->aborted.load(std::memory_order_relaxed);
+  }
+
+  /// Accounts one search node; returns true when the budget just ran out.
+  /// Serial mode uses a plain counter with semantics identical to the
+  /// atomic path (increment, compare against the same budget).
+  bool count_node() {
+    if (serial_) {
+      if (++serial_nodes_ > shared_->max_nodes) {
+        serial_aborted_ = true;
+        return true;
+      }
+      return false;
+    }
+    if (shared_->nodes.fetch_add(1, std::memory_order_relaxed) + 1 >
+        shared_->max_nodes) {
+      shared_->aborted.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  Time incumbent() const {
+    return Time(serial_ ? serial_incumbent_
+                        : shared_->incumbent.load(std::memory_order_relaxed));
+  }
+
+  void offer_incumbent(Time span) {
+    if (serial_) {
+      serial_incumbent_ = std::min(serial_incumbent_, span.ticks());
+    } else {
+      shared_->offer_incumbent(span);
+    }
+  }
+
   /// Builds the cache key in the depth's scratch slot (no allocation once
   /// warm). The reference stays valid until the next fill at this depth;
   /// store() moves it out.
@@ -394,7 +588,7 @@ class Search {
       }
       return;
     }
-    if (cache_.size() >= opts_.max_cache_entries) {
+    if (cache_.size() >= opts_->max_cache_entries) {
       return;  // full: stop inserting, keep serving lookups
     }
     cache_.emplace(std::move(key), CacheEntry{value.ticks(), exact});
@@ -425,7 +619,67 @@ class Search {
     if (lb >= eff) {
       return lb;
     }
-    return std::max(lb, chain_bound(mask));
+    // Chain + outside-window extension: the heaviest chain occupies weight
+    // W inside its window [lo, hi), and placed components outside that
+    // window are disjoint from it, so W + measure(placed \ [lo, hi)) is
+    // also admissible — strictly at least the bare chain weight.
+    const ChainInfo& ch = chain_info(mask);
+    Time cb = ch.weight;
+    if (cb > Time::zero()) {
+      const Interval window(ch.lo, ch.hi);
+      for (const Interval& c : comps) {
+        cb += c.length() - c.intersect(window).length();
+      }
+    }
+    return std::max(lb, cb);
+  }
+
+  /// dst = normalized disjoint components of comps ∪ mandatory(mask);
+  /// returns its measure. Reuses the depth's lower-bound scratch (the
+  /// caller is done with lower_bound at this depth).
+  Time merged_components(Mask mask, const Components& comps,
+                         std::size_t depth, Components& dst) {
+    auto& scratch = lb_scratch_[depth];
+    scratch.clear();
+    std::size_t ci = 0;
+    for (const MandatoryRegion& m : mandatory_) {
+      if ((mask & bit(m.job)) == 0) {
+        continue;
+      }
+      while (ci < comps.size() && comps[ci].lo <= m.iv.lo) {
+        scratch.push_back(comps[ci++]);
+      }
+      scratch.push_back(m.iv);
+    }
+    while (ci < comps.size()) {
+      scratch.push_back(comps[ci++]);
+    }
+    dst.clear();
+    Time total = Time::zero();
+    for (const Interval& iv : scratch) {
+      if (!dst.empty() && iv.lo <= dst.back().hi) {
+        if (iv.hi > dst.back().hi) {
+          total += iv.hi - dst.back().hi;
+          dst.back().hi = iv.hi;
+        }
+      } else {
+        dst.push_back(iv);
+        total += iv.length();
+      }
+    }
+    return total;
+  }
+
+  /// Integral fast path: the fixed branch job of a node is the first job
+  /// of the most-constrained order still remaining. Callers guarantee
+  /// mask != 0 and grid_ != 0.
+  JobId branch_job(Mask mask) const {
+    for (const JobId candidate : fixed_order_) {
+      if ((mask & bit(candidate)) != 0) {
+        return candidate;
+      }
+    }
+    return 0;  // unreachable: mask only holds jobs from fixed_order_
   }
 
   /// Chain bound over the remaining jobs: along any chain with
@@ -433,39 +687,82 @@ class Search {
   /// least the heaviest chain weight (single jobs included, so this
   /// subsumes the max-remaining-length bound). Independent of the placed
   /// union, hence memoized per remaining-job mask — masks repeat across
-  /// permutations far more often than full states.
-  Time chain_bound(Mask mask) {
+  /// permutations far more often than full states. The memo also records
+  /// the winning chain's window for the outside-window extension above.
+  ///
+  /// Small instances (n <= kChainDirectBits, which covers every miner /
+  /// fuzz workload) use a direct-indexed array with epoch stamps instead
+  /// of a hash map: chain_info runs up to twice per node and the hash +
+  /// node-allocation overhead dominated the actual DP in profiles. Stamps
+  /// make re-init O(1) — no clearing between solver calls.
+  const ChainInfo& chain_info(Mask mask) {
+    if (chain_direct_active_) {
+      ChainInfo& slot = chain_direct_[mask];
+      if (chain_stamp_[mask] != chain_epoch_) {
+        chain_stamp_[mask] = chain_epoch_;
+        slot = compute_chain(mask);
+      }
+      return slot;
+    }
     const auto it = chain_memo_.find(mask);
     if (it != chain_memo_.end()) {
       return it->second;
     }
-    std::map<Time, Time> pareto;  // completion key -> best chain weight
-    Time best = Time::zero();
+    return chain_memo_.emplace(mask, compute_chain(mask)).first->second;
+  }
+
+  ChainInfo compute_chain(Mask mask) {
+    // Pareto frontier as a flat scratch vector sorted by completion key
+    // with strictly increasing weights: entry = (key, best chain weight
+    // ending by key, that chain's lo). The DP touches <= n entries, so
+    // linear scans and O(n) vector insert/erase beat a node-allocating map
+    // by a wide margin (this function is hot in miner profiles).
+    auto& pareto = pareto_scratch_;
+    pareto.clear();
+    ChainInfo best;
     for (const JobId id : by_arrival_) {
       if ((mask & bit(id)) == 0) {
         continue;
       }
-      const Job& j = inst_.job(id);
+      const Job& j = inst_->job(id);
       Time prefix = Time::zero();
-      {
-        const auto up = pareto.upper_bound(j.arrival);
-        if (up != pareto.begin()) {
-          prefix = std::prev(up)->second;
+      Time lo = j.arrival;
+      std::size_t up = 0;  // first index with key > j.arrival
+      while (up < pareto.size() && pareto[up].key <= j.arrival) {
+        ++up;
+      }
+      if (up > 0) {
+        prefix = pareto[up - 1].weight;
+        if (prefix > Time::zero()) {
+          lo = pareto[up - 1].lo;
         }
       }
       const Time f = prefix + j.length;
-      best = std::max(best, f);
       const Time key = j.deadline + j.length;
-      const auto up = pareto.upper_bound(key);
-      if (up == pareto.begin() || std::prev(up)->second < f) {
-        const auto [pos, ignored] = pareto.insert_or_assign(key, f);
-        auto next = std::next(pos);
-        while (next != pareto.end() && next->second <= f) {
-          next = pareto.erase(next);
+      if (f > best.weight) {
+        best = ChainInfo{f, lo, key};
+      }
+      while (up < pareto.size() && pareto[up].key <= key) {
+        ++up;  // now: first index with key > `key`
+      }
+      if (up == 0 || pareto[up - 1].weight < f) {
+        std::size_t pos;
+        if (up > 0 && pareto[up - 1].key == key) {
+          pos = up - 1;
+          pareto[pos] = ParetoEntry{key, f, lo};
+        } else {
+          pos = up;
+          pareto.insert(pareto.begin() + static_cast<std::ptrdiff_t>(pos),
+                        ParetoEntry{key, f, lo});
         }
+        std::size_t e = pos + 1;
+        while (e < pareto.size() && pareto[e].weight <= f) {
+          ++e;  // dominated by the new entry
+        }
+        pareto.erase(pareto.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                     pareto.begin() + static_cast<std::ptrdiff_t>(e));
       }
     }
-    chain_memo_.emplace(mask, best);
     return best;
   }
 
@@ -499,33 +796,35 @@ class Search {
         continue;  // an identical lower-id job stands in for this one
       }
       Time s;
-      if (zero_marginal_start(comps, inst_.job(j), &s)) {
+      if (zero_marginal_start(comps, inst_->job(j), &s)) {
         moves.push_back(Move{j, s, Time::zero()});
         return;  // dominance: free placement, no branching
       }
     }
     if (grid_ != 0) {
       // Integral fast path: one fixed job per depth, grid starts only.
-      JobId j = 0;
-      for (const JobId candidate : fixed_order_) {
-        if ((mask & bit(candidate)) != 0) {
-          j = candidate;
-          break;
-        }
-      }
-      const Job& job = inst_.job(j);
+      const JobId j = branch_job(mask);
+      const Job& job = inst_->job(j);
       for (std::int64_t s = job.arrival.ticks(); s <= job.deadline.ticks();
            s += grid_) {
         const Time start(s);
         moves.push_back(
             Move{j, start, uncovered(comps, job.active_interval(start))});
       }
-      std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
-        if (a.marginal != b.marginal) {
-          return a.marginal < b.marginal;
+      // Insertion sort: the grid move list is short (≤ window/g + 1) and
+      // std::sort's introsort machinery shows up in profiles at this size.
+      // (marginal, start) keys are unique, so the order matches std::sort.
+      for (std::size_t i = 1; i < moves.size(); ++i) {
+        const Move m = moves[i];
+        std::size_t k = i;
+        while (k > 0 && (m.marginal < moves[k - 1].marginal ||
+                         (m.marginal == moves[k - 1].marginal &&
+                          m.start < moves[k - 1].start))) {
+          moves[k] = moves[k - 1];
+          --k;
         }
-        return a.start < b.start;
-      });
+        moves[k] = m;
+      }
       return;
     }
     auto& cands = cand_scratch_[depth];
@@ -534,7 +833,7 @@ class Search {
       if ((mask & lower_twins_[j]) != 0) {
         continue;
       }
-      const Job& job = inst_.job(j);
+      const Job& job = inst_->job(j);
       cands.clear();
       cands.push_back(job.arrival);
       cands.push_back(job.deadline);
@@ -566,20 +865,37 @@ class Search {
     });
   }
 
-  const Instance& inst_;
-  const ExactOptions& opts_;
-  Shared& shared_;
+  const Instance* inst_ = nullptr;
+  const ExactOptions* opts_ = nullptr;
+  Shared* shared_ = nullptr;
   static constexpr std::int64_t kMaxGridStarts = 128;
   static constexpr std::size_t kCacheActivationNodes = 256;
   std::size_t local_nodes_ = 0;  // this worker's nodes, for cache activation
+  // Serial-mode mirrors of Shared's atomics (see count_node).
+  bool serial_ = false;
+  bool serial_aborted_ = false;
+  std::size_t serial_nodes_ = 0;
+  std::int64_t serial_incumbent_ = 0;
 
-  std::vector<Time> lengths_;
   std::vector<Mask> lower_twins_;
   std::vector<JobId> by_arrival_;
   std::int64_t grid_ = 0;           // grid step in ticks; 0 = general mode
   std::vector<JobId> fixed_order_;  // fast path's per-depth job order
   std::vector<MandatoryRegion> mandatory_;  // sorted by left endpoint
-  std::unordered_map<Mask, Time> chain_memo_;
+  struct ParetoEntry {
+    Time key;     // chain completion bound d(I) + p(I)
+    Time weight;  // best chain weight ending by key
+    Time lo;      // that chain's earliest arrival
+  };
+  std::vector<ParetoEntry> pareto_scratch_;  // chain_info DP frontier
+  // chain_info memo: direct-indexed + epoch-stamped for small n, hash map
+  // fallback above kChainDirectBits (2^n slots would no longer be cheap).
+  static constexpr std::size_t kChainDirectBits = 12;
+  bool chain_direct_active_ = false;
+  std::uint32_t chain_epoch_ = 0;
+  std::vector<ChainInfo> chain_direct_;
+  std::vector<std::uint32_t> chain_stamp_;
+  std::unordered_map<Mask, ChainInfo> chain_memo_;
   std::unordered_map<StateKey, CacheEntry, StateKeyHash> cache_;
   std::size_t cache_hits_ = 0;
   bool reconstructing_ = false;
@@ -588,6 +904,7 @@ class Search {
   std::vector<std::vector<Time>> cand_scratch_;
   std::vector<std::vector<Move>> move_scratch_;
   std::vector<Components> comp_scratch_;
+  std::vector<Components> la_scratch_;
   std::vector<StateKey> keys_;
   // Current path's starts by job id; complete exactly at terminals.
   std::vector<Time> path_;
@@ -608,7 +925,8 @@ Schedule schedule_from_starts(const Instance& inst,
 ExactResult finish(const Instance& inst, Time span, Schedule schedule,
                    ExactStatus status, const Shared& shared,
                    std::size_t cache_hits, std::size_t cache_entries) {
-  FJS_CHECK(schedule.span(inst) == span,
+  // span_only results carry an empty schedule; there is nothing to check.
+  FJS_CHECK(schedule.size() == 0 || schedule.span(inst) == span,
             "exact: span mismatch on reconstruction");
   ExactResult result;
   result.span = span;
@@ -629,29 +947,50 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
   FJS_REQUIRE(instance.size() <= 64,
               "exact: more than 64 jobs — use the heuristic + lower bounds");
 
-  // Seed incumbent: a valid schedule exists before the first node, so a
-  // budget-exceeded result always carries a usable best-so-far, and the
-  // admissible bound prunes from the start.
-  Schedule seed_schedule(instance.size());
-  if (options.seed_with_heuristic) {
-    HeuristicOptions h;
-    h.restarts = 0;
-    h.max_passes = 8;
-    seed_schedule = heuristic_optimal(instance, h).schedule;
+  // Seed incumbent: a valid schedule (or in span_only mode at least a known
+  // feasible span) exists before the first node, so a budget-exceeded
+  // result always carries a usable best-so-far, and the admissible bound
+  // prunes from the start.
+  Schedule seed_schedule(options.span_only ? 0 : instance.size());
+  Time seed_span = Time::max();
+  if (options.span_only) {
+    if (options.seed_with_heuristic) {
+      HeuristicOptions h;
+      h.restarts = 0;
+      h.max_passes = 8;
+      const HeuristicResult hr = heuristic_optimal(instance, h);
+      seed_span = hr.schedule.span(instance);
+    }
+    if (options.seed_span > Time::zero()) {
+      seed_span = std::min(seed_span, options.seed_span);
+    }
+    FJS_REQUIRE(seed_span < Time::max(),
+                "exact: span_only needs an incumbent seed — pass seed_span "
+                "or enable seed_with_heuristic");
   } else {
-    for (JobId j = 0; j < instance.size(); ++j) {
-      seed_schedule.set_start(j, instance.job(j).arrival);
+    if (options.seed_with_heuristic) {
+      HeuristicOptions h;
+      h.restarts = 0;
+      h.max_passes = 8;
+      seed_schedule = heuristic_optimal(instance, h).schedule;
+    } else {
+      for (JobId j = 0; j < instance.size(); ++j) {
+        seed_schedule.set_start(j, instance.job(j).arrival);
+      }
     }
-  }
-  seed_schedule.validate(instance);
-  Time seed_span = seed_schedule.span(instance);
-  if (options.seed_schedule != nullptr) {
-    options.seed_schedule->validate(instance);
-    const Time caller_span = options.seed_schedule->span(instance);
-    if (caller_span < seed_span) {
-      seed_schedule = *options.seed_schedule;
-      seed_span = caller_span;
+    seed_schedule.validate(instance);
+    seed_span = seed_schedule.span(instance);
+    if (options.seed_schedule != nullptr) {
+      options.seed_schedule->validate(instance);
+      const Time caller_span = options.seed_schedule->span(instance);
+      if (caller_span < seed_span) {
+        seed_schedule = *options.seed_schedule;
+        seed_span = caller_span;
+      }
     }
+    // options.seed_span is ignored here: a bare span carries no witness
+    // schedule, and every non-span_only result must return one whose span
+    // matches the reported incumbent.
   }
 
   Shared shared(seed_span, options.max_nodes);
@@ -667,15 +1006,23 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
                                   ? options.pool->thread_count()
                                   : 1;
   if (workers <= 1 || instance.size() < 8) {
-    Search search(instance, options, shared);
+    // One warm Search per thread: the miner certifies thousands of
+    // candidates back-to-back on the same worker, and init() reuses every
+    // scratch buffer / hash table's capacity.
+    thread_local Search search;
+    search.init(instance, options, shared, /*serial=*/true);
     const Outcome o = search.solve(
         full, Components{},
         floor_active ? options.decision_floor : seed_span, 0);
+    search.flush_serial_counters();
     if (shared.aborted.load(std::memory_order_relaxed)) {
       // Best-so-far: the seed unless the search surfaced a better terminal.
       if (search.best_sched_span() < seed_span) {
         return finish(instance, search.best_sched_span(),
-                      schedule_from_starts(instance, search.best_starts()),
+                      options.span_only
+                          ? Schedule(0)
+                          : schedule_from_starts(instance,
+                                                 search.best_starts()),
                       ExactStatus::kBudgetExceeded, shared,
                       search.cache_hits(), search.cache_entries());
       }
@@ -698,6 +1045,10 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
                     ExactStatus::kOptimal, shared, search.cache_hits(),
                     search.cache_entries());
     }
+    if (options.span_only) {
+      return finish(instance, o.value, Schedule(0), ExactStatus::kOptimal,
+                    shared, search.cache_hits(), search.cache_entries());
+    }
     if (search.best_sched_span() == o.value) {
       return finish(instance, o.value,
                     schedule_from_starts(instance, search.best_starts()),
@@ -705,7 +1056,10 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
                     search.cache_entries());
     }
     std::vector<Time> starts(instance.size());
-    if (!search.reconstruct(full, Components{}, o.value, starts)) {
+    const bool reconstructed =
+        search.reconstruct(full, Components{}, o.value, starts);
+    search.flush_serial_counters();
+    if (!reconstructed) {
       return finish(instance, seed_span, std::move(seed_schedule),
                     ExactStatus::kBudgetExceeded, shared, search.cache_hits(),
                     search.cache_entries());
@@ -721,7 +1075,8 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
   // is independent of the thread count and of scheduling timing.
   std::vector<Move> roots;
   {
-    Search probe(instance, options, shared);
+    Search probe;
+    probe.init(instance, options, shared, /*serial=*/false);
     probe.root_moves(full, roots);
   }
   const std::size_t chunks = std::min(workers, roots.size());
@@ -729,7 +1084,8 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
   std::vector<Outcome> outcomes(roots.size(),
                                 Outcome{Time::max(), false});
   parallel_for(*options.pool, chunks, [&](std::size_t c) {
-    searches[c] = std::make_unique<Search>(instance, options, shared);
+    searches[c] = std::make_unique<Search>();
+    searches[c]->init(instance, options, shared, /*serial=*/false);
     const std::size_t begin = c * roots.size() / chunks;
     const std::size_t end = (c + 1) * roots.size() / chunks;
     Components child;
@@ -764,6 +1120,12 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
   if (best_idx == roots.size()) {
     // Seed optimal (nothing strictly better), or budget ran out first.
     return finish(instance, seed_span, std::move(seed_schedule),
+                  aborted ? ExactStatus::kBudgetExceeded
+                          : ExactStatus::kOptimal,
+                  shared, cache_hits, cache_entries);
+  }
+  if (options.span_only) {
+    return finish(instance, best, Schedule(0),
                   aborted ? ExactStatus::kBudgetExceeded
                           : ExactStatus::kOptimal,
                   shared, cache_hits, cache_entries);

@@ -84,6 +84,19 @@ struct ExactOptions {
   /// parallel reduction cannot distinguish "seed optimal" from "floor
   /// proven").
   Time decision_floor = Time::zero();
+  /// Span-only mode: the caller wants the optimal span (or a floor proof),
+  /// not a witness schedule. Skips incumbent-schedule construction and the
+  /// reconstruction walk entirely; `result.schedule` comes back empty
+  /// (size 0). Hot loops that call the solver per candidate — the miner's
+  /// certification stage — use this together with `seed_span`.
+  bool span_only = false;
+  /// Caller-known feasible span (zero = none): seeds the incumbent without
+  /// materializing a Schedule. The companion to `span_only` — the miner
+  /// passes the online span it just simulated — and only honored there
+  /// (span_only mode requires this or seed_with_heuristic; when both are
+  /// given the smaller span wins). Ignored when span_only is false, where
+  /// every result must carry a witness schedule matching the incumbent.
+  Time seed_span = Time::zero();
   /// When every arrival/deadline/length is a multiple of a common grid g
   /// (and windows hold few grid points), an optimal schedule exists on the
   /// g-grid: every critical start is a ±sum-of-lengths away from some
@@ -110,9 +123,11 @@ enum class ExactStatus {
 };
 
 struct ExactResult {
-  /// Span of `schedule` — the optimum iff status == kOptimal, otherwise the
-  /// best incumbent found before the budget ran out (an upper bound).
+  /// The optimum iff status == kOptimal, otherwise the best incumbent found
+  /// before the budget ran out (an upper bound).
   Time span;
+  /// Witness schedule achieving `span`; empty (size 0) under
+  /// ExactOptions::span_only.
   Schedule schedule;
   std::size_t nodes_explored = 0;
   ExactStatus status = ExactStatus::kOptimal;

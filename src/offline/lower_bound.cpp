@@ -1,20 +1,55 @@
 #include "offline/lower_bound.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "core/interval_set.h"
 #include "support/assert.h"
 
 namespace fjs {
+namespace {
+
+/// Insertion sort fallback for the tiny inputs these bounds see in the
+/// miner's inner loop; std::sort beyond 32 elements. All comparators used
+/// here are total orders or feed order-independent reductions, so the
+/// results are identical either way.
+template <typename T, typename Less>
+void sort_small(std::vector<T>& v, Less less) {
+  if (v.size() > 32) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const T val = v[i];
+    std::size_t j = i;
+    while (j > 0 && less(val, v[j - 1])) {
+      v[j] = v[j - 1];
+      --j;
+    }
+    v[j] = val;
+  }
+}
+
+}  // namespace
 
 Time mandatory_lower_bound(const Instance& instance) {
-  IntervalSet mandatory;
+  // Union measure over the mandatory regions without materializing an
+  // IntervalSet: collect, sort by left endpoint, one linear pass. The
+  // scratch is thread-local so the miner's per-candidate calls stop
+  // allocating.
+  thread_local std::vector<Interval> mandatory;
+  mandatory.clear();
   for (const Job& j : instance.jobs()) {
     // Every placement of J covers [d(J), a(J)+p(J)) (empty if laxity >= p).
-    mandatory.add(Interval(j.deadline, j.arrival + j.length));
+    const Interval mand(j.deadline, j.arrival + j.length);
+    if (!mand.empty()) {
+      mandatory.push_back(mand);
+    }
   }
-  return mandatory.measure();
+  sort_small(mandatory,
+             [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  return IntervalSet::sorted_union_measure(mandatory);
 }
 
 Time chain_lower_bound(const Instance& instance) {
@@ -23,31 +58,62 @@ Time chain_lower_bound(const Instance& instance) {
   }
   // f(J) = best chain weight ending at J
   //      = p(J) + max{ f(I) : d(I) + p(I) <= a(J) }.
-  // Process jobs in arrival order; maintain a Pareto map from
+  // Process jobs in arrival order; maintain a Pareto front from
   // latest-completion key (d+p) to the best chain weight achievable with
-  // that key or less, keeping keys and values jointly increasing.
-  std::map<Time, Time> pareto;  // key -> best weight with completion <= key
-  auto query = [&pareto](Time key) {
-    auto it = pareto.upper_bound(key);
-    if (it == pareto.begin()) {
-      return Time::zero();
-    }
-    return std::prev(it)->second;
+  // that key or less, keeping keys and values jointly increasing. A flat
+  // sorted vector: at lower-bound sizes the node-based map's allocation
+  // and pointer chasing cost more than the memmoves.
+  thread_local std::vector<std::pair<Time, Time>> pareto;
+  pareto.clear();
+  const auto by_key = [](const std::pair<Time, Time>& e, Time key) {
+    return e.first <= key;  // partition point = first entry with key' > key
   };
-  auto insert = [&pareto](Time key, Time value) {
-    auto it = pareto.upper_bound(key);
+  auto query = [&](Time key) {
+    const auto it =
+        std::partition_point(pareto.begin(), pareto.end(),
+                             [&](const std::pair<Time, Time>& e) {
+                               return by_key(e, key);
+                             });
+    return it == pareto.begin() ? Time::zero() : std::prev(it)->second;
+  };
+  auto insert = [&](Time key, Time value) {
+    auto it =
+        std::partition_point(pareto.begin(), pareto.end(),
+                             [&](const std::pair<Time, Time>& e) {
+                               return by_key(e, key);
+                             });
     if (it != pareto.begin() && std::prev(it)->second >= value) {
       return;  // dominated by an earlier-or-equal key with >= value
     }
-    auto [pos, inserted] = pareto.insert_or_assign(key, value);
-    // Remove later keys that are now dominated.
-    auto next = std::next(pos);
-    while (next != pareto.end() && next->second <= value) {
-      next = pareto.erase(next);
+    if (it != pareto.begin() && std::prev(it)->first == key) {
+      std::prev(it)->second = value;  // same key, strictly better weight
+      --it;
+    } else {
+      it = pareto.insert(it, {key, value});
     }
+    // Remove later keys that are now dominated (a contiguous run).
+    auto last = std::next(it);
+    while (last != pareto.end() && last->second <= value) {
+      ++last;
+    }
+    pareto.erase(std::next(it), last);
   };
 
-  const std::vector<JobId> order = instance.ids_by_arrival();
+  // Same (arrival, id) order as Instance::ids_by_arrival(), built in a
+  // thread-local scratch.
+  thread_local std::vector<JobId> order;
+  const std::size_t n = instance.size();
+  order.resize(n);
+  for (JobId j = 0; j < n; ++j) {
+    order[j] = j;
+  }
+  sort_small(order, [&instance](JobId a, JobId b) {
+    if (instance.job(a).arrival != instance.job(b).arrival) {
+      return instance.job(a).arrival < instance.job(b).arrival;
+    }
+    return a < b;
+  });
+
   Time best = Time::zero();
   for (const JobId id : order) {
     const Job& j = instance.job(id);

@@ -1,5 +1,6 @@
 #include "schedulers/classify_by_duration.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -35,9 +36,16 @@ long CdbScheduler::category_of(Time length) const {
   return static_cast<long>(std::ceil(exact - kBoundaryTolerance));
 }
 
+bool CdbScheduler::category_active(long cat) const {
+  const auto it = std::lower_bound(
+      active_flags_.begin(), active_flags_.end(), cat,
+      [](const std::pair<long, JobId>& e, long c) { return e.first < c; });
+  return it != active_flags_.end() && it->first == cat;
+}
+
 void CdbScheduler::on_arrival(SchedulerContext& ctx, JobId id) {
   const long cat = category_of(ctx.length_of(id));
-  if (active_flags_.contains(cat)) {
+  if (category_active(cat)) {
     // The category's flag is running: Batch+ starts arrivals immediately.
     ctx.start_job(id);
   }
@@ -46,10 +54,12 @@ void CdbScheduler::on_arrival(SchedulerContext& ctx, JobId id) {
 
 void CdbScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
   const long cat = category_of(ctx.length_of(id));
-  FJS_CHECK(!active_flags_.contains(cat),
+  FJS_CHECK(!category_active(cat),
             "cdb: deadline inside the category's active iteration");
-  active_flags_.emplace(cat, id);
-  flag_category_.emplace(id, cat);
+  const auto pos = std::lower_bound(
+      active_flags_.begin(), active_flags_.end(), cat,
+      [](const std::pair<long, JobId>& e, long c) { return e.first < c; });
+  active_flags_.insert(pos, {cat, id});
   flag_history_.push_back(FlagRecord{cat, id});
   // Start all pending jobs OF THIS CATEGORY (the flag is among them).
   const std::vector<JobId> pending = ctx.pending();
@@ -61,17 +71,53 @@ void CdbScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
 }
 
 void CdbScheduler::on_completion(SchedulerContext& /*ctx*/, JobId id) {
-  const auto it = flag_category_.find(id);
-  if (it != flag_category_.end()) {
-    active_flags_.erase(it->second);
-    flag_category_.erase(it);
+  const auto it = std::find_if(
+      active_flags_.begin(), active_flags_.end(),
+      [id](const std::pair<long, JobId>& e) { return e.second == id; });
+  if (it != active_flags_.end()) {
+    active_flags_.erase(it);
   }
 }
 
 void CdbScheduler::reset() {
   active_flags_.clear();
-  flag_category_.clear();
   flag_history_.clear();
+}
+
+// Layout: [n_active, active flags (2 words each), flag_history (2 words
+// each)]. Categories round-trip through two's complement like Times.
+void CdbScheduler::save_state(std::vector<std::uint64_t>& out) const {
+  out.clear();
+  out.push_back(active_flags_.size());
+  for (const auto& [cat, id] : active_flags_) {
+    out.push_back(static_cast<std::uint64_t>(static_cast<std::int64_t>(cat)));
+    out.push_back(id);
+  }
+  for (const FlagRecord& f : flag_history_) {
+    out.push_back(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(f.category)));
+    out.push_back(f.id);
+  }
+}
+
+void CdbScheduler::load_state(const std::uint64_t* data, std::size_t n) {
+  FJS_REQUIRE(n >= 1, "cdb: truncated snapshot");
+  const std::size_t n_active = static_cast<std::size_t>(data[0]);
+  FJS_REQUIRE(n >= 1 + 2 * n_active && (n - 1) % 2 == 0,
+              "cdb: malformed snapshot");
+  active_flags_.clear();
+  flag_history_.clear();
+  std::size_t i = 1;
+  for (std::size_t f = 0; f < n_active; ++f, i += 2) {
+    active_flags_.emplace_back(
+        static_cast<long>(static_cast<std::int64_t>(data[i])),
+        static_cast<JobId>(data[i + 1]));
+  }
+  for (; i < n; i += 2) {
+    flag_history_.push_back(
+        FlagRecord{static_cast<long>(static_cast<std::int64_t>(data[i])),
+                   static_cast<JobId>(data[i + 1])});
+  }
 }
 
 }  // namespace fjs

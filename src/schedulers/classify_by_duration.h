@@ -6,8 +6,7 @@
 // 3α + 4 + 2/(α−1) = 7 + 2√6 ≈ 11.9.
 #pragma once
 
-#include <map>
-#include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.h"
@@ -31,6 +30,8 @@ class CdbScheduler final : public OnlineScheduler {
   void on_deadline(SchedulerContext& ctx, JobId id) override;
   void on_completion(SchedulerContext& ctx, JobId id) override;
   void reset() override;
+  void save_state(std::vector<std::uint64_t>& out) const override;
+  void load_state(const std::uint64_t* data, std::size_t n) override;
 
   double alpha() const { return alpha_; }
 
@@ -50,12 +51,17 @@ class CdbScheduler final : public OnlineScheduler {
   }
 
  private:
+  /// True iff `cat` has an active flag; O(log n) over the flat vector.
+  bool category_active(long cat) const;
+
   double alpha_;
   Time base_;
-  /// Per-category active flag job (absent = the category is buffering).
-  std::map<long, JobId> active_flags_;
-  /// Reverse map for completions.
-  std::map<JobId, long> flag_category_;
+  /// Per-category active flag job, as a flat vector sorted by category
+  /// (absent = the category is buffering). Few categories are ever live
+  /// at once, so a sorted vector beats two node-based maps — completions
+  /// find their entry by a linear id scan, which also removes the old
+  /// reverse map entirely.
+  std::vector<std::pair<long, JobId>> active_flags_;
   std::vector<FlagRecord> flag_history_;
 };
 

@@ -1,9 +1,9 @@
 #include "schedulers/overlap.h"
 
+#include <algorithm>
 #include <sstream>
 #include <vector>
 
-#include "core/interval_set.h"
 #include "support/assert.h"
 #include "support/string_util.h"
 
@@ -23,19 +23,41 @@ bool OverlapScheduler::overlap_sufficient(SchedulerContext& ctx,
                                           JobId id) const {
   const Time now = ctx.now();
   const Interval candidate = Interval::from_length(now, ctx.length_of(id));
-  IntervalSet running;
-  for (const auto& [job, interval] : running_intervals_) {
-    running.add(interval);
+  // Union-measure within the candidate in one pass: the intervals are
+  // sorted by lo (they may overlap each other), so tracking the covered
+  // frontier gives the union without materializing an IntervalSet.
+  Time covered = Time::zero();
+  Time frontier = candidate.lo;
+  for (const RunningInterval& r : running_intervals_) {
+    if (r.iv.lo >= candidate.hi) {
+      break;
+    }
+    const Time lo = std::max(r.iv.lo, frontier);
+    const Time hi = std::min(r.iv.hi, candidate.hi);
+    if (hi > lo) {
+      covered += hi - lo;
+      frontier = hi;
+    }
   }
-  const Time covered = running.measure_within(candidate);
   return static_cast<double>(covered.ticks()) >=
          theta_ * static_cast<double>(candidate.length().ticks());
 }
 
+void OverlapScheduler::insert_running(JobId id, const Interval& iv) {
+  const auto pos = std::upper_bound(
+      running_intervals_.begin(), running_intervals_.end(),
+      std::make_pair(iv.lo, id), [](const auto& key, const RunningInterval& r) {
+        if (key.first != r.iv.lo) {
+          return key.first < r.iv.lo;
+        }
+        return key.second < r.job;
+      });
+  running_intervals_.insert(pos, RunningInterval{id, iv});
+}
+
 void OverlapScheduler::start_and_cascade(SchedulerContext& ctx, JobId id) {
   ctx.start_job(id);
-  running_intervals_.emplace(
-      id, Interval::from_length(ctx.now(), ctx.length_of(id)));
+  insert_running(id, Interval::from_length(ctx.now(), ctx.length_of(id)));
   // New coverage may unlock other pending jobs; fixpoint over the pending
   // set (each pass starts at least one job or stops).
   bool progress = true;
@@ -45,8 +67,7 @@ void OverlapScheduler::start_and_cascade(SchedulerContext& ctx, JobId id) {
     for (const JobId job : pending) {
       if (overlap_sufficient(ctx, job)) {
         ctx.start_job(job);
-        running_intervals_.emplace(
-            job, Interval::from_length(ctx.now(), ctx.length_of(job)));
+        insert_running(job, Interval::from_length(ctx.now(), ctx.length_of(job)));
         progress = true;
       }
     }
@@ -64,9 +85,36 @@ void OverlapScheduler::on_deadline(SchedulerContext& ctx, JobId id) {
 }
 
 void OverlapScheduler::on_completion(SchedulerContext& /*ctx*/, JobId id) {
-  running_intervals_.erase(id);
+  const auto it = std::find_if(
+      running_intervals_.begin(), running_intervals_.end(),
+      [id](const RunningInterval& r) { return r.job == id; });
+  if (it != running_intervals_.end()) {
+    running_intervals_.erase(it);
+  }
 }
 
 void OverlapScheduler::reset() { running_intervals_.clear(); }
+
+// Layout: [running intervals (3 words each: job, lo, hi)], already in the
+// sorted order the vector maintains.
+void OverlapScheduler::save_state(std::vector<std::uint64_t>& out) const {
+  out.clear();
+  for (const RunningInterval& r : running_intervals_) {
+    out.push_back(r.job);
+    out.push_back(snapshot::pack_time(r.iv.lo));
+    out.push_back(snapshot::pack_time(r.iv.hi));
+  }
+}
+
+void OverlapScheduler::load_state(const std::uint64_t* data, std::size_t n) {
+  FJS_REQUIRE(n % 3 == 0, "overlap: malformed snapshot");
+  running_intervals_.clear();
+  for (std::size_t i = 0; i < n; i += 3) {
+    running_intervals_.push_back(
+        RunningInterval{static_cast<JobId>(data[i]),
+                        Interval(snapshot::unpack_time(data[i + 1]),
+                                 snapshot::unpack_time(data[i + 2]))});
+  }
+}
 
 }  // namespace fjs

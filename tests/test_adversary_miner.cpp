@@ -66,6 +66,46 @@ TEST(MinerDeterminism, EvaluationsCountSearchEffort) {
   EXPECT_EQ(result.trajectory.size(), options.rounds + 1);
 }
 
+TEST(MinerPrefix, CacheStatsPopulatedAndValuesUnchanged) {
+  // mine_worst_case replays candidates through the checkpointed prefix
+  // cache. The cache must actually bite on the mutation-heavy access
+  // pattern, every skipped arrival must come from a hit, and — since the
+  // replayed spans are bit-identical — the search outputs must not depend
+  // on it (the trajectory pins above already compare against fixed
+  // values; here we pin the counters' internal consistency).
+  const MinerResult result = mine_worst_case("batch", small_options());
+  EXPECT_GT(result.prefix_hits, 0u);
+  EXPECT_GT(result.prefix_misses, 0u);
+  EXPECT_GE(result.prefix_arrivals_skipped, result.prefix_hits);
+  EXPECT_GT(result.mean_prefix_depth(), 0.0);
+  EXPECT_LT(result.mean_prefix_depth(),
+            static_cast<double>(small_options().jobs));
+  // Every objective call simulates exactly once: hit or miss, never both.
+  EXPECT_EQ(result.prefix_hits + result.prefix_misses,
+            result.evaluations - result.memo_hits);
+}
+
+TEST(MinerPrefix, CountersStableAcrossThreadCountsInSerialBatches) {
+  // Counter totals are aggregated across worker-thread caches; with the
+  // same work in the same order on ONE thread they are fully determined.
+  const MinerResult a = mine_worst_case("batch", small_options());
+  const MinerResult b = mine_worst_case("batch", small_options());
+  EXPECT_EQ(a.prefix_hits, b.prefix_hits);
+  EXPECT_EQ(a.prefix_misses, b.prefix_misses);
+  EXPECT_EQ(a.prefix_arrivals_skipped, b.prefix_arrivals_skipped);
+  // Parallel pools redistribute candidates over per-thread caches, so only
+  // the VALUES are pinned across thread counts (see MinerDeterminism);
+  // totals still conserve hit+miss = simulated candidates.
+  ThreadPool pool(3);
+  MinerOptions options = small_options();
+  options.pool = &pool;
+  const MinerResult parallel = mine_worst_case("batch", options);
+  EXPECT_EQ(parallel.trajectory, a.trajectory);
+  EXPECT_EQ(parallel.worst_ratio, a.worst_ratio);
+  EXPECT_EQ(parallel.prefix_hits + parallel.prefix_misses,
+            parallel.evaluations - parallel.memo_hits);
+}
+
 TEST(MinerBudget, UncertifiableCandidatesAreSkippedNotFatal) {
   // A custom objective wrapping a tiny solver budget: every candidate the
   // solver cannot certify scores 0 and the mine still completes.

@@ -103,8 +103,10 @@ TEST(FuzzGenerator, EveryInstanceValidAndEdgeCasesCovered) {
 
 TEST(FuzzOracles, StandardBatteryNamesAndCleanCorpus) {
   const std::vector<Oracle> oracles = standard_oracles();
-  ASSERT_EQ(oracles.size(), scheduler_registry().size() + 2);
+  const std::size_t n_schedulers = scheduler_registry().size();
+  ASSERT_EQ(oracles.size(), 2 * n_schedulers + 2);
   EXPECT_EQ(oracles.front().name, "sched:eager");
+  EXPECT_EQ(oracles[n_schedulers].name, "ckpt:eager");
   EXPECT_EQ(oracles[oracles.size() - 2].name, "offline-sandwich");
   EXPECT_EQ(oracles.back().name, "exact-vs-reference");
 

@@ -1,0 +1,227 @@
+// Checkpointed prefix replay: engine snapshot/restore bit-identity across
+// the full scheduler registry and both clairvoyance models, plus the
+// PortfolioRunner prefix cache (hits must be invisible in every output).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "fuzz/oracles.h"
+#include "helpers.h"
+#include "schedulers/eager.h"
+#include "schedulers/registry.h"
+#include "sim/engine.h"
+#include "sim/length_oracle.h"
+#include "sim/portfolio.h"
+#include "sim/source.h"
+#include "support/rng.h"
+
+namespace fjs {
+namespace {
+
+using testing::random_integral_instance;
+
+class NullSource final : public JobSource {
+ public:
+  SourceAction begin() override { return {}; }
+};
+
+TEST(EngineCheckpointSeries, PlanStridesDedupAndBounds) {
+  EngineCheckpointSeries series;
+  series.plan(10, 4);  // evenly spread interior indices
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.capture_index(0), 2u);
+  EXPECT_EQ(series.capture_index(1), 4u);
+  EXPECT_EQ(series.capture_index(2), 6u);
+  EXPECT_EQ(series.capture_index(3), 8u);
+
+  series.plan(3, 8);  // more slots than interior indices: dedup to {1, 2}
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.capture_index(0), 1u);
+  EXPECT_EQ(series.capture_index(1), 2u);
+
+  series.plan(1, 4);  // a single arrival has no interior index
+  EXPECT_EQ(series.size(), 0u);
+
+  series.plan(5, 5);  // full coverage: every interior index once
+  ASSERT_EQ(series.size(), 4u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series.capture_index(i), i + 1);
+  }
+}
+
+/// Satellite pin: for EVERY registered scheduler, in every clairvoyance
+/// model it supports, a run resumed from a checkpoint captured at EVERY
+/// staged-arrival index must finish bit-identically to the uninterrupted
+/// run (same span, same starts, tick-for-tick trace suffix). The fuzz
+/// oracle implements exactly this comparison; here it sweeps a fixed
+/// instance corpus so plain ctest covers the whole registry surface.
+TEST(CheckpointRestore, RegistryEveryArrivalBitIdentical) {
+  const OracleOptions options;
+  for (const auto& spec : scheduler_registry()) {
+    const Oracle oracle = checkpoint_replay_oracle(spec, options);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      const Instance inst =
+          random_integral_instance(seed * 7919 + 17, /*jobs=*/9);
+      const auto issue = oracle.check(inst);
+      ASSERT_FALSE(issue.has_value())
+          << "scheduler " << spec.key << " seed " << seed << ": " << *issue;
+    }
+  }
+}
+
+/// save_state -> load_state (into a FRESH scheduler object) -> save_state
+/// must reproduce the exact snapshot words for every scheduler and every
+/// mid-run capture point: a lossy or asymmetric serialization would break
+/// the round trip even when the resumed run happens to finish identically.
+TEST(CheckpointRestore, SchedulerSnapshotWordsRoundTrip) {
+  for (const auto& spec : scheduler_registry()) {
+    for (const bool clairvoyant : {true, false}) {
+      if (!clairvoyant && spec.clairvoyant) {
+        continue;
+      }
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const Instance inst = random_integral_instance(seed * 131 + 7, 10);
+        PreparedInstance prepared;
+        prepared.prepare(inst);
+        const auto scheduler = spec.make();
+        EngineCheckpointSeries series;
+        series.plan(prepared.size(), prepared.size());
+        series.arm(0);
+        NullSource source;
+        NoDeferralOracle no_deferral;
+        Engine engine(source, no_deferral, *scheduler,
+                      EngineOptions{.clairvoyant = clairvoyant,
+                                    .reserve_jobs = prepared.size()});
+        engine.preload_static(prepared.records(), prepared.staged());
+        engine.capture_checkpoints(&series);
+        engine.run_span();
+        std::size_t checked = 0;
+        for (std::size_t i = 0; i < series.size(); ++i) {
+          if (!series.slot(i).valid) {
+            continue;
+          }
+          const auto fresh = spec.make();
+          const auto& words = series.slot(i).scheduler_state;
+          fresh->load_state(words.data(), words.size());
+          std::vector<std::uint64_t> again;
+          fresh->save_state(again);
+          ASSERT_EQ(again, words)
+              << "scheduler " << spec.key << " seed " << seed << " slot " << i;
+          ++checked;
+        }
+        EXPECT_GT(checked, 0u) << spec.key;
+      }
+    }
+  }
+}
+
+/// Perturbs one job of `inst` (arrival, deadline or length) and returns the
+/// mutated instance plus the earliest-affected-time hint the miner would
+/// attach (min of the old and new arrival of the touched job).
+Instance mutate_one_job(const Instance& inst, Rng& rng, Time* hint) {
+  std::vector<Job> jobs(inst.jobs().begin(), inst.jobs().end());
+  const auto victim =
+      static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(jobs.size()) - 1));
+  Job& j = jobs[victim];
+  const Time old_arrival = j.arrival;
+  const std::int64_t unit = Time::kTicksPerUnit;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {
+      const std::int64_t a = std::max<std::int64_t>(
+          0, j.arrival.ticks() + (rng.bernoulli(0.5) ? unit : -unit));
+      j.arrival = Time(a);
+      j.deadline = std::max(j.deadline, j.arrival);
+      break;
+    }
+    case 1:
+      j.deadline = j.arrival + Time(unit * rng.uniform_int(0, 5));
+      break;
+    default:
+      j.length = Time(unit * rng.uniform_int(1, 4));
+      break;
+  }
+  if (hint != nullptr) {
+    *hint = std::min(old_arrival, j.arrival);
+  }
+  return Instance(std::move(jobs));
+}
+
+/// The prefix cache must be invisible: over a mutation-heavy sequence (the
+/// miner's access pattern), a cache-enabled runner and a cache-disabled
+/// runner must agree on every span and every start for every registered
+/// scheduler — and the cache must actually hit.
+TEST(PrefixReplay, CacheOnMatchesCacheOffUnderMutationSequence) {
+  std::vector<std::unique_ptr<OnlineScheduler>> cached_scheds;
+  std::vector<std::unique_ptr<OnlineScheduler>> plain_scheds;
+  std::vector<PortfolioEntry> cached_entries;
+  std::vector<PortfolioEntry> plain_entries;
+  for (const auto& spec : scheduler_registry()) {
+    cached_scheds.push_back(spec.make());
+    plain_scheds.push_back(spec.make());
+    cached_entries.push_back(
+        PortfolioEntry{cached_scheds.back().get(), spec.clairvoyant});
+    plain_entries.push_back(
+        PortfolioEntry{plain_scheds.back().get(), spec.clairvoyant});
+  }
+  PortfolioRunner cached;
+  // Static timelines + NoDeferralOracle: deterministic for nonclairvoyant
+  // schedulers too, so the cache may cover the whole registry here.
+  cached.enable_prefix_replay(EngineCheckpointSeries::kDefaultSlots,
+                              /*include_nonclairvoyant=*/true);
+  PortfolioRunner plain;
+
+  Rng rng(20260808);
+  Instance inst = random_integral_instance(42, 10);
+  std::vector<Time> starts_cached;
+  std::vector<Time> starts_plain;
+  for (int step = 0; step < 60; ++step) {
+    Time hint = Time::max();
+    if (step > 0) {
+      inst = mutate_one_job(inst, rng, &hint);
+    }
+    // Alternate between forwarding the miner-style hint and passing no
+    // hint: both must select only genuinely valid checkpoints.
+    const Time used_hint = step % 3 == 0 ? Time::max() : hint;
+    for (std::size_t e = 0; e < cached_entries.size(); ++e) {
+      const Time a = cached.run_span(inst, cached_entries[e], &starts_cached,
+                                     PortfolioOptions{}, used_hint);
+      const Time b =
+          plain.run_span(inst, plain_entries[e], &starts_plain);
+      ASSERT_EQ(a, b) << "scheduler " << plain_scheds[e]->name() << " step "
+                      << step;
+      ASSERT_EQ(starts_cached, starts_plain)
+          << "scheduler " << plain_scheds[e]->name() << " step " << step;
+    }
+  }
+  const PrefixReplayStats stats = cached.prefix_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GE(stats.arrivals_skipped, stats.hits);
+  EXPECT_EQ(plain.prefix_stats().hits + plain.prefix_stats().misses, 0u);
+}
+
+/// Clairvoyant-only default: with the default enable_prefix_replay() the
+/// nonclairvoyant model never consults the cache (the conservative gate
+/// the sweep uses), while clairvoyant runs do.
+TEST(PrefixReplay, NonClairvoyantGatedByDefault) {
+  EagerScheduler eager;
+  PortfolioRunner runner;
+  runner.enable_prefix_replay();
+  const Instance inst = random_integral_instance(7, 8);
+  const PortfolioEntry nc{&eager, /*clairvoyant=*/false};
+  const PortfolioEntry cv{&eager, /*clairvoyant=*/true};
+  runner.run_span(inst, nc);
+  runner.run_span(inst, nc);
+  EXPECT_EQ(runner.prefix_stats().hits + runner.prefix_stats().misses, 0u);
+  runner.run_span(inst, cv);
+  runner.run_span(inst, cv);
+  EXPECT_EQ(runner.prefix_stats().misses, 1u);
+  EXPECT_EQ(runner.prefix_stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace fjs

@@ -318,6 +318,44 @@ TEST(PortfolioAllocs, SpanModeSteadyStateIsAllocationFree) {
       << "span-only portfolio steady state must not touch the heap";
 }
 
+TEST(PortfolioAllocs, PrefixReplayRestoreSteadyStateIsAllocationFree) {
+  if (!alloc_counting_enabled()) {
+    GTEST_SKIP() << "build with -DFJS_COUNT_ALLOCS=ON to measure";
+  }
+  // Checkpointed prefix replay in the miner's steady state: alternating
+  // single-job variants of one instance, every run restoring a deep
+  // checkpoint (the mutated job is the latest arrival, so the whole
+  // captured prefix stays valid) and recapturing the tail. Restores,
+  // captures and the lineage-base refresh must all reuse warm capacity.
+  const Instance base = random_integral_instance(3, 40, 60, 6, 5);
+  std::vector<Job> jobs(base.jobs().begin(), base.jobs().end());
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].arrival > jobs[victim].arrival) {
+      victim = i;
+    }
+  }
+  jobs[victim].deadline = jobs[victim].deadline + Time(Time::kTicksPerUnit);
+  const Instance mutated{std::move(jobs)};
+  const auto batch_plus = make_scheduler("batch+");
+  const PortfolioEntry entry{batch_plus.get(), true};
+  PortfolioRunner runner;
+  runner.enable_prefix_replay();
+  for (int warm = 0; warm < 4; ++warm) {
+    runner.run_span(warm % 2 == 0 ? base : mutated, entry);
+  }
+  const PrefixReplayStats warm_stats = runner.prefix_stats();
+  const AllocCounts before = alloc_counts();
+  for (int i = 0; i < 20; ++i) {
+    runner.run_span(i % 2 == 0 ? base : mutated, entry);
+  }
+  const AllocCounts after = alloc_counts();
+  EXPECT_EQ(after.allocations - before.allocations, 0u)
+      << "checkpoint restore/capture steady state must not touch the heap";
+  // The loop above really was the restore path, not 20 cold replays.
+  EXPECT_EQ(runner.prefix_stats().hits - warm_stats.hits, 20u);
+}
+
 TEST(PortfolioAllocs, SimulateSpanNeverAllocatesATrace) {
   if (!alloc_counting_enabled()) {
     GTEST_SKIP() << "build with -DFJS_COUNT_ALLOCS=ON to measure";
