@@ -26,7 +26,9 @@ without turning baseline refreshes into a chore.
 
 Benchmarks present in only one file are reported as added/removed with a
 warning but are never fatal, so the gate does not block adding or
-retiring benchmarks. Pass --json PATH (or --json -) to also emit a
+retiring benchmarks. Degenerate measurements (zero, negative, NaN or
+infinite on either side) print an 'n/a' change plus a non-fatal warning
+instead of dividing by zero or reporting an infinite percentage. Pass --json PATH (or --json -) to also emit a
 machine-readable summary of the comparison. Single-machine noise easily
 reaches a few percent; compare runs taken back-to-back on an otherwise
 idle machine before trusting a failure.
@@ -34,6 +36,7 @@ idle machine before trusting a failure.
 
 import argparse
 import json
+import math
 import re
 import sys
 
@@ -125,6 +128,93 @@ def compare_allocs(baseline_path, current_path, counter="allocs_per_sim"):
     return grew
 
 
+def comparable(value):
+    """True when a measurement can serve as a ratio numerator/denominator.
+
+    Zero, negative, NaN and infinite values all produce nonsense (or a
+    ZeroDivisionError / an inf% change) when fed into value/other - 1.0,
+    so degenerate rows are reported as warnings instead of compared.
+    """
+    return isinstance(value, (int, float)) and math.isfinite(value) \
+        and value > 0
+
+
+def fractional_change(base_value, curr_value, higher_is_better):
+    """Signed fractional change where negative always means 'regressed'.
+
+    Returns None when either side is degenerate (see `comparable`) —
+    callers print such rows as 'n/a' warnings rather than dividing by
+    zero or reporting an infinite percentage.
+    """
+    if not comparable(base_value) or not comparable(curr_value):
+        return None
+    if higher_is_better:
+        # Fractional change in throughput; negative = regression.
+        return curr_value / base_value - 1.0
+    # Lower time is better; negative change = regression.
+    return base_value / curr_value - 1.0
+
+
+def compare_rows(base, curr, threshold):
+    """Pure comparison of two load_benchmarks() maps.
+
+    Returns (rows, warnings): rows is a list of dicts with name/metric/
+    baseline/current/change/regressed where change is None for degenerate
+    measurements (never counted as a regression), and warnings is a list
+    of human-readable strings for rows that could not be compared.
+    """
+    rows = []
+    warnings = []
+    for name in sorted(set(base) & set(curr)):
+        base_metric, base_value, higher_is_better = base[name]
+        curr_metric, curr_value, _ = curr[name]
+        if base_metric != curr_metric:
+            warnings.append(
+                f"{name}: metric changed ({base_metric} -> {curr_metric}); "
+                "not compared")
+            continue
+        change = fractional_change(base_value, curr_value, higher_is_better)
+        if change is None:
+            warnings.append(
+                f"{name}: degenerate {base_metric} (baseline {base_value!r},"
+                f" current {curr_value!r}); not compared")
+        regressed = change is not None and change < -threshold
+        rows.append({
+            "name": name,
+            "metric": base_metric,
+            "baseline": base_value,
+            "current": curr_value,
+            "change": change,
+            "regressed": regressed,
+        })
+    return rows, warnings
+
+
+def manifest_trend_rows(old, new, slowdown):
+    """Pure wall-time trend over two {name: record} manifest maps.
+
+    Returns (rows, warnings); a row's change is None (with a warning)
+    when either wall time is missing or degenerate.
+    """
+    rows = []
+    warnings = []
+    for name in sorted(set(old) & set(new)):
+        old_ms, new_ms = old[name].get("wall_ms"), new[name].get("wall_ms")
+        change = fractional_change(old_ms, new_ms,
+                                   higher_is_better=False)
+        if change is None:
+            warnings.append(
+                f"{name}: wall time unavailable or degenerate "
+                f"(old {old_ms!r}, new {new_ms!r}); not compared")
+            rows.append((name, old_ms, new_ms, None, False))
+            continue
+        # For display keep the raw time ratio (positive = slower).
+        ratio_change = new_ms / old_ms - 1.0
+        rows.append((name, old_ms, new_ms, ratio_change,
+                     new_ms > old_ms * slowdown))
+    return rows, warnings
+
+
 def compare_manifests(old_path, new_path, slowdown=1.5):
     """Prints wall-time trends between two runner manifests.
 
@@ -144,23 +234,24 @@ def compare_manifests(old_path, new_path, slowdown=1.5):
     old, new = load(old_path), load(new_path)
     if old is None or new is None:
         return
-    shared = sorted(set(old) & set(new))
-    if not shared:
+    if not set(old) & set(new):
         print("warning: manifests share no experiments; nothing to compare")
         return
     print(f"experiment wall times ({old_path} -> {new_path}):")
+    rows, warnings = manifest_trend_rows(old, new, slowdown)
     slow = []
-    for name in shared:
-        old_ms, new_ms = old[name].get("wall_ms"), new[name].get("wall_ms")
-        if not old_ms or new_ms is None:
+    for name, old_ms, new_ms, change, slower in rows:
+        if change is None:
+            print(f"  {name:<6} {'n/a':>10} -> {'n/a':>10} (not compared)")
             continue
-        change = new_ms / old_ms - 1.0
         flag = ""
-        if new_ms > old_ms * slowdown:
+        if slower:
             flag = "  SLOWER"
             slow.append(name)
         print(f"  {name:<6} {old_ms:>10.1f} ms -> {new_ms:>10.1f} ms "
               f"({change:+.1%}){flag}")
+    for message in warnings:
+        print(f"warning: {message}")
     if slow:
         print(f"warning: {len(slow)} experiment(s) ran >{slowdown:.1f}x "
               f"slower than the previous manifest: {', '.join(slow)} "
@@ -210,31 +301,21 @@ def main():
     base = load_benchmarks(args.baseline)
     curr = load_benchmarks(args.current)
 
-    regressions = []
-    rows = []
-    for name in sorted(set(base) & set(curr)):
-        base_metric, base_value, higher_is_better = base[name]
-        curr_metric, curr_value, _ = curr[name]
-        if base_metric != curr_metric or base_value == 0:
-            continue
-        if higher_is_better:
-            # Fractional change in throughput; negative = regression.
-            change = curr_value / base_value - 1.0
-        else:
-            # Lower time is better; negative change = regression.
-            change = base_value / curr_value - 1.0
-        regressed = change < -args.threshold
-        rows.append((name, base_metric, base_value, curr_value, change, regressed))
-        if regressed:
-            regressions.append(name)
+    rows, warnings = compare_rows(base, curr, args.threshold)
+    regressions = [r["name"] for r in rows if r["regressed"]]
 
-    width = max((len(r[0]) for r in rows), default=4)
+    width = max((len(r["name"]) for r in rows), default=4)
     print(f"{'benchmark':<{width}}  {'metric':<16}  {'baseline':>12}  "
           f"{'current':>12}  {'change':>8}")
-    for name, metric, base_value, curr_value, change, regressed in rows:
-        flag = "  REGRESSION" if regressed else ""
-        print(f"{name:<{width}}  {metric:<16}  {base_value:>12.4g}  "
-              f"{curr_value:>12.4g}  {change:>+7.1%}{flag}")
+    for row in rows:
+        flag = "  REGRESSION" if row["regressed"] else ""
+        change = ("     n/a" if row["change"] is None
+                  else f"{row['change']:>+7.1%}")
+        print(f"{row['name']:<{width}}  {row['metric']:<16}  "
+              f"{row['baseline']:>12.4g}  {row['current']:>12.4g}  "
+              f"{change}{flag}")
+    for message in warnings:
+        print(f"warning: {message}")
 
     # One-sided benchmarks: the set changed (benchmark added or retired).
     # Worth a warning — a rename silently drops a gate — but never fatal.
@@ -261,18 +342,7 @@ def main():
             "added": added,
             "removed": removed,
             "allocs_grew": allocs_grew,
-            "benchmarks": [
-                {
-                    "name": name,
-                    "metric": metric,
-                    "baseline": base_value,
-                    "current": curr_value,
-                    "change": change,
-                    "regressed": regressed,
-                }
-                for name, metric, base_value, curr_value, change, regressed
-                in rows
-            ],
+            "benchmarks": rows,
         }
         if args.json == "-":
             json.dump(summary, sys.stdout, indent=2)

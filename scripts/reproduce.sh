@@ -73,9 +73,8 @@ cmake -B build-allocs -G Ninja -DFJS_COUNT_ALLOCS=ON > /dev/null
 cmake --build build-allocs --target test_sim_portfolio fjs_experiments
 ctest --test-dir build-allocs --output-on-failure -R 'test_sim_portfolio' \
   2>&1 | tee -a test_output.txt
-rm -rf results/e9-allocs
 build-allocs/src/experiments/fjs_experiments --only e9 --smoke \
-  --out results --run-id e9-allocs --quiet
+  --out results --run-id e9-allocs --force --quiet
 scripts/bench_compare.py BENCH_allocs.json \
   results/e9-allocs/e9/benchmarks.json --allocs \
   || echo "WARNING: allocs-build bench smoke regressed vs BENCH_allocs.json (noisy single run)"
@@ -119,13 +118,58 @@ for planted in \
   head -4 planted_ckpt_output.txt | tee -a test_output.txt
 done
 
+# Trace-export smoke: one experiment with --trace, then validate the
+# Chrome-tracing JSON (chrome://tracing / ui.perfetto.dev format) and the
+# manifest's telemetry block. --force exercises the overwrite path the
+# runner otherwise refuses (see docs/OBSERVABILITY.md).
+build/src/experiments/fjs_experiments --only e2 --smoke \
+  --out results --run-id trace-smoke --force \
+  --trace results/trace-smoke/trace.json --quiet
+python3 - <<'EOF' 2>&1 | tee -a test_output.txt
+import json
+with open("results/trace-smoke/trace.json", encoding="utf-8") as fh:
+    doc = json.load(fh)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+for event in events:
+    assert event["ph"] in ("X", "i"), event
+    assert {"name", "cat", "ts", "pid", "tid"} <= set(event), event
+assert any(e["name"] == "e2" for e in events), "no e2 span recorded"
+with open("results/trace-smoke/manifest.json", encoding="utf-8") as fh:
+    manifest = json.load(fh)
+telemetry = manifest["telemetry"]
+assert telemetry["enabled"] and telemetry["counters"], telemetry
+print("trace smoke OK: %d events, %d deterministic counters"
+      % (len(events), len(telemetry["counters"])))
+EOF
+
+# Telemetry-overhead gate: the engine benchmarks must not pay more than
+# ~1% for the compiled-in (but quiescent-trace) telemetry layer. Compare
+# the -DFJS_TELEMETRY=OFF build (baseline) against the default build on
+# the same machine back-to-back; noisy single runs make this a warning,
+# never a failure.
+cmake -B build-notelemetry -G Ninja -DFJS_TELEMETRY=OFF > /dev/null
+cmake --build build-notelemetry --target fjs_experiments
+FJS_BENCH_FILTER='BM_EngineThroughput' \
+  build-notelemetry/src/experiments/fjs_experiments --only e9 --smoke \
+  --out results --run-id e9-notelemetry --force --quiet
+FJS_BENCH_FILTER='BM_EngineThroughput' \
+  build/src/experiments/fjs_experiments --only e9 --smoke \
+  --out results --run-id e9-telemetry-on --force --quiet
+scripts/bench_compare.py --threshold 0.01 \
+  results/e9-notelemetry/e9/benchmarks.json \
+  results/e9-telemetry-on/e9/benchmarks.json \
+  2>&1 | tee -a test_output.txt \
+  || echo "WARNING: telemetry overhead above the 1% budget on this run" \
+       "(noisy single run; rerun back-to-back on an idle machine)" \
+    | tee -a test_output.txt
+
 # Fast perf smoke: E9's smoke profile, emitted as JSON and diffed
 # against the committed baseline. A >15% drop on this machine is only a
 # warning here (single runs are noisy); rerun the full profile
 # back-to-back against the baseline before trusting it.
-rm -rf results/e9-smoke
 build/src/experiments/fjs_experiments --only e9 --smoke \
-  --out results --run-id e9-smoke --quiet
+  --out results --run-id e9-smoke --force --quiet
 scripts/bench_compare.py BENCH_e9.json results/e9-smoke/e9/benchmarks.json \
   || echo "WARNING: bench smoke regressed vs BENCH_e9.json (noisy single run)"
 

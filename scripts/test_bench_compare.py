@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py (run via ctest or directly).
+
+Focus: the degenerate-measurement handling — zero/NaN/inf values must
+produce non-fatal warnings and 'n/a' rows, never a ZeroDivisionError or
+an infinite percentage — plus the core regression/trend classification.
+"""
+
+import importlib.util
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "bench_compare.py")
+_SPEC = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def row(rows, name):
+    return next(r for r in rows if r["name"] == name)
+
+
+class FractionalChangeTest(unittest.TestCase):
+    def test_throughput_direction(self):
+        self.assertAlmostEqual(
+            bench_compare.fractional_change(100.0, 80.0, True), -0.2)
+        self.assertAlmostEqual(
+            bench_compare.fractional_change(100.0, 120.0, True), 0.2)
+
+    def test_time_direction(self):
+        # Slower (larger time) must come out negative = regression.
+        self.assertAlmostEqual(
+            bench_compare.fractional_change(100.0, 200.0, False), -0.5)
+        self.assertAlmostEqual(
+            bench_compare.fractional_change(200.0, 100.0, False), 1.0)
+
+    def test_degenerate_values_return_none(self):
+        for bad in (0, 0.0, -1.0, math.nan, math.inf, None, "fast"):
+            self.assertIsNone(
+                bench_compare.fractional_change(bad, 100.0, True), bad)
+            self.assertIsNone(
+                bench_compare.fractional_change(100.0, bad, False), bad)
+
+
+class CompareRowsTest(unittest.TestCase):
+    def test_classifies_regressions(self):
+        base = {"BM_A": ("items_per_second", 100.0, True),
+                "BM_B": ("real_time", 10.0, False)}
+        curr = {"BM_A": ("items_per_second", 50.0, True),
+                "BM_B": ("real_time", 10.5, False)}
+        rows, warnings = bench_compare.compare_rows(base, curr, 0.15)
+        self.assertEqual(warnings, [])
+        self.assertTrue(row(rows, "BM_A")["regressed"])
+        self.assertFalse(row(rows, "BM_B")["regressed"])
+
+    def test_zero_current_time_does_not_divide_by_zero(self):
+        base = {"BM_T": ("real_time", 10.0, False)}
+        curr = {"BM_T": ("real_time", 0.0, False)}
+        rows, warnings = bench_compare.compare_rows(base, curr, 0.15)
+        self.assertIsNone(row(rows, "BM_T")["change"])
+        self.assertFalse(row(rows, "BM_T")["regressed"])
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("degenerate", warnings[0])
+
+    def test_zero_baseline_throughput_is_not_infinite(self):
+        base = {"BM_Z": ("items_per_second", 0.0, True)}
+        curr = {"BM_Z": ("items_per_second", 1000.0, True)}
+        rows, warnings = bench_compare.compare_rows(base, curr, 0.15)
+        self.assertIsNone(row(rows, "BM_Z")["change"])
+        self.assertEqual(len(warnings), 1)
+
+    def test_nan_and_inf_are_flagged_not_compared(self):
+        base = {"BM_N": ("real_time", math.nan, False),
+                "BM_I": ("real_time", 5.0, False)}
+        curr = {"BM_N": ("real_time", 5.0, False),
+                "BM_I": ("real_time", math.inf, False)}
+        rows, warnings = bench_compare.compare_rows(base, curr, 0.15)
+        self.assertIsNone(row(rows, "BM_N")["change"])
+        self.assertIsNone(row(rows, "BM_I")["change"])
+        self.assertEqual(len(warnings), 2)
+
+    def test_metric_mismatch_warns_and_skips(self):
+        base = {"BM_M": ("items_per_second", 10.0, True)}
+        curr = {"BM_M": ("real_time", 10.0, False)}
+        rows, warnings = bench_compare.compare_rows(base, curr, 0.15)
+        self.assertEqual(rows, [])
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("metric changed", warnings[0])
+
+
+class ManifestTrendTest(unittest.TestCase):
+    def test_missing_or_zero_wall_times_warn_instead_of_crashing(self):
+        old = {"e1": {"wall_ms": 0.0}, "e2": {}, "e3": {"wall_ms": 10.0}}
+        new = {"e1": {"wall_ms": 5.0}, "e2": {"wall_ms": 5.0},
+               "e3": {"wall_ms": 40.0}}
+        rows, warnings = bench_compare.manifest_trend_rows(old, new, 1.5)
+        by_name = {r[0]: r for r in rows}
+        self.assertIsNone(by_name["e1"][3])  # zero baseline: not compared
+        self.assertIsNone(by_name["e2"][3])  # missing baseline
+        self.assertAlmostEqual(by_name["e3"][3], 3.0)  # 10 -> 40 ms
+        self.assertTrue(by_name["e3"][4])  # flagged slower
+        self.assertEqual(len(warnings), 2)
+
+
+class CliSmokeTest(unittest.TestCase):
+    """End-to-end: degenerate rows must not crash the CLI or fail the gate."""
+
+    @staticmethod
+    def _write(directory, filename, names_to_values):
+        doc = {"benchmarks": [
+            {"name": name, "real_time": value, "time_unit": "ns"}
+            for name, value in names_to_values.items()]}
+        path = os.path.join(directory, filename)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        return path
+
+    def test_zero_time_row_warns_but_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = self._write(tmp, "base.json",
+                                   {"BM_Ok": 10.0, "BM_Zero": 10.0})
+            current = self._write(tmp, "curr.json",
+                                  {"BM_Ok": 10.5, "BM_Zero": 0.0})
+            proc = subprocess.run(
+                [sys.executable, _SCRIPT, baseline, current],
+                capture_output=True, text=True, check=False)
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+            self.assertIn("warning:", proc.stdout)
+            self.assertIn("n/a", proc.stdout)
+
+    def test_real_regression_still_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = self._write(tmp, "base.json", {"BM_Ok": 10.0})
+            current = self._write(tmp, "curr.json", {"BM_Ok": 20.0})
+            proc = subprocess.run(
+                [sys.executable, _SCRIPT, baseline, current],
+                capture_output=True, text=True, check=False)
+            self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+            self.assertIn("REGRESSION", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -16,9 +16,24 @@
 #include "support/assert.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
 
 namespace fjs {
+namespace {
+
+// Miner telemetry: totals across every mine on any thread. Evaluation and
+// memo counts are a function of the seed/options (deterministic); which
+// thread performed them is not, but sums don't care.
+telemetry::Counter g_tm_evaluations{"miner.evaluations",
+                                    telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_memo_hits{"miner.memo_hits",
+                                  telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_budget_skips{"miner.budget_skips",
+                                     telemetry::Stability::kDeterministic};
+
+}  // namespace
+
 namespace {
 
 Instance random_instance(Rng& rng, const MinerOptions& options) {
@@ -190,6 +205,8 @@ class BatchEvaluator {
       values[i] = *slots[i];
     }
     memo_hits_ += batch.size() - misses.size();
+    g_tm_memo_hits.add(batch.size() - misses.size());
+    g_tm_evaluations.add(misses.size());
     return values;
   }
 
@@ -426,6 +443,7 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
           // Uncertifiable candidate: discard it instead of aborting the
           // whole mine — a ratio of 0 never survives selection.
           budget_skips->fetch_add(1, std::memory_order_relaxed);
+          g_tm_budget_skips.increment();
           return 0.0;
         }
         return time_ratio(span, opt.span);

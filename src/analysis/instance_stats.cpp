@@ -16,7 +16,14 @@ InstanceStats compute_instance_stats(const Instance& instance) {
   InstanceStats stats;
   stats.jobs = instance.size();
   stats.mu = instance.mu();
-  stats.total_work = instance.total_work();
+  // Saturating sum, unlike Instance::total_work(): stats are descriptive
+  // output and must survive adversarial-magnitude instances (near-max
+  // lengths) where the checked sum would abort the whole report.
+  Time total = Time::zero();
+  for (const Job& j : instance.jobs()) {
+    total = total.saturating_add(j.length);
+  }
+  stats.total_work = total;
   std::size_t rigid = 0;
   Time first_arrival = instance.earliest_arrival();
   Time last_arrival = first_arrival;
@@ -29,8 +36,11 @@ InstanceStats compute_instance_stats(const Instance& instance) {
     }
     last_arrival = std::max(last_arrival, j.arrival);
   }
-  stats.arrival_horizon = last_arrival - first_arrival;
-  const Time window = instance.latest_completion() - first_arrival;
+  // Saturating: arrivals may sit anywhere in [min, max] (shift transforms
+  // go negative), so these differences can exceed the representable range.
+  stats.arrival_horizon = last_arrival.saturating_sub(first_arrival);
+  const Time window =
+      instance.latest_completion().saturating_sub(first_arrival);
   stats.load_factor =
       window > Time::zero() ? time_ratio(stats.total_work, window) : 0.0;
   stats.rigid_fraction =

@@ -14,6 +14,13 @@ Instance::Instance(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
     jobs_[i].id = static_cast<JobId>(i);
     FJS_REQUIRE(jobs_[i].valid(),
                 "Instance: invalid job " + jobs_[i].to_string());
+    // d + p must be representable: a job may legally start at its
+    // starting deadline, so its completion reaches d + p. Enforcing this
+    // here makes latest_completion() and the engine's completion pushes
+    // provably overflow-free (length > 0 keeps max() - length safe).
+    FJS_REQUIRE(jobs_[i].deadline <= Time::max() - jobs_[i].length,
+                "Instance: job " + jobs_[i].to_string() +
+                    " has deadline + length past Time::max()");
   }
 }
 

@@ -46,6 +46,16 @@ Time Time::saturating_add(Time rhs) const {
   return rhs.ticks_ > 0 ? Time::max() : Time::min();
 }
 
+Time Time::saturating_sub(Time rhs) const {
+  std::int64_t out = 0;
+  if (!__builtin_sub_overflow(ticks_, rhs.ticks_, &out)) {
+    return Time(out);
+  }
+  // a - b overflows upward iff b < 0 (so a - b > max); note this also
+  // handles rhs == Time::min(), where negate-and-add would itself be UB.
+  return rhs.ticks_ < 0 ? Time::max() : Time::min();
+}
+
 Time Time::saturating_mul(std::int64_t k) const {
   std::int64_t out = 0;
   if (!__builtin_mul_overflow(ticks_, k, &out)) {

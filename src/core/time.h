@@ -74,6 +74,7 @@ class Time {
   /// For "horizon" arithmetic (window closes, completion estimates) where a
   /// value past the representable range is equivalent to "never".
   Time saturating_add(Time rhs) const;
+  Time saturating_sub(Time rhs) const;
   Time saturating_mul(std::int64_t k) const;
 
   /// Renders as a decimal number of units ("2.5") for human output.

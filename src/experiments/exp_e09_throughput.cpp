@@ -29,6 +29,7 @@
 #include "sim/portfolio.h"
 #include "support/alloc_counter.h"
 #include "support/rng.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
 #include "workload/generator.h"
 
@@ -311,6 +312,24 @@ void portfolio_span(benchmark::State& state) {
   }
 }
 
+// Per-bump cost of the telemetry hot path: one relaxed fetch_add on a
+// thread-owned cell when compiled in, a no-op under -DFJS_TELEMETRY=OFF.
+// reproduce.sh runs the E9 smoke subset against both builds and warns if
+// the engine benchmarks drift by more than the 1% overhead budget; this
+// curve isolates the primitive itself.
+void telemetry_counter(benchmark::State& state) {
+  static telemetry::Counter counter{"bench.telemetry_counter",
+                                    telemetry::Stability::kTiming};
+  counter.add(0);  // pay the per-thread warm-up alloc outside the loop
+  std::uint64_t bumps = 0;
+  for (auto _ : state) {
+    counter.increment();
+    benchmark::DoNotOptimize(++bumps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(bumps));
+  state.SetLabel(telemetry::enabled() ? "telemetry ON" : "telemetry OFF");
+}
+
 void sweep_parallelism(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   WorkloadConfig config;
@@ -367,6 +386,15 @@ void register_benchmarks(bool smoke) {
     // reads, the full run feeds the BENCH_e9.json baseline.
     auto* b = benchmark::RegisterBenchmark("BM_PortfolioSpan",
                                            portfolio_span);
+    if (smoke) {
+      b->MinTime(smoke_min_time);
+    }
+  }
+  {
+    // In both profiles: reproduce.sh's telemetry-overhead gate reads the
+    // smoke run from the default and the -DFJS_TELEMETRY=OFF builds.
+    auto* b = benchmark::RegisterBenchmark("BM_TelemetryCounter",
+                                           telemetry_counter);
     if (smoke) {
       b->MinTime(smoke_min_time);
     }

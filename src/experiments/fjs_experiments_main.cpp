@@ -37,6 +37,11 @@ void print_usage(std::ostream& os) {
      << "  --out DIR            output root (default: results)\n"
      << "  --run-id ID          run directory name (default: generated;\n"
      << "                       an existing directory is refused)\n"
+     << "  --force              replace an existing --run-id directory\n"
+     << "                       instead of refusing\n"
+     << "  --trace FILE         write a Chrome-tracing JSON (one span per\n"
+     << "                       experiment) to FILE; view at\n"
+     << "                       chrome://tracing or ui.perfetto.dev\n"
      << "  --quiet              skip the console replay (files still"
         " written)\n"
      << "  --help               this text\n";
@@ -127,6 +132,10 @@ int main(int argc, char** argv) {
       options.out_root = value("a directory argument");
     } else if (arg == "--run-id") {
       options.run_id = value("a directory-name argument");
+    } else if (arg == "--force") {
+      options.force = true;
+    } else if (arg == "--trace") {
+      options.trace_path = value("a file argument");
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -134,6 +143,12 @@ int main(int argc, char** argv) {
       print_usage(std::cerr);
       return 2;
     }
+  }
+
+  if (options.force && options.run_id.empty()) {
+    std::cerr << "fjs_experiments: --force requires --run-id (generated ids"
+                 " never collide)\n";
+    return 2;
   }
 
   if (list) {

@@ -123,10 +123,17 @@ RunReport run_experiments(const std::vector<const Experiment*>& selection,
     }
     report.run_id = id;
   } else {
-    FJS_REQUIRE(
-        !fs::exists(fs::path(options.out_root) / options.run_id),
-        "runner: run directory already exists: " + options.out_root + "/" +
-            options.run_id + " (refusing to overwrite a previous run)");
+    const fs::path target = fs::path(options.out_root) / options.run_id;
+    if (options.force) {
+      fs::remove_all(target);
+    } else {
+      FJS_REQUIRE(
+          !fs::exists(target),
+          "runner: run directory already exists: " + options.out_root + "/" +
+              options.run_id +
+              " (refusing to overwrite a previous run; pass --force to "
+              "replace it)");
+    }
     report.run_id = options.run_id;
   }
   report.run_dir = (fs::path(options.out_root) / report.run_id).string();
@@ -144,6 +151,15 @@ RunReport run_experiments(const std::vector<const Experiment*>& selection,
     fs::create_directories(fs::path(report.run_dir) / record.name);
   }
 
+  // Attribute telemetry to this run as a before/after delta of the
+  // process-wide registry; the deterministic subset lands in the
+  // manifest. Tracing (when requested) records one span per experiment.
+  const telemetry::Snapshot telemetry_before = telemetry::capture();
+  if (!options.trace_path.empty()) {
+    telemetry::reset_trace();
+    telemetry::set_trace_enabled(true);
+  }
+
   // One pool for everything: the work-stealing TaskGroup lets a task
   // waiting on subtasks help execute queued work instead of blocking its
   // worker, so nesting an experiment's parallel_for inside the experiment
@@ -155,6 +171,8 @@ RunReport run_experiments(const std::vector<const Experiment*>& selection,
       [&](std::size_t i) {
         const Experiment& exp = *selection[i];
         ExperimentRecord& record = report.records[i];
+        const telemetry::TraceScope trace_scope(record.name.c_str(),
+                                                "experiment");
         const std::string exp_dir =
             (fs::path(report.run_dir) / record.name).string();
 
@@ -196,6 +214,16 @@ RunReport run_experiments(const std::vector<const Experiment*>& selection,
         write_text_file(exp_dir + "/report.txt", logs[i]);
       },
       /*min_chunk=*/1, ChunkPolicy::kDynamic);
+
+  report.telemetry =
+      telemetry::delta(telemetry_before, telemetry::capture());
+  if (!options.trace_path.empty()) {
+    // parallel_for's barrier guarantees quiescence: no experiment is
+    // still emitting events when the buffers are rendered.
+    write_text_file(options.trace_path,
+                    telemetry::trace_json().dump() + "\n");
+    telemetry::set_trace_enabled(false);
+  }
 
   // Serial replay in selection order: console parity with the days when
   // each experiment was its own binary, plus the verdict summaries.
@@ -278,6 +306,13 @@ JsonValue manifest_json(const RunReport& report) {
     host.set("machine", JsonValue::string(uts.machine));
   }
   manifest.set("host", host);
+
+  // Deterministic metrics only: at --jobs 1 with a deterministic
+  // selection this block is byte-stable across repeated runs (pinned by
+  // test_experiments_registry); kTiming metrics would break that.
+  manifest.set("telemetry",
+               telemetry::snapshot_json(report.telemetry,
+                                        /*deterministic_only=*/true));
 
   JsonValue experiments = JsonValue::array();
   for (const auto& record : report.records) {

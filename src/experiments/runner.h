@@ -27,6 +27,7 @@
 
 #include "experiments/experiment.h"
 #include "support/json.h"
+#include "support/telemetry.h"
 
 namespace fjs::experiments {
 
@@ -41,8 +42,14 @@ struct RunnerOptions {
   std::string out_root = "results";
   /// Directory name under out_root. Empty: a fresh "run-<utc>-p<pid>"
   /// id is generated. Explicit ids must not already exist (refuses to
-  /// overwrite a previous run).
+  /// overwrite a previous run) unless `force` is set.
   std::string run_id;
+  /// Deletes and recreates an existing <out_root>/<run_id> instead of
+  /// refusing. Only meaningful with an explicit run_id.
+  bool force = false;
+  /// When non-empty, the run records Chrome-tracing events (one span per
+  /// experiment) and writes them to this path as JSON on completion.
+  std::string trace_path;
   /// Suppresses the console replay (files are always written).
   bool quiet = false;
   /// Console sink for progress + replayed logs; nullptr = std::cout.
@@ -71,6 +78,9 @@ struct RunReport {
   std::uint64_t base_seed = 0;
   std::size_t jobs = 0;
   std::vector<ExperimentRecord> records;
+  /// Telemetry attributed to this run (delta of the process-wide metrics
+  /// across the run). manifest.json renders the deterministic subset.
+  telemetry::Snapshot telemetry;
 
   bool all_passed() const;
 };

@@ -68,13 +68,25 @@ Instance generate_fuzz_instance(const FuzzGenConfig& config,
     std::int64_t length = 0;
 
     if (rng.bernoulli(config.p_huge)) {
-      // Near the Time::max() boundary: arrival in the top eighth of the
-      // representable range, window and length small, completion checked
-      // below. Exercises overflow discipline, not scheduling logic.
-      const std::int64_t top = kMaxTicks / 8 * 7;
-      arrival = top + rng.uniform_int(0, kMaxTicks / 64);
-      laxity = rng.uniform_int(0, 4) * kUnit;
-      length = rng.uniform_int(1, 4 * kUnit);
+      // Near the Time::max() boundary. Exercises overflow discipline,
+      // not scheduling logic. Two variants:
+      if (rng.bernoulli(0.5)) {
+        // Huge ARRIVAL: top eighth of the representable range, window and
+        // length small, completion checked below.
+        const std::int64_t top = kMaxTicks / 8 * 7;
+        arrival = top + rng.uniform_int(0, kMaxTicks / 64);
+        laxity = rng.uniform_int(0, 4) * kUnit;
+        length = rng.uniform_int(1, 4 * kUnit);
+      } else {
+        // Huge LENGTH: small arrival/window, completion within a few
+        // units of Time::max(). Two such jobs overflow any unchecked
+        // total-work / chain-weight sum — the ratio-path coverage the
+        // huge-arrival variant (small lengths) never reaches.
+        arrival = fresh_ticks(config.horizon_units, true);
+        laxity = rng.uniform_int(0, 4) * kUnit;
+        length = kMaxTicks - (arrival + laxity) -
+                 rng.uniform_int(0, 4 * kUnit);
+      }
     } else {
       const bool tie_arrival = !pool.empty() && rng.bernoulli(config.p_tie);
       arrival = tie_arrival ? pool_pick()
@@ -110,17 +122,18 @@ Instance generate_fuzz_instance(const FuzzGenConfig& config,
 
     length = std::max<std::int64_t>(length, 1);
     // Clamp so the window and the latest completion stay representable.
-    if (arrival > kMaxTicks - laxity) {
-      arrival = kMaxTicks - laxity;
+    // Shrink the laxity before shifting the arrival: a tie-aimed laxity
+    // can approach kMaxTicks (the pool holds near-max completions), and
+    // then no non-negative arrival leaves room for the length.
+    if (laxity > kMaxTicks - length) {
+      laxity = kMaxTicks - length;
     }
-    std::int64_t deadline = arrival + laxity;
-    if (!completion_fits(deadline, length)) {
-      const std::int64_t shift = length - (kMaxTicks - deadline);
-      arrival -= shift;
-      deadline -= shift;
+    if (arrival > kMaxTicks - laxity - length) {
+      arrival = kMaxTicks - laxity - length;
     }
-    FJS_CHECK(arrival >= 0 || arrival > kMaxTicks / 2,
-              "fuzz generator: clamp produced a nonsense arrival");
+    const std::int64_t deadline = arrival + laxity;
+    FJS_CHECK(arrival >= 0 && completion_fits(deadline, length),
+              "fuzz generator: clamp produced a nonsense job");
 
     jobs.push_back(Job{.id = kInvalidJob,
                        .arrival = Time(arrival),

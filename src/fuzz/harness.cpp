@@ -8,9 +8,19 @@
 #include "support/assert.h"
 #include "support/parallel.h"
 #include "support/string_util.h"
+#include "support/telemetry.h"
 #include "support/thread_pool.h"
 
 namespace fjs {
+namespace {
+
+// Fuzz throughput: instances swept through the oracle battery. The count
+// is seed-window-determined; wall time is what varies.
+telemetry::Counter g_tm_fuzz_instances{"fuzz.instances",
+                                       telemetry::Stability::kDeterministic};
+
+}  // namespace
+
 namespace {
 
 /// Per-seed sweep outcome: the first oracle failure, if any. The instance
@@ -126,6 +136,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
         },
         ChunkPolicy::kDynamic);
     report.instances_run += n;
+    g_tm_fuzz_instances.add(static_cast<std::uint64_t>(n));
     for (std::size_t i = 0;
          i < outcomes.size() && raw_failures.size() < options.max_failures;
          ++i) {

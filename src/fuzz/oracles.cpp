@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "analysis/instance_stats.h"
 #include "core/interval_set.h"
 #include "offline/annealing.h"
 #include "offline/exact.h"
@@ -343,6 +344,51 @@ Oracle offline_sandwich_oracle(const OracleOptions& options) {
       }};
 }
 
+Oracle ratio_bounds_oracle() {
+  return Oracle{
+      "ratio-bounds",
+      [](const Instance& instance) -> std::optional<std::string> {
+        if (instance.empty()) {
+          return std::nullopt;
+        }
+        // Deliberately NOT horizon-capped, unlike the offline oracles:
+        // the certified lower bounds and the descriptive stats feed the
+        // ratio path (miner objectives, analysis reports) and must
+        // survive near-Time::max() magnitudes, where unchecked sums used
+        // to overflow-abort.
+        InstanceStats stats;
+        try {
+          stats = compute_instance_stats(instance);
+        } catch (const std::exception& e) {
+          return std::string("instance stats threw: ") + e.what();
+        }
+        // The saturating total work is still a sum of positive lengths.
+        if (stats.total_work < instance.max_length()) {
+          return "saturating total work " + stats.total_work.to_string() +
+                 " below max length " + instance.max_length().to_string();
+        }
+        Time lb;
+        try {
+          lb = best_lower_bound(instance);
+        } catch (const std::exception& e) {
+          return std::string("lower bound threw: ") + e.what();
+        }
+        const auto eager = make_scheduler("eager");
+        Time span;
+        try {
+          span = simulate_span(instance, *eager, /*clairvoyant=*/false);
+        } catch (const std::exception& e) {
+          return std::string("eager simulation threw: ") + e.what();
+        }
+        // Any online span is a feasible schedule, so LB <= OPT <= span.
+        if (lb > span) {
+          return "lower bound " + lb.to_string() + " exceeds online span " +
+                 span.to_string();
+        }
+        return std::nullopt;
+      }};
+}
+
 Oracle exact_vs_reference_oracle(const OracleOptions& options) {
   return Oracle{
       "exact-vs-reference",
@@ -392,6 +438,7 @@ std::vector<Oracle> standard_oracles(const OracleOptions& options) {
     }
   }
   if (options.run_offline) {
+    oracles.push_back(ratio_bounds_oracle());
     oracles.push_back(offline_sandwich_oracle(options));
     oracles.push_back(exact_vs_reference_oracle(options));
   }

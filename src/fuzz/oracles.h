@@ -15,6 +15,10 @@
 //    clairvoyance models) reproduces the uninterrupted run tick-for-tick —
 //    identical span, identical starts, and a trace suffix equal to the
 //    full run's entries past the capture point.
+//  * ratio-bounds — the certified lower bounds, the descriptive instance
+//    stats and one online span hold together on EVERY instance, including
+//    near-Time::max() magnitudes the offline oracles skip: stats never
+//    throw, and best_lower_bound <= the eager online span (>= OPT).
 //  * offline-sandwich — certified lower bounds, the exact branch-and-bound,
 //    the alignment heuristic and annealing must bracket correctly:
 //    LB <= OPT <= heuristic/annealing, and online spans >= OPT.

@@ -29,53 +29,179 @@ void write_jobs(std::ostream& os, const std::string& header,
   }
 }
 
-/// Reads the next non-comment, non-blank line; false at EOF.
-bool next_line(std::istream& is, std::string& line) {
-  while (std::getline(is, line)) {
-    line = trim(line);
-    if (!line.empty() && line[0] != '#') {
-      return true;
+/// Skips blank and '#'-comment lines while tracking the 1-based line
+/// number, so every parse error can say exactly where the file broke.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Advances to the next meaningful line (trimmed); false at EOF.
+  bool next(std::string& line) {
+    std::string raw;
+    while (std::getline(is_, raw)) {
+      ++line_number_;
+      const std::string trimmed = trim(raw);
+      if (!trimmed.empty() && trimmed[0] != '#') {
+        line = trimmed;
+        return true;
+      }
     }
+    ++line_number_;  // EOF counts as the position after the last line
+    return false;
   }
-  return false;
+
+  std::size_t line_number() const { return line_number_; }
+
+ private:
+  std::istream& is_;
+  std::size_t line_number_ = 0;
+};
+
+[[noreturn]] void fail_at(std::size_t line, const std::string& message) {
+  throw AssertionError("repro:" + std::to_string(line) + ": " + message);
 }
 
-std::int64_t parse_i64(const std::string& token, const char* what) {
+[[noreturn]] void fail_at(std::size_t line, std::size_t column,
+                          const std::string& message) {
+  throw AssertionError("repro:" + std::to_string(line) + ":" +
+                       std::to_string(column) + ": " + message);
+}
+
+/// A whitespace-separated token and its 1-based column in the line.
+struct Token {
+  std::string text;
+  std::size_t column;
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+      ++i;
+    }
+    tokens.push_back(Token{line.substr(start, i - start), start + 1});
+  }
+  return tokens;
+}
+
+std::int64_t parse_i64(const Token& token, std::size_t line,
+                       const char* what) {
   try {
     std::size_t used = 0;
-    const std::int64_t value = std::stoll(token, &used);
-    FJS_REQUIRE(used == token.size(),
-                std::string("repro: trailing junk in ") + what);
+    const std::int64_t value = std::stoll(token.text, &used);
+    if (used != token.text.size()) {
+      fail_at(line, token.column + used,
+              std::string("trailing junk in ") + what + " '" + token.text +
+                  "'");
+    }
     return value;
   } catch (const AssertionError&) {
     throw;
   } catch (const std::exception&) {
-    throw AssertionError(std::string("repro: cannot parse ") + what + " '" +
-                         token + "'");
+    fail_at(line, token.column,
+            std::string("cannot parse ") + what + " '" + token.text + "'");
   }
 }
 
-Instance parse_jobs(std::istream& is, std::size_t count) {
+std::uint64_t parse_u64(const Token& token, std::size_t line,
+                        const char* what) {
+  if (token.text.empty() || token.text[0] == '-') {
+    fail_at(line, token.column,
+            std::string(what) + " must be a non-negative integer, got '" +
+                token.text + "'");
+  }
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token.text, &used);
+    if (used != token.text.size()) {
+      fail_at(line, token.column + used,
+              std::string("trailing junk in ") + what + " '" + token.text +
+                  "'");
+    }
+    return value;
+  } catch (const AssertionError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail_at(line, token.column,
+            std::string("cannot parse ") + what + " '" + token.text + "'");
+  }
+}
+
+/// Reads a "<keyword> <count>" job-list header and the `count` job lines
+/// after it. `line` holds the already-read header line.
+Instance parse_jobs(LineReader& reader, const std::string& line,
+                    const char* keyword) {
+  const std::size_t header_line = reader.line_number();
+  const auto header = tokenize(line);
+  FJS_CHECK(!header.empty() && header[0].text == keyword,
+            "parse_jobs called on a non-matching header");
+  if (header.size() != 2) {
+    fail_at(header_line,
+            std::string("expected '") + keyword + " <count>', got '" + line +
+                "'");
+  }
+  const std::uint64_t count = parse_u64(header[1], header_line, "job count");
+  // A corrupt count must not turn into a giant reserve() before the
+  // missing job lines are even noticed.
+  constexpr std::uint64_t kMaxReproJobs = 1'000'000;
+  if (count > kMaxReproJobs) {
+    fail_at(header_line, "job count " + std::to_string(count) +
+                             " exceeds the repro limit of " +
+                             std::to_string(kMaxReproJobs));
+  }
+
   std::vector<Job> jobs;
   jobs.reserve(count);
-  std::string line;
-  for (std::size_t i = 0; i < count; ++i) {
-    FJS_REQUIRE(next_line(is, line), "repro: truncated job list");
-    const auto fields = split(line, ' ');
-    std::vector<std::int64_t> ticks;
-    for (const auto& field : fields) {
-      if (!trim(field).empty()) {
-        ticks.push_back(parse_i64(trim(field), "job field"));
-      }
+  std::string job_line;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!reader.next(job_line)) {
+      fail_at(reader.line_number(),
+              std::string("truncated ") + keyword + " job list: expected " +
+                  std::to_string(count) + " jobs, got " + std::to_string(i));
     }
-    FJS_REQUIRE(ticks.size() == 3,
-                "repro: job line must be 'arrival deadline length' ticks");
-    jobs.push_back(Job{.id = kInvalidJob,
-                       .arrival = Time(ticks[0]),
-                       .deadline = Time(ticks[1]),
-                       .length = Time(ticks[2])});
+    const auto fields = tokenize(job_line);
+    if (fields.size() != 3) {
+      fail_at(reader.line_number(),
+              "job line must be 'arrival deadline length' ticks, got " +
+                  std::to_string(fields.size()) + " fields");
+    }
+    jobs.push_back(Job{
+        .id = kInvalidJob,
+        .arrival = Time(parse_i64(fields[0], reader.line_number(), "arrival")),
+        .deadline =
+            Time(parse_i64(fields[1], reader.line_number(), "deadline")),
+        .length = Time(parse_i64(fields[2], reader.line_number(), "length"))});
   }
-  return Instance{std::move(jobs)};
+  try {
+    return Instance{std::move(jobs)};
+  } catch (const AssertionError& e) {
+    fail_at(header_line,
+            std::string(keyword) + " jobs are not a valid instance: " +
+                e.what());
+  }
+}
+
+/// Reads one "<keyword> <value...>" line, enforcing the keyword.
+std::string expect_field(LineReader& reader, const char* keyword) {
+  std::string line;
+  if (!reader.next(line)) {
+    fail_at(reader.line_number(),
+            std::string("unexpected end of file, expected '") + keyword +
+                " ...'");
+  }
+  const std::string prefix = std::string(keyword) + " ";
+  if (!starts_with(line, prefix)) {
+    fail_at(reader.line_number(),
+            std::string("expected '") + keyword + " ...', got '" + line +
+                "'");
+  }
+  return trim(line.substr(prefix.size()));
 }
 
 }  // namespace
@@ -92,36 +218,52 @@ void write_repro(std::ostream& os, const ReproFile& repro) {
 }
 
 ReproFile parse_repro(std::istream& is) {
+  LineReader reader(is);
   std::string line;
-  FJS_REQUIRE(next_line(is, line) && line == "fjs-fuzz-repro v1",
-              "repro: missing 'fjs-fuzz-repro v1' header");
+  if (!reader.next(line)) {
+    fail_at(reader.line_number(), "empty file, expected 'fjs-fuzz-repro v1'");
+  }
+  if (line != "fjs-fuzz-repro v1") {
+    fail_at(reader.line_number(),
+            "bad header '" + line + "', expected 'fjs-fuzz-repro v1'");
+  }
+
   ReproFile repro;
+  {
+    const std::string value = expect_field(reader, "seed");
+    const auto tokens = tokenize(value);
+    if (tokens.size() != 1) {
+      fail_at(reader.line_number(),
+              "expected 'seed <n>', got 'seed " + value + "'");
+    }
+    // Column is relative to the full line: the value starts after "seed ".
+    Token token = tokens[0];
+    token.column += 5;
+    repro.seed = parse_u64(token, reader.line_number(), "seed");
+  }
+  repro.oracle = expect_field(reader, "oracle");
+  repro.detail = expect_field(reader, "detail");
 
-  FJS_REQUIRE(next_line(is, line) && starts_with(line, "seed "),
-              "repro: expected 'seed <n>'");
-  repro.seed =
-      static_cast<std::uint64_t>(std::stoull(trim(line.substr(5))));
+  if (!reader.next(line)) {
+    fail_at(reader.line_number(),
+            "unexpected end of file, expected 'original <count>'");
+  }
+  if (!starts_with(line, "original ")) {
+    fail_at(reader.line_number(),
+            "expected 'original <count>', got '" + line + "'");
+  }
+  repro.original = parse_jobs(reader, line, "original");
 
-  FJS_REQUIRE(next_line(is, line) && starts_with(line, "oracle "),
-              "repro: expected 'oracle <name>'");
-  repro.oracle = trim(line.substr(7));
-
-  FJS_REQUIRE(next_line(is, line) && starts_with(line, "detail "),
-              "repro: expected 'detail <text>'");
-  repro.detail = trim(line.substr(7));
-
-  FJS_REQUIRE(next_line(is, line) && starts_with(line, "original "),
-              "repro: expected 'original <count>'");
-  const auto original_count = static_cast<std::size_t>(
-      parse_i64(trim(line.substr(9)), "original count"));
-  repro.original = parse_jobs(is, original_count);
-
-  if (next_line(is, line)) {
-    FJS_REQUIRE(starts_with(line, "shrunk "),
-                "repro: expected 'shrunk <count>' or end of file");
-    const auto shrunk_count = static_cast<std::size_t>(
-        parse_i64(trim(line.substr(7)), "shrunk count"));
-    repro.shrunk = parse_jobs(is, shrunk_count);
+  if (reader.next(line)) {
+    if (!starts_with(line, "shrunk ")) {
+      fail_at(reader.line_number(),
+              "expected 'shrunk <count>' or end of file, got '" + line + "'");
+    }
+    repro.shrunk = parse_jobs(reader, line, "shrunk");
+    if (reader.next(line)) {
+      fail_at(reader.line_number(),
+              "trailing garbage after the shrunk job list: '" + line + "'");
+    }
   }
   return repro;
 }

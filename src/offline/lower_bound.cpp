@@ -42,7 +42,10 @@ Time mandatory_lower_bound(const Instance& instance) {
   mandatory.clear();
   for (const Job& j : instance.jobs()) {
     // Every placement of J covers [d(J), a(J)+p(J)) (empty if laxity >= p).
-    const Interval mand(j.deadline, j.arrival + j.length);
+    // Saturating: a <= d gives a+p <= d+p <= max under the Instance
+    // invariant, but this bound also serves raw job lists in tests and
+    // tools, so clamp instead of relying on the caller.
+    const Interval mand(j.deadline, j.arrival.saturating_add(j.length));
     if (!mand.empty()) {
       mandatory.push_back(mand);
     }
@@ -117,6 +120,10 @@ Time chain_lower_bound(const Instance& instance) {
   Time best = Time::zero();
   for (const JobId id : order) {
     const Job& j = instance.job(id);
+    // Both checked_adds are provably in range under the Instance d+p
+    // invariant: the chain condition d(I)+p(I) <= a(J) bounds every
+    // predecessor weight f(I) by a(J), so f(J) = f(I)+p(J) <= a(J)+p(J)
+    // <= d(J)+p(J) <= max; the insert key is d+p <= max directly.
     const Time f = query(j.arrival).checked_add(j.length);
     best = std::max(best, f);
     insert(j.deadline.checked_add(j.length), f);

@@ -4,8 +4,26 @@
 #include <utility>
 
 #include "support/assert.h"
+#include "support/telemetry.h"
 
 namespace fjs {
+namespace {
+
+// Engine telemetry (docs/OBSERVABILITY.md): all deterministic — under
+// --jobs 1 they depend only on the simulated workload, not on timing.
+telemetry::Counter g_tm_events{"engine.events",
+                               telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_runs{"engine.runs",
+                             telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_ckpt_captured{"engine.checkpoints_captured",
+                                      telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_ckpt_resumed{"engine.checkpoints_resumed",
+                                     telemetry::Stability::kDeterministic};
+telemetry::Histogram g_tm_heap_depth{"engine.heap_depth",
+                                     telemetry::Stability::kDeterministic};
+
+}  // namespace
+
 namespace {
 
 /// Min-heap ordering used by the 4-ary event heap; the strict-weak mirror
@@ -185,6 +203,7 @@ void Engine::resume_static(const EngineCheckpoint& ckpt,
   scheduler_.load_state(ckpt.scheduler_state.data(),
                         ckpt.scheduler_state.size());
   resumed_ = true;
+  g_tm_ckpt_resumed.increment();
 }
 
 void Engine::capture_into(EngineCheckpoint& ckpt) {
@@ -221,6 +240,7 @@ void Engine::maybe_capture() {
       series_->capture_indices_[cursor] == staged_head_) {
     capture_into(series_->slots_[cursor]);
     ++cursor;
+    g_tm_ckpt_captured.increment();
   }
 }
 
@@ -281,6 +301,7 @@ void Engine::heap_insert(const Event& event) {
   // the new event once, instead of swapping (one copy per level, not three).
   std::size_t i = heap_.size();
   heap_.push_back(event);
+  heap_high_water_ = std::max(heap_high_water_, heap_.size());
   while (i > 0) {
     const std::size_t parent = (i - 1) / 4;
     if (!event_before(event, heap_[parent])) {
@@ -391,6 +412,11 @@ void Engine::release(const JobSpec& spec) {
   if (spec.length.has_value()) {
     FJS_REQUIRE(*spec.length > Time::zero(),
                 "source released a job with non-positive length");
+    // Starting at the deadline is legal, so deadline + length must be
+    // representable or the completion push below would overflow (UB).
+    FJS_REQUIRE(spec.deadline <= Time::max() - *spec.length,
+                "source released a job whose latest completion overflows "
+                "the time axis");
   } else {
     FJS_REQUIRE(!options_.clairvoyant,
                 "clairvoyant run requires lengths at release");
@@ -462,6 +488,9 @@ void Engine::start_job(JobId id) {
     if (decision.length.has_value()) {
       FJS_REQUIRE(*decision.length > Time::zero(),
                   "oracle returned non-positive length");
+      FJS_REQUIRE(now_ <= Time::max() - *decision.length,
+                  "oracle returned a length whose completion overflows "
+                  "the time axis");
       rec.job.length = *decision.length;
       rec.length_known = true;
       span_.add(Interval::from_length(now_, rec.job.length));
@@ -492,6 +521,12 @@ void Engine::process(const Event& event) {
                 "length decision for a non-running or decided job");
       const Time length = oracle_.decide(event.job, now_);
       FJS_REQUIRE(length > Time::zero(), "oracle decided non-positive length");
+      // Checked before any start+length is formed: the old `start + length
+      // >= now` guard itself overflowed (UB) on adversarial lengths.
+      // length > 0 makes Time::max() - length safe.
+      FJS_REQUIRE(rec.start <= Time::max() - length,
+                  "oracle decided a length whose completion overflows "
+                  "the time axis");
       FJS_REQUIRE(rec.start + length >= now_,
                   "oracle decided a completion in the past");
       rec.job.length = length;
@@ -576,6 +611,7 @@ void Engine::drive() {
     apply(source_.begin());
   }
   started_ = true;
+  const std::size_t events_before = event_count_;
 
   // Two-source merge: the staged arrival FIFO and the heap are combined
   // by the same (time, kind, seq) order the heap alone would yield.
@@ -602,6 +638,10 @@ void Engine::drive() {
                 "engine exceeded max_events");
     process(event);
   }
+
+  g_tm_events.add(event_count_ - events_before);
+  g_tm_runs.increment();
+  g_tm_heap_depth.record(heap_high_water_);
 }
 
 SimulationResult Engine::run() {

@@ -4,8 +4,30 @@
 #include <utility>
 
 #include "support/assert.h"
+#include "support/telemetry.h"
 
 namespace fjs {
+namespace {
+
+// Process-wide mirrors of the per-runner PrefixReplayStats (the struct
+// stays as the per-runner API; these aggregate across every runner and
+// thread for the manifest telemetry block). Deterministic: hit/miss is a
+// function of the mutation lineage, not of scheduling.
+telemetry::Counter g_tm_prefix_hits{"portfolio.prefix_hits",
+                                    telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_prefix_misses{"portfolio.prefix_misses",
+                                      telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_prefix_arrivals_skipped{
+    "portfolio.prefix_arrivals_skipped", telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_prefix_events_skipped{
+    "portfolio.prefix_events_skipped", telemetry::Stability::kDeterministic};
+// Depth of the checkpoint a hit resumed from, in skipped arrivals — the
+// histogram form of mean_prefix_depth().
+telemetry::Histogram g_tm_prefix_depth{"portfolio.prefix_depth",
+                                       telemetry::Stability::kDeterministic};
+
+}  // namespace
+
 namespace {
 
 /// Source that releases nothing: the engine's timeline was installed by
@@ -184,6 +206,10 @@ Time PortfolioRunner::prefix_span(const PortfolioEntry& entry,
     ++prefix_stats_.hits;
     prefix_stats_.arrivals_skipped += ckpt.staged_head;
     prefix_stats_.events_skipped += ckpt.event_count;
+    g_tm_prefix_hits.increment();
+    g_tm_prefix_arrivals_skipped.add(ckpt.staged_head);
+    g_tm_prefix_events_skipped.add(ckpt.event_count);
+    g_tm_prefix_depth.record(ckpt.staged_head);
     engine.resume_static(ckpt, prepared_.records(), prepared_.staged());
     // Shallower slots stay valid for the new base (their prefixes predate
     // the change too); the deeper tail is recaptured during this run.
@@ -191,6 +217,7 @@ Time PortfolioRunner::prefix_span(const PortfolioEntry& entry,
     lin.series.arm(slot + 1);
   } else {
     ++prefix_stats_.misses;
+    g_tm_prefix_misses.increment();
     engine.preload_static(prepared_.records(), prepared_.staged());
     lin.series.invalidate_from(0);
     lin.series.arm(0);

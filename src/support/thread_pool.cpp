@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "support/telemetry.h"
+
 namespace fjs {
 
 namespace {
@@ -12,6 +14,15 @@ namespace {
 // from inside a worker. Null on non-pool threads.
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker = 0;
+
+// Pool telemetry is inherently timing-dependent (which thread steals what
+// varies run to run), so everything here is Stability::kTiming and stays
+// out of deterministic artifacts like the manifest telemetry block.
+telemetry::Counter g_tm_steals{"pool.steals", telemetry::Stability::kTiming};
+telemetry::Counter g_tm_help_iterations{"pool.helping_wait_iterations",
+                                        telemetry::Stability::kTiming};
+telemetry::Histogram g_tm_injection_depth{"pool.injection_depth",
+                                          telemetry::Stability::kTiming};
 
 }  // namespace
 
@@ -112,10 +123,13 @@ void ThreadPool::enqueue(detail::TaskNode* node) {
     cv_.notify_one();  // a sleeper may steal it (idle poll also covers this)
     return;
   }
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     injection_.push_back(node);
+    depth = injection_.size();
   }
+  g_tm_injection_depth.record(depth);
   cv_.notify_one();
 }
 
@@ -142,6 +156,7 @@ detail::TaskNode* ThreadPool::find_work() {
       continue;
     }
     if (detail::TaskNode* node = workers_[victim]->deque.steal()) {
+      g_tm_steals.increment();
       return node;
     }
   }
@@ -193,6 +208,7 @@ void ThreadPool::TaskGroup::drain() noexcept {
       continue;
     }
     // Our tasks are all in flight on other threads; give them the core.
+    g_tm_help_iterations.increment();
     if (++spins < 64) {
       std::this_thread::yield();
     } else {

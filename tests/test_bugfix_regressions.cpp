@@ -10,8 +10,12 @@
 #include <limits>
 #include <sstream>
 
+#include "analysis/instance_stats.h"
 #include "core/time.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
 #include "helpers.h"
+#include "offline/lower_bound.h"
 #include "schedulers/doubler.h"
 #include "schedulers/randomized.h"
 #include "schedulers/registry.h"
@@ -135,6 +139,17 @@ TEST(DoublerRegression, HugeArrivalDuringOpenWindowDoesNotOverflow) {
   EXPECT_TRUE(result.schedule.is_valid(result.instance));
 }
 
+TEST(TimeSaturating, SubClampsInsteadOfWrapping) {
+  EXPECT_EQ(Time(12).saturating_sub(Time(7)), Time(5));
+  EXPECT_EQ(Time(-3).saturating_sub(Time(4)), Time(-7));
+  EXPECT_EQ(Time::min().saturating_sub(Time(1)), Time::min());
+  EXPECT_EQ(Time::max().saturating_sub(Time(-1)), Time::max());
+  // rhs == Time::min() cannot be negated; the overflow branch must still
+  // pick the correct side of the clamp.
+  EXPECT_EQ(Time(1).saturating_sub(Time::min()), Time::max());
+  EXPECT_EQ(Time::zero().saturating_sub(Time::min()), Time::max());
+}
+
 TEST(TimeSaturating, AddAndMulClampInsteadOfWrapping) {
   EXPECT_EQ(Time::max().saturating_add(Time(1)), Time::max());
   EXPECT_EQ(Time::min().saturating_add(Time(-1)), Time::min());
@@ -143,6 +158,68 @@ TEST(TimeSaturating, AddAndMulClampInsteadOfWrapping) {
   EXPECT_EQ(Time::max().saturating_mul(-2), Time::min());
   EXPECT_EQ(Time(-3).saturating_mul(4), Time(-12));
   EXPECT_EQ(Time(8'074'744'658'794'000'000).saturating_mul(2), Time::max());
+}
+
+// Jobs whose latest completion d+p exceeds Time::max() used to slip into
+// instances and wrap deep inside the engine; the Instance constructor now
+// rejects them up front.
+TEST(InstanceRegression, RejectsJobWhoseLatestCompletionOverflows) {
+  InstanceBuilder builder;
+  builder.add_ticks(Time(0), Time::max(), Time(2));
+  EXPECT_THROW((void)builder.build(), AssertionError);
+}
+
+// Two near-max lengths overflow any unchecked total-work sum. The stats /
+// lower-bound paths used to route through checked_add and threw on exactly
+// the adversarial instances they exist to describe; they now saturate.
+TEST(StatsRegression, NearMaxLengthsSaturateInsteadOfThrowing) {
+  const std::int64_t huge = Time::max().ticks() - 5;
+  InstanceBuilder builder;
+  builder.add_ticks(Time(0), Time(0), Time(huge));
+  builder.add_ticks(Time(0), Time(3), Time(huge - 7));
+  const Instance inst = builder.build();
+
+  InstanceStats stats;
+  ASSERT_NO_THROW(stats = compute_instance_stats(inst));
+  EXPECT_EQ(stats.total_work, Time::max());  // saturated, not wrapped
+  EXPECT_EQ(stats.jobs, 2u);
+
+  Time lb;
+  ASSERT_NO_THROW(lb = best_lower_bound(inst));
+  EXPECT_GE(lb, Time(huge));  // the longest job alone
+
+  const auto eager = make_scheduler("eager");
+  const Time span = simulate_span(inst, *eager, /*clairvoyant=*/false);
+  EXPECT_LE(lb, span);
+}
+
+// Seed-replay pin through the extended fuzz generator: the huge-LENGTH
+// variant produces instances whose summed work overflows int64. Before the
+// saturating sweep, the ratio-bounds invariants below threw on them.
+TEST(StatsRegression, FuzzHugeLengthSeedsExerciseTheSaturatingPath) {
+  const FuzzGenConfig config;
+  std::size_t overflowing = 0;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    const Instance inst = generate_fuzz_instance(config, seed);
+    Time sum = Time::zero();
+    for (const Job& j : inst.jobs()) {
+      sum = sum.saturating_add(j.length);
+    }
+    if (sum < Time::max()) {
+      continue;  // no overflow on this seed
+    }
+    ++overflowing;
+    InstanceStats stats;
+    ASSERT_NO_THROW(stats = compute_instance_stats(inst)) << "seed " << seed;
+    EXPECT_EQ(stats.total_work, Time::max()) << "seed " << seed;
+    Time lb;
+    ASSERT_NO_THROW(lb = best_lower_bound(inst)) << "seed " << seed;
+    const auto eager = make_scheduler("eager");
+    EXPECT_LE(lb, simulate_span(inst, *eager, /*clairvoyant=*/false))
+        << "seed " << seed;
+  }
+  // The generator's huge-length variant must actually reach this path.
+  EXPECT_GT(overflowing, 5u);
 }
 
 TEST(ConformanceRegression, EveryRegisteredSchedulerPassesExtendedSuite) {

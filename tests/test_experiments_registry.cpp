@@ -16,6 +16,7 @@
 #include "experiments/runner.h"
 #include "support/assert.h"
 #include "support/json.h"
+#include "support/telemetry.h"
 
 namespace fjs::experiments {
 namespace {
@@ -210,7 +211,96 @@ TEST(Runner, RefusesToOverwriteExplicitRunId) {
   options.quiet = true;
   const auto selection = select_experiments({"e4"}, "");
   run_experiments(selection, options);
-  EXPECT_THROW(run_experiments(selection, options), AssertionError);
+  // The refusal must be loud AND actionable: the message points at --force.
+  try {
+    run_experiments(selection, options);
+    FAIL() << "second run with the same explicit run id did not throw";
+  } catch (const AssertionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--force"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Runner, ForceReplacesThePreviousRunDirectory) {
+  const fs::path root = fresh_dir("fjs_exp_force");
+  RunnerOptions options;
+  options.smoke = true;
+  options.jobs = 1;
+  options.out_root = root.string();
+  options.run_id = "run";
+  options.quiet = true;
+  const auto selection = select_experiments({"e4"}, "");
+  run_experiments(selection, options);
+
+  // Plant a stale artifact; --force must replace the whole directory, not
+  // merge into it.
+  const fs::path stale = root / "run" / "stale-artifact.txt";
+  std::ofstream(stale) << "left over from the previous run\n";
+  ASSERT_TRUE(fs::exists(stale));
+
+  options.force = true;
+  const RunReport report = run_experiments(selection, options);
+  EXPECT_TRUE(report.all_passed());
+  EXPECT_FALSE(fs::exists(stale)) << "--force merged instead of replacing";
+  EXPECT_TRUE(fs::exists(root / "run" / "manifest.json"));
+}
+
+TEST(Runner, TelemetryBlockIsByteStableAcrossSerialRuns) {
+  // The manifest's telemetry block carries only deterministic counters, so
+  // repeated --jobs 1 runs of the same selection must serialize it
+  // identically. The first run is excluded: process-lifetime warm-up
+  // (thread-local runner state) may legitimately differ.
+  const fs::path root = fresh_dir("fjs_exp_telemetry");
+  std::vector<std::string> blocks;
+  for (int i = 0; i < 3; ++i) {
+    RunnerOptions options;
+    options.smoke = true;
+    options.jobs = 1;
+    options.out_root = (root / ("r" + std::to_string(i))).string();
+    options.run_id = "run";
+    options.quiet = true;
+    run_experiments(select_experiments({"e2", "e3"}, ""), options);
+    const JsonValue manifest = JsonValue::parse(
+        read_file(fs::path(options.out_root) / "run" / "manifest.json"));
+    const JsonValue* telemetry = manifest.find("telemetry");
+    ASSERT_NE(telemetry, nullptr);
+    blocks.push_back(telemetry->dump());
+  }
+  EXPECT_EQ(blocks[1], blocks[2])
+      << "telemetry block differs between identical --jobs 1 runs";
+}
+
+TEST(Runner, TraceFileIsValidChromeTracingJson) {
+  const fs::path root = fresh_dir("fjs_exp_trace");
+  RunnerOptions options;
+  options.smoke = true;
+  options.jobs = 2;
+  options.out_root = root.string();
+  options.run_id = "run";
+  options.quiet = true;
+  options.trace_path = (root / "trace.json").string();
+  run_experiments(select_experiments({"e2", "e4"}, ""), options);
+
+  const JsonValue doc = JsonValue::parse(read_file(options.trace_path));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  if (telemetry::enabled()) {
+    ASSERT_GE(events->size(), 2u);  // one complete event per experiment
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const JsonValue& event = events->at(i);
+      EXPECT_FALSE(event.get("name").as_string().empty());
+      EXPECT_FALSE(event.get("ph").as_string().empty());
+      EXPECT_GE(event.get("ts").as_number(), 0.0);
+      (void)event.get("pid").as_number();
+      (void)event.get("tid").as_number();
+      names.insert(event.get("name").as_string());
+    }
+    EXPECT_TRUE(names.count("e2"));
+    EXPECT_TRUE(names.count("e4"));
+  } else {
+    EXPECT_EQ(events->size(), 0u);  // disabled builds emit an empty doc
+  }
 }
 
 // A registered experiment whose verdicts fail must fail the whole run

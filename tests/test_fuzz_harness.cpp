@@ -59,7 +59,8 @@ TEST(FuzzGenerator, EveryInstanceValidAndEdgeCasesCovered) {
   std::size_t one_tick_laxity = 0;
   std::size_t tied_arrivals = 0;
   std::size_t fractional = 0;
-  std::size_t huge = 0;
+  std::size_t huge_arrival = 0;
+  std::size_t huge_length = 0;
   std::size_t duplicates = 0;
   for (std::uint64_t seed = 1; seed <= 2'000; ++seed) {
     const Instance inst = generate_fuzz_instance(config, seed);
@@ -79,7 +80,8 @@ TEST(FuzzGenerator, EveryInstanceValidAndEdgeCasesCovered) {
                      j.length.ticks() % kUnit != 0)
                         ? 1
                         : 0;
-      huge += j.arrival > Time(Time::max().ticks() / 2) ? 1 : 0;
+      huge_arrival += j.arrival > Time(Time::max().ticks() / 2) ? 1u : 0u;
+      huge_length += j.length > Time(Time::max().ticks() / 2) ? 1u : 0u;
     }
     for (JobId a = 0; a < inst.size(); ++a) {
       for (JobId b = a + 1; b < inst.size(); ++b) {
@@ -97,16 +99,18 @@ TEST(FuzzGenerator, EveryInstanceValidAndEdgeCasesCovered) {
   EXPECT_GT(one_tick_laxity, 20u);
   EXPECT_GT(tied_arrivals, 100u);
   EXPECT_GT(fractional, 100u);
-  EXPECT_GT(huge, 10u);
+  EXPECT_GT(huge_arrival, 10u);
+  EXPECT_GT(huge_length, 10u);
   EXPECT_GT(duplicates, 50u);
 }
 
 TEST(FuzzOracles, StandardBatteryNamesAndCleanCorpus) {
   const std::vector<Oracle> oracles = standard_oracles();
   const std::size_t n_schedulers = scheduler_registry().size();
-  ASSERT_EQ(oracles.size(), 2 * n_schedulers + 2);
+  ASSERT_EQ(oracles.size(), 2 * n_schedulers + 3);
   EXPECT_EQ(oracles.front().name, "sched:eager");
   EXPECT_EQ(oracles[n_schedulers].name, "ckpt:eager");
+  EXPECT_EQ(oracles[oracles.size() - 3].name, "ratio-bounds");
   EXPECT_EQ(oracles[oracles.size() - 2].name, "offline-sandwich");
   EXPECT_EQ(oracles.back().name, "exact-vs-reference");
 
@@ -257,12 +261,84 @@ TEST(FuzzRepro, RoundTripsTickExactIncludingNearOverflow) {
   EXPECT_FALSE(parse_repro(stream2).shrunk.has_value());
 }
 
-TEST(FuzzRepro, ParseRejectsMalformedInput) {
-  std::stringstream bad1("not a repro\n");
-  EXPECT_THROW(parse_repro(bad1), AssertionError);
-  std::stringstream bad2("fjs-fuzz-repro v1\nseed 1\noracle x\ndetail y\n"
-                         "original 2\n0 0 1\n");
-  EXPECT_THROW(parse_repro(bad2), AssertionError);  // truncated job list
+/// Parses `text` expecting failure; returns the error message.
+std::string parse_error(const std::string& text) {
+  std::stringstream stream(text);
+  try {
+    (void)parse_repro(stream);
+  } catch (const AssertionError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "parse_repro accepted malformed input:\n" << text;
+  return {};
+}
+
+TEST(FuzzRepro, ParseRejectsMalformedInputWithLocation) {
+  // Every diagnostic names the 1-based line (and column where it applies).
+  EXPECT_NE(parse_error("not a repro\n").find("repro:1: bad header"),
+            std::string::npos);
+  EXPECT_NE(parse_error("").find("repro:1: empty file"), std::string::npos);
+
+  const std::string head = "fjs-fuzz-repro v1\nseed 7\noracle x\ndetail y\n";
+
+  // Truncated job list: error points past the last line and reports the
+  // expected/got counts.
+  const std::string truncated = parse_error(head + "original 2\n0 0 1\n");
+  EXPECT_NE(truncated.find("repro:7:"), std::string::npos) << truncated;
+  EXPECT_NE(truncated.find("expected 2 jobs, got 1"), std::string::npos)
+      << truncated;
+
+  // Bad seed token: line and column (column counts the 'seed ' prefix).
+  const std::string bad_seed =
+      parse_error("fjs-fuzz-repro v1\nseed -3\noracle x\ndetail y\n"
+                  "original 1\n0 0 1\n");
+  EXPECT_NE(bad_seed.find("repro:2:6:"), std::string::npos) << bad_seed;
+  EXPECT_NE(bad_seed.find("non-negative"), std::string::npos) << bad_seed;
+
+  // Trailing junk inside a numeric field is pinpointed at the junk.
+  const std::string junk = parse_error(head + "original 1\n0 0 1x\n");
+  EXPECT_NE(junk.find("repro:6:6:"), std::string::npos) << junk;
+  EXPECT_NE(junk.find("trailing junk in length"), std::string::npos) << junk;
+
+  // Wrong field count on a job line.
+  const std::string fields = parse_error(head + "original 1\n0 0\n");
+  EXPECT_NE(fields.find("repro:6:"), std::string::npos) << fields;
+  EXPECT_NE(fields.find("got 2 fields"), std::string::npos) << fields;
+
+  // A corrupt count must fail fast, not reserve() gigabytes.
+  const std::string count =
+      parse_error(head + "original 99999999999\n0 0 1\n");
+  EXPECT_NE(count.find("repro:5:"), std::string::npos) << count;
+  EXPECT_NE(count.find("exceeds the repro limit"), std::string::npos) << count;
+
+  // Trailing garbage after the original (non-shrunk) section.
+  const std::string garbage =
+      parse_error(head + "original 1\n0 0 1\nwhatever\n");
+  EXPECT_NE(garbage.find("repro:7:"), std::string::npos) << garbage;
+  EXPECT_NE(garbage.find("expected 'shrunk <count>' or end of file"),
+            std::string::npos)
+      << garbage;
+
+  // Trailing garbage after the shrunk section.
+  const std::string after_shrunk = parse_error(
+      head + "original 1\n0 0 1\nshrunk 1\n0 0 1\ntrailing\n");
+  EXPECT_NE(after_shrunk.find("repro:9:"), std::string::npos) << after_shrunk;
+  EXPECT_NE(after_shrunk.find("trailing garbage after the shrunk"),
+            std::string::npos)
+      << after_shrunk;
+
+  // Jobs that parse but violate the instance invariants point back at the
+  // section header.
+  const std::string invalid = parse_error(head + "original 1\n5 0 1\n");
+  EXPECT_NE(invalid.find("repro:5:"), std::string::npos) << invalid;
+  EXPECT_NE(invalid.find("not a valid instance"), std::string::npos)
+      << invalid;
+
+  // Comments and blank lines are skipped but still counted for locations.
+  const std::string commented = parse_error(
+      "# saved by fjs_fuzz\n\nfjs-fuzz-repro v1\nseed 7\noracle x\n"
+      "detail y\noriginal 1\nbogus 0 1\n");
+  EXPECT_NE(commented.find("repro:8:"), std::string::npos) << commented;
 }
 
 FuzzOptions synthetic_options() {
