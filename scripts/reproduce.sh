@@ -18,6 +18,11 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 mkdir -p fuzz_repros
 build/src/fuzz/fjs_fuzz --smoke --repro-dir fuzz_repros 2>&1 | tee -a test_output.txt
 
+# Static-analysis gate: clang-tidy over src/ against the checked-in
+# suppression baseline (.clang-tidy + scripts/clang_tidy_baseline.txt).
+# Skips with a warning where clang-tidy is not installed.
+scripts/run_clang_tidy.sh 2>&1 | tee -a test_output.txt
+
 # Sanitizer smoke: the offline certification stack (exact solver, bounds,
 # miner, differential pins) plus the fuzz harness under ASan+UBSan. Fast
 # mode — only the tests whose memory behavior recent PRs changed, not the

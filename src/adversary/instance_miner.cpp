@@ -8,7 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "core/schedule.h"
+#include "core/job_table.h"
 #include "offline/exact.h"
 #include "offline/lower_bound.h"
 #include "schedulers/registry.h"
@@ -36,29 +36,45 @@ telemetry::Counter g_tm_budget_skips{"miner.budget_skips",
 
 namespace {
 
-Instance random_instance(Rng& rng, const MinerOptions& options) {
-  InstanceBuilder builder;
+void random_table(Rng& rng, const MinerOptions& options, JobTable& table) {
+  table.clear();
+  table.reserve(options.jobs);
   for (std::size_t i = 0; i < options.jobs; ++i) {
     const auto a = static_cast<double>(rng.uniform_int(0, options.horizon));
     const auto lax =
         static_cast<double>(rng.uniform_int(0, options.max_laxity));
     const auto p = static_cast<double>(rng.uniform_int(1, options.max_length));
-    builder.add_lax(a, lax, p);
+    table.push_back(Time::from_units(a), Time::from_units(a + lax),
+                    Time::from_units(p));
   }
-  return builder.build();
 }
 
-/// One unit-grained tweak of a random job's arrival, laxity or length.
+/// One candidate: either a fresh seed table or a single-row patch against
+/// the round's shared parent table. Patches never copy the parent — they
+/// are applied to a per-thread scratch table at evaluation time and undone
+/// right after, so a hill-climbing round performs no per-candidate copy
+/// and re-validates nothing (mutations keep every row valid by clamping).
+struct Candidate {
+  bool is_seed = false;
+  JobTable table;  ///< seeds only; empty for patches
+  // Patch payload: the NEW row values for `victim`.
+  JobId victim = kInvalidJob;
+  Time arrival;
+  Time deadline;
+  Time length;
+};
+
+/// One unit-grained tweak of a random job's arrival, laxity or length,
+/// recorded as a patch (the parent table is not touched).
 /// `earliest_affected` receives the earliest event time the tweak can
 /// influence: the mutated job is invisible to the run before it arrives in
 /// EITHER version, so min(old arrival, new arrival) bounds every affected
 /// event (deadline/length changes are observed no earlier than arrival).
-Instance mutate(const Instance& instance, Rng& rng,
-                const MinerOptions& options, Time* earliest_affected) {
-  std::vector<Job> jobs(instance.jobs().begin(), instance.jobs().end());
+Candidate mutate(const JobTable& parent, Rng& rng, const MinerOptions& options,
+                 Time* earliest_affected) {
   const auto victim = static_cast<std::size_t>(
-      rng.uniform_int(0, static_cast<std::int64_t>(jobs.size()) - 1));
-  Job& j = jobs[victim];
+      rng.uniform_int(0, static_cast<std::int64_t>(parent.size()) - 1));
+  Job j = parent.job(static_cast<JobId>(victim));
   const Time old_arrival = j.arrival;
   const Time unit(Time::kTicksPerUnit);
   switch (rng.uniform_int(0, 3)) {
@@ -106,7 +122,12 @@ Instance mutate(const Instance& instance, Rng& rng,
   if (earliest_affected != nullptr) {
     *earliest_affected = std::min(old_arrival, j.arrival);
   }
-  return Instance(std::move(jobs));
+  Candidate c;
+  c.victim = static_cast<JobId>(victim);
+  c.arrival = j.arrival;
+  c.deadline = j.deadline;
+  c.length = j.length;
+  return c;
 }
 
 /// Memo key: the exact job list in tick units. Mutations preserve job
@@ -125,19 +146,34 @@ struct MemoKeyHash {
   }
 };
 
-void fill_memo_key(const Instance& instance, MemoKey& key) {
+/// Builds the candidate's job list without materializing it: seed tables
+/// are read directly, patches read the parent with the victim row swapped.
+void fill_memo_key(const JobTable& parent, const Candidate& c, MemoKey& key) {
   key.clear();
-  key.reserve(instance.size() * 3);
-  for (const Job& j : instance.jobs()) {
-    key.push_back(j.arrival.ticks());
-    key.push_back(j.deadline.ticks());
-    key.push_back(j.length.ticks());
+  const InstanceView v = c.is_seed ? c.table.view() : parent.view();
+  key.reserve(v.size() * 3);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const auto id = static_cast<JobId>(i);
+    if (!c.is_seed && id == c.victim) {
+      key.push_back(c.arrival.ticks());
+      key.push_back(c.deadline.ticks());
+      key.push_back(c.length.ticks());
+    } else {
+      key.push_back(v.arrival(id).ticks());
+      key.push_back(v.deadline(id).ticks());
+      key.push_back(v.length(id).ticks());
+    }
   }
 }
 
 using HintedObjective =
-    std::function<double(const Instance&, double threshold,
+    std::function<double(InstanceView, double threshold,
                          Time earliest_affected)>;
+
+/// Monotone batch stamp: each evaluate() call gets a globally unique epoch
+/// so a worker's thread-local scratch table knows when to resync with the
+/// batch's parent (unique across concurrent mines sharing a pool).
+std::atomic<std::uint64_t> g_scratch_epoch{0};
 
 /// Evaluates candidate batches: dedupes against the memo, runs the misses
 /// through parallel_map when a pool is attached, and hands values back in
@@ -146,17 +182,24 @@ using HintedObjective =
 /// and the objective is deterministic. `hints[i]` is candidate i's
 /// earliest-affected-event annotation (Time::max() = none); it rides along
 /// to the objective and may not change any value.
+///
+/// Patch candidates are served from a per-thread scratch JobTable: copied
+/// from the parent once per (thread, batch), then mutate → evaluate over
+/// the scratch view → restore, so the steady state allocates nothing and
+/// no Instance is ever materialized for a rejected candidate.
 class BatchEvaluator {
  public:
   BatchEvaluator(const HintedObjective& objective,
                  const MinerOptions& options)
       : objective_(objective), options_(options) {}
 
-  std::vector<double> evaluate(const std::vector<Instance>& batch,
+  std::vector<double> evaluate(const JobTable& parent,
+                               const std::vector<Candidate>& batch,
                                const std::vector<Time>& hints,
                                double threshold) {
     FJS_REQUIRE(hints.size() == batch.size(),
                 "miner: one hint per candidate");
+    epoch_ = g_scratch_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
     std::vector<std::size_t> misses;  // first occurrence of each unknown key
     misses.reserve(batch.size());
     std::vector<double*> slots;  // memo cell per candidate; stable under
@@ -167,7 +210,7 @@ class BatchEvaluator {
         // One hash walk per candidate: try_emplace reserves the cell for a
         // miss (so an intra-batch duplicate is a hit) and finds it for a
         // hit; both paths hand back the cell the fill/read below uses.
-        fill_memo_key(batch[i], key_scratch_);
+        fill_memo_key(parent, batch[i], key_scratch_);
         const auto [it, inserted] = memo_.try_emplace(key_scratch_, kPending);
         slots[i] = &it->second;
         if (inserted) {
@@ -185,13 +228,14 @@ class BatchEvaluator {
       fresh = parallel_map(
           *options_.pool, misses.size(),
           [&, threshold](std::size_t m) {
-            return objective_(batch[misses[m]], threshold, hints[misses[m]]);
+            return eval_one(parent, batch[misses[m]], threshold,
+                            hints[misses[m]]);
           },
           ChunkPolicy::kDynamic);
     } else {
       fresh.reserve(misses.size());
       for (const std::size_t m : misses) {
-        fresh.push_back(objective_(batch[m], threshold, hints[m]));
+        fresh.push_back(eval_one(parent, batch[m], threshold, hints[m]));
       }
     }
     if (!options_.use_objective_memo) {
@@ -215,8 +259,32 @@ class BatchEvaluator {
  private:
   static constexpr double kPending = 0.0;  // placeholder until filled above
 
+  double eval_one(const JobTable& parent, const Candidate& c,
+                  double threshold, Time hint) const {
+    if (c.is_seed) {
+      return objective_(c.table.view(), threshold, hint);
+    }
+    // Scratch resyncs on the first patch of each batch this thread sees
+    // (column assignment reuses capacity: no allocation at steady state).
+    struct Scratch {
+      std::uint64_t epoch = 0;
+      JobTable table;
+    };
+    thread_local Scratch scratch;
+    if (scratch.epoch != epoch_) {
+      scratch.table = parent;
+      scratch.epoch = epoch_;
+    }
+    const JobTable::Undo undo = scratch.table.undo_record(c.victim);
+    scratch.table.set(c.victim, c.arrival, c.deadline, c.length);
+    const double value = objective_(scratch.table.view(), threshold, hint);
+    scratch.table.restore(undo);
+    return value;
+  }
+
   const HintedObjective& objective_;
   const MinerOptions& options_;
+  std::uint64_t epoch_ = 0;
   std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
   MemoKey key_scratch_;  // reused per candidate; copied only on insert
   std::size_t memo_hits_ = 0;
@@ -247,6 +315,20 @@ MinerResult mine_instance(
 MinerResult mine_instance(
     const std::function<double(const Instance&, double, Time)>& objective,
     MinerOptions options) {
+  // Compatibility bridge: materialize an owning Instance per fresh
+  // evaluation. Objectives on the hot path take InstanceView instead.
+  return mine_instance(
+      HintedObjective([&objective](InstanceView view, double threshold,
+                                   Time earliest_affected) {
+        return objective(Instance(JobTable(view)), threshold,
+                         earliest_affected);
+      }),
+      std::move(options));
+}
+
+MinerResult mine_instance(
+    const std::function<double(InstanceView, double, Time)>& objective,
+    MinerOptions options) {
   FJS_REQUIRE(options.population >= 1, "miner: population must be >= 1");
   FJS_REQUIRE(options.jobs >= 1, "miner: jobs must be >= 1");
   Rng rng(options.seed);
@@ -258,10 +340,23 @@ MinerResult mine_instance(
   // first strict improvement in proposal order reproduces the original
   // running-max selection exactly, so trajectories are bit-identical to the
   // serial miner's for any pool size.
-  std::vector<Instance> batch;
+  //
+  // The incumbent lives as a bare JobTable: accepted patches are applied
+  // in place (one row store) and an owning Instance is materialized only
+  // once, for the final mined result.
+  JobTable parent;
+  std::vector<Candidate> batch;
   batch.reserve(std::max(options.population, options.mutations_per_round));
   std::vector<Time> hints;  // earliest-affected annotation per candidate
   hints.reserve(batch.capacity());
+
+  auto adopt = [&parent](Candidate& c) {
+    if (c.is_seed) {
+      parent = std::move(c.table);
+    } else {
+      parent.set(c.victim, c.arrival, c.deadline, c.length);
+    }
+  };
 
   // Seeding round, in fixed sub-batches with a progressively rising
   // threshold: after each sub-batch the running max becomes the next
@@ -275,7 +370,6 @@ MinerResult mine_instance(
   // boundaries, thresholds and therefore every value are the same for any
   // thread count.
   constexpr std::size_t kSeedChunk = 8;
-  Instance best;
   double best_ratio = 0.0;
   bool have_best = false;
   std::vector<double> values;
@@ -286,17 +380,28 @@ MinerResult mine_instance(
     const std::size_t count =
         std::min(kSeedChunk, options.population - seeded);
     for (std::size_t i = 0; i < count; ++i) {
-      batch.push_back(random_instance(rng, options));
+      Candidate c;
+      c.is_seed = true;
+      random_table(rng, options, c.table);
+      batch.push_back(std::move(c));
       hints.push_back(Time::max());  // seeds share no parent: no hint
     }
-    values = evaluator.evaluate(batch, hints, have_best ? best_ratio : 0.0);
+    values = evaluator.evaluate(parent, batch, hints,
+                                have_best ? best_ratio : 0.0);
     result.evaluations += batch.size();
+    // Deferred adoption of the running strict max — the surviving index is
+    // the first occurrence of the sub-batch max, exactly what adopting
+    // each improvement in turn would have left behind.
+    std::size_t pick = count;
     for (std::size_t i = 0; i < count; ++i) {
       if (!have_best || values[i] > best_ratio) {
-        best = std::move(batch[i]);
         best_ratio = values[i];
         have_best = true;
+        pick = i;
       }
+    }
+    if (pick != count) {
+      adopt(batch[pick]);
     }
   }
   result.trajectory.push_back(best_ratio);
@@ -307,14 +412,14 @@ MinerResult mine_instance(
     hints.clear();
     for (std::size_t m = 0; m < options.mutations_per_round; ++m) {
       Time earliest_affected = Time::max();
-      batch.push_back(mutate(best, rng, options, &earliest_affected));
+      batch.push_back(mutate(parent, rng, options, &earliest_affected));
       hints.push_back(earliest_affected);
     }
     // Freeze the threshold at the incumbent before the batch: a candidate
     // that cannot beat it may be settled cheaply (see header contract),
     // and the threshold only ever grows, which keeps memoized settled
     // values unselectable in every later round.
-    values = evaluator.evaluate(batch, hints, best_ratio);
+    values = evaluator.evaluate(parent, batch, hints, best_ratio);
     result.evaluations += batch.size();
     std::size_t pick = batch.size();
     double round_ratio = best_ratio;
@@ -325,13 +430,14 @@ MinerResult mine_instance(
       }
     }
     if (pick != batch.size()) {
-      best = std::move(batch[pick]);
+      adopt(batch[pick]);
       best_ratio = round_ratio;
     }
     result.trajectory.push_back(best_ratio);
   }
 
-  result.worst_instance = std::move(best);
+  // The one owning materialization of the whole mine (validates once).
+  result.worst_instance = Instance(std::move(parent));
   result.worst_ratio = best_ratio;
   result.memo_hits = evaluator.memo_hits();
   return result;
@@ -349,9 +455,9 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
   };
   auto prefix = std::make_shared<PrefixCounters>();
   MinerResult result = mine_instance(
-      [&scheduler_key, clairvoyant, budget_skips, prefix](
-          const Instance& instance, double threshold,
-          Time earliest_affected) {
+      HintedObjective([&scheduler_key, clairvoyant, budget_skips, prefix](
+                          InstanceView view, double threshold,
+                          Time earliest_affected) {
         // Per-thread replay state: the portfolio runner amortizes engine
         // setup across candidates, and the scheduler object is rebuilt
         // only when the mined key changes on this thread.
@@ -373,8 +479,8 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
                                     /*include_nonclairvoyant=*/true);
         const PrefixReplayStats before = runner.prefix_stats();
         const Time span = runner.run_span(
-            instance, PortfolioEntry{scheduler.get(), clairvoyant}, &starts,
-            PortfolioOptions{}, earliest_affected);
+            view, PortfolioEntry{scheduler.get(), clairvoyant}, &starts,
+            earliest_affected);
         const PrefixReplayStats& after = runner.prefix_stats();
         prefix->hits.fetch_add(after.hits - before.hits,
                                std::memory_order_relaxed);
@@ -393,15 +499,15 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
         // costs an IntervalSet, the chain bound a Pareto map — later
         // stages only run when the cheaper bound failed to settle.
         if (threshold > 0.0) {
-          Time lb = max_length_lower_bound(instance);
+          Time lb = max_length_lower_bound(view);
           if (lb > Time::zero() && time_ratio(span, lb) <= threshold) {
             return time_ratio(span, lb);
           }
-          lb = std::max(lb, mandatory_lower_bound(instance));
+          lb = std::max(lb, mandatory_lower_bound(view));
           if (lb > Time::zero() && time_ratio(span, lb) <= threshold) {
             return time_ratio(span, lb);
           }
-          lb = std::max(lb, chain_lower_bound(instance));
+          lb = std::max(lb, chain_lower_bound(view));
           if (lb > Time::zero() && time_ratio(span, lb) <= threshold) {
             return time_ratio(span, lb);
           }
@@ -433,7 +539,7 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
           }
           exact_options.decision_floor = Time(floor_ticks);
         }
-        const ExactResult opt = exact_optimal(instance, exact_options);
+        const ExactResult opt = exact_optimal(view, exact_options);
         if (opt.status == ExactStatus::kFloorProven) {
           // OPT >= floor proven: ratio <= span/floor <= threshold, so the
           // candidate can never be selected — settle it with that bound.
@@ -447,7 +553,7 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
           return 0.0;
         }
         return time_ratio(span, opt.span);
-      },
+      }),
       options);
   result.budget_skips = budget_skips->load(std::memory_order_relaxed);
   result.prefix_hits = prefix->hits.load(std::memory_order_relaxed);

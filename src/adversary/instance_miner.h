@@ -118,4 +118,17 @@ MinerResult mine_instance(
                                Time earliest_affected)>& objective,
     MinerOptions options = {});
 
+/// Columnar core all overloads funnel into: the objective reads the
+/// candidate through a non-owning InstanceView over the miner's mutation
+/// scratch table — no Instance is materialized for rejected candidates
+/// (the miner applies each single-row patch in place with an undo record
+/// and keeps the incumbent as a bare JobTable; the one owning Instance is
+/// built for the final result). The Instance-objective overloads above
+/// bridge by materializing per fresh evaluation; hot objectives
+/// (mine_worst_case's certification loop) use this form directly.
+MinerResult mine_instance(
+    const std::function<double(InstanceView view, double threshold,
+                               Time earliest_affected)>& objective,
+    MinerOptions options = {});
+
 }  // namespace fjs

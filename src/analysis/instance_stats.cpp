@@ -11,23 +11,20 @@
 
 namespace fjs {
 
-InstanceStats compute_instance_stats(const Instance& instance) {
-  FJS_REQUIRE(!instance.empty(), "instance stats: empty instance");
+InstanceStats compute_instance_stats(InstanceView view) {
+  FJS_REQUIRE(!view.empty(), "instance stats: empty instance");
   InstanceStats stats;
-  stats.jobs = instance.size();
-  stats.mu = instance.mu();
+  stats.jobs = view.size();
+  stats.mu = view.mu();
   // Saturating sum, unlike Instance::total_work(): stats are descriptive
   // output and must survive adversarial-magnitude instances (near-max
   // lengths) where the checked sum would abort the whole report.
-  Time total = Time::zero();
-  for (const Job& j : instance.jobs()) {
-    total = total.saturating_add(j.length);
-  }
-  stats.total_work = total;
+  stats.total_work = view.total_work_saturating();
   std::size_t rigid = 0;
-  Time first_arrival = instance.earliest_arrival();
+  Time first_arrival = view.earliest_arrival();
   Time last_arrival = first_arrival;
-  for (const Job& j : instance.jobs()) {
+  for (JobId id = 0; id < view.size(); ++id) {
+    const Job j = view.job(id);
     stats.lengths.add(j.length.to_units());
     stats.laxities.add(j.laxity().to_units());
     stats.laxity_over_length.add(time_ratio(j.laxity(), j.length));
@@ -39,12 +36,11 @@ InstanceStats compute_instance_stats(const Instance& instance) {
   // Saturating: arrivals may sit anywhere in [min, max] (shift transforms
   // go negative), so these differences can exceed the representable range.
   stats.arrival_horizon = last_arrival.saturating_sub(first_arrival);
-  const Time window =
-      instance.latest_completion().saturating_sub(first_arrival);
+  const Time window = view.latest_completion().saturating_sub(first_arrival);
   stats.load_factor =
       window > Time::zero() ? time_ratio(stats.total_work, window) : 0.0;
   stats.rigid_fraction =
-      static_cast<double>(rigid) / static_cast<double>(instance.size());
+      static_cast<double>(rigid) / static_cast<double>(view.size());
   return stats;
 }
 

@@ -1,129 +1,43 @@
 #include "core/instance.h"
 
-#include <algorithm>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
 #include "support/assert.h"
 
 namespace fjs {
 
-Instance::Instance(std::vector<Job> jobs) : jobs_(std::move(jobs)) {
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    jobs_[i].id = static_cast<JobId>(i);
-    FJS_REQUIRE(jobs_[i].valid(),
-                "Instance: invalid job " + jobs_[i].to_string());
-    // d + p must be representable: a job may legally start at its
-    // starting deadline, so its completion reaches d + p. Enforcing this
-    // here makes latest_completion() and the engine's completion pushes
-    // provably overflow-free (length > 0 keeps max() - length safe).
-    FJS_REQUIRE(jobs_[i].deadline <= Time::max() - jobs_[i].length,
-                "Instance: job " + jobs_[i].to_string() +
-                    " has deadline + length past Time::max()");
-  }
+Instance::Instance(std::vector<Job> jobs) : table_(jobs) {
+  validate_and_cache();
 }
 
-double Instance::mu() const {
-  FJS_REQUIRE(!jobs_.empty(), "mu of empty instance");
-  return time_ratio(max_length(), min_length());
+Instance::Instance(JobTable table) : table_(std::move(table)) {
+  validate_and_cache();
 }
 
-Time Instance::min_length() const {
-  FJS_REQUIRE(!jobs_.empty(), "min_length of empty instance");
-  Time m = jobs_.front().length;
-  for (const auto& j : jobs_) {
-    m = std::min(m, j.length);
+void Instance::validate_and_cache() {
+  const InstanceView v = table_.view();
+  v.validate();
+  if (v.empty()) {
+    return;
   }
-  return m;
-}
-
-Time Instance::max_length() const {
-  FJS_REQUIRE(!jobs_.empty(), "max_length of empty instance");
-  Time m = jobs_.front().length;
-  for (const auto& j : jobs_) {
-    m = std::max(m, j.length);
-  }
-  return m;
-}
-
-Time Instance::total_work() const {
-  Time total = Time::zero();
-  for (const auto& j : jobs_) {
-    total = total.checked_add(j.length);
-  }
-  return total;
-}
-
-Time Instance::earliest_arrival() const {
-  FJS_REQUIRE(!jobs_.empty(), "earliest_arrival of empty instance");
-  Time m = jobs_.front().arrival;
-  for (const auto& j : jobs_) {
-    m = std::min(m, j.arrival);
-  }
-  return m;
-}
-
-Time Instance::latest_completion() const {
-  FJS_REQUIRE(!jobs_.empty(), "latest_completion of empty instance");
-  Time m = Time::min();
-  for (const auto& j : jobs_) {
-    m = std::max(m, j.deadline.checked_add(j.length));
-  }
-  return m;
-}
-
-std::vector<JobId> Instance::ids_by_arrival() const {
-  std::vector<JobId> ids(jobs_.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    ids[i] = static_cast<JobId>(i);
-  }
-  std::sort(ids.begin(), ids.end(), [this](JobId a, JobId b) {
-    if (jobs_[a].arrival != jobs_[b].arrival) {
-      return jobs_[a].arrival < jobs_[b].arrival;
-    }
-    return a < b;
-  });
-  return ids;
-}
-
-std::vector<JobId> Instance::ids_by_deadline() const {
-  std::vector<JobId> ids(jobs_.size());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    ids[i] = static_cast<JobId>(i);
-  }
-  std::sort(ids.begin(), ids.end(), [this](JobId a, JobId b) {
-    if (jobs_[a].deadline != jobs_[b].deadline) {
-      return jobs_[a].deadline < jobs_[b].deadline;
-    }
-    return a < b;
-  });
-  return ids;
-}
-
-bool Instance::is_multiple_of(Time quantum) const {
-  FJS_REQUIRE(quantum > Time::zero(), "is_multiple_of: quantum must be > 0");
-  for (const auto& j : jobs_) {
-    if (j.arrival.ticks() % quantum.ticks() != 0 ||
-        j.deadline.ticks() % quantum.ticks() != 0 ||
-        j.length.ticks() % quantum.ticks() != 0) {
-      return false;
-    }
-  }
-  return true;
-}
-
-std::string Instance::to_string() const {
-  std::ostringstream os;
-  for (const auto& j : jobs_) {
-    os << j.to_string() << '\n';
-  }
-  return os.str();
+  // One pass over the columns; accessors then serve the cached values.
+  // total_work saturates here instead of throwing so that near-max
+  // instances still construct — total_work() reports the overflow lazily,
+  // matching the old per-call checked_add behavior.
+  min_length_ = v.min_length();
+  max_length_ = v.max_length();
+  mu_ = time_ratio(max_length_, min_length_);
+  earliest_arrival_ = v.earliest_arrival();
+  latest_completion_ = v.latest_completion();
+  total_work_ = v.total_work_saturating(&total_work_overflow_);
 }
 
 void Instance::write(std::ostream& os) const {
-  os << jobs_.size() << '\n';
-  for (const auto& j : jobs_) {
+  const InstanceView v = view();
+  os << v.size() << '\n';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Job j = v.job(static_cast<JobId>(i));
     os << j.arrival.to_string() << ' ' << j.deadline.to_string() << ' '
        << j.length.to_string() << '\n';
   }
@@ -132,20 +46,18 @@ void Instance::write(std::ostream& os) const {
 Instance Instance::parse(std::istream& is) {
   std::size_t n = 0;
   FJS_REQUIRE(static_cast<bool>(is >> n), "Instance::parse: bad count");
-  std::vector<Job> jobs;
-  jobs.reserve(n);
+  JobTable table;
+  table.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     double a = 0.0;
     double d = 0.0;
     double p = 0.0;
     FJS_REQUIRE(static_cast<bool>(is >> a >> d >> p),
                 "Instance::parse: bad job line");
-    jobs.push_back(Job{.id = static_cast<JobId>(i),
-                       .arrival = Time::from_units(a),
-                       .deadline = Time::from_units(d),
-                       .length = Time::from_units(p)});
+    table.push_back(Time::from_units(a), Time::from_units(d),
+                    Time::from_units(p));
   }
-  return Instance(std::move(jobs));
+  return Instance(std::move(table));
 }
 
 InstanceBuilder& InstanceBuilder::add(double arrival, double deadline,
@@ -156,9 +68,7 @@ InstanceBuilder& InstanceBuilder::add(double arrival, double deadline,
 
 InstanceBuilder& InstanceBuilder::add_ticks(Time arrival, Time deadline,
                                             Time length) {
-  jobs_.push_back(
-      Job{.id = kInvalidJob, .arrival = arrival, .deadline = deadline,
-          .length = length});
+  table_.push_back(arrival, deadline, length);
   return *this;
 }
 
@@ -167,6 +77,6 @@ InstanceBuilder& InstanceBuilder::add_lax(double arrival, double laxity,
   return add(arrival, arrival + laxity, length);
 }
 
-Instance InstanceBuilder::build() { return Instance(std::move(jobs_)); }
+Instance InstanceBuilder::build() { return Instance(std::move(table_)); }
 
 }  // namespace fjs

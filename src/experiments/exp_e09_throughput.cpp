@@ -192,7 +192,9 @@ void miner_legacy(benchmark::State& state) {
 // solver's noise hides it end to end.
 void miner_incremental(benchmark::State& state) {
   const Instance base = bench_instance(1'000, 13);
-  std::vector<Job> jobs(base.jobs().begin(), base.jobs().end());
+  // The miner's real substrate: a mutation scratch table replayed through
+  // the view path — no Instance is materialized per candidate.
+  JobTable table{base.view()};
   const auto scheduler = make_scheduler("batch+");
   const PortfolioEntry entry{scheduler.get(),
                              scheduler->requires_clairvoyance()};
@@ -203,20 +205,21 @@ void miner_incremental(benchmark::State& state) {
   runner.enable_prefix_replay(EngineCheckpointSeries::kDefaultSlots,
                               /*include_nonclairvoyant=*/true);
   Rng rng(29);
-  runner.run_span(Instance(jobs), entry);  // seed the checkpoint lineage
+  runner.run_span(table.view(), entry);  // seed the checkpoint lineage
   const std::int64_t unit = Time::kTicksPerUnit;
   std::size_t sims = 0;
   for (auto _ : state) {
-    const auto victim = static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(jobs.size()) - 1));
-    Job& job = jobs[victim];
+    const auto victim = static_cast<JobId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(table.size()) - 1));
+    const Job job = table.job(victim);
     const Time old_arrival = job.arrival;
     const std::int64_t jitter = rng.uniform_int(-unit, unit);
-    job.arrival = Time(std::max<std::int64_t>(0, job.arrival.ticks() + jitter));
-    job.deadline = std::max(job.deadline, job.arrival);
-    const Time hint = std::min(old_arrival, job.arrival);
+    const Time arrival(
+        std::max<std::int64_t>(0, job.arrival.ticks() + jitter));
+    table.set(victim, arrival, std::max(job.deadline, arrival), job.length);
+    const Time hint = std::min(old_arrival, arrival);
     benchmark::DoNotOptimize(
-        runner.run_span(Instance(jobs), entry, nullptr, {}, hint));
+        runner.run_span(table.view(), entry, nullptr, hint));
     ++sims;
   }
   const PrefixReplayStats stats = runner.prefix_stats();
@@ -226,6 +229,52 @@ void miner_incremental(benchmark::State& state) {
       static_cast<double>(sims > 0 ? sims : 1));
   state.SetLabel("mutated replays; " + std::to_string(stats.hits) + " hits / " +
                  std::to_string(stats.misses) + " misses");
+}
+
+// Columnar lowering in isolation: one warm PreparedInstance re-lowering
+// the same 1000-job view every iteration — the per-candidate fixed cost
+// of every shared-timeline replay (arrival sort fast path + record build,
+// zero steady-state allocations).
+void prepare_view(benchmark::State& state) {
+  const Instance inst = bench_instance(1'000, 11);
+  const InstanceView view = inst.view();
+  PreparedInstance prepared;
+  prepared.prepare(view);  // warm the internal buffers
+  std::size_t lowered = 0;
+  for (auto _ : state) {
+    prepared.prepare(view);
+    benchmark::DoNotOptimize(prepared.records().data());
+    lowered += prepared.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(lowered));
+  state.SetLabel("jobs lowered/iteration");
+}
+
+// Pins the release-path access contract (docs/DATA_MODEL.md): the
+// unchecked InstanceView column reads the solver/engine hot loops use vs
+// the checked Instance::job() row lookup. The two curves document why the
+// hot loops hoist a view.
+void view_access(benchmark::State& state, bool checked) {
+  const Instance inst = bench_instance(10'000, 21);
+  const InstanceView view = inst.view();
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    if (checked) {
+      for (JobId id = 0; id < inst.size(); ++id) {
+        const Job j = inst.job(id);
+        acc += j.arrival.ticks() + j.deadline.ticks() + j.length.ticks();
+      }
+    } else {
+      for (JobId id = 0; id < view.size(); ++id) {
+        acc += view.arrival(id).ticks() + view.deadline(id).ticks() +
+               view.length(id).ticks();
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(inst.size()));
+  state.SetLabel("column reads");
 }
 
 // Annealing neighbor-evaluation throughput on a 2048-job instance: the
@@ -416,6 +465,14 @@ void register_benchmarks(bool smoke) {
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("BM_MinerIncremental", miner_incremental)
         ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark("BM_PrepareView", prepare_view)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "BM_ViewAccess/unchecked",
+        [](benchmark::State& state) { view_access(state, false); });
+    benchmark::RegisterBenchmark(
+        "BM_ViewAccess/checked",
+        [](benchmark::State& state) { view_access(state, true); });
     benchmark::RegisterBenchmark(
         "BM_AnnealFull",
         [](benchmark::State& state) { anneal(state, /*incremental=*/false); })

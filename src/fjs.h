@@ -4,6 +4,8 @@
 // quick experiments and downstream prototyping.
 #pragma once
 
+#include "analysis/convergence.h"
+#include "analysis/flag_forest.h"
 #include "analysis/gantt.h"
 #include "analysis/instance_stats.h"
 #include "analysis/ratio.h"
@@ -18,7 +20,9 @@
 #include "core/interval.h"
 #include "core/interval_set.h"
 #include "core/job.h"
+#include "core/job_table.h"
 #include "core/schedule.h"
+#include "core/span_tracker.h"
 #include "core/time.h"
 #include "busytime/busytime.h"
 #include "dbp/packing.h"
@@ -41,10 +45,13 @@
 #include "sim/conformance.h"
 #include "sim/engine.h"
 #include "sim/length_oracle.h"
+#include "sim/portfolio.h"
 #include "sim/scheduler.h"
 #include "sim/source.h"
 #include "sim/trace.h"
 #include "sim/trace_check.h"
+#include "support/object_pool.h"
+#include "support/telemetry.h"
 #include "offline/annealing.h"
 #include "workload/cloud_trace.h"
 #include "workload/generator.h"

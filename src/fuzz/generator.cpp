@@ -36,8 +36,8 @@ Instance generate_fuzz_instance(const FuzzGenConfig& config,
   // completion times a+p / d+p. Re-drawing from here is what makes tied
   // arrivals, deadlines-on-completions, and shared boundaries common.
   std::vector<std::int64_t> pool;
-  std::vector<Job> jobs;
-  jobs.reserve(n);
+  JobTable table;
+  table.reserve(n);
 
   auto fresh_ticks = [&](std::int64_t max_units,
                          bool allow_zero) -> std::int64_t {
@@ -53,13 +53,13 @@ Instance generate_fuzz_instance(const FuzzGenConfig& config,
         rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
   };
 
-  while (jobs.size() < n) {
-    if (!jobs.empty() && rng.bernoulli(config.p_duplicate_job)) {
+  while (table.size() < n) {
+    if (!table.empty() && rng.bernoulli(config.p_duplicate_job)) {
       // Duplicate arrival/window/length verbatim — the tie the engine's
       // FIFO seq order and the twin-symmetry pruning both have to handle.
-      const Job& twin = jobs[static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(jobs.size()) - 1))];
-      jobs.push_back(twin);
+      const Job twin = table.job(static_cast<JobId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(table.size()) - 1)));
+      table.push_back(twin);
       continue;
     }
 
@@ -109,8 +109,12 @@ Instance generate_fuzz_instance(const FuzzGenConfig& config,
 
       if (!pool.empty() && rng.bernoulli(config.p_tie)) {
         // Aim the completion d+p (or a+p for an immediate start) at an
-        // existing event time.
-        const std::int64_t deadline = arrival + laxity;
+        // existing event time. The tentative deadline saturates: the pool
+        // holds near-max completions, so arrival + laxity can exceed the
+        // tick range (the clamp below re-fits the window either way).
+        const std::int64_t deadline = arrival <= kMaxTicks - laxity
+                                          ? arrival + laxity
+                                          : kMaxTicks;
         const std::int64_t target = pool_pick();
         length = target > deadline ? target - deadline
                                    : fresh_ticks(config.max_length_units,
@@ -135,10 +139,7 @@ Instance generate_fuzz_instance(const FuzzGenConfig& config,
     FJS_CHECK(arrival >= 0 && completion_fits(deadline, length),
               "fuzz generator: clamp produced a nonsense job");
 
-    jobs.push_back(Job{.id = kInvalidJob,
-                       .arrival = Time(arrival),
-                       .deadline = Time(deadline),
-                       .length = Time(length)});
+    table.push_back(Time(arrival), Time(deadline), Time(length));
     pool.push_back(arrival);
     pool.push_back(deadline);
     if (completion_fits(arrival, length)) {
@@ -147,7 +148,7 @@ Instance generate_fuzz_instance(const FuzzGenConfig& config,
     pool.push_back(deadline + length);  // fits by construction
   }
 
-  Instance instance{std::move(jobs)};
+  Instance instance{std::move(table)};
   // Paranoia the whole harness rests on: every job individually valid and
   // overflow-safe (latest_completion throws otherwise).
   (void)instance.latest_completion();

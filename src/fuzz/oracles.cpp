@@ -425,6 +425,188 @@ Oracle exact_vs_reference_oracle(const OracleOptions& options) {
       }};
 }
 
+/// The columnar substrate's equivalence claim: reading jobs through a
+/// non-owning InstanceView over an independently rebuilt JobTable scratch
+/// buffer (the miner's mutate-evaluate path) must be observably identical
+/// to reading them through the owning Instance — same derived stats, same
+/// certified lower bounds, a byte-identical prepared replay timeline, and
+/// identical spans from the view-based run_span path. Deliberately NOT
+/// horizon-capped: near-Time::max() magnitudes must agree too, including
+/// on which operations fail (both sides throwing counts as agreement).
+Oracle view_vs_owned_oracle() {
+  return Oracle{
+      "view-vs-owned",
+      [](const Instance& instance) -> std::optional<std::string> {
+        JobTable scratch;
+        scratch.reserve(instance.size());
+        for (const Job& job : instance.view().jobs()) {
+          scratch.push_back(job);
+        }
+        const InstanceView view = scratch.view();
+        if (view.size() != instance.size()) {
+          return "scratch table has " + std::to_string(view.size()) +
+                 " rows, instance has " + std::to_string(instance.size());
+        }
+        if (instance.empty()) {
+          return std::nullopt;
+        }
+        const auto time_mismatch =
+            [](const char* what, Time v, Time o) -> std::optional<std::string> {
+          if (v != o) {
+            return std::string(what) + ": view " + v.to_string() +
+                   " != owned " + o.to_string();
+          }
+          return std::nullopt;
+        };
+        // Derived stats: recomputed over the scratch columns vs the values
+        // the Instance cached at construction.
+        if (view.mu() != instance.mu()) {
+          return "mu: view " + std::to_string(view.mu()) + " != owned " +
+                 std::to_string(instance.mu());
+        }
+        if (auto m = time_mismatch("min_length", view.min_length(),
+                                   instance.min_length())) {
+          return m;
+        }
+        if (auto m = time_mismatch("max_length", view.max_length(),
+                                   instance.max_length())) {
+          return m;
+        }
+        if (auto m = time_mismatch("earliest_arrival", view.earliest_arrival(),
+                                   instance.earliest_arrival())) {
+          return m;
+        }
+        if (auto m = time_mismatch("latest_completion",
+                                   view.latest_completion(),
+                                   instance.latest_completion())) {
+          return m;
+        }
+        // Total work: the saturating view sum's overflow flag must agree
+        // with whether the owning accessor throws, and the values must
+        // match when it does not.
+        bool view_overflow = false;
+        const Time view_work = view.total_work_saturating(&view_overflow);
+        try {
+          const Time owned_work = instance.total_work();
+          if (view_overflow) {
+            return "total_work: view saturated but owned returned " +
+                   owned_work.to_string();
+          }
+          if (auto m = time_mismatch("total_work", view_work, owned_work)) {
+            return m;
+          }
+        } catch (const AssertionError&) {
+          if (!view_overflow) {
+            return "total_work: owned overflow-threw but view computed " +
+                   view_work.to_string();
+          }
+        }
+        // Orderings and grid predicate.
+        if (view.ids_by_arrival() != instance.ids_by_arrival()) {
+          return std::string("ids_by_arrival orders differ");
+        }
+        if (view.ids_by_deadline() != instance.ids_by_deadline()) {
+          return std::string("ids_by_deadline orders differ");
+        }
+        if (view.is_multiple_of(Time(kUnit)) !=
+            instance.is_multiple_of(Time(kUnit))) {
+          return std::string("is_multiple_of(1 unit) disagrees");
+        }
+        // Certified lower bounds (never horizon-capped; the overflow-safe
+        // paths are part of the claim).
+        if (auto m = time_mismatch("max_length_lower_bound",
+                                   max_length_lower_bound(view),
+                                   max_length_lower_bound(instance))) {
+          return m;
+        }
+        if (auto m = time_mismatch("mandatory_lower_bound",
+                                   mandatory_lower_bound(view),
+                                   mandatory_lower_bound(instance))) {
+          return m;
+        }
+        if (auto m = time_mismatch("chain_lower_bound",
+                                   chain_lower_bound(view),
+                                   chain_lower_bound(instance))) {
+          return m;
+        }
+        if (auto m = time_mismatch("best_lower_bound", best_lower_bound(view),
+                                   best_lower_bound(instance))) {
+          return m;
+        }
+        // Descriptive stats (both may throw on pathological magnitudes,
+        // but must do so together).
+        std::optional<std::string> view_stats;
+        std::optional<std::string> owned_stats;
+        try {
+          view_stats = compute_instance_stats(view).to_string();
+        } catch (const std::exception&) {
+        }
+        try {
+          owned_stats = compute_instance_stats(instance).to_string();
+        } catch (const std::exception&) {
+        }
+        if (view_stats != owned_stats) {
+          return "instance stats diverge: view " +
+                 view_stats.value_or("<threw>") + " vs owned " +
+                 owned_stats.value_or("<threw>");
+        }
+        // Prepared replay timeline: the engine lowering must not depend on
+        // which storage the rows came from.
+        PreparedInstance owned_prep;
+        PreparedInstance view_prep;
+        owned_prep.prepare(instance);
+        view_prep.prepare(view);
+        if (view_prep.size() != owned_prep.size() ||
+            view_prep.original_ids() != owned_prep.original_ids()) {
+          return std::string("prepared id maps differ");
+        }
+        for (std::size_t i = 0; i < owned_prep.size(); ++i) {
+          const Job a = view_prep.records()[i].job;
+          const Job b = owned_prep.records()[i].job;
+          if (a.id != b.id || a.arrival != b.arrival ||
+              a.deadline != b.deadline || a.length != b.length) {
+            return "prepared job record " + std::to_string(i) + " differs";
+          }
+        }
+        if (view_prep.staged().size() != owned_prep.staged().size()) {
+          return std::string("staged timelines differ in length");
+        }
+        for (std::size_t i = 0; i < owned_prep.staged().size(); ++i) {
+          const Event& a = view_prep.staged()[i];
+          const Event& b = owned_prep.staged()[i];
+          if (a.time != b.time || a.seq != b.seq || a.tag != b.tag ||
+              a.job != b.job || a.kind != b.kind) {
+            return "staged event " + std::to_string(i) + " differs";
+          }
+        }
+        // Spans: the view-based single-entry replay (the miner's hot loop)
+        // against the owning-path replay, in both clairvoyance models.
+        PortfolioRunner runner;
+        const auto eager = make_scheduler("eager");
+        for (const bool clairvoyant : {true, false}) {
+          const PortfolioEntry entry{eager.get(), clairvoyant};
+          Time owned_span;
+          try {
+            owned_span = runner.run_span(instance, entry);
+          } catch (const std::exception& e) {
+            return std::string("owned run_span threw: ") + e.what();
+          }
+          Time view_span;
+          try {
+            view_span = runner.run_span(view, entry);
+          } catch (const std::exception& e) {
+            return std::string("view run_span threw: ") + e.what();
+          }
+          if (view_span != owned_span) {
+            return std::string(clairvoyant ? "[cv] " : "[nc] ") +
+                   "span: view " + view_span.to_string() + " != owned " +
+                   owned_span.to_string();
+          }
+        }
+        return std::nullopt;
+      }};
+}
+
 }  // namespace
 
 std::vector<Oracle> standard_oracles(const OracleOptions& options) {
@@ -442,6 +624,9 @@ std::vector<Oracle> standard_oracles(const OracleOptions& options) {
     oracles.push_back(offline_sandwich_oracle(options));
     oracles.push_back(exact_vs_reference_oracle(options));
   }
+  // Always on — no gate, no size cap, no horizon cap: every other oracle
+  // reads the instance through this substrate.
+  oracles.push_back(view_vs_owned_oracle());
   return oracles;
 }
 

@@ -24,6 +24,11 @@
 //    LB <= OPT <= heuristic/annealing, and online spans >= OPT.
 //  * exact-vs-reference — on integral instances the branch-and-bound and
 //    the legacy grid DFS agree exactly.
+//  * view-vs-owned — always on, never size- or horizon-capped: an
+//    InstanceView over an independently rebuilt JobTable scratch buffer
+//    (the miner's mutate-evaluate path) is observably identical to the
+//    owning Instance — derived stats, certified lower bounds, the
+//    prepared replay timeline, and the view-based run_span spans.
 //
 // An oracle returns std::nullopt on success or a one-failure description;
 // oracles are pure (no shared state), so the harness may evaluate them

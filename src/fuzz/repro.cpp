@@ -23,9 +23,10 @@ std::string one_line(const std::string& text) {
 void write_jobs(std::ostream& os, const std::string& header,
                 const Instance& instance) {
   os << header << ' ' << instance.size() << '\n';
-  for (const Job& j : instance.jobs()) {
-    os << j.arrival.ticks() << ' ' << j.deadline.ticks() << ' '
-       << j.length.ticks() << '\n';
+  const InstanceView view = instance.view();
+  for (JobId id = 0; id < view.size(); ++id) {
+    os << view.arrival(id).ticks() << ' ' << view.deadline(id).ticks() << ' '
+       << view.length(id).ticks() << '\n';
   }
 }
 
@@ -156,8 +157,8 @@ Instance parse_jobs(LineReader& reader, const std::string& line,
                              std::to_string(kMaxReproJobs));
   }
 
-  std::vector<Job> jobs;
-  jobs.reserve(count);
+  JobTable table;
+  table.reserve(count);
   std::string job_line;
   for (std::uint64_t i = 0; i < count; ++i) {
     if (!reader.next(job_line)) {
@@ -171,15 +172,13 @@ Instance parse_jobs(LineReader& reader, const std::string& line,
               "job line must be 'arrival deadline length' ticks, got " +
                   std::to_string(fields.size()) + " fields");
     }
-    jobs.push_back(Job{
-        .id = kInvalidJob,
-        .arrival = Time(parse_i64(fields[0], reader.line_number(), "arrival")),
-        .deadline =
-            Time(parse_i64(fields[1], reader.line_number(), "deadline")),
-        .length = Time(parse_i64(fields[2], reader.line_number(), "length"))});
+    table.push_back(
+        Time(parse_i64(fields[0], reader.line_number(), "arrival")),
+        Time(parse_i64(fields[1], reader.line_number(), "deadline")),
+        Time(parse_i64(fields[2], reader.line_number(), "length")));
   }
   try {
-    return Instance{std::move(jobs)};
+    return Instance{std::move(table)};
   } catch (const AssertionError& e) {
     fail_at(header_line,
             std::string(keyword) + " jobs are not a valid instance: " +

@@ -23,9 +23,10 @@ struct RawJob {
 std::vector<RawJob> to_raw(const Instance& instance) {
   std::vector<RawJob> raw;
   raw.reserve(instance.size());
-  for (const Job& j : instance.jobs()) {
-    raw.push_back(RawJob{j.arrival.ticks(), j.deadline.ticks(),
-                         j.length.ticks()});
+  const InstanceView view = instance.view();
+  for (JobId id = 0; id < view.size(); ++id) {
+    raw.push_back(RawJob{view.arrival(id).ticks(), view.deadline(id).ticks(),
+                         view.length(id).ticks()});
   }
   return raw;
 }
@@ -66,15 +67,12 @@ Measure measure_of(const std::vector<RawJob>& raw) {
 }
 
 Instance from_raw(const std::vector<RawJob>& raw) {
-  std::vector<Job> jobs;
-  jobs.reserve(raw.size());
+  JobTable table;
+  table.reserve(raw.size());
   for (const RawJob& j : raw) {
-    jobs.push_back(Job{.id = kInvalidJob,
-                       .arrival = Time(j.arrival),
-                       .deadline = Time(j.deadline),
-                       .length = Time(j.length)});
+    table.push_back(Time(j.arrival), Time(j.deadline), Time(j.length));
   }
-  return Instance{std::move(jobs)};
+  return Instance{std::move(table)};
 }
 
 std::int64_t floor_to_unit(std::int64_t ticks) {

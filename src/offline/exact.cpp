@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -75,9 +76,12 @@ Time components_measure(const Components& comps) {
 }
 
 /// dst = src with `iv` merged in (abutting intervals coalesce, matching
-/// IntervalSet semantics so spans agree tick-for-tick).
-void with_inserted(const Components& src, const Interval& iv,
-                   Components& dst) {
+/// IntervalSet semantics so spans agree tick-for-tick). Force-inlined:
+/// this runs once per search node and the call overhead is measurable at
+/// miner certification rates.
+[[gnu::always_inline]] inline void with_inserted(const Components& src,
+                                                 const Interval& iv,
+                                                 Components& dst) {
   dst.clear();
   std::size_t i = 0;
   while (i < src.size() && src[i].hi < iv.lo) {
@@ -104,10 +108,39 @@ Time uncovered(const Components& comps, const Interval& iv) {
     if (c.lo >= iv.hi) {
       break;
     }
+    if (c.hi <= iv.lo) {
+      continue;
+    }
     covered += c.intersect(iv).length();
   }
   return iv.length() - covered;
 }
+
+/// Monotone coverage cursor: C(x) = measure of the components' union in
+/// (-inf, x), evaluated for a non-decreasing sequence of x. Two cursors
+/// (one per interval endpoint) turn a grid of uncovered() queries into one
+/// O(starts + comps) sweep with tick-identical results:
+///   uncovered(comps, [s, s+p)) == p - (C(s+p) - C(s)).
+class CoverageCursor {
+ public:
+  explicit CoverageCursor(const Components& comps) : comps_(&comps) {}
+
+  std::int64_t at(std::int64_t x) {
+    while (i_ < comps_->size() && (*comps_)[i_].hi.ticks() <= x) {
+      acc_ += (*comps_)[i_].length().ticks();
+      ++i_;
+    }
+    if (i_ < comps_->size() && (*comps_)[i_].lo.ticks() < x) {
+      return acc_ + (x - (*comps_)[i_].lo.ticks());
+    }
+    return acc_;
+  }
+
+ private:
+  const Components* comps_;
+  std::size_t i_ = 0;
+  std::int64_t acc_ = 0;
+};
 
 /// State shared between the per-worker searches of one exact_optimal call.
 struct Shared {
@@ -172,9 +205,9 @@ class Search {
  public:
   Search() = default;
 
-  void init(const Instance& inst, const ExactOptions& opts, Shared& shared,
+  void init(InstanceView inst, const ExactOptions& opts, Shared& shared,
             bool serial) {
-    inst_ = &inst;
+    view_ = inst;
     opts_ = &opts;
     shared_ = &shared;
     serial_ = serial;
@@ -204,24 +237,34 @@ class Search {
       chain_memo_.clear();
     }
     lower_twins_.assign(n, 0);
+    const std::span<const Time> arrivals = inst.arrivals();
+    const std::span<const Time> deadlines = inst.deadlines();
+    const std::span<const Time> lengths = inst.lengths();
     for (JobId j = 0; j < n; ++j) {
-      const Job& job = inst.job(j);
       for (JobId k = 0; k < j; ++k) {
-        const Job& other = inst.job(k);
-        if (other.arrival == job.arrival && other.deadline == job.deadline &&
-            other.length == job.length) {
+        if (arrivals[k] == arrivals[j] && deadlines[k] == deadlines[j] &&
+            lengths[k] == lengths[j]) {
           lower_twins_[j] |= bit(k);
         }
       }
-      const Interval mand(job.deadline, job.arrival + job.length);
+      const Interval mand(deadlines[j], arrivals[j] + lengths[j]);
       if (!mand.empty()) {
         mandatory_.push_back(MandatoryRegion{mand, j});
       }
     }
-    std::stable_sort(mandatory_.begin(), mandatory_.end(),
-                     [](const MandatoryRegion& a, const MandatoryRegion& b) {
-                       return a.iv.lo < b.iv.lo;
-                     });
+    // Insertion sort on iv.lo: stable (strict < keeps ties in push order,
+    // i.e. job-id order), so the result is exactly std::stable_sort's
+    // without its temporary-buffer machinery — this runs once per solver
+    // call and the miner makes ~100 calls per mine.
+    for (std::size_t i = 1; i < mandatory_.size(); ++i) {
+      const MandatoryRegion m = mandatory_[i];
+      std::size_t k = i;
+      while (k > 0 && m.iv.lo < mandatory_[k - 1].iv.lo) {
+        mandatory_[k] = mandatory_[k - 1];
+        --k;
+      }
+      mandatory_[k] = m;
+    }
     // Same (arrival, id) order as Instance::ids_by_arrival(), filled in
     // place: init runs once per solver call and the per-call allocation
     // shows up in miner profiles.
@@ -230,9 +273,9 @@ class Search {
       by_arrival_[j] = j;
     }
     sort_ids(by_arrival_,
-             [&inst](JobId a, JobId b) {
-               if (inst.job(a).arrival != inst.job(b).arrival) {
-                 return inst.job(a).arrival < inst.job(b).arrival;
+             [arrivals](JobId a, JobId b) {
+               if (arrivals[a] != arrivals[b]) {
+                 return arrivals[a] < arrivals[b];
                }
                return a < b;
              });
@@ -240,16 +283,16 @@ class Search {
     fixed_order_.clear();
     if (opts.use_integral_fast_path) {
       std::int64_t g = 0;
-      for (const Job& job : inst.jobs()) {
-        g = std::gcd(g, job.arrival.ticks());
-        g = std::gcd(g, job.deadline.ticks());
-        g = std::gcd(g, job.length.ticks());
+      for (std::size_t i = 0; i < n; ++i) {
+        g = std::gcd(g, arrivals[i].ticks());
+        g = std::gcd(g, deadlines[i].ticks());
+        g = std::gcd(g, lengths[i].ticks());
       }
       std::int64_t max_starts = 0;
       if (g > 0) {
-        for (const Job& job : inst.jobs()) {
+        for (std::size_t i = 0; i < n; ++i) {
           max_starts =
-              std::max(max_starts, (job.deadline - job.arrival).ticks() / g + 1);
+              std::max(max_starts, (deadlines[i] - arrivals[i]).ticks() / g + 1);
         }
       }
       if (g > 0 && max_starts <= kMaxGridStarts) {
@@ -261,14 +304,14 @@ class Search {
           fixed_order_[j] = j;
         }
         sort_ids(fixed_order_,
-                 [&inst](JobId a, JobId b) {
-                   const Job& ja = inst.job(a);
-                   const Job& jb = inst.job(b);
-                   if (ja.laxity() != jb.laxity()) {
-                     return ja.laxity() < jb.laxity();
+                 [arrivals, deadlines, lengths](JobId a, JobId b) {
+                   const Time la = deadlines[a] - arrivals[a];
+                   const Time lb = deadlines[b] - arrivals[b];
+                   if (la != lb) {
+                     return la < lb;
                    }
-                   if (ja.length != jb.length) {
-                     return ja.length > jb.length;
+                   if (lengths[a] != lengths[b]) {
+                     return lengths[a] > lengths[b];
                    }
                    return a < b;
                  });
@@ -280,6 +323,8 @@ class Search {
       move_scratch_.resize(n + 2);
       comp_scratch_.resize(n + 2);
       la_scratch_.resize(n + 2);
+      la_unc_scratch_.resize(n + 2);
+      grid_key_scratch_.resize(n + 2);
       keys_.resize(n + 2);
     }
     path_.resize(n);
@@ -357,11 +402,12 @@ class Search {
     auto& la_comps = la_scratch_[depth];
     bool la_ready = false;
     Time la_base = Time::zero();
+    JobId bj = kInvalidJob;
     if (grid_ != 0) {
-      const JobId bj = branch_job(mask);
+      bj = branch_job(mask);
       la_base = merged_components(mask & ~bit(bj), comps, depth, la_comps);
       la_ready = true;
-      const Job& bjob = inst_->job(bj);
+      const Job bjob = view_.job(bj);
       const Interval mand(bjob.deadline, bjob.arrival + bjob.length);
       lb = la_base;
       if (!mand.empty()) {
@@ -388,50 +434,163 @@ class Search {
       }
       return Outcome{lb, false};
     }
-    auto& moves = move_scratch_[depth];
-    collect_moves(mask, comps, depth, moves);
-    // One-ply lookahead pruning (integral fast path): every move at this
-    // node places the same job j*, so each child's mandatory-union bound is
-    // measure(base ∪ iv) = la_base + uncovered(la_comps, iv). A child whose
-    // quick bound (maxed with the move-invariant child chain weight) already
-    // reaches the pruning bar is cut without recursing — the recursion would
-    // recompute the identical merge only to fail its own bound check. Pruned
-    // children still feed the fail-soft return value through pruned_min.
-    // (With a dominance move, moves.size() == 1 and this never fires, so
-    // la_comps always matches moves.front().job when used.)
-    const bool lookahead = la_ready && moves.size() > 1;
-    Time la_chain = Time::zero();
-    if (lookahead) {
-      la_chain = chain_info(mask & ~bit(moves.front().job)).weight;
-    }
     Time best = Time::max();
     bool best_exact = false;
     Time pruned_min = Time::max();
     auto& child = comp_scratch_[depth];
-    for (const Move& m : moves) {
-      const Time child_bound = std::min(eff, best);
-      const Interval iv = inst_->job(m.job).active_interval(m.start);
-      if (lookahead) {
-        const Time quick =
-            std::max(la_base + uncovered(la_comps, iv), la_chain);
-        if (quick >= child_bound) {
-          pruned_min = std::min(pruned_min, quick);
-          continue;
-        }
-      }
-      with_inserted(comps, iv, child);
-      path_[m.job] = m.start;
-      const Outcome o =
-          solve(mask & ~bit(m.job), child, child_bound, depth + 1);
-      if (o.value < best || (o.value == best && o.exact && !best_exact)) {
+    bool expanded = false;
+    if (grid_ != 0) {
+      Move dom;
+      if (dominance_move(mask, comps, &dom)) {
+        // Single forced move: recurse directly, no lookahead machinery.
+        with_inserted(comps, Interval::from_length(dom.start, view_.length(dom.job)),
+                      child);
+        path_[dom.job] = dom.start;
+        const Outcome o = solve(mask & ~bit(dom.job), child, eff, depth + 1);
         best = o.value;
         best_exact = o.exact;
+        if (aborted()) {
+          return Outcome{best, false};
+        }
+        expanded = true;
+      } else {
+        // Fused grid expansion: one pass over the branch job's grid starts
+        // computes the move ordering key (marginal vs the placed
+        // components) and, when there is more than one start, the one-ply
+        // lookahead bound (uncovered measure vs la_comps) for each start —
+        // the Move structs the old two-pass shape materialized carried no
+        // information beyond (key, start index). Each child's quick bound
+        // (maxed with the move-invariant child chain weight) that already
+        // reaches the pruning bar is cut without recursing; pruned
+        // children still feed the fail-soft return value via pruned_min.
+        const Job bjob = view_.job(bj);
+        const std::int64_t a = bjob.arrival.ticks();
+        const std::int64_t p = bjob.length.ticks();
+        const bool lookahead = bjob.deadline.ticks() > a;
+        Time la_chain = Time::zero();
+        if (lookahead) {
+          la_chain = chain_info(mask & ~bit(bj)).weight;
+        }
+        auto& keys = grid_key_scratch_[depth];
+        auto& la_unc = la_unc_scratch_[depth];
+        keys.clear();
+        la_unc.clear();
+        bool packable = true;
+        {
+          CoverageCursor lo_cursor(comps);
+          CoverageCursor hi_cursor(comps);
+          CoverageCursor la_lo(la_comps);
+          CoverageCursor la_hi(la_comps);
+          std::uint64_t idx = 0;
+          for (std::int64_t s = a; s <= bjob.deadline.ticks(); s += grid_) {
+            const std::int64_t marginal =
+                p - (hi_cursor.at(s + p) - lo_cursor.at(s));
+            packable = packable && marginal < (std::int64_t{1} << 56);
+            keys.push_back((static_cast<std::uint64_t>(marginal) << 7) | idx);
+            ++idx;
+            if (lookahead) {
+              la_unc.push_back(p - (la_hi.at(s + p) - la_lo.at(s)));
+            }
+          }
+        }
+        if (packable) {
+          if (keys.size() <= 32) {
+            // Insertion sort: same order as std::sort (keys are unique),
+            // cheaper while the grid move list is short (the common case).
+            for (std::size_t i = 1; i < keys.size(); ++i) {
+              const std::uint64_t v = keys[i];
+              std::size_t k = i;
+              while (k > 0 && v < keys[k - 1]) {
+                keys[k] = keys[k - 1];
+                --k;
+              }
+              keys[k] = v;
+            }
+          } else {
+            std::sort(keys.begin(), keys.end());
+          }
+          for (const std::uint64_t key : keys) {
+            const auto gi = static_cast<std::size_t>(key & 0x7F);
+            const Time child_bound = std::min(eff, best);
+            if (lookahead) {
+              const Time quick =
+                  std::max(la_base + Time(la_unc[gi]), la_chain);
+              if (quick >= child_bound) {
+                pruned_min = std::min(pruned_min, quick);
+                continue;
+              }
+            }
+            const Time start(a + static_cast<std::int64_t>(gi) * grid_);
+            with_inserted(comps, Interval::from_length(start, bjob.length),
+                          child);
+            path_[bj] = start;
+            const Outcome o =
+                solve(mask & ~bit(bj), child, child_bound, depth + 1);
+            if (o.value < best || (o.value == best && o.exact && !best_exact)) {
+              best = o.value;
+              best_exact = o.exact;
+            }
+            if (aborted()) {
+              return Outcome{best, false};
+            }
+            if (best_exact && best <= lb) {
+              break;  // optimality-gap cut: no child can beat the bound
+            }
+          }
+          expanded = true;
+        }
+        // Unpackable marginal (>= 2^56 ticks): fall through to the
+        // comparator-sorted Move path below.
       }
-      if (aborted()) {
-        return Outcome{best, false};
+    }
+    if (!expanded) {
+      auto& moves = move_scratch_[depth];
+      collect_moves(mask, comps, depth, moves, bj);
+      // One-ply lookahead pruning, two-pass shape (general mode never has
+      // la_comps; the grid fallback re-sweeps into Move structs).
+      const bool lookahead = la_ready && moves.size() > 1;
+      Time la_chain = Time::zero();
+      std::int64_t la_a = 0;
+      auto& la_unc = la_unc_scratch_[depth];
+      if (lookahead) {
+        la_chain = chain_info(mask & ~bit(moves.front().job)).weight;
+        const Job bjob = view_.job(moves.front().job);
+        la_a = bjob.arrival.ticks();
+        const std::int64_t p = bjob.length.ticks();
+        la_unc.clear();
+        CoverageCursor lo_cursor(la_comps);
+        CoverageCursor hi_cursor(la_comps);
+        for (std::int64_t s = la_a; s <= bjob.deadline.ticks(); s += grid_) {
+          la_unc.push_back(p - (hi_cursor.at(s + p) - lo_cursor.at(s)));
+        }
       }
-      if (best_exact && best <= lb) {
-        break;  // optimality-gap cut: no child can beat the admissible bound
+      for (const Move& m : moves) {
+        const Time child_bound = std::min(eff, best);
+        if (lookahead) {
+          const Time quick = std::max(
+              la_base + Time(la_unc[static_cast<std::size_t>(
+                            (m.start.ticks() - la_a) / grid_)]),
+              la_chain);
+          if (quick >= child_bound) {
+            pruned_min = std::min(pruned_min, quick);
+            continue;
+          }
+        }
+        const Interval iv = view_.job(m.job).active_interval(m.start);
+        with_inserted(comps, iv, child);
+        path_[m.job] = m.start;
+        const Outcome o =
+            solve(mask & ~bit(m.job), child, child_bound, depth + 1);
+        if (o.value < best || (o.value == best && o.exact && !best_exact)) {
+          best = o.value;
+          best_exact = o.exact;
+        }
+        if (aborted()) {
+          return Outcome{best, false};
+        }
+        if (best_exact && best <= lb) {
+          break;  // optimality-gap cut: no child can beat the bound
+        }
       }
     }
     if (pruned_min < best) {
@@ -455,13 +614,13 @@ class Search {
     reconstructing_ = true;
     std::vector<Move> moves;
     Components child;
-    std::size_t depth = inst_->size() - static_cast<std::size_t>(
-                                            std::popcount(mask));
+    std::size_t depth = view_.size() - static_cast<std::size_t>(
+                                           std::popcount(mask));
     while (mask != 0) {
       collect_moves(mask, comps, depth, moves);
       bool advanced = false;
       for (const Move& m : moves) {
-        with_inserted(comps, inst_->job(m.job).active_interval(m.start),
+        with_inserted(comps, view_.job(m.job).active_interval(m.start),
                       child);
         const Mask child_mask = mask & ~bit(m.job);
         Outcome o{Time::zero(), false};
@@ -600,22 +759,55 @@ class Search {
   /// prunes either way.
   Time lower_bound(Mask mask, const Components& comps, std::size_t depth,
                    Time eff) {
-    auto& scratch = lb_scratch_[depth];
-    scratch.clear();
-    std::size_t ci = 0;
-    for (const MandatoryRegion& m : mandatory_) {
-      if ((mask & bit(m.job)) == 0) {
-        continue;
+    (void)depth;
+    // Fused merge + measure: two-pointer walk over the (lo-sorted)
+    // mandatory regions still in `mask` and the placed components,
+    // accumulating the union length run by run. Equal-lo ties may resolve
+    // either way — the run merge extends to the same hi — so the value is
+    // exactly sorted_union_measure of the old materialized scratch,
+    // without building it. This runs once per search node and dominates
+    // the per-node cost in miner profiles.
+    Time lb = Time::zero();
+    {
+      Time run_lo = Time::zero();
+      Time run_hi = Time::zero();
+      bool open = false;
+      std::size_t mi = 0;
+      std::size_t ci = 0;
+      while (true) {
+        while (mi < mandatory_.size() &&
+               (mask & bit(mandatory_[mi].job)) == 0) {
+          ++mi;
+        }
+        const bool has_m = mi < mandatory_.size();
+        const bool has_c = ci < comps.size();
+        if (!has_m && !has_c) {
+          break;
+        }
+        Interval iv;
+        if (!has_c || (has_m && mandatory_[mi].iv.lo <= comps[ci].lo)) {
+          iv = mandatory_[mi].iv;
+          ++mi;
+        } else {
+          iv = comps[ci];
+          ++ci;
+        }
+        if (!open) {
+          run_lo = iv.lo;
+          run_hi = iv.hi;
+          open = true;
+        } else if (iv.lo <= run_hi) {
+          run_hi = std::max(run_hi, iv.hi);
+        } else {
+          lb += run_hi - run_lo;
+          run_lo = iv.lo;
+          run_hi = iv.hi;
+        }
       }
-      while (ci < comps.size() && comps[ci].lo <= m.iv.lo) {
-        scratch.push_back(comps[ci++]);
+      if (open) {
+        lb += run_hi - run_lo;
       }
-      scratch.push_back(m.iv);
     }
-    while (ci < comps.size()) {
-      scratch.push_back(comps[ci++]);
-    }
-    const Time lb = IntervalSet::sorted_union_measure(scratch);
     if (lb >= eff) {
       return lb;
     }
@@ -639,24 +831,33 @@ class Search {
   /// caller is done with lower_bound at this depth).
   Time merged_components(Mask mask, const Components& comps,
                          std::size_t depth, Components& dst) {
-    auto& scratch = lb_scratch_[depth];
-    scratch.clear();
-    std::size_t ci = 0;
-    for (const MandatoryRegion& m : mandatory_) {
-      if ((mask & bit(m.job)) == 0) {
-        continue;
-      }
-      while (ci < comps.size() && comps[ci].lo <= m.iv.lo) {
-        scratch.push_back(comps[ci++]);
-      }
-      scratch.push_back(m.iv);
-    }
-    while (ci < comps.size()) {
-      scratch.push_back(comps[ci++]);
-    }
+    (void)depth;
+    // Single fused pass: two-pointer interleave of the (lo-sorted)
+    // mandatory regions still in `mask` with the placed components,
+    // normalized into dst as it streams. Same output as materializing the
+    // interleave first — this runs once per search node.
     dst.clear();
     Time total = Time::zero();
-    for (const Interval& iv : scratch) {
+    std::size_t mi = 0;
+    std::size_t ci = 0;
+    while (true) {
+      while (mi < mandatory_.size() &&
+             (mask & bit(mandatory_[mi].job)) == 0) {
+        ++mi;
+      }
+      const bool has_m = mi < mandatory_.size();
+      const bool has_c = ci < comps.size();
+      if (!has_m && !has_c) {
+        break;
+      }
+      Interval iv;
+      if (!has_m || (has_c && comps[ci].lo <= mandatory_[mi].iv.lo)) {
+        iv = comps[ci];
+        ++ci;
+      } else {
+        iv = mandatory_[mi].iv;
+        ++mi;
+      }
       if (!dst.empty() && iv.lo <= dst.back().hi) {
         if (iv.hi > dst.back().hi) {
           total += iv.hi - dst.back().hi;
@@ -720,15 +921,18 @@ class Search {
     auto& pareto = pareto_scratch_;
     pareto.clear();
     ChainInfo best;
+    const std::span<const Time> arrivals = view_.arrivals();
+    const std::span<const Time> deadlines = view_.deadlines();
+    const std::span<const Time> lengths = view_.lengths();
     for (const JobId id : by_arrival_) {
       if ((mask & bit(id)) == 0) {
         continue;
       }
-      const Job& j = inst_->job(id);
+      const Time arrival = arrivals[id];
       Time prefix = Time::zero();
-      Time lo = j.arrival;
-      std::size_t up = 0;  // first index with key > j.arrival
-      while (up < pareto.size() && pareto[up].key <= j.arrival) {
+      Time lo = arrival;
+      std::size_t up = 0;  // first index with key > arrival
+      while (up < pareto.size() && pareto[up].key <= arrival) {
         ++up;
       }
       if (up > 0) {
@@ -737,8 +941,8 @@ class Search {
           lo = pareto[up - 1].lo;
         }
       }
-      const Time f = prefix + j.length;
-      const Time key = j.deadline + j.length;
+      const Time f = prefix + lengths[id];
+      const Time key = deadlines[id] + lengths[id];
       if (f > best.weight) {
         best = ChainInfo{f, lo, key};
       }
@@ -766,16 +970,52 @@ class Search {
     return best;
   }
 
+  /// Dominance scan shared by solve()'s grid expansion and collect_moves:
+  /// the first (in id order, twins skipped) remaining job with a
+  /// zero-marginal start is committed as the single forced move. A
+  /// zero-marginal start needs a component at least as long as the job, so
+  /// with the longest component shorter than every remaining job (the
+  /// common case early in the search) the scan is one comparison per job
+  /// and no per-component walk at all.
+  bool dominance_move(Mask mask, const Components& comps, Move* out) const {
+    Time max_comp_len = Time::zero();
+    for (const Interval& c : comps) {
+      max_comp_len = std::max(max_comp_len, c.length());
+    }
+    if (max_comp_len == Time::zero()) {
+      return false;
+    }
+    const std::span<const Time> arrivals = view_.arrivals();
+    const std::span<const Time> deadlines = view_.deadlines();
+    const std::span<const Time> lengths = view_.lengths();
+    for (Mask rest = mask; rest != 0; rest &= rest - 1) {
+      const JobId j = static_cast<JobId>(std::countr_zero(rest));
+      if (lengths[j] > max_comp_len) {
+        continue;  // no component can fully cover this job
+      }
+      if ((mask & lower_twins_[j]) != 0) {
+        continue;  // an identical lower-id job stands in for this one
+      }
+      Time s;
+      if (zero_marginal_start(comps, arrivals[j], deadlines[j], lengths[j],
+                              &s)) {
+        *out = Move{j, s, Time::zero()};
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// True iff the job has a start whose whole active interval is already
   /// covered; reports the leftmost such start.
-  bool zero_marginal_start(const Components& comps, const Job& job,
-                           Time* out) const {
+  bool zero_marginal_start(const Components& comps, Time arrival,
+                           Time deadline, Time length, Time* out) const {
     for (const Interval& c : comps) {
-      if (c.lo > job.deadline) {
+      if (c.lo > deadline) {
         break;
       }
-      const Time lo = std::max(c.lo, job.arrival);
-      const Time hi = std::min(c.hi - job.length, job.deadline);
+      const Time lo = std::max(c.lo, arrival);
+      const Time hi = std::min(c.hi - length, deadline);
       if (lo <= hi) {
         *out = lo;
         return true;
@@ -787,44 +1027,85 @@ class Search {
   /// Children of a node, cheapest marginal first. Applies dominance (a
   /// zero-marginal placement is committed as the single forced move) and
   /// twin symmetry breaking. Deterministic — reconstruction replays it.
+  /// `grid_branch` lets solve() hand over its already-computed branch job
+  /// (grid mode only); kInvalidJob means compute it here.
   void collect_moves(Mask mask, const Components& comps, std::size_t depth,
-                     std::vector<Move>& moves) {
+                     std::vector<Move>& moves,
+                     JobId grid_branch = kInvalidJob) {
     moves.clear();
-    for (Mask rest = mask; rest != 0; rest &= rest - 1) {
-      const JobId j = static_cast<JobId>(std::countr_zero(rest));
-      if ((mask & lower_twins_[j]) != 0) {
-        continue;  // an identical lower-id job stands in for this one
-      }
-      Time s;
-      if (zero_marginal_start(comps, inst_->job(j), &s)) {
-        moves.push_back(Move{j, s, Time::zero()});
-        return;  // dominance: free placement, no branching
-      }
+    Move dom;
+    if (dominance_move(mask, comps, &dom)) {
+      moves.push_back(dom);
+      return;  // dominance: free placement, no branching
     }
     if (grid_ != 0) {
-      // Integral fast path: one fixed job per depth, grid starts only.
-      const JobId j = branch_job(mask);
-      const Job& job = inst_->job(j);
-      for (std::int64_t s = job.arrival.ticks(); s <= job.deadline.ticks();
-           s += grid_) {
-        const Time start(s);
-        moves.push_back(
-            Move{j, start, uncovered(comps, job.active_interval(start))});
+      // Integral fast path: one fixed job per depth, grid starts only. The
+      // marginal of [s, s+p) is p - (C(s+p) - C(s)) with C the coverage
+      // sweep — one pass over the components for the whole grid instead of
+      // one uncovered() scan per start.
+      const JobId j =
+          grid_branch != kInvalidJob ? grid_branch : branch_job(mask);
+      const Job job = view_.job(j);
+      const std::int64_t a = job.arrival.ticks();
+      const std::int64_t p = job.length.ticks();
+      CoverageCursor lo_cursor(comps);
+      CoverageCursor hi_cursor(comps);
+      // The move order is (marginal, start) ascending. The grid has at
+      // most kMaxGridStarts starts, so a start's grid index fits in 7
+      // bits and (marginal << 7) | index sorts exactly like the pair —
+      // plain integer keys sort several times faster than 24-byte Move
+      // structs through a comparator. Marginals at or above 2^56 ticks
+      // can't be packed; they fall back to the comparator sort below.
+      auto& keys = move_key_scratch_;
+      keys.clear();
+      bool packable = true;
+      std::uint64_t idx = 0;
+      for (std::int64_t s = a; s <= job.deadline.ticks(); s += grid_) {
+        const std::int64_t covered = hi_cursor.at(s + p) - lo_cursor.at(s);
+        const std::int64_t marginal = p - covered;
+        packable = packable && marginal < (std::int64_t{1} << 56);
+        keys.push_back((static_cast<std::uint64_t>(marginal) << 7) | idx);
+        ++idx;
       }
-      // Insertion sort: the grid move list is short (≤ window/g + 1) and
-      // std::sort's introsort machinery shows up in profiles at this size.
-      // (marginal, start) keys are unique, so the order matches std::sort.
-      for (std::size_t i = 1; i < moves.size(); ++i) {
-        const Move m = moves[i];
-        std::size_t k = i;
-        while (k > 0 && (m.marginal < moves[k - 1].marginal ||
-                         (m.marginal == moves[k - 1].marginal &&
-                          m.start < moves[k - 1].start))) {
-          moves[k] = moves[k - 1];
-          --k;
+      if (packable) {
+        if (keys.size() <= 32) {
+          // Insertion sort: same order as std::sort (keys are unique),
+          // cheaper while the grid move list is short (the common case).
+          for (std::size_t i = 1; i < keys.size(); ++i) {
+            const std::uint64_t v = keys[i];
+            std::size_t k = i;
+            while (k > 0 && v < keys[k - 1]) {
+              keys[k] = keys[k - 1];
+              --k;
+            }
+            keys[k] = v;
+          }
+        } else {
+          std::sort(keys.begin(), keys.end());
         }
-        moves[k] = m;
+        for (const std::uint64_t key : keys) {
+          const std::int64_t s =
+              a + static_cast<std::int64_t>(key & 0x7F) * grid_;
+          moves.push_back(
+              Move{j, Time(s), Time(static_cast<std::int64_t>(key >> 7))});
+        }
+        return;
       }
+      // Unpackable marginal (≥ 2^56 ticks): redo the sweep into Move
+      // structs and sort with the explicit (marginal, start) comparator.
+      CoverageCursor lo_retry(comps);
+      CoverageCursor hi_retry(comps);
+      for (std::int64_t s = a; s <= job.deadline.ticks(); s += grid_) {
+        const std::int64_t covered = hi_retry.at(s + p) - lo_retry.at(s);
+        moves.push_back(Move{j, Time(s), Time(p - covered)});
+      }
+      std::sort(moves.begin(), moves.end(),
+                [](const Move& x, const Move& y) {
+                  if (x.marginal != y.marginal) {
+                    return x.marginal < y.marginal;
+                  }
+                  return x.start < y.start;
+                });
       return;
     }
     auto& cands = cand_scratch_[depth];
@@ -833,7 +1114,7 @@ class Search {
       if ((mask & lower_twins_[j]) != 0) {
         continue;
       }
-      const Job& job = inst_->job(j);
+      const Job job = view_.job(j);
       cands.clear();
       cands.push_back(job.arrival);
       cands.push_back(job.deadline);
@@ -846,14 +1127,82 @@ class Search {
           }
         }
       }
-      std::sort(cands.begin(), cands.end());
+      // Insertion sort: the candidate list is 2 + 4·|comps| entries; at
+      // that size std::sort's introsort machinery costs more than the
+      // sort, and the sorted result is identical (Time is totally
+      // ordered).
+      for (std::size_t i = 1; i < cands.size(); ++i) {
+        const Time v = cands[i];
+        std::size_t k = i;
+        while (k > 0 && v < cands[k - 1]) {
+          cands[k] = cands[k - 1];
+          --k;
+        }
+        cands[k] = v;
+      }
       cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+      // Starts ascend after the sort, so one coverage sweep computes every
+      // marginal — tick-identical to uncovered() per start.
+      const std::int64_t p = job.length.ticks();
+      CoverageCursor lo_cursor(comps);
+      CoverageCursor hi_cursor(comps);
       for (const Time s : cands) {
-        moves.push_back(Move{j, s, uncovered(comps, job.active_interval(s))});
+        const std::int64_t covered =
+            hi_cursor.at(s.ticks() + p) - lo_cursor.at(s.ticks());
+        moves.push_back(Move{j, s, Time(p - covered)});
       }
     }
-    // (marginal, job, start) is unique per move, so plain sort is
-    // deterministic.
+    sort_moves_general(moves);
+  }
+
+  /// Sorts general-mode moves by (marginal, job, start) — unique keys, so
+  /// any correct sort yields the same deterministic order. The fast path
+  /// packs (marginal, job, emission index) into one integer per move:
+  /// emission order is (job asc, start asc), so the index ordering matches
+  /// the start ordering within equal (marginal, job) and plain integer
+  /// sorting reproduces the comparator order at a fraction of the cost.
+  void sort_moves_general(std::vector<Move>& moves) {
+    constexpr std::int64_t kMaxPackedMarginal = std::int64_t{1} << 44;
+    constexpr std::size_t kMaxPackedMoves = std::size_t{1} << 14;
+    bool packable = moves.size() <= kMaxPackedMoves;
+    if (packable) {
+      auto& keys = move_key_scratch_;
+      keys.clear();
+      for (std::size_t i = 0; i < moves.size(); ++i) {
+        const Move& m = moves[i];
+        if (m.marginal.ticks() >= kMaxPackedMarginal) {
+          packable = false;
+          break;
+        }
+        keys.push_back(
+            (static_cast<std::uint64_t>(m.marginal.ticks()) << 20) |
+            (static_cast<std::uint64_t>(m.job) << 14) |
+            static_cast<std::uint64_t>(i));
+      }
+      if (packable) {
+        if (keys.size() <= 32) {
+          for (std::size_t i = 1; i < keys.size(); ++i) {
+            const std::uint64_t v = keys[i];
+            std::size_t k = i;
+            while (k > 0 && v < keys[k - 1]) {
+              keys[k] = keys[k - 1];
+              --k;
+            }
+            keys[k] = v;
+          }
+        } else {
+          std::sort(keys.begin(), keys.end());
+        }
+        auto& sorted = move_sort_scratch_;
+        sorted.clear();
+        for (const std::uint64_t key : keys) {
+          sorted.push_back(moves[key & (kMaxPackedMoves - 1)]);
+        }
+        moves.swap(sorted);
+        return;
+      }
+    }
+    // Oversized list or unpackable marginal: comparator sort.
     std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
       if (a.marginal != b.marginal) {
         return a.marginal < b.marginal;
@@ -865,7 +1214,7 @@ class Search {
     });
   }
 
-  const Instance* inst_ = nullptr;
+  InstanceView view_;
   const ExactOptions* opts_ = nullptr;
   Shared* shared_ = nullptr;
   static constexpr std::int64_t kMaxGridStarts = 128;
@@ -888,6 +1237,8 @@ class Search {
     Time lo;      // that chain's earliest arrival
   };
   std::vector<ParetoEntry> pareto_scratch_;  // chain_info DP frontier
+  std::vector<std::uint64_t> move_key_scratch_;  // packed move-sort keys
+  std::vector<Move> move_sort_scratch_;          // permute target for sort
   // chain_info memo: direct-indexed + epoch-stamped for small n, hash map
   // fallback above kChainDirectBits (2^n slots would no longer be cheap).
   static constexpr std::size_t kChainDirectBits = 12;
@@ -905,6 +1256,10 @@ class Search {
   std::vector<std::vector<Move>> move_scratch_;
   std::vector<Components> comp_scratch_;
   std::vector<Components> la_scratch_;
+  std::vector<std::vector<std::int64_t>> la_unc_scratch_;  // lookahead sweep
+  // Per-depth packed (marginal << 7 | start-index) keys for the fused grid
+  // expansion; per-depth because recursive children reuse the sweep state.
+  std::vector<std::vector<std::uint64_t>> grid_key_scratch_;
   std::vector<StateKey> keys_;
   // Current path's starts by job id; complete exactly at terminals.
   std::vector<Time> path_;
@@ -922,11 +1277,12 @@ Schedule schedule_from_starts(const Instance& inst,
   return schedule;
 }
 
-ExactResult finish(const Instance& inst, Time span, Schedule schedule,
+ExactResult finish(const Instance* owner, Time span, Schedule schedule,
                    ExactStatus status, const Shared& shared,
                    std::size_t cache_hits, std::size_t cache_entries) {
   // span_only results carry an empty schedule; there is nothing to check.
-  FJS_CHECK(schedule.size() == 0 || schedule.span(inst) == span,
+  FJS_CHECK(schedule.size() == 0 ||
+                (owner != nullptr && schedule.span(*owner) == span),
             "exact: span mismatch on reconstruction");
   ExactResult result;
   result.span = span;
@@ -936,6 +1292,177 @@ ExactResult finish(const Instance& inst, Time span, Schedule schedule,
   result.cache_hits = cache_hits;
   result.cache_entries = cache_entries;
   return result;
+}
+
+/// Shared search driver. `owner` is the owning Instance when the caller
+/// has one (required for every non-span_only run: reconstruction and
+/// schedule validation need it); the span_only view path passes nullptr.
+ExactResult run_search(InstanceView view, const Instance* owner,
+                       Schedule seed_schedule, Time seed_span,
+                       const ExactOptions& options) {
+  Shared shared(seed_span, options.max_nodes);
+  const Mask full =
+      view.size() == 64 ? ~Mask{0} : (Mask{1} << view.size()) - 1;
+
+  // A floor at or above the seed span proves nothing the seed doesn't; it
+  // only engages when it would genuinely clamp the root bound.
+  const bool floor_active = options.decision_floor > Time::zero() &&
+                            options.decision_floor < seed_span;
+  const std::size_t workers = (options.pool != nullptr && !floor_active)
+                                  ? options.pool->thread_count()
+                                  : 1;
+  if (workers <= 1 || view.size() < 8) {
+    // One warm Search per thread: the miner certifies thousands of
+    // candidates back-to-back on the same worker, and init() reuses every
+    // scratch buffer / hash table's capacity.
+    thread_local Search search;
+    search.init(view, options, shared, /*serial=*/true);
+    const Outcome o = search.solve(
+        full, Components{},
+        floor_active ? options.decision_floor : seed_span, 0);
+    search.flush_serial_counters();
+    if (shared.aborted.load(std::memory_order_relaxed)) {
+      // Best-so-far: the seed unless the search surfaced a better terminal.
+      if (search.best_sched_span() < seed_span) {
+        return finish(owner, search.best_sched_span(),
+                      options.span_only
+                          ? Schedule(0)
+                          : schedule_from_starts(*owner,
+                                                 search.best_starts()),
+                      ExactStatus::kBudgetExceeded, shared,
+                      search.cache_hits(), search.cache_entries());
+      }
+      return finish(owner, seed_span, std::move(seed_schedule),
+                    ExactStatus::kBudgetExceeded, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    if (!o.exact || o.value >= seed_span) {
+      if (!o.exact && floor_active && o.value < seed_span) {
+        // Fail-soft guarantee: a non-exact, non-aborted outcome is a valid
+        // lower bound on OPT no smaller than the root bound — the floor.
+        FJS_CHECK(o.value >= options.decision_floor,
+                  "exact: floor search returned a bound below the floor");
+        return finish(owner, seed_span, std::move(seed_schedule),
+                      ExactStatus::kFloorProven, shared, search.cache_hits(),
+                      search.cache_entries());
+      }
+      // The search proved nothing beats the seed: the seed is optimal.
+      return finish(owner, seed_span, std::move(seed_schedule),
+                    ExactStatus::kOptimal, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    if (options.span_only) {
+      return finish(owner, o.value, Schedule(0), ExactStatus::kOptimal,
+                    shared, search.cache_hits(), search.cache_entries());
+    }
+    if (search.best_sched_span() == o.value) {
+      return finish(owner, o.value,
+                    schedule_from_starts(*owner, search.best_starts()),
+                    ExactStatus::kOptimal, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    std::vector<Time> starts(view.size());
+    const bool reconstructed =
+        search.reconstruct(full, Components{}, o.value, starts);
+    search.flush_serial_counters();
+    if (!reconstructed) {
+      return finish(owner, seed_span, std::move(seed_schedule),
+                    ExactStatus::kBudgetExceeded, shared, search.cache_hits(),
+                    search.cache_entries());
+    }
+    return finish(owner, o.value, schedule_from_starts(*owner, starts),
+                  ExactStatus::kOptimal, shared, search.cache_hits(),
+                  search.cache_entries());
+  }
+
+  // Parallel root split: the root's (job, start) branches are chunked
+  // contiguously across workers, each with its own cache, all sharing the
+  // atomic incumbent. Reduction runs in branch order, so the optimal span
+  // is independent of the thread count and of scheduling timing.
+  std::vector<Move> roots;
+  {
+    Search probe;
+    probe.init(view, options, shared, /*serial=*/false);
+    probe.root_moves(full, roots);
+  }
+  const std::size_t chunks = std::min(workers, roots.size());
+  std::vector<std::unique_ptr<Search>> searches(chunks);
+  std::vector<Outcome> outcomes(roots.size(),
+                                Outcome{Time::max(), false});
+  parallel_for(*options.pool, chunks, [&](std::size_t c) {
+    searches[c] = std::make_unique<Search>();
+    searches[c]->init(view, options, shared, /*serial=*/false);
+    const std::size_t begin = c * roots.size() / chunks;
+    const std::size_t end = (c + 1) * roots.size() / chunks;
+    Components child;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Move& m = roots[i];
+      with_inserted(Components{}, view.job(m.job).active_interval(m.start),
+                    child);
+      outcomes[i] = searches[c]->solve(
+          full & ~bit(m.job), child,
+          Time(shared.incumbent.load(std::memory_order_relaxed)), 1);
+    }
+  });
+
+  std::size_t cache_hits = 0;
+  std::size_t cache_entries = 0;
+  for (const auto& s : searches) {
+    if (s != nullptr) {
+      cache_hits += s->cache_hits();
+      cache_entries += s->cache_entries();
+    }
+  }
+
+  Time best = seed_span;
+  std::size_t best_idx = roots.size();
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (outcomes[i].exact && outcomes[i].value < best) {
+      best = outcomes[i].value;
+      best_idx = i;
+    }
+  }
+  const bool aborted = shared.aborted.load(std::memory_order_relaxed);
+  if (best_idx == roots.size()) {
+    // Seed optimal (nothing strictly better), or budget ran out first.
+    return finish(owner, seed_span, std::move(seed_schedule),
+                  aborted ? ExactStatus::kBudgetExceeded
+                          : ExactStatus::kOptimal,
+                  shared, cache_hits, cache_entries);
+  }
+  if (options.span_only) {
+    return finish(owner, best, Schedule(0),
+                  aborted ? ExactStatus::kBudgetExceeded
+                          : ExactStatus::kOptimal,
+                  shared, cache_hits, cache_entries);
+  }
+  // Reconstruct the winner's subtree inside its own cache.
+  const std::size_t winner_chunk = [&] {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * roots.size() / chunks;
+      const std::size_t end = (c + 1) * roots.size() / chunks;
+      if (best_idx >= begin && best_idx < end) {
+        return c;
+      }
+    }
+    FJS_UNREACHABLE("exact: winning root branch outside every chunk");
+  }();
+  Search& winner = *searches[winner_chunk];
+  std::vector<Time> starts(view.size());
+  const Move& wm = roots[best_idx];
+  starts[wm.job] = wm.start;
+  Components child;
+  with_inserted(Components{}, view.job(wm.job).active_interval(wm.start),
+                child);
+  if (!winner.reconstruct(full & ~bit(wm.job), std::move(child), best,
+                          starts)) {
+    return finish(owner, seed_span, std::move(seed_schedule),
+                  ExactStatus::kBudgetExceeded, shared, cache_hits,
+                  cache_entries);
+  }
+  return finish(owner, best, schedule_from_starts(*owner, starts),
+                aborted ? ExactStatus::kBudgetExceeded : ExactStatus::kOptimal,
+                shared, cache_hits, cache_entries);
 }
 
 }  // namespace
@@ -993,170 +1520,29 @@ ExactResult exact_optimal(const Instance& instance, ExactOptions options) {
     // matches the reported incumbent.
   }
 
-  Shared shared(seed_span, options.max_nodes);
-  const Mask full = instance.size() == 64
-                        ? ~Mask{0}
-                        : (Mask{1} << instance.size()) - 1;
+  return run_search(instance.view(), &instance, std::move(seed_schedule),
+                    seed_span, options);
+}
 
-  // A floor at or above the seed span proves nothing the seed doesn't; it
-  // only engages when it would genuinely clamp the root bound.
-  const bool floor_active = options.decision_floor > Time::zero() &&
-                            options.decision_floor < seed_span;
-  const std::size_t workers = (options.pool != nullptr && !floor_active)
-                                  ? options.pool->thread_count()
-                                  : 1;
-  if (workers <= 1 || instance.size() < 8) {
-    // One warm Search per thread: the miner certifies thousands of
-    // candidates back-to-back on the same worker, and init() reuses every
-    // scratch buffer / hash table's capacity.
-    thread_local Search search;
-    search.init(instance, options, shared, /*serial=*/true);
-    const Outcome o = search.solve(
-        full, Components{},
-        floor_active ? options.decision_floor : seed_span, 0);
-    search.flush_serial_counters();
-    if (shared.aborted.load(std::memory_order_relaxed)) {
-      // Best-so-far: the seed unless the search surfaced a better terminal.
-      if (search.best_sched_span() < seed_span) {
-        return finish(instance, search.best_sched_span(),
-                      options.span_only
-                          ? Schedule(0)
-                          : schedule_from_starts(instance,
-                                                 search.best_starts()),
-                      ExactStatus::kBudgetExceeded, shared,
-                      search.cache_hits(), search.cache_entries());
-      }
-      return finish(instance, seed_span, std::move(seed_schedule),
-                    ExactStatus::kBudgetExceeded, shared, search.cache_hits(),
-                    search.cache_entries());
-    }
-    if (!o.exact || o.value >= seed_span) {
-      if (!o.exact && floor_active && o.value < seed_span) {
-        // Fail-soft guarantee: a non-exact, non-aborted outcome is a valid
-        // lower bound on OPT no smaller than the root bound — the floor.
-        FJS_CHECK(o.value >= options.decision_floor,
-                  "exact: floor search returned a bound below the floor");
-        return finish(instance, seed_span, std::move(seed_schedule),
-                      ExactStatus::kFloorProven, shared, search.cache_hits(),
-                      search.cache_entries());
-      }
-      // The search proved nothing beats the seed: the seed is optimal.
-      return finish(instance, seed_span, std::move(seed_schedule),
-                    ExactStatus::kOptimal, shared, search.cache_hits(),
-                    search.cache_entries());
-    }
-    if (options.span_only) {
-      return finish(instance, o.value, Schedule(0), ExactStatus::kOptimal,
-                    shared, search.cache_hits(), search.cache_entries());
-    }
-    if (search.best_sched_span() == o.value) {
-      return finish(instance, o.value,
-                    schedule_from_starts(instance, search.best_starts()),
-                    ExactStatus::kOptimal, shared, search.cache_hits(),
-                    search.cache_entries());
-    }
-    std::vector<Time> starts(instance.size());
-    const bool reconstructed =
-        search.reconstruct(full, Components{}, o.value, starts);
-    search.flush_serial_counters();
-    if (!reconstructed) {
-      return finish(instance, seed_span, std::move(seed_schedule),
-                    ExactStatus::kBudgetExceeded, shared, search.cache_hits(),
-                    search.cache_entries());
-    }
-    return finish(instance, o.value, schedule_from_starts(instance, starts),
-                  ExactStatus::kOptimal, shared, search.cache_hits(),
-                  search.cache_entries());
+ExactResult exact_optimal(InstanceView view, ExactOptions options) {
+  // The owner-less entry is the miner's certification loop: span-only
+  // decision runs over a mutation scratch table. Everything that needs an
+  // owning Instance (heuristic seeding, witness schedules) is excluded by
+  // construction.
+  FJS_REQUIRE(options.span_only,
+              "exact(view): requires span_only (no witness schedule without "
+              "an owning Instance)");
+  FJS_REQUIRE(!options.seed_with_heuristic && options.seed_schedule == nullptr,
+              "exact(view): heuristic/schedule seeding needs an owning "
+              "Instance — pass seed_span instead");
+  FJS_REQUIRE(options.seed_span > Time::zero(),
+              "exact(view): span_only needs a seed_span incumbent");
+  if (view.empty()) {
+    return ExactResult{.span = Time::zero(), .schedule = Schedule(0)};
   }
-
-  // Parallel root split: the root's (job, start) branches are chunked
-  // contiguously across workers, each with its own cache, all sharing the
-  // atomic incumbent. Reduction runs in branch order, so the optimal span
-  // is independent of the thread count and of scheduling timing.
-  std::vector<Move> roots;
-  {
-    Search probe;
-    probe.init(instance, options, shared, /*serial=*/false);
-    probe.root_moves(full, roots);
-  }
-  const std::size_t chunks = std::min(workers, roots.size());
-  std::vector<std::unique_ptr<Search>> searches(chunks);
-  std::vector<Outcome> outcomes(roots.size(),
-                                Outcome{Time::max(), false});
-  parallel_for(*options.pool, chunks, [&](std::size_t c) {
-    searches[c] = std::make_unique<Search>();
-    searches[c]->init(instance, options, shared, /*serial=*/false);
-    const std::size_t begin = c * roots.size() / chunks;
-    const std::size_t end = (c + 1) * roots.size() / chunks;
-    Components child;
-    for (std::size_t i = begin; i < end; ++i) {
-      const Move& m = roots[i];
-      with_inserted(Components{}, instance.job(m.job).active_interval(m.start),
-                    child);
-      outcomes[i] = searches[c]->solve(
-          full & ~bit(m.job), child,
-          Time(shared.incumbent.load(std::memory_order_relaxed)), 1);
-    }
-  });
-
-  std::size_t cache_hits = 0;
-  std::size_t cache_entries = 0;
-  for (const auto& s : searches) {
-    if (s != nullptr) {
-      cache_hits += s->cache_hits();
-      cache_entries += s->cache_entries();
-    }
-  }
-
-  Time best = seed_span;
-  std::size_t best_idx = roots.size();
-  for (std::size_t i = 0; i < roots.size(); ++i) {
-    if (outcomes[i].exact && outcomes[i].value < best) {
-      best = outcomes[i].value;
-      best_idx = i;
-    }
-  }
-  const bool aborted = shared.aborted.load(std::memory_order_relaxed);
-  if (best_idx == roots.size()) {
-    // Seed optimal (nothing strictly better), or budget ran out first.
-    return finish(instance, seed_span, std::move(seed_schedule),
-                  aborted ? ExactStatus::kBudgetExceeded
-                          : ExactStatus::kOptimal,
-                  shared, cache_hits, cache_entries);
-  }
-  if (options.span_only) {
-    return finish(instance, best, Schedule(0),
-                  aborted ? ExactStatus::kBudgetExceeded
-                          : ExactStatus::kOptimal,
-                  shared, cache_hits, cache_entries);
-  }
-  // Reconstruct the winner's subtree inside its own cache.
-  const std::size_t winner_chunk = [&] {
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t begin = c * roots.size() / chunks;
-      const std::size_t end = (c + 1) * roots.size() / chunks;
-      if (best_idx >= begin && best_idx < end) {
-        return c;
-      }
-    }
-    FJS_UNREACHABLE("exact: winning root branch outside every chunk");
-  }();
-  Search& winner = *searches[winner_chunk];
-  std::vector<Time> starts(instance.size());
-  const Move& wm = roots[best_idx];
-  starts[wm.job] = wm.start;
-  Components child;
-  with_inserted(Components{}, instance.job(wm.job).active_interval(wm.start),
-                child);
-  if (!winner.reconstruct(full & ~bit(wm.job), std::move(child), best,
-                          starts)) {
-    return finish(instance, seed_span, std::move(seed_schedule),
-                  ExactStatus::kBudgetExceeded, shared, cache_hits,
-                  cache_entries);
-  }
-  return finish(instance, best, schedule_from_starts(instance, starts),
-                aborted ? ExactStatus::kBudgetExceeded : ExactStatus::kOptimal,
-                shared, cache_hits, cache_entries);
+  FJS_REQUIRE(view.size() <= 64,
+              "exact: more than 64 jobs — use the heuristic + lower bounds");
+  return run_search(view, nullptr, Schedule(0), options.seed_span, options);
 }
 
 Time exact_optimal_span(const Instance& instance, ExactOptions options) {

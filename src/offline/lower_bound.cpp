@@ -33,19 +33,21 @@ void sort_small(std::vector<T>& v, Less less) {
 
 }  // namespace
 
-Time mandatory_lower_bound(const Instance& instance) {
+Time mandatory_lower_bound(InstanceView view) {
   // Union measure over the mandatory regions without materializing an
   // IntervalSet: collect, sort by left endpoint, one linear pass. The
   // scratch is thread-local so the miner's per-candidate calls stop
   // allocating.
   thread_local std::vector<Interval> mandatory;
   mandatory.clear();
-  for (const Job& j : instance.jobs()) {
+  const std::size_t n = view.size();
+  for (JobId id = 0; id < n; ++id) {
     // Every placement of J covers [d(J), a(J)+p(J)) (empty if laxity >= p).
     // Saturating: a <= d gives a+p <= d+p <= max under the Instance
     // invariant, but this bound also serves raw job lists in tests and
     // tools, so clamp instead of relying on the caller.
-    const Interval mand(j.deadline, j.arrival.saturating_add(j.length));
+    const Interval mand(view.deadline(id),
+                        view.arrival(id).saturating_add(view.length(id)));
     if (!mand.empty()) {
       mandatory.push_back(mand);
     }
@@ -55,8 +57,8 @@ Time mandatory_lower_bound(const Instance& instance) {
   return IntervalSet::sorted_union_measure(mandatory);
 }
 
-Time chain_lower_bound(const Instance& instance) {
-  if (instance.empty()) {
+Time chain_lower_bound(InstanceView view) {
+  if (view.empty()) {
     return Time::zero();
   }
   // f(J) = best chain weight ending at J
@@ -105,46 +107,46 @@ Time chain_lower_bound(const Instance& instance) {
   // Same (arrival, id) order as Instance::ids_by_arrival(), built in a
   // thread-local scratch.
   thread_local std::vector<JobId> order;
-  const std::size_t n = instance.size();
+  const std::size_t n = view.size();
   order.resize(n);
   for (JobId j = 0; j < n; ++j) {
     order[j] = j;
   }
-  sort_small(order, [&instance](JobId a, JobId b) {
-    if (instance.job(a).arrival != instance.job(b).arrival) {
-      return instance.job(a).arrival < instance.job(b).arrival;
+  const std::span<const Time> arrivals = view.arrivals();
+  sort_small(order, [arrivals](JobId a, JobId b) {
+    if (arrivals[a] != arrivals[b]) {
+      return arrivals[a] < arrivals[b];
     }
     return a < b;
   });
 
   Time best = Time::zero();
   for (const JobId id : order) {
-    const Job& j = instance.job(id);
     // Both checked_adds are provably in range under the Instance d+p
     // invariant: the chain condition d(I)+p(I) <= a(J) bounds every
     // predecessor weight f(I) by a(J), so f(J) = f(I)+p(J) <= a(J)+p(J)
     // <= d(J)+p(J) <= max; the insert key is d+p <= max directly.
-    const Time f = query(j.arrival).checked_add(j.length);
+    const Time length = view.length(id);
+    const Time f = query(view.arrival(id)).checked_add(length);
     best = std::max(best, f);
-    insert(j.deadline.checked_add(j.length), f);
+    insert(view.deadline(id).checked_add(length), f);
   }
   return best;
 }
 
-Time max_length_lower_bound(const Instance& instance) {
-  if (instance.empty()) {
+Time max_length_lower_bound(InstanceView view) {
+  if (view.empty()) {
     return Time::zero();
   }
-  return instance.max_length();
+  return view.max_length();
 }
 
-Time best_lower_bound(const Instance& instance) {
-  if (instance.empty()) {
+Time best_lower_bound(InstanceView view) {
+  if (view.empty()) {
     return Time::zero();
   }
-  return std::max({mandatory_lower_bound(instance),
-                   chain_lower_bound(instance),
-                   max_length_lower_bound(instance)});
+  return std::max({mandatory_lower_bound(view), chain_lower_bound(view),
+                   max_length_lower_bound(view)});
 }
 
 }  // namespace fjs

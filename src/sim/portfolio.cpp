@@ -39,31 +39,35 @@ class NullSource final : public JobSource {
 
 }  // namespace
 
-void PreparedInstance::prepare(const Instance& instance) {
+void PreparedInstance::prepare(InstanceView view) {
   records_.clear();
   staged_.clear();
   original_ids_.clear();
-  const std::size_t n = instance.size();
+  const std::size_t n = view.size();
   records_.reserve(n);
   staged_.reserve(n);
   original_ids_.reserve(n);
 
-  const auto add = [this](const Job& j, JobId original) {
+  const auto add = [this, view](JobId original) {
+    const Time arrival = view.arrival(original);
+    const Time deadline = view.deadline(original);
+    const Time length = view.length(original);
     // Same model checks Engine::release applies to a StaticSource stream,
-    // hoisted out of the per-replay path.
-    FJS_REQUIRE(j.arrival <= j.deadline,
+    // hoisted out of the per-replay path. Views may come from unvalidated
+    // scratch tables, so the checks stay even on the view path.
+    FJS_REQUIRE(arrival <= deadline,
                 "prepare: job with deadline before arrival");
-    FJS_REQUIRE(j.length > Time::zero(),
+    FJS_REQUIRE(length > Time::zero(),
                 "prepare: job with non-positive length");
     const auto id = static_cast<JobId>(records_.size());
     detail::EngineJobRecord rec;
     rec.job = Job{.id = id,
-                  .arrival = j.arrival,
-                  .deadline = j.deadline,
-                  .length = j.length};
+                  .arrival = arrival,
+                  .deadline = deadline,
+                  .length = length};
     rec.length_known = true;
     records_.push_back(rec);
-    staged_.push_back(Event{.time = j.arrival,
+    staged_.push_back(Event{.time = arrival,
                             .seq = id,
                             .tag = 0,
                             .job = id,
@@ -74,32 +78,17 @@ void PreparedInstance::prepare(const Instance& instance) {
   // Mirror StaticSource exactly: arrival order with the same sorted fast
   // path, so engine ids and event seqs match the classic replay bit for
   // bit.
-  const std::vector<Job>& jobs = instance.jobs();
-  const bool sorted =
-      std::is_sorted(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
-        return a.arrival < b.arrival;
-      });
-  if (sorted) {
+  if (view.sorted_by_arrival()) {
     for (JobId id = 0; id < n; ++id) {
-      add(jobs[id], id);
+      add(id);
     }
     return;
   }
   // Same (arrival, id) order as Instance::ids_by_arrival(), sorted into a
   // member scratch so re-preparing stays allocation-free once warm.
-  sort_scratch_.resize(n);
-  for (JobId id = 0; id < n; ++id) {
-    sort_scratch_[id] = id;
-  }
-  std::sort(sort_scratch_.begin(), sort_scratch_.end(),
-            [&jobs](JobId a, JobId b) {
-              if (jobs[a].arrival != jobs[b].arrival) {
-                return jobs[a].arrival < jobs[b].arrival;
-              }
-              return a < b;
-            });
+  view.ids_by_arrival(sort_scratch_);
   for (const JobId id : sort_scratch_) {
-    add(instance.job(id), id);
+    add(id);
   }
 }
 
@@ -274,6 +263,39 @@ bool PortfolioRunner::run_spans(const Instance& instance,
                        : shared_span(entries[i], nullptr);
   }
   return true;
+}
+
+void PortfolioRunner::run_spans(InstanceView view,
+                                std::span<const PortfolioEntry> entries,
+                                std::vector<Time>& spans_out) {
+  spans_out.resize(entries.size());
+  prepared_.prepare(view);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    spans_out[i] = prefix_eligible(entries[i])
+                       ? prefix_span(entries[i], nullptr, Time::max())
+                       : shared_span(entries[i], nullptr);
+  }
+}
+
+Time PortfolioRunner::run_span(InstanceView view, const PortfolioEntry& entry,
+                               std::vector<Time>* starts_out,
+                               Time earliest_affected_hint) {
+  prepared_.prepare(view);
+  const bool prefix = prefix_eligible(entry);
+  if (starts_out == nullptr) {
+    return prefix ? prefix_span(entry, nullptr, earliest_affected_hint)
+                  : shared_span(entry, nullptr);
+  }
+  const Time span = prefix
+                        ? prefix_span(entry, &starts_scratch_,
+                                      earliest_affected_hint)
+                        : shared_span(entry, &starts_scratch_);
+  starts_out->resize(starts_scratch_.size());
+  const std::vector<JobId>& original = prepared_.original_ids();
+  for (std::size_t k = 0; k < starts_scratch_.size(); ++k) {
+    (*starts_out)[original[k]] = starts_scratch_[k];
+  }
+  return span;
 }
 
 Time PortfolioRunner::run_span(const Instance& instance,

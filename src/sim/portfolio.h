@@ -70,7 +70,12 @@ class PreparedInstance {
 
   /// Validates the jobs (same checks as Engine release) and rebuilds the
   /// replay buffers for `instance`.
-  void prepare(const Instance& instance);
+  void prepare(const Instance& instance) { prepare(instance.view()); }
+
+  /// Same lowering over a non-owning view (e.g. the miner's mutation
+  /// scratch table) — no Instance is materialized. The view only needs to
+  /// stay alive for this call; the replay buffers copy everything out.
+  void prepare(InstanceView view);
 
   std::size_t size() const { return records_.size(); }
   const std::vector<detail::EngineJobRecord>& records() const {
@@ -127,6 +132,11 @@ class PortfolioRunner {
                  std::vector<Time>& spans_out,
                  const PortfolioOptions& options = {});
 
+  /// View form of the span batch. Shared-timeline only: the adaptive
+  /// factories need an owning Instance, so options must not carry any.
+  void run_spans(InstanceView view, std::span<const PortfolioEntry> entries,
+                 std::vector<Time>& spans_out);
+
   /// Single-entry span fast path. If `starts_out` is non-null it is
   /// filled with the scheduler's chosen start times indexed by the
   /// instance's own job ids — the online schedule without materializing a
@@ -141,6 +151,13 @@ class PortfolioRunner {
   Time run_span(const Instance& instance, const PortfolioEntry& entry,
                 std::vector<Time>* starts_out = nullptr,
                 const PortfolioOptions& options = {},
+                Time earliest_affected_hint = Time::max());
+
+  /// View form of the single-entry span path (always shared-timeline).
+  /// This is the miner's hot loop: a scratch JobTable is evaluated
+  /// without materializing an Instance.
+  Time run_span(InstanceView view, const PortfolioEntry& entry,
+                std::vector<Time>* starts_out = nullptr,
                 Time earliest_affected_hint = Time::max());
 
   /// Enables checkpointed prefix replay on the shared-timeline span path:

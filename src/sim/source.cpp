@@ -4,28 +4,28 @@
 
 namespace fjs {
 
-StaticSource::StaticSource(const Instance& instance) {
-  specs_.reserve(instance.size());
+StaticSource::StaticSource(const Instance& instance)
+    : StaticSource(instance.view()) {}
+
+StaticSource::StaticSource(InstanceView view) {
+  specs_.reserve(view.size());
   // Release in arrival order so engine job ids follow arrival order; ids of
   // the realized instance then match ids_by_arrival of the input.
-  const std::vector<Job>& jobs = instance.jobs();
-  const bool sorted =
-      std::is_sorted(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
-        return a.arrival < b.arrival;
-      });
-  if (sorted) {
+  if (view.sorted_by_arrival()) {
     // Already in (arrival, id) order — skip the O(n log n) id sort that
     // every generated workload would otherwise pay per simulation.
-    for (const Job& j : jobs) {
-      specs_.push_back(JobSpec{
-          .arrival = j.arrival, .deadline = j.deadline, .length = j.length});
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      const JobId id = static_cast<JobId>(i);
+      specs_.push_back(JobSpec{.arrival = view.arrival(id),
+                               .deadline = view.deadline(id),
+                               .length = view.length(id)});
     }
     return;
   }
-  for (const JobId id : instance.ids_by_arrival()) {
-    const Job& j = instance.job(id);
-    specs_.push_back(
-        JobSpec{.arrival = j.arrival, .deadline = j.deadline, .length = j.length});
+  for (const JobId id : view.ids_by_arrival()) {
+    specs_.push_back(JobSpec{.arrival = view.arrival(id),
+                             .deadline = view.deadline(id),
+                             .length = view.length(id)});
   }
 }
 

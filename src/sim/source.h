@@ -65,6 +65,9 @@ class JobSource {
 class StaticSource final : public JobSource {
  public:
   explicit StaticSource(const Instance& instance);
+  /// Same replay over a non-owning view (e.g. a miner scratch buffer).
+  /// The view only needs to stay alive for the constructor call.
+  explicit StaticSource(InstanceView view);
 
   SourceAction begin() override;
 

@@ -47,3 +47,16 @@ namespace detail {
 /// Marks unreachable control flow.
 #define FJS_UNREACHABLE(msg) \
   ::fjs::detail::assertion_failure("unreachable", __FILE__, __LINE__, (msg))
+
+/// Debug-only assertion for hot-path bounds checks (InstanceView column
+/// accessors, engine job lookups). Compiles to nothing under NDEBUG —
+/// use FJS_REQUIRE instead wherever a violation must fail loudly in
+/// release builds (API boundaries, invariants the results depend on).
+#ifdef NDEBUG
+#define FJS_DASSERT(expr, msg) \
+  do {                         \
+    (void)sizeof(!(expr));     \
+  } while (false)
+#else
+#define FJS_DASSERT(expr, msg) FJS_REQUIRE(expr, msg)
+#endif

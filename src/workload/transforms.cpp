@@ -1,7 +1,6 @@
 #include "workload/transforms.h"
 
-#include <vector>
-
+#include "core/job_table.h"
 #include "support/assert.h"
 #include "support/rng.h"
 
@@ -9,49 +8,54 @@ namespace fjs {
 
 Instance scale_laxity(const Instance& instance, double factor) {
   FJS_REQUIRE(factor >= 0.0, "scale_laxity: factor must be >= 0");
-  std::vector<Job> jobs;
-  jobs.reserve(instance.size());
-  for (Job j : instance.jobs()) {
-    j.deadline = j.arrival + j.laxity().scaled(factor);
-    jobs.push_back(j);
+  const InstanceView view = instance.view();
+  JobTable table;
+  table.reserve(view.size());
+  for (JobId id = 0; id < view.size(); ++id) {
+    const Job j = view.job(id);
+    table.push_back(j.arrival, j.arrival + j.laxity().scaled(factor),
+                    j.length);
   }
-  return Instance(std::move(jobs));
+  return Instance(std::move(table));
 }
 
 Instance scale_lengths(const Instance& instance, double factor) {
   FJS_REQUIRE(factor > 0.0, "scale_lengths: factor must be > 0");
-  std::vector<Job> jobs;
-  jobs.reserve(instance.size());
-  for (Job j : instance.jobs()) {
-    j.length = j.length.scaled(factor);
-    FJS_REQUIRE(j.length > Time::zero(),
+  const InstanceView view = instance.view();
+  JobTable table;
+  table.reserve(view.size());
+  for (JobId id = 0; id < view.size(); ++id) {
+    const Time length = view.length(id).scaled(factor);
+    FJS_REQUIRE(length > Time::zero(),
                 "scale_lengths: length rounded to zero");
-    jobs.push_back(j);
+    table.push_back(view.arrival(id), view.deadline(id), length);
   }
-  return Instance(std::move(jobs));
+  return Instance(std::move(table));
 }
 
 Instance shift_times(const Instance& instance, Time delta) {
-  std::vector<Job> jobs;
-  jobs.reserve(instance.size());
-  for (Job j : instance.jobs()) {
-    j.arrival = j.arrival.checked_add(delta);
-    j.deadline = j.deadline.checked_add(delta);
-    jobs.push_back(j);
+  const InstanceView view = instance.view();
+  JobTable table;
+  table.reserve(view.size());
+  for (JobId id = 0; id < view.size(); ++id) {
+    table.push_back(view.arrival(id).checked_add(delta),
+                    view.deadline(id).checked_add(delta), view.length(id));
   }
-  return Instance(std::move(jobs));
+  return Instance(std::move(table));
 }
 
 Instance merge_instances(const Instance& a, const Instance& b) {
-  std::vector<Job> jobs;
-  jobs.reserve(a.size() + b.size());
-  for (const Job& j : a.jobs()) {
-    jobs.push_back(j);
+  JobTable table;
+  table.reserve(a.size() + b.size());
+  const InstanceView va = a.view();
+  for (JobId id = 0; id < va.size(); ++id) {
+    table.push_back(va.job(id));
   }
-  for (const Job& j : b.jobs()) {
-    jobs.push_back(j);
+  const InstanceView vb = b.view();
+  for (JobId id = 0; id < vb.size(); ++id) {
+    table.push_back(vb.job(id));
   }
-  return Instance(std::move(jobs));
+  return Instance(std::move(table));
 }
 
 Instance subsample(const Instance& instance, std::size_t count,
@@ -66,12 +70,12 @@ Instance subsample(const Instance& instance, std::size_t count,
   }
   rng.shuffle(ids);
   ids.resize(count);
-  std::vector<Job> jobs;
-  jobs.reserve(count);
+  JobTable table;
+  table.reserve(count);
   for (const JobId id : ids) {
-    jobs.push_back(instance.job(id));
+    table.push_back(instance.job(id));
   }
-  return Instance(std::move(jobs));
+  return Instance(std::move(table));
 }
 
 Instance snap_to_grid(const Instance& instance, Time quantum) {
@@ -89,20 +93,20 @@ Instance snap_to_grid(const Instance& instance, Time quantum) {
     const Time down = floor_to(t);
     return down == t ? t : down + Time(q);
   };
-  std::vector<Job> jobs;
-  jobs.reserve(instance.size());
-  for (const Job& j : instance.jobs()) {
-    Job snapped = j;
-    snapped.arrival = floor_to(j.arrival);
+  const InstanceView view = instance.view();
+  JobTable table;
+  table.reserve(view.size());
+  for (JobId id = 0; id < view.size(); ++id) {
+    const Job j = view.job(id);
+    const Time arrival = floor_to(j.arrival);
     const Time laxity = floor_to(j.laxity());
-    snapped.deadline = snapped.arrival + laxity;
-    snapped.length = ceil_to(j.length);
-    if (snapped.length == Time::zero()) {
-      snapped.length = Time(q);
+    Time length = ceil_to(j.length);
+    if (length == Time::zero()) {
+      length = Time(q);
     }
-    jobs.push_back(snapped);
+    table.push_back(arrival, arrival + laxity, length);
   }
-  return Instance(std::move(jobs));
+  return Instance(std::move(table));
 }
 
 Instance make_rigid(const Instance& instance) {

@@ -119,7 +119,7 @@ TEST(NonClairvoyantAdversary, RealizedLengthsAreOneOrMu) {
   const Time unit = adversary.unit();
   const Time mu_len = unit.scaled(4.0);
   std::size_t mu_jobs = 0;
-  for (const Job& j : result.instance.jobs()) {
+  for (const Job& j : result.instance.view().jobs()) {
     EXPECT_TRUE(j.length == unit || j.length == mu_len) << j.to_string();
     if (j.length == mu_len) {
       ++mu_jobs;

@@ -202,7 +202,7 @@ TEST(StatsRegression, FuzzHugeLengthSeedsExerciseTheSaturatingPath) {
   for (std::uint64_t seed = 1; seed <= 300; ++seed) {
     const Instance inst = generate_fuzz_instance(config, seed);
     Time sum = Time::zero();
-    for (const Job& j : inst.jobs()) {
+    for (const Job& j : inst.view().jobs()) {
       sum = sum.saturating_add(j.length);
     }
     if (sum < Time::max()) {

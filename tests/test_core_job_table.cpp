@@ -1,0 +1,152 @@
+// The columnar substrate's own contract (docs/DATA_MODEL.md): SoA
+// storage, view aliasing under in-place mutation, the undo protocol,
+// and view-computed stats matching the Instance-cached ones.
+#include "core/job_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/instance.h"
+#include "support/assert.h"
+
+namespace fjs {
+namespace {
+
+Time U(double units) { return Time::from_units(units); }
+
+JobTable three_rows() {
+  JobTable table;
+  table.push_back(U(0), U(1), U(2));
+  table.push_back(U(1), U(4), U(1));
+  table.push_back(U(0.5), U(2), U(3));
+  return table;
+}
+
+TEST(JobTable, RowsRoundTripThroughColumnsAndJobs) {
+  const JobTable table = three_rows();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.arrivals()[1], U(1));
+  EXPECT_EQ(table.deadlines()[2], U(2));
+  EXPECT_EQ(table.lengths()[0], U(2));
+  const Job row = table.job(2);
+  EXPECT_EQ(row.id, 2u);
+  EXPECT_EQ(row.arrival, U(0.5));
+  EXPECT_EQ(row.deadline, U(2));
+  EXPECT_EQ(row.length, U(3));
+}
+
+TEST(JobTable, AoSBridgeKeepsRowOrderAndReassignsIds) {
+  std::vector<Job> jobs;
+  jobs.push_back(Job{.id = 7, .arrival = U(3), .deadline = U(5),
+                     .length = U(1)});
+  jobs.push_back(Job{.id = 2, .arrival = U(0), .deadline = U(1),
+                     .length = U(2)});
+  const JobTable table(jobs);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.job(0).id, 0u);
+  EXPECT_EQ(table.job(0).arrival, U(3));
+  EXPECT_EQ(table.job(1).id, 1u);
+  EXPECT_EQ(table.job(1).arrival, U(0));
+}
+
+TEST(JobTable, ViewAliasesInPlaceWritesWithoutInvalidation) {
+  JobTable table = three_rows();
+  const InstanceView view = table.view();  // taken BEFORE the mutation
+  table.set(1, U(2), U(6), U(4));
+  EXPECT_EQ(view.arrival(1), U(2));
+  EXPECT_EQ(view.deadline(1), U(6));
+  EXPECT_EQ(view.length(1), U(4));
+  // Untouched rows are untouched.
+  EXPECT_EQ(view.arrival(0), U(0));
+  EXPECT_EQ(view.length(2), U(3));
+}
+
+TEST(JobTable, UndoRecordRestoresExactRow) {
+  JobTable table = three_rows();
+  const InstanceView view = table.view();
+  const JobTable::Undo undo = table.undo_record(1);
+  table.set(1, U(9), U(10), U(11));
+  EXPECT_EQ(view.length(1), U(11));
+  table.restore(undo);
+  EXPECT_EQ(view.arrival(1), U(1));
+  EXPECT_EQ(view.deadline(1), U(4));
+  EXPECT_EQ(view.length(1), U(1));
+}
+
+TEST(JobTable, MaterializingFromViewDeepCopies) {
+  JobTable table = three_rows();
+  const JobTable copy(table.view());
+  table.set(0, U(8), U(9), U(1));
+  EXPECT_EQ(copy.job(0).arrival, U(0));  // copy unaffected by later writes
+  const Instance owned{JobTable(copy.view())};
+  EXPECT_EQ(owned.size(), 3u);
+  EXPECT_EQ(owned.job(0).length, U(2));
+}
+
+TEST(InstanceView, DerivedStatsMatchInstanceCache) {
+  const Instance inst{three_rows()};
+  const InstanceView view = inst.view();
+  EXPECT_DOUBLE_EQ(view.mu(), inst.mu());
+  EXPECT_EQ(view.min_length(), inst.min_length());
+  EXPECT_EQ(view.max_length(), inst.max_length());
+  EXPECT_EQ(view.total_work(), inst.total_work());
+  EXPECT_EQ(view.earliest_arrival(), inst.earliest_arrival());
+  EXPECT_EQ(view.latest_completion(), inst.latest_completion());
+  EXPECT_EQ(view.ids_by_arrival(), inst.ids_by_arrival());
+  EXPECT_EQ(view.ids_by_deadline(), inst.ids_by_deadline());
+}
+
+TEST(InstanceView, SortedByArrivalAndGridPredicate) {
+  JobTable sorted;
+  sorted.push_back(U(0), U(1), U(1));
+  sorted.push_back(U(1), U(2), U(1));
+  EXPECT_TRUE(sorted.view().sorted_by_arrival());
+  EXPECT_TRUE(sorted.view().is_multiple_of(Time(Time::kTicksPerUnit)));
+
+  JobTable unsorted;
+  unsorted.push_back(U(1), U(2), U(1));
+  unsorted.push_back(U(0), U(1), U(1.5));
+  EXPECT_FALSE(unsorted.view().sorted_by_arrival());
+  EXPECT_FALSE(unsorted.view().is_multiple_of(Time(Time::kTicksPerUnit)));
+}
+
+TEST(InstanceView, JobsRangeAssemblesEveryRow) {
+  const JobTable table = three_rows();
+  const InstanceView view = table.view();
+  std::size_t count = 0;
+  for (const Job& job : view.jobs()) {
+    EXPECT_EQ(job.arrival, view.arrival(job.id));
+    EXPECT_EQ(job.length, view.length(job.id));
+    ++count;
+  }
+  EXPECT_EQ(count, table.size());
+}
+
+TEST(InstanceView, ValidateRejectsBadScratchRows) {
+  JobTable bad;
+  bad.push_back(U(1), U(0), U(1));  // deadline before arrival
+  EXPECT_THROW(bad.view().validate(), AssertionError);
+  JobTable overflow;
+  overflow.push_back(Time::zero(), Time::max(), Time::max());  // d+p overflows
+  EXPECT_THROW(overflow.view().validate(), AssertionError);
+}
+
+TEST(InstanceView, TotalWorkSaturatesInsteadOfThrowing) {
+  JobTable huge;
+  huge.push_back(Time::zero(), Time::zero(), Time::max());
+  huge.push_back(Time::zero(), Time::zero(), Time::max());
+  bool overflowed = false;
+  EXPECT_EQ(huge.view().total_work_saturating(&overflowed), Time::max());
+  EXPECT_TRUE(overflowed);
+  EXPECT_THROW(huge.view().total_work(), AssertionError);
+}
+
+TEST(JobTable, ColumnLengthMismatchIsRejectedByViewCtor) {
+  std::vector<Time> two(2, Time::zero());
+  std::vector<Time> three(3, Time::zero());
+  EXPECT_THROW(InstanceView(two, three, two), AssertionError);
+}
+
+}  // namespace
+}  // namespace fjs

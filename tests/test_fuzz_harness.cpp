@@ -69,7 +69,7 @@ TEST(FuzzGenerator, EveryInstanceValidAndEdgeCasesCovered) {
     // Construction + latest_completion already validate windows/overflow;
     // re-assert the basics explicitly.
     EXPECT_NO_THROW((void)inst.latest_completion());
-    for (const Job& j : inst.jobs()) {
+    for (const Job& j : inst.view().jobs()) {
       ASSERT_LE(j.arrival, j.deadline);
       ASSERT_GT(j.length, Time::zero());
       const Time laxity = j.deadline - j.arrival;
@@ -107,12 +107,13 @@ TEST(FuzzGenerator, EveryInstanceValidAndEdgeCasesCovered) {
 TEST(FuzzOracles, StandardBatteryNamesAndCleanCorpus) {
   const std::vector<Oracle> oracles = standard_oracles();
   const std::size_t n_schedulers = scheduler_registry().size();
-  ASSERT_EQ(oracles.size(), 2 * n_schedulers + 3);
+  ASSERT_EQ(oracles.size(), 2 * n_schedulers + 4);
   EXPECT_EQ(oracles.front().name, "sched:eager");
   EXPECT_EQ(oracles[n_schedulers].name, "ckpt:eager");
-  EXPECT_EQ(oracles[oracles.size() - 3].name, "ratio-bounds");
-  EXPECT_EQ(oracles[oracles.size() - 2].name, "offline-sandwich");
-  EXPECT_EQ(oracles.back().name, "exact-vs-reference");
+  EXPECT_EQ(oracles[oracles.size() - 4].name, "ratio-bounds");
+  EXPECT_EQ(oracles[oracles.size() - 3].name, "offline-sandwich");
+  EXPECT_EQ(oracles[oracles.size() - 2].name, "exact-vs-reference");
+  EXPECT_EQ(oracles.back().name, "view-vs-owned");
 
   const FuzzGenConfig config;
   for (std::uint64_t seed = 1; seed <= 150; ++seed) {
@@ -174,7 +175,7 @@ bool synthetic_failure(const Instance& inst) {
   if (inst.size() < 2) {
     return false;
   }
-  for (const Job& j : inst.jobs()) {
+  for (const Job& j : inst.view().jobs()) {
     if (j.length >= Time::from_units(3.0)) {
       return true;
     }
@@ -209,7 +210,7 @@ TEST(FuzzShrink, ConvergesToMinimalInstanceDeterministically) {
   // the other is fully minimized.
   std::size_t minimal = 0;
   std::size_t carrier = 0;
-  for (const Job& j : first.instance.jobs()) {
+  for (const Job& j : first.instance.view().jobs()) {
     if (j.length >= Time::from_units(3.0)) {
       ++carrier;
       EXPECT_LT(j.length, Time::from_units(6.0));  // halving would still fail

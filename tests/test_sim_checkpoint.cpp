@@ -122,7 +122,7 @@ TEST(CheckpointRestore, SchedulerSnapshotWordsRoundTrip) {
 /// mutated instance plus the earliest-affected-time hint the miner would
 /// attach (min of the old and new arrival of the touched job).
 Instance mutate_one_job(const Instance& inst, Rng& rng, Time* hint) {
-  std::vector<Job> jobs(inst.jobs().begin(), inst.jobs().end());
+  std::vector<Job> jobs(inst.view().jobs().begin(), inst.view().jobs().end());
   const auto victim =
       static_cast<std::size_t>(rng.uniform_int(
           0, static_cast<std::int64_t>(jobs.size()) - 1));

@@ -328,7 +328,7 @@ TEST(PortfolioAllocs, PrefixReplayRestoreSteadyStateIsAllocationFree) {
   // captured prefix stays valid) and recapturing the tail. Restores,
   // captures and the lineage-base refresh must all reuse warm capacity.
   const Instance base = random_integral_instance(3, 40, 60, 6, 5);
-  std::vector<Job> jobs(base.jobs().begin(), base.jobs().end());
+  std::vector<Job> jobs(base.view().jobs().begin(), base.view().jobs().end());
   std::size_t victim = 0;
   for (std::size_t i = 1; i < jobs.size(); ++i) {
     if (jobs[i].arrival > jobs[victim].arrival) {

@@ -73,7 +73,7 @@ TEST(Transforms, SnapToGrid) {
   EXPECT_EQ(snapped.job(0).laxity(), units(2.0));  // floor(2.5)
   EXPECT_EQ(snapped.job(1).length, units(1.0));    // never zero
   EXPECT_EQ(snapped.job(1).laxity(), units(0.0));
-  for (const Job& j : snapped.jobs()) {
+  for (const Job& j : snapped.view().jobs()) {
     EXPECT_TRUE(j.valid());
   }
 }
@@ -83,7 +83,7 @@ TEST(Transforms, MakeRigid) {
   cfg.job_count = 20;
   cfg.laxity_max = 5.0;
   const Instance rigid = make_rigid(generate_workload(cfg, 3));
-  for (const Job& j : rigid.jobs()) {
+  for (const Job& j : rigid.view().jobs()) {
     EXPECT_EQ(j.laxity(), Time::zero());
   }
 }

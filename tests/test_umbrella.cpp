@@ -34,5 +34,35 @@ TEST(Umbrella, EndToEndThroughPublicApi) {
   EXPECT_FALSE(chart.empty());
 }
 
+TEST(Umbrella, ExposesPortfolioTelemetryAndPooling) {
+  // The post-seed subsystems must be reachable through the umbrella
+  // alone: columnar substrate, batched portfolio kernel, object pool,
+  // telemetry snapshots.
+  JobTable table;
+  table.push_back(Time::from_units(0), Time::from_units(1),
+                  Time::from_units(2));
+  table.push_back(Time::from_units(1), Time::from_units(3),
+                  Time::from_units(1));
+  const Instance inst{JobTable(table.view())};
+
+  const auto eager = make_scheduler("eager");
+  const PortfolioEntry entry{eager.get(), /*clairvoyant=*/true};
+  PortfolioRunner runner;
+  const Time batched = runner.run_span(inst, entry);
+  EXPECT_EQ(batched, runner.run_span(inst.view(), entry));
+
+  ObjectPool<std::vector<int>> pool;
+  {
+    auto lease = pool.acquire();
+    lease->assign(8, 7);
+  }
+  EXPECT_EQ(pool.acquire()->size(), 8u);  // warm reuse through the umbrella
+
+  const telemetry::Snapshot begin = telemetry::capture();
+  const telemetry::Snapshot end = telemetry::capture();
+  EXPECT_EQ(telemetry::delta(begin, end).counters.size(),
+            begin.counters.size());
+}
+
 }  // namespace
 }  // namespace fjs

@@ -44,7 +44,7 @@ TEST(Workload, RespectsCountAndRanges) {
   cfg.laxity_max = 3.0;
   const Instance inst = generate_workload(cfg, 7);
   ASSERT_EQ(inst.size(), 200u);
-  for (const Job& j : inst.jobs()) {
+  for (const Job& j : inst.view().jobs()) {
     EXPECT_GE(j.length, Time::from_units(2.0));
     EXPECT_LE(j.length, Time::from_units(5.0));
     EXPECT_GE(j.laxity(), Time::from_units(1.0));
@@ -57,7 +57,7 @@ TEST(Workload, ZeroLaxityModel) {
   cfg.job_count = 30;
   cfg.laxity = LaxityModel::kZero;
   const Instance inst = generate_workload(cfg, 3);
-  for (const Job& j : inst.jobs()) {
+  for (const Job& j : inst.view().jobs()) {
     EXPECT_EQ(j.laxity(), Time::zero());
   }
 }
@@ -68,7 +68,7 @@ TEST(Workload, ProportionalLaxity) {
   cfg.laxity = LaxityModel::kProportional;
   cfg.laxity_factor = 2.0;
   const Instance inst = generate_workload(cfg, 3);
-  for (const Job& j : inst.jobs()) {
+  for (const Job& j : inst.view().jobs()) {
     EXPECT_NEAR(time_ratio(j.laxity(), j.length), 2.0, 1e-5);
   }
 }
@@ -80,7 +80,7 @@ TEST(Workload, BimodalLengthsAreTwoValued) {
   cfg.length_min = 1.0;
   cfg.length_max = 8.0;
   const Instance inst = generate_workload(cfg, 11);
-  for (const Job& j : inst.jobs()) {
+  for (const Job& j : inst.view().jobs()) {
     EXPECT_TRUE(j.length == Time::from_units(1.0) ||
                 j.length == Time::from_units(8.0));
   }
@@ -93,7 +93,7 @@ TEST(Workload, FixedLengthDistribution) {
   cfg.lengths = LengthDistribution::kFixed;
   cfg.length_min = 3.0;
   const Instance inst = generate_workload(cfg, 5);
-  for (const Job& j : inst.jobs()) {
+  for (const Job& j : inst.view().jobs()) {
     EXPECT_EQ(j.length, Time::from_units(3.0));
   }
 }
@@ -104,7 +104,7 @@ TEST(Workload, IntegralSnapsToGrid) {
   cfg.integral = true;
   const Instance inst = generate_workload(cfg, 17);
   EXPECT_TRUE(inst.is_multiple_of(Time(Time::kTicksPerUnit)));
-  for (const Job& j : inst.jobs()) {
+  for (const Job& j : inst.view().jobs()) {
     EXPECT_GE(j.length, Time::from_units(1.0));
   }
 }
