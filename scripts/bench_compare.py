@@ -46,8 +46,16 @@ import sys
 _NAME_NOISE = re.compile(r"/(?:min_time|min_warmup_time|repeats|iterations):[^/]+")
 
 
-def load_benchmarks(path):
-    """Returns {name: (metric_name, value, higher_is_better)}."""
+def _iter_rows(path):
+    """Yields (clean name, bench dict, is_median_aggregate) per JSON row.
+
+    Repetition batteries (->Repetitions(n), often with
+    ReportAggregatesOnly) emit aggregate rows named "BM_Foo_median" etc.
+    with the plain benchmark name in run_name. The median is the robust
+    per-benchmark measurement, so it is surfaced under the plain name and
+    preferred over any per-repetition iteration rows also present; the
+    mean/stddev/cv aggregates are skipped.
+    """
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
@@ -55,12 +63,29 @@ def load_benchmarks(path):
         sys.exit(f"error: cannot read {path}: {err.strerror}")
     except json.JSONDecodeError as err:
         sys.exit(f"error: {path} is not valid benchmark JSON ({err})")
-    out = {}
     for bench in doc.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
         if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+            name = bench.get("run_name", bench["name"])
+            yield _NAME_NOISE.sub("", name), bench, True
+        else:
+            yield _NAME_NOISE.sub("", bench["name"]), bench, False
+
+
+def load_benchmarks(path):
+    """Returns {name: (metric_name, value, higher_is_better)}.
+
+    When a benchmark carries both iteration rows and a median aggregate
+    (repetitions without ReportAggregatesOnly) the median wins.
+    """
+    out = {}
+    medians = set()
+    for name, bench, is_median in _iter_rows(path):
+        if not is_median and name in medians:
             continue
-        name = _NAME_NOISE.sub("", bench["name"])
+        if is_median:
+            medians.add(name)
         if "items_per_second" in bench:
             out[name] = ("items_per_second", float(bench["items_per_second"]), True)
         elif "real_time" in bench:
@@ -70,19 +95,14 @@ def load_benchmarks(path):
 
 def load_counters(path, counter):
     """Returns {benchmark name: counter value} for benchmarks exposing it."""
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except OSError as err:
-        sys.exit(f"error: cannot read {path}: {err.strerror}")
-    except json.JSONDecodeError as err:
-        sys.exit(f"error: {path} is not valid benchmark JSON ({err})")
     out = {}
-    for bench in doc.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
+    medians = set()
+    for name, bench, is_median in _iter_rows(path):
+        if not is_median and name in medians:
             continue
         if counter in bench:
-            name = _NAME_NOISE.sub("", bench["name"])
+            if is_median:
+                medians.add(name)
             out[name] = float(bench[counter])
     return out
 
@@ -188,6 +208,21 @@ def compare_rows(base, curr, threshold):
             "regressed": regressed,
         })
     return rows, warnings
+
+
+def geomean_speedup(rows):
+    """Geometric-mean speedup factor over the comparable rows.
+
+    Each row contributes 1 + change (its speedup factor: >1 means the
+    current run is better on that row's metric, regardless of whether the
+    metric is throughput or time). Returns None when no row is
+    comparable; degenerate rows are excluded rather than poisoning the
+    mean.
+    """
+    factors = [1.0 + r["change"] for r in rows if r["change"] is not None]
+    if not factors:
+        return None
+    return math.exp(sum(math.log(f) for f in factors) / len(factors))
 
 
 def manifest_trend_rows(old, new, slowdown):
@@ -314,6 +349,10 @@ def main():
         print(f"{row['name']:<{width}}  {row['metric']:<16}  "
               f"{row['baseline']:>12.4g}  {row['current']:>12.4g}  "
               f"{change}{flag}")
+    geomean = geomean_speedup(rows)
+    if geomean is not None:
+        print(f"{'geomean speedup':<{width}}  {'':<16}  {'':>12}  "
+              f"{geomean:>11.3f}x  {geomean - 1.0:>+7.1%}")
     for message in warnings:
         print(f"warning: {message}")
 
@@ -339,6 +378,7 @@ def main():
             "threshold": args.threshold,
             "compared": len(rows),
             "regressions": regressions,
+            "geomean_speedup": geomean,
             "added": added,
             "removed": removed,
             "allocs_grew": allocs_grew,

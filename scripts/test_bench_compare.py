@@ -94,6 +94,57 @@ class CompareRowsTest(unittest.TestCase):
         self.assertIn("metric changed", warnings[0])
 
 
+class LoadBenchmarksTest(unittest.TestCase):
+    def _load(self, benchmarks):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump({"benchmarks": benchmarks}, fh)
+            return bench_compare.load_benchmarks(path)
+
+    def test_median_aggregate_preferred_over_iterations(self):
+        # Repetitions without ReportAggregatesOnly: per-repetition rows
+        # plus mean/median/stddev aggregates. The median must win under
+        # the plain name; mean/stddev must not leak in.
+        loaded = self._load([
+            {"name": "BM_R", "run_type": "iteration", "real_time": 30.0},
+            {"name": "BM_R", "run_type": "iteration", "real_time": 10.0},
+            {"name": "BM_R_mean", "run_name": "BM_R",
+             "run_type": "aggregate", "aggregate_name": "mean",
+             "real_time": 20.0},
+            {"name": "BM_R_median", "run_name": "BM_R",
+             "run_type": "aggregate", "aggregate_name": "median",
+             "real_time": 15.0},
+            {"name": "BM_R_stddev", "run_name": "BM_R",
+             "run_type": "aggregate", "aggregate_name": "stddev",
+             "real_time": 9.0},
+        ])
+        self.assertEqual(loaded, {"BM_R": ("real_time", 15.0, False)})
+
+    def test_aggregates_only_battery_loads_median(self):
+        # ReportAggregatesOnly(true): no iteration rows at all.
+        loaded = self._load([
+            {"name": "BM_M_median", "run_name": "BM_M/repeats:3",
+             "run_type": "aggregate", "aggregate_name": "median",
+             "items_per_second": 42.0},
+            {"name": "BM_M_cv", "run_name": "BM_M/repeats:3",
+             "run_type": "aggregate", "aggregate_name": "cv",
+             "items_per_second": 0.01},
+        ])
+        self.assertEqual(loaded, {"BM_M": ("items_per_second", 42.0, True)})
+
+
+class GeomeanTest(unittest.TestCase):
+    def test_geomean_over_comparable_rows(self):
+        rows = [{"change": 1.0}, {"change": -0.5}, {"change": None}]
+        # Factors 2.0 and 0.5: geomean exactly 1.0; None excluded.
+        self.assertAlmostEqual(bench_compare.geomean_speedup(rows), 1.0)
+
+    def test_geomean_none_when_nothing_comparable(self):
+        self.assertIsNone(bench_compare.geomean_speedup([]))
+        self.assertIsNone(bench_compare.geomean_speedup([{"change": None}]))
+
+
 class ManifestTrendTest(unittest.TestCase):
     def test_missing_or_zero_wall_times_warn_instead_of_crashing(self):
         old = {"e1": {"wall_ms": 0.0}, "e2": {}, "e3": {"wall_ms": 10.0}}

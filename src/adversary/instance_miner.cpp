@@ -16,6 +16,7 @@
 #include "support/assert.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "support/simd.h"
 #include "support/telemetry.h"
 #include "support/thread_pool.h"
 
@@ -31,6 +32,8 @@ telemetry::Counter g_tm_memo_hits{"miner.memo_hits",
                                   telemetry::Stability::kDeterministic};
 telemetry::Counter g_tm_budget_skips{"miner.budget_skips",
                                      telemetry::Stability::kDeterministic};
+telemetry::Counter g_tm_screen_rejects{"miner.screen_rejects",
+                                       telemetry::Stability::kDeterministic};
 
 }  // namespace
 
@@ -222,42 +225,143 @@ class BatchEvaluator {
         misses.push_back(i);
       }
     }
+    std::vector<double> values(batch.size(), kPending);
+    // Lane-parallel LB pre-screen: every memo-missed candidate whose
+    // span-free ratio upper bound cannot beat the frozen threshold is
+    // settled here, in lockstep over a padded row-major column batch,
+    // before a single simulation is dispatched. Serial on the calling
+    // thread — the survivor list (and every settled value) is the same
+    // for any pool size.
+    const std::vector<std::size_t>& eval_list =
+        screen(parent, batch, misses, threshold, values, slots);
     std::vector<double> fresh;
     if (options_.pool != nullptr && options_.pool->thread_count() > 1 &&
-        misses.size() > 1) {
+        eval_list.size() > 1) {
       fresh = parallel_map(
-          *options_.pool, misses.size(),
+          *options_.pool, eval_list.size(),
           [&, threshold](std::size_t m) {
-            return eval_one(parent, batch[misses[m]], threshold,
-                            hints[misses[m]]);
+            return eval_one(parent, batch[eval_list[m]], threshold,
+                            hints[eval_list[m]]);
           },
           ChunkPolicy::kDynamic);
     } else {
-      fresh.reserve(misses.size());
-      for (const std::size_t m : misses) {
+      fresh.reserve(eval_list.size());
+      for (const std::size_t m : eval_list) {
         fresh.push_back(eval_one(parent, batch[m], threshold, hints[m]));
       }
     }
     if (!options_.use_objective_memo) {
-      return fresh;
+      for (std::size_t m = 0; m < eval_list.size(); ++m) {
+        values[eval_list[m]] = fresh[m];
+      }
+      return values;
     }
-    for (std::size_t m = 0; m < misses.size(); ++m) {
-      *slots[misses[m]] = fresh[m];
+    for (std::size_t m = 0; m < eval_list.size(); ++m) {
+      *slots[eval_list[m]] = fresh[m];
     }
-    std::vector<double> values(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       values[i] = *slots[i];
     }
     memo_hits_ += batch.size() - misses.size();
     g_tm_memo_hits.add(batch.size() - misses.size());
-    g_tm_evaluations.add(misses.size());
+    g_tm_evaluations.add(eval_list.size());
     return values;
   }
 
   std::size_t memo_hits() const { return memo_hits_; }
+  std::size_t screen_rejects() const { return screen_rejects_; }
 
  private:
   static constexpr double kPending = 0.0;  // placeholder until filled above
+
+  /// The lockstep pre-screen (MinerOptions::screen_lb_precut). For lane k
+  /// (memo miss k), the SIMD kernel reduces min arrival, max saturated
+  /// d + p, max length and saturating total length over the candidate's
+  /// rows. Any engine schedule runs inside [min a, max d+p), every busy
+  /// instant runs at least one job (so span <= sum p too), and
+  /// OPT >= max p; hence
+  /// ratio_ub = min(max_dp - min_a, sum_p) / max_p bounds span/OPT from
+  /// above. ratio_ub <= threshold settles the candidate at ratio_ub
+  /// (always unselectable under the non-decreasing threshold — see the
+  /// header contract); the rest survive into the returned evaluation list.
+  /// Returns `misses` itself when screening is off or inapplicable.
+  const std::vector<std::size_t>& screen(const JobTable& parent,
+                                         const std::vector<Candidate>& batch,
+                                         const std::vector<std::size_t>& misses,
+                                         double threshold,
+                                         std::vector<double>& values,
+                                         const std::vector<double*>& slots) {
+    if (!options_.screen_lb_precut || threshold <= 0.0 || misses.empty()) {
+      return misses;
+    }
+    const auto row_count = [&](std::size_t i) {
+      return batch[i].is_seed ? batch[i].table.size() : parent.size();
+    };
+    const std::size_t rows = row_count(misses[0]);
+    if (rows == 0) {
+      return misses;
+    }
+    for (const std::size_t m : misses) {
+      if (row_count(m) != rows) {
+        return misses;  // heterogeneous batch: lanes would not align
+      }
+    }
+    const std::size_t lanes = misses.size();
+    screen_a_.resize(rows * lanes);
+    screen_d_.resize(rows * lanes);
+    screen_p_.resize(rows * lanes);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const Candidate& c = batch[misses[k]];
+      const InstanceView v = c.is_seed ? c.table.view() : parent.view();
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t idx = r * lanes + k;
+        const auto id = static_cast<JobId>(r);
+        if (!c.is_seed && id == c.victim) {
+          screen_a_[idx] = c.arrival.ticks();
+          screen_d_[idx] = c.deadline.ticks();
+          screen_p_[idx] = c.length.ticks();
+        } else {
+          screen_a_[idx] = v.arrival(id).ticks();
+          screen_d_[idx] = v.deadline(id).ticks();
+          screen_p_[idx] = v.length(id).ticks();
+        }
+      }
+    }
+    screen_min_a_.resize(lanes);
+    screen_max_dp_.resize(lanes);
+    screen_max_p_.resize(lanes);
+    screen_sum_p_.resize(lanes);
+    simd::lockstep_screen(screen_a_.data(), screen_d_.data(), screen_p_.data(),
+                          rows, lanes, screen_min_a_.data(),
+                          screen_max_dp_.data(), screen_max_p_.data(),
+                          screen_sum_p_.data());
+    survivors_.clear();
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::size_t i = misses[k];
+      std::int64_t horizon = 0;
+      const bool bounded =
+          screen_max_p_[k] > 0 && screen_sum_p_[k] > 0 &&
+          !__builtin_sub_overflow(screen_max_dp_[k], screen_min_a_[k],
+                                  &horizon) &&
+          horizon > 0;
+      if (bounded) {
+        const double ratio_ub =
+            time_ratio(Time(std::min(horizon, screen_sum_p_[k])),
+                       Time(screen_max_p_[k]));
+        if (ratio_ub <= threshold) {
+          values[i] = ratio_ub;
+          if (options_.use_objective_memo) {
+            *slots[i] = ratio_ub;
+          }
+          ++screen_rejects_;
+          g_tm_screen_rejects.increment();
+          continue;
+        }
+      }
+      survivors_.push_back(i);
+    }
+    return survivors_;
+  }
 
   double eval_one(const JobTable& parent, const Candidate& c,
                   double threshold, Time hint) const {
@@ -288,6 +392,13 @@ class BatchEvaluator {
   std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
   MemoKey key_scratch_;  // reused per candidate; copied only on insert
   std::size_t memo_hits_ = 0;
+  // Pre-screen scratch (capacity reused across batches: the steady state
+  // allocates nothing once every vector has grown to the batch shape).
+  std::vector<std::int64_t> screen_a_, screen_d_, screen_p_;
+  std::vector<std::int64_t> screen_min_a_, screen_max_dp_, screen_max_p_,
+      screen_sum_p_;
+  std::vector<std::size_t> survivors_;
+  std::size_t screen_rejects_ = 0;
 };
 
 }  // namespace
@@ -440,6 +551,7 @@ MinerResult mine_instance(
   result.worst_instance = Instance(std::move(parent));
   result.worst_ratio = best_ratio;
   result.memo_hits = evaluator.memo_hits();
+  result.screen_rejects = evaluator.screen_rejects();
   return result;
 }
 
@@ -447,6 +559,10 @@ MinerResult mine_worst_case(const std::string& scheduler_key,
                             MinerOptions options) {
   const auto probe = make_scheduler(scheduler_key);
   const bool clairvoyant = probe->requires_clairvoyance();
+  // This objective is span/OPT: the lockstep LB pre-screen's span-free
+  // upper bound is sound for it (and for no arbitrary mine_instance
+  // objective), so opt in here.
+  options.screen_lb_precut = true;
   auto budget_skips = std::make_shared<std::atomic<std::size_t>>(0);
   struct PrefixCounters {
     std::atomic<std::size_t> hits{0};

@@ -43,6 +43,21 @@ struct MinerOptions {
   /// revisited instance is never re-solved. The objective is required to be
   /// deterministic, so memoization never changes any result.
   bool use_objective_memo = true;
+  /// Lane-parallel lower-bound pre-screen (SIMD lockstep over the batch's
+  /// padded columns, support/simd.h): before any candidate is dispatched,
+  /// settle every candidate whose span-free ratio upper bound
+  /// min(latest_completion - earliest_arrival, total_work) / max_length
+  /// cannot exceed the frozen threshold — without simulating or certifying
+  /// it. Sound ONLY for objectives bounded by span/OPT (any engine
+  /// schedule runs inside [earliest arrival, latest completion), every
+  /// busy instant runs at least one job, and OPT >= max length), so this
+  /// is opt-in: mine_worst_case enables it; generic mine_instance
+  /// objectives must not. Value-safe by the thresholded-objective
+  /// contract below — settled values are <= the threshold, hence never
+  /// selectable, and trajectories/worst instances are unchanged for any
+  /// pool size and memo setting. Screening runs serially on the calling
+  /// thread, so it is deterministic for any thread count.
+  bool screen_lb_precut = false;
 };
 
 struct MinerResult {
@@ -51,14 +66,19 @@ struct MinerResult {
   double worst_ratio = 0.0;
   /// Best ratio after seeding and after each round (non-decreasing).
   std::vector<double> trajectory;
-  /// Candidate evaluations consumed (memoized or not) — the search effort.
-  /// Objective *calls* are evaluations - memo_hits.
+  /// Candidate evaluations consumed (memoized, screened or not) — the
+  /// search effort. Objective *calls* are
+  /// evaluations - memo_hits - screen_rejects.
   std::size_t evaluations = 0;
   /// Evaluations served from the objective memo instead of a fresh call.
   std::size_t memo_hits = 0;
   /// mine_worst_case only: candidates discarded because the exact solver's
   /// node budget ran out before certifying OPT (objective treated as 0).
   std::size_t budget_skips = 0;
+  /// Candidates settled by the lane-parallel LB pre-screen (no simulation,
+  /// no certification; see MinerOptions::screen_lb_precut). Objective
+  /// calls are evaluations - memo_hits - screen_rejects.
+  std::size_t screen_rejects = 0;
   /// mine_worst_case only: checkpointed prefix-replay cache counters for
   /// the online-simulation half of the objective (see PrefixReplayStats).
   /// Aggregated over all worker threads; the replayed spans are

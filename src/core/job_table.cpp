@@ -4,32 +4,39 @@
 #include <limits>
 #include <sstream>
 
+#include "support/simd.h"
+
 namespace fjs {
 
 double InstanceView::mu() const {
   FJS_REQUIRE(!empty(), "mu of empty instance");
-  return time_ratio(max_length(), min_length());
+  const simd::MinMax mm = simd::minmax_ticks(lengths_.data(), lengths_.size());
+  return time_ratio(Time(mm.max), Time(mm.min));
 }
 
 Time InstanceView::min_length() const {
   FJS_REQUIRE(!empty(), "min_length of empty instance");
-  Time m = lengths_.front();
-  for (const Time p : lengths_) {
-    m = std::min(m, p);
-  }
-  return m;
+  return Time(simd::minmax_ticks(lengths_.data(), lengths_.size()).min);
 }
 
 Time InstanceView::max_length() const {
   FJS_REQUIRE(!empty(), "max_length of empty instance");
-  Time m = lengths_.front();
-  for (const Time p : lengths_) {
-    m = std::max(m, p);
-  }
-  return m;
+  return Time(simd::minmax_ticks(lengths_.data(), lengths_.size()).max);
 }
 
 Time InstanceView::total_work() const {
+  if (empty()) {
+    return Time::zero();
+  }
+  const simd::SatSum s =
+      simd::sum_saturating_nonneg(lengths_.data(), lengths_.size());
+  if (!s.overflowed) {
+    return Time(s.sum);
+  }
+  // Overflow (or negative lengths in an unvalidated scratch, which the
+  // kernel's carry check also routes here): re-run the checked scalar
+  // loop so the result — value or AssertionError — is exactly the
+  // pre-kernel behavior.
   Time total = Time::zero();
   for (const Time p : lengths_) {
     total = total.checked_add(p);
@@ -38,10 +45,23 @@ Time InstanceView::total_work() const {
 }
 
 Time InstanceView::total_work_saturating(bool* overflowed) const {
+  if (empty()) {
+    if (overflowed != nullptr) {
+      *overflowed = false;
+    }
+    return Time::zero();
+  }
+  const simd::SatSum s =
+      simd::sum_saturating_nonneg(lengths_.data(), lengths_.size());
+  if (!s.overflowed) {
+    if (overflowed != nullptr) {
+      *overflowed = false;
+    }
+    return Time(s.sum);
+  }
   // Lengths are positive in a validated table, so the saturating sum only
-  // ever clips at Time::max(); detect the clip exactly by comparing the
-  // checked condition per step instead of re-running checked_add (which
-  // would throw).
+  // ever clips at Time::max(); the legacy step-wise loop stays the
+  // authority for the (rare) clipped case and for unvalidated inputs.
   bool clipped = false;
   Time total = Time::zero();
   for (const Time p : lengths_) {
@@ -60,15 +80,18 @@ Time InstanceView::total_work_saturating(bool* overflowed) const {
 
 Time InstanceView::earliest_arrival() const {
   FJS_REQUIRE(!empty(), "earliest_arrival of empty instance");
-  Time m = arrivals_.front();
-  for (const Time a : arrivals_) {
-    m = std::min(m, a);
-  }
-  return m;
+  return Time(simd::minmax_ticks(arrivals_.data(), arrivals_.size()).min);
 }
 
 Time InstanceView::latest_completion() const {
   FJS_REQUIRE(!empty(), "latest_completion of empty instance");
+  const simd::MaxSum s = simd::max_pairwise_sum(
+      deadlines_.data(), lengths_.data(), deadlines_.size());
+  if (!s.overflowed) {
+    return Time(s.max);
+  }
+  // Some d + p is unrepresentable: re-run the checked scalar loop so the
+  // AssertionError fires at the same row with the same message.
   Time m = Time::min();
   for (std::size_t i = 0; i < deadlines_.size(); ++i) {
     m = std::max(m, deadlines_[i].checked_add(lengths_[i]));
@@ -77,29 +100,11 @@ Time InstanceView::latest_completion() const {
 }
 
 void InstanceView::ids_by_arrival(std::vector<JobId>& out) const {
-  out.resize(size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<JobId>(i);
-  }
-  std::sort(out.begin(), out.end(), [this](JobId a, JobId b) {
-    if (arrivals_[a] != arrivals_[b]) {
-      return arrivals_[a] < arrivals_[b];
-    }
-    return a < b;
-  });
+  simd::sort_ids_by_key(arrivals_.data(), arrivals_.size(), out);
 }
 
 void InstanceView::ids_by_deadline(std::vector<JobId>& out) const {
-  out.resize(size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = static_cast<JobId>(i);
-  }
-  std::sort(out.begin(), out.end(), [this](JobId a, JobId b) {
-    if (deadlines_[a] != deadlines_[b]) {
-      return deadlines_[a] < deadlines_[b];
-    }
-    return a < b;
-  });
+  simd::sort_ids_by_key(deadlines_.data(), deadlines_.size(), out);
 }
 
 std::vector<JobId> InstanceView::ids_by_arrival() const {
@@ -159,9 +164,13 @@ JobTable::JobTable(const std::vector<Job>& jobs) {
   }
 }
 
-JobTable::JobTable(InstanceView view)
-    : arrival_(view.arrivals().begin(), view.arrivals().end()),
-      deadline_(view.deadlines().begin(), view.deadlines().end()),
-      length_(view.lengths().begin(), view.lengths().end()) {}
+JobTable::JobTable(InstanceView view) {
+  reserve(view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    arrival_.push_back(view.arrivals()[i]);
+    deadline_.push_back(view.deadlines()[i]);
+    length_.push_back(view.lengths()[i]);
+  }
+}
 
 }  // namespace fjs

@@ -1,0 +1,168 @@
+// 64-byte-aligned, tail-padded column storage for the SoA substrate.
+//
+// AlignedColumn<T> is the vector-lite backing store for JobTable's three
+// Time columns (docs/DATA_MODEL.md, "Column alignment"). It differs from
+// std::vector<T> in exactly the ways the SIMD kernels care about:
+//
+//  * data() is always 64-byte aligned (one cache line / one AVX-512 lane
+//    group), so full-width vector loads on the owned path are aligned.
+//  * capacity is rounded up to a 64-byte multiple of bytes and the slack
+//    past size() is zero-initialized, so a full-width load that overruns
+//    size() stays inside the allocation and reads deterministic bytes —
+//    kernels never need an unaligned-tail scalar epilogue on owned
+//    columns. (Kernels still mask tails, because InstanceView may wrap
+//    foreign storage with no such guarantee; the padding makes the owned
+//    path safe even for future unmasked-tail kernels and keeps sanitizer
+//    runs quiet about the overread.)
+//  * copy-assign reuses capacity (no shrink), matching the miner's
+//    scratch-table reuse pattern (`scratch = parent` per batch) that the
+//    zero-steady-state-allocation gate depends on.
+//
+// Only what JobTable needs is implemented; T must be trivially copyable
+// (columns hold Time, an int64 wrapper).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace fjs {
+
+inline constexpr std::size_t kColumnAlignment = 64;
+
+template <typename T>
+class AlignedColumn {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedColumn holds trivially copyable lanes only");
+  static_assert(kColumnAlignment % alignof(T) == 0,
+                "column alignment must satisfy T's alignment");
+
+ public:
+  AlignedColumn() = default;
+
+  AlignedColumn(const AlignedColumn& other) { *this = other; }
+
+  AlignedColumn(AlignedColumn&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedColumn& operator=(const AlignedColumn& other) {
+    if (this == &other) {
+      return *this;
+    }
+    reserve(other.size_);
+    if (other.size_ > 0) {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    }
+    // Keep the padding contract: bytes in [size, capacity) stay zero.
+    zero_tail(other.size_);
+    size_ = other.size_;
+    return *this;
+  }
+
+  AlignedColumn& operator=(AlignedColumn&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedColumn() { release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void reserve(std::size_t n) {
+    if (n <= capacity_) {
+      return;
+    }
+    // Geometric growth keeps push_back amortized O(1); round the byte
+    // count up to a whole number of 64-byte blocks.
+    std::size_t want = capacity_ == 0 ? 8 : capacity_ * 2;
+    if (want < n) {
+      want = n;
+    }
+    const std::size_t bytes =
+        (want * sizeof(T) + kColumnAlignment - 1) / kColumnAlignment *
+        kColumnAlignment;
+    T* fresh = static_cast<T*>(
+        ::operator new(bytes, std::align_val_t{kColumnAlignment}));
+    // T is trivially copyable (asserted); all-zero bytes is the T{} the
+    // columns use as padding. void* casts silence -Wclass-memaccess for
+    // wrapper types that default non-trivially (e.g. Time's `= 0`).
+    std::memset(static_cast<void*>(fresh), 0, bytes);
+    if (size_ > 0) {
+      std::memcpy(fresh, data_, size_ * sizeof(T));
+    }
+    release();
+    data_ = fresh;
+    capacity_ = bytes / sizeof(T);
+  }
+
+  void push_back(const T& value) {
+    reserve(size_ + 1);
+    data_[size_] = value;
+    ++size_;
+  }
+
+  /// Shrinks logically; grows with zero-filled elements (the padding past
+  /// the old size is already zero by the class invariant).
+  void resize(std::size_t n) {
+    if (n > size_) {
+      reserve(n);
+    } else {
+      // Re-zero the abandoned suffix so the padding invariant holds.
+      zero_tail(n);
+    }
+    size_ = n;
+  }
+
+  void clear() { resize(0); }
+
+  void pop_back() {
+    --size_;
+    std::memset(static_cast<void*>(data_ + size_), 0, sizeof(T));
+  }
+
+ private:
+  void zero_tail(std::size_t from) {
+    if (data_ != nullptr && from < size_) {
+      std::memset(static_cast<void*>(data_ + from), 0,
+                  (size_ - from) * sizeof(T));
+    }
+  }
+
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kColumnAlignment});
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace fjs

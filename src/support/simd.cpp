@@ -1,0 +1,1041 @@
+// SIMD kernel implementations. This translation unit is the only one
+// compiled with vector ISA flags (see src/support/CMakeLists.txt): the
+// AVX2 bodies live behind __AVX2__, the SSE2 bodies behind __SSE2__ /
+// x86-64 (where SSE2 is baseline), NEON behind __ARM_NEON, and the
+// scalar bodies are always present. Keeping every intrinsic here — no
+// inline vector code in headers — avoids the classic ODR hazard of the
+// same inline function being compiled with different ISAs in different
+// translation units.
+//
+// Layering: fjs_support must not link fjs_core, so this file uses only
+// the header-inline parts of Time (ticks(), max(), min()) and re-derives
+// the saturation rules on raw int64 lanes. Each kernel's scalar tier is
+// the reference; the vector tiers are proven bit-identical in the
+// comments below and pinned by tests + the simd-vs-scalar fuzz oracle.
+#include "support/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <type_traits>
+
+#include "support/telemetry.h"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__SSE2__)
+#define FJS_SIMD_HAVE_SSE2 1
+#include <immintrin.h>
+#endif
+#if defined(__AVX2__)
+#define FJS_SIMD_HAVE_AVX2 1
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define FJS_SIMD_HAVE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace fjs::simd {
+namespace {
+
+// The kernels load Time columns as raw little-endian int64 lanes.
+static_assert(sizeof(Time) == sizeof(std::int64_t),
+              "simd kernels assume Time is a bare int64 wrapper");
+static_assert(std::is_trivially_copyable_v<Time>,
+              "simd kernels memcpy Time lanes");
+
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+
+// Elements processed by vector-tier kernel calls. Deterministic (a pure
+// function of the workload's column sizes), so stable artifacts may
+// include it; it reads 0 when dispatch resolves to scalar.
+telemetry::Counter g_tm_lanes_used{"simd.lanes_used",
+                                   telemetry::Stability::kDeterministic};
+
+std::atomic<bool> g_force_scalar{[] {
+  const char* env = std::getenv("FJS_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}()};
+
+const std::int64_t* ticks_ptr(const Time* values) {
+  // Time's layout is a single int64 (asserted above); viewing the column
+  // as int64 lanes is a byte-level reinterpretation of the same objects.
+  return reinterpret_cast<const std::int64_t*>(values);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier. Every vector tier must match these bit for bit.
+// ---------------------------------------------------------------------------
+
+MinMax minmax_scalar(const std::int64_t* v, std::size_t n) {
+  MinMax r{v[0], v[0]};
+  for (std::size_t i = 1; i < n; ++i) {
+    r.min = std::min(r.min, v[i]);
+    r.max = std::max(r.max, v[i]);
+  }
+  return r;
+}
+
+SatSum sat_sum_scalar(const std::int64_t* v, std::size_t n) {
+  // Unsigned accumulation with a manual carry counter gives the exact
+  // 128-bit total without __int128 (portability of the fallback).
+  std::uint64_t sum = 0;
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t add = static_cast<std::uint64_t>(v[i]);
+    sum += add;
+    carry += (sum < add) ? 1U : 0U;
+  }
+  const bool over =
+      carry > 0 || sum > static_cast<std::uint64_t>(kI64Max);
+  return SatSum{over ? kI64Max : static_cast<std::int64_t>(sum), over};
+}
+
+MaxSum max_pairwise_scalar(const std::int64_t* a, const std::int64_t* b,
+                           std::size_t n) {
+  std::int64_t best = kI64Min;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t s = 0;
+    if (__builtin_add_overflow(a[i], b[i], &s)) {
+      return MaxSum{0, true};
+    }
+    best = std::max(best, s);
+  }
+  return MaxSum{best, false};
+}
+
+void sat_sum_into_scalar(const std::int64_t* a, const std::int64_t* b,
+                         std::int64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t s = 0;
+    if (__builtin_add_overflow(a[i], b[i], &s)) {
+      // Matches Time::saturating_add: clamp direction follows rhs's sign
+      // (rhs == 0 can never overflow).
+      s = b[i] > 0 ? kI64Max : kI64Min;
+    }
+    out[i] = s;
+  }
+}
+
+void sort_ids_comparison(const std::int64_t* keys, std::size_t n,
+                         std::vector<JobId>& out) {
+  out.resize(n);
+  std::iota(out.begin(), out.end(), JobId{0});
+  std::sort(out.begin(), out.end(), [keys](JobId x, JobId y) {
+    if (keys[x] != keys[y]) {
+      return keys[x] < keys[y];
+    }
+    return x < y;
+  });
+}
+
+void lockstep_screen_scalar(const std::int64_t* a, const std::int64_t* d,
+                            const std::int64_t* p, std::size_t rows,
+                            std::size_t lanes, std::int64_t* min_a,
+                            std::int64_t* max_dp, std::int64_t* max_p,
+                            std::int64_t* sum_p) {
+  for (std::size_t k = 0; k < lanes; ++k) {
+    std::int64_t mn_a = kI64Max;
+    std::int64_t mx_dp = kI64Min;
+    std::int64_t mx_p = kI64Min;
+    std::int64_t sm_p = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * lanes + k;
+      mn_a = std::min(mn_a, a[idx]);
+      std::int64_t s = 0;
+      if (__builtin_add_overflow(d[idx], p[idx], &s)) {
+        s = p[idx] > 0 ? kI64Max : kI64Min;
+      }
+      mx_dp = std::max(mx_dp, s);
+      mx_p = std::max(mx_p, p[idx]);
+      if (__builtin_add_overflow(sm_p, p[idx], &sm_p)) {
+        sm_p = p[idx] > 0 ? kI64Max : kI64Min;
+      }
+    }
+    min_a[k] = mn_a;
+    max_dp[k] = mx_dp;
+    max_p[k] = mx_p;
+    sum_p[k] = sm_p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Radix ordering (vector tiers). LSD radix on sign-flipped u64 keys is a
+// stable sort, and the ids enter in ascending order, so equal keys keep
+// ascending ids — exactly the (key, id) total order the comparison sort
+// realizes.
+//
+// Three regimes, picked from one aggregate prepass:
+//  - already non-decreasing keys: the order IS iota (ties keep ascending
+//    ids). Arrival columns out of the generator are sorted, so this is
+//    the common case on real instances.
+//  - all varying bytes in the low 32 bits (ticks below ~2^32 — any
+//    horizon under ~4.3e3 units): pack (key_low32 << 32 | id) into ONE
+//    u64 array and scatter that, halving pass traffic versus the split
+//    key/id arrays. Only key bytes are radix passes; LSD stability
+//    carries the ascending-id tie order through untouched.
+//  - otherwise: split key/id arrays, skipping constant byte positions.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kRadixCutoff = 64;
+
+struct RadixScratch {
+  std::vector<std::uint64_t> key0, key1;
+  std::vector<JobId> id0, id1;
+  std::uint32_t hist[8][256];
+};
+
+RadixScratch& radix_scratch() {
+  thread_local RadixScratch scratch;
+  return scratch;
+}
+
+constexpr std::uint64_t kSignFlip = 0x8000000000000000ULL;
+
+// Packed regime: element = flipped-key low half in the high 32 bits, id in
+// the low 32 bits. Ascending u64 order on the packed value is ascending
+// (key, id) order restricted to the varying bytes; constant-byte skipping
+// plus LSD stability make the result identical to the general path.
+void sort_ids_radix_packed(const std::int64_t* keys, std::size_t n,
+                           std::uint64_t varying, std::vector<JobId>& out) {
+  RadixScratch& s = radix_scratch();
+  s.key0.resize(n);
+  s.key1.resize(n);
+  std::memset(s.hist, 0, 4 * sizeof(s.hist[0]));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Bit 63 is the only sign-flip bit, so the low 32 bits need no flip.
+    const std::uint32_t k = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(keys[i]));
+    s.key0[i] = (static_cast<std::uint64_t>(k) << 32) | i;
+    ++s.hist[0][k & 0xFF];
+    ++s.hist[1][(k >> 8) & 0xFF];
+    ++s.hist[2][(k >> 16) & 0xFF];
+    ++s.hist[3][k >> 24];
+  }
+
+  std::uint64_t* src = s.key0.data();
+  std::uint64_t* dst = s.key1.data();
+  for (std::size_t byte = 0; byte < 4; ++byte) {
+    if (((varying >> (8 * byte)) & 0xFF) == 0) {
+      continue;  // this byte is constant across the column
+    }
+    std::uint32_t* h = s.hist[byte];
+    std::uint32_t offset = 0;
+    for (std::size_t bucket = 0; bucket < 256; ++bucket) {
+      const std::uint32_t count = h[bucket];
+      h[bucket] = offset;
+      offset += count;
+    }
+    const std::uint64_t shift = 32 + 8 * byte;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t packed = src[i];
+      dst[h[(packed >> shift) & 0xFF]++] = packed;
+    }
+    std::swap(src, dst);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<JobId>(src[i] & 0xFFFFFFFFu);
+  }
+}
+
+void sort_ids_radix_split(const std::int64_t* keys, std::size_t n,
+                          std::uint64_t varying, std::vector<JobId>& out) {
+  RadixScratch& s = radix_scratch();
+  s.key0.resize(n);
+  s.key1.resize(n);
+  s.id0.resize(n);
+  s.id1.resize(n);
+  std::memset(s.hist, 0, sizeof(s.hist));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = static_cast<std::uint64_t>(keys[i]) ^ kSignFlip;
+    s.key0[i] = k;
+    s.id0[i] = static_cast<JobId>(i);
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+      ++s.hist[byte][(k >> (8 * byte)) & 0xFF];
+    }
+  }
+
+  std::uint64_t* key_src = s.key0.data();
+  std::uint64_t* key_dst = s.key1.data();
+  JobId* id_src = s.id0.data();
+  JobId* id_dst = s.id1.data();
+  for (std::size_t byte = 0; byte < 8; ++byte) {
+    const std::uint64_t shift = 8 * byte;
+    if (((varying >> shift) & 0xFF) == 0) {
+      continue;  // this byte is constant across the column
+    }
+    std::uint32_t* h = s.hist[byte];
+    std::uint32_t offset = 0;
+    for (std::size_t bucket = 0; bucket < 256; ++bucket) {
+      const std::uint32_t count = h[bucket];
+      h[bucket] = offset;
+      offset += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = key_src[i];
+      const std::uint32_t pos = h[(k >> shift) & 0xFF]++;
+      key_dst[pos] = k;
+      id_dst[pos] = id_src[i];
+    }
+    std::swap(key_src, key_dst);
+    std::swap(id_src, id_dst);
+  }
+
+  std::memcpy(out.data(), id_src, n * sizeof(JobId));
+}
+
+void sort_ids_radix(const std::int64_t* keys, std::size_t n,
+                    std::vector<JobId>& out) {
+  // One aggregate sweep decides the regime. No loop-carried scalar
+  // dependences: sortedness compares each element to its predecessor
+  // in place, so the whole prepass stays vectorizable.
+  std::uint64_t or_agg = 0;
+  std::uint64_t and_agg = ~std::uint64_t{0};
+  std::size_t descents = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = static_cast<std::uint64_t>(keys[i]) ^ kSignFlip;
+    or_agg |= k;
+    and_agg &= k;
+    descents += static_cast<std::size_t>(keys[i] < keys[i - (i != 0)]);
+  }
+
+  out.resize(n);
+  if (descents == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<JobId>(i);
+    }
+    return;
+  }
+  const std::uint64_t varying = or_agg ^ and_agg;
+  if ((varying >> 32) == 0) {
+    sort_ids_radix_packed(keys, n, varying, out);
+  } else {
+    sort_ids_radix_split(keys, n, varying, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 tier. Always compiled on x86-64 (SSE2 is ABI baseline) so the
+// emulated 64-bit compare sequences stay under test on AVX2 hosts.
+// ---------------------------------------------------------------------------
+
+#if defined(FJS_SIMD_HAVE_SSE2)
+
+// 64-bit signed a > b from 32-bit ops (sse2neon's classic sequence):
+// high words decide via signed compare; equal high words fall back to the
+// sign of (b - a), which for equal highs is the unsigned low-word borrow.
+// The shuffle replicates each lane's high-word verdict across the lane.
+inline __m128i sse2_cmpgt_epi64(__m128i a, __m128i b) {
+  __m128i r = _mm_and_si128(_mm_cmpeq_epi32(a, b), _mm_sub_epi64(b, a));
+  r = _mm_or_si128(r, _mm_cmpgt_epi32(a, b));
+  return _mm_shuffle_epi32(_mm_srai_epi32(r, 31), _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+inline __m128i sse2_blendv(__m128i a, __m128i b, __m128i mask) {
+  // mask lanes are all-ones or all-zeros; plain bit select.
+  return _mm_or_si128(_mm_and_si128(mask, b), _mm_andnot_si128(mask, a));
+}
+
+MinMax minmax_sse2(const std::int64_t* v, std::size_t n) {
+  __m128i vmin = _mm_set1_epi64x(v[0]);
+  __m128i vmax = vmin;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    vmin = sse2_blendv(vmin, x, sse2_cmpgt_epi64(vmin, x));
+    vmax = sse2_blendv(vmax, x, sse2_cmpgt_epi64(x, vmax));
+  }
+  alignas(16) std::int64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), vmin);
+  std::int64_t mn = std::min(lanes[0], lanes[1]);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), vmax);
+  std::int64_t mx = std::max(lanes[0], lanes[1]);
+  for (; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+  }
+  g_tm_lanes_used.add(n);
+  return MinMax{mn, mx};
+}
+
+SatSum sat_sum_sse2(const std::int64_t* v, std::size_t n) {
+  const __m128i sign = _mm_set1_epi64x(kI64Min);
+  __m128i sum = _mm_setzero_si128();
+  __m128i carry = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    const __m128i ns = _mm_add_epi64(sum, x);
+    // Unsigned ns < x  ⟺  signed (x ^ sign) > (ns ^ sign): a wrap.
+    const __m128i wrap =
+        sse2_cmpgt_epi64(_mm_xor_si128(x, sign), _mm_xor_si128(ns, sign));
+    carry = _mm_sub_epi64(carry, wrap);  // mask is -1 per wrapped lane
+    sum = ns;
+  }
+  alignas(16) std::uint64_t sums[2];
+  alignas(16) std::uint64_t carries[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(sums), sum);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(carries), carry);
+  std::uint64_t total = 0;
+  std::uint64_t total_carry = 0;
+  for (int lane = 0; lane < 2; ++lane) {
+    total += sums[lane];
+    total_carry += carries[lane] + (total < sums[lane] ? 1U : 0U);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t add = static_cast<std::uint64_t>(v[i]);
+    total += add;
+    total_carry += (total < add) ? 1U : 0U;
+  }
+  const bool over =
+      total_carry > 0 || total > static_cast<std::uint64_t>(kI64Max);
+  g_tm_lanes_used.add(n);
+  return SatSum{over ? kI64Max : static_cast<std::int64_t>(total), over};
+}
+
+MaxSum max_pairwise_sse2(const std::int64_t* a, const std::int64_t* b,
+                         std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i vmax = _mm_set1_epi64x(kI64Min);
+  __m128i any_ovf = zero;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i s = _mm_add_epi64(x, y);
+    // Signed overflow ⟺ operands share a sign the sum lost:
+    // ((x ^ s) & (y ^ s)) has the sign bit set.
+    const __m128i ovf =
+        _mm_and_si128(_mm_xor_si128(x, s), _mm_xor_si128(y, s));
+    any_ovf = _mm_or_si128(any_ovf, ovf);
+    vmax = sse2_blendv(vmax, s, sse2_cmpgt_epi64(s, vmax));
+  }
+  if (_mm_movemask_pd(_mm_castsi128_pd(any_ovf)) != 0) {
+    return MaxSum{0, true};
+  }
+  alignas(16) std::int64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), vmax);
+  std::int64_t best = std::max(lanes[0], lanes[1]);
+  for (; i < n; ++i) {
+    std::int64_t s = 0;
+    if (__builtin_add_overflow(a[i], b[i], &s)) {
+      return MaxSum{0, true};
+    }
+    best = std::max(best, s);
+  }
+  g_tm_lanes_used.add(n);
+  return MaxSum{best, false};
+}
+
+void sat_sum_into_sse2(const std::int64_t* a, const std::int64_t* b,
+                       std::int64_t* out, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i vmax = _mm_set1_epi64x(kI64Max);
+  const __m128i vmin = _mm_set1_epi64x(kI64Min);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i s = _mm_add_epi64(x, y);
+    const __m128i ovf = _mm_srai_epi32(
+        _mm_shuffle_epi32(
+            _mm_and_si128(_mm_xor_si128(x, s), _mm_xor_si128(y, s)),
+            _MM_SHUFFLE(3, 3, 1, 1)),
+        31);
+    const __m128i clamp = sse2_blendv(vmin, vmax, sse2_cmpgt_epi64(y, zero));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     sse2_blendv(s, clamp, ovf));
+  }
+  if (i < n) {
+    sat_sum_into_scalar(a + i, b + i, out + i, n - i);
+  }
+  g_tm_lanes_used.add(n);
+}
+
+void lockstep_screen_sse2(const std::int64_t* a, const std::int64_t* d,
+                          const std::int64_t* p, std::size_t rows,
+                          std::size_t lanes, std::int64_t* min_a,
+                          std::int64_t* max_dp, std::int64_t* max_p,
+                          std::int64_t* sum_p) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i vmax = _mm_set1_epi64x(kI64Max);
+  const __m128i vmin = _mm_set1_epi64x(kI64Min);
+  std::size_t k = 0;
+  for (; k + 2 <= lanes; k += 2) {
+    __m128i mn_a = vmax;
+    __m128i mx_dp = vmin;
+    __m128i mx_p = vmin;
+    __m128i sm_p = zero;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * lanes + k;
+      const __m128i va =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + idx));
+      const __m128i vd =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(d + idx));
+      const __m128i vp =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + idx));
+      mn_a = sse2_blendv(mn_a, va, sse2_cmpgt_epi64(mn_a, va));
+      const __m128i clamp =
+          sse2_blendv(vmin, vmax, sse2_cmpgt_epi64(vp, zero));
+      const __m128i s = _mm_add_epi64(vd, vp);
+      const __m128i ovf = _mm_srai_epi32(
+          _mm_shuffle_epi32(
+              _mm_and_si128(_mm_xor_si128(vd, s), _mm_xor_si128(vp, s)),
+              _MM_SHUFFLE(3, 3, 1, 1)),
+          31);
+      const __m128i dp = sse2_blendv(s, clamp, ovf);
+      mx_dp = sse2_blendv(mx_dp, dp, sse2_cmpgt_epi64(dp, mx_dp));
+      mx_p = sse2_blendv(mx_p, vp, sse2_cmpgt_epi64(vp, mx_p));
+      const __m128i sp = _mm_add_epi64(sm_p, vp);
+      const __m128i sp_ovf = _mm_srai_epi32(
+          _mm_shuffle_epi32(
+              _mm_and_si128(_mm_xor_si128(sm_p, sp), _mm_xor_si128(vp, sp)),
+              _MM_SHUFFLE(3, 3, 1, 1)),
+          31);
+      sm_p = sse2_blendv(sp, clamp, sp_ovf);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(min_a + k), mn_a);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(max_dp + k), mx_dp);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(max_p + k), mx_p);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(sum_p + k), sm_p);
+  }
+  for (; k < lanes; ++k) {
+    // Remaining lane (at most one): scalar over the same strided layout.
+    std::int64_t mn_a = kI64Max;
+    std::int64_t mx_dp = kI64Min;
+    std::int64_t mx_p = kI64Min;
+    std::int64_t sm_p = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * lanes + k;
+      mn_a = std::min(mn_a, a[idx]);
+      std::int64_t s = 0;
+      if (__builtin_add_overflow(d[idx], p[idx], &s)) {
+        s = p[idx] > 0 ? kI64Max : kI64Min;
+      }
+      mx_dp = std::max(mx_dp, s);
+      mx_p = std::max(mx_p, p[idx]);
+      if (__builtin_add_overflow(sm_p, p[idx], &sm_p)) {
+        sm_p = p[idx] > 0 ? kI64Max : kI64Min;
+      }
+    }
+    min_a[k] = mn_a;
+    max_dp[k] = mx_dp;
+    max_p[k] = mx_p;
+    sum_p[k] = sm_p;
+  }
+  g_tm_lanes_used.add(rows * lanes);
+}
+
+#endif  // FJS_SIMD_HAVE_SSE2
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. Tails use maskload/maskstore (fault-suppressing) blended
+// against neutral lanes, so no scalar epilogue and no reads past n even
+// on foreign (non-JobTable) storage.
+// ---------------------------------------------------------------------------
+
+#if defined(FJS_SIMD_HAVE_AVX2)
+
+inline __m256i avx2_tail_mask(std::size_t remaining) {
+  // Lane l is enabled iff l < remaining (remaining in 1..3 when called).
+  const __m256i lane_ids = _mm256_setr_epi64x(0, 1, 2, 3);
+  return _mm256_cmpgt_epi64(
+      _mm256_set1_epi64x(static_cast<std::int64_t>(remaining)), lane_ids);
+}
+
+inline __m256i avx2_masked_load(const std::int64_t* src, __m256i mask,
+                                __m256i neutral) {
+  const __m256i loaded =
+      _mm256_maskload_epi64(reinterpret_cast<const long long*>(src), mask);
+  return _mm256_blendv_epi8(neutral, loaded, mask);
+}
+
+MinMax minmax_avx2(const std::int64_t* v, std::size_t n) {
+  __m256i vmin = _mm256_set1_epi64x(v[0]);
+  __m256i vmax = vmin;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    vmin = _mm256_blendv_epi8(vmin, x, _mm256_cmpgt_epi64(vmin, x));
+    vmax = _mm256_blendv_epi8(vmax, x, _mm256_cmpgt_epi64(x, vmax));
+  }
+  if (i < n) {
+    const __m256i mask = avx2_tail_mask(n - i);
+    const __m256i neutral = _mm256_set1_epi64x(v[0]);
+    const __m256i x = avx2_masked_load(v + i, mask, neutral);
+    vmin = _mm256_blendv_epi8(vmin, x, _mm256_cmpgt_epi64(vmin, x));
+    vmax = _mm256_blendv_epi8(vmax, x, _mm256_cmpgt_epi64(x, vmax));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+  const std::int64_t mn = std::min(std::min(lanes[0], lanes[1]),
+                                   std::min(lanes[2], lanes[3]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), vmax);
+  const std::int64_t mx = std::max(std::max(lanes[0], lanes[1]),
+                                   std::max(lanes[2], lanes[3]));
+  g_tm_lanes_used.add(n);
+  return MinMax{mn, mx};
+}
+
+SatSum sat_sum_avx2(const std::int64_t* v, std::size_t n) {
+  const __m256i sign = _mm256_set1_epi64x(kI64Min);
+  __m256i sum = _mm256_setzero_si256();
+  __m256i carry = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i ns = _mm256_add_epi64(sum, x);
+    const __m256i wrap = _mm256_cmpgt_epi64(_mm256_xor_si256(x, sign),
+                                            _mm256_xor_si256(ns, sign));
+    carry = _mm256_sub_epi64(carry, wrap);
+    sum = ns;
+  }
+  if (i < n) {
+    const __m256i mask = avx2_tail_mask(n - i);
+    // Masked-off lanes load as zero: adding zero never wraps.
+    const __m256i x = _mm256_maskload_epi64(
+        reinterpret_cast<const long long*>(v + i), mask);
+    const __m256i ns = _mm256_add_epi64(sum, x);
+    const __m256i wrap = _mm256_cmpgt_epi64(_mm256_xor_si256(x, sign),
+                                            _mm256_xor_si256(ns, sign));
+    carry = _mm256_sub_epi64(carry, wrap);
+    sum = ns;
+  }
+  alignas(32) std::uint64_t sums[4];
+  alignas(32) std::uint64_t carries[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(sums), sum);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(carries), carry);
+  std::uint64_t total = 0;
+  std::uint64_t total_carry = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    total += sums[lane];
+    total_carry += carries[lane] + (total < sums[lane] ? 1U : 0U);
+  }
+  const bool over =
+      total_carry > 0 || total > static_cast<std::uint64_t>(kI64Max);
+  g_tm_lanes_used.add(n);
+  return SatSum{over ? kI64Max : static_cast<std::int64_t>(total), over};
+}
+
+MaxSum max_pairwise_avx2(const std::int64_t* a, const std::int64_t* b,
+                         std::size_t n) {
+  __m256i vmax = _mm256_set1_epi64x(kI64Min);
+  __m256i any_ovf = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i s = _mm256_add_epi64(x, y);
+    any_ovf = _mm256_or_si256(
+        any_ovf, _mm256_and_si256(_mm256_xor_si256(x, s),
+                                  _mm256_xor_si256(y, s)));
+    vmax = _mm256_blendv_epi8(vmax, s, _mm256_cmpgt_epi64(s, vmax));
+  }
+  if (i < n) {
+    const __m256i mask = avx2_tail_mask(n - i);
+    const __m256i zero = _mm256_setzero_si256();
+    // Masked lanes add 0 + 0 (no overflow) and blend to the kI64Min
+    // neutral before the max.
+    const __m256i x = avx2_masked_load(a + i, mask, zero);
+    const __m256i y = avx2_masked_load(b + i, mask, zero);
+    const __m256i s = _mm256_add_epi64(x, y);
+    any_ovf = _mm256_or_si256(
+        any_ovf, _mm256_and_si256(_mm256_xor_si256(x, s),
+                                  _mm256_xor_si256(y, s)));
+    const __m256i blended =
+        _mm256_blendv_epi8(_mm256_set1_epi64x(kI64Min), s, mask);
+    vmax = _mm256_blendv_epi8(vmax, blended,
+                              _mm256_cmpgt_epi64(blended, vmax));
+  }
+  if (_mm256_movemask_pd(_mm256_castsi256_pd(any_ovf)) != 0) {
+    return MaxSum{0, true};
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), vmax);
+  g_tm_lanes_used.add(n);
+  return MaxSum{std::max(std::max(lanes[0], lanes[1]),
+                         std::max(lanes[2], lanes[3])),
+                false};
+}
+
+void sat_sum_into_avx2(const std::int64_t* a, const std::int64_t* b,
+                       std::int64_t* out, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i vmax = _mm256_set1_epi64x(kI64Max);
+  const __m256i vmin = _mm256_set1_epi64x(kI64Min);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i s = _mm256_add_epi64(x, y);
+    const __m256i ovf_bits = _mm256_and_si256(_mm256_xor_si256(x, s),
+                                              _mm256_xor_si256(y, s));
+    const __m256i ovf = _mm256_cmpgt_epi64(zero, ovf_bits);
+    const __m256i clamp =
+        _mm256_blendv_epi8(vmin, vmax, _mm256_cmpgt_epi64(y, zero));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_blendv_epi8(s, clamp, ovf));
+  }
+  if (i < n) {
+    const __m256i mask = avx2_tail_mask(n - i);
+    const __m256i x = avx2_masked_load(a + i, mask, zero);
+    const __m256i y = avx2_masked_load(b + i, mask, zero);
+    const __m256i s = _mm256_add_epi64(x, y);
+    const __m256i ovf_bits = _mm256_and_si256(_mm256_xor_si256(x, s),
+                                              _mm256_xor_si256(y, s));
+    const __m256i ovf = _mm256_cmpgt_epi64(zero, ovf_bits);
+    const __m256i clamp =
+        _mm256_blendv_epi8(vmin, vmax, _mm256_cmpgt_epi64(y, zero));
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(out + i), mask,
+                           _mm256_blendv_epi8(s, clamp, ovf));
+  }
+  g_tm_lanes_used.add(n);
+}
+
+void lockstep_screen_avx2(const std::int64_t* a, const std::int64_t* d,
+                          const std::int64_t* p, std::size_t rows,
+                          std::size_t lanes, std::int64_t* min_a,
+                          std::int64_t* max_dp, std::int64_t* max_p,
+                          std::int64_t* sum_p) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i vmax = _mm256_set1_epi64x(kI64Max);
+  const __m256i vmin = _mm256_set1_epi64x(kI64Min);
+  for (std::size_t k = 0; k < lanes; k += 4) {
+    const std::size_t width = std::min<std::size_t>(4, lanes - k);
+    const bool full = width == 4;
+    const __m256i mask = full ? _mm256_set1_epi64x(-1) : avx2_tail_mask(width);
+    __m256i mn_a = vmax;
+    __m256i mx_dp = vmin;
+    __m256i mx_p = vmin;
+    __m256i sm_p = zero;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t idx = r * lanes + k;
+      __m256i va, vd, vp;
+      if (full) {
+        va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + idx));
+        vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + idx));
+        vp = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + idx));
+      } else {
+        va = avx2_masked_load(a + idx, mask, vmax);   // neutral for min
+        vd = avx2_masked_load(d + idx, mask, vmin);   // d+0 stays neutral-ish
+        vp = avx2_masked_load(p + idx, mask, zero);   // neutral for max/sum
+      }
+      mn_a = _mm256_blendv_epi8(mn_a, va, _mm256_cmpgt_epi64(mn_a, va));
+      const __m256i clamp =
+          _mm256_blendv_epi8(vmin, vmax, _mm256_cmpgt_epi64(vp, zero));
+      const __m256i s = _mm256_add_epi64(vd, vp);
+      const __m256i ovf = _mm256_cmpgt_epi64(
+          zero, _mm256_and_si256(_mm256_xor_si256(vd, s),
+                                 _mm256_xor_si256(vp, s)));
+      const __m256i dp = _mm256_blendv_epi8(s, clamp, ovf);
+      mx_dp = _mm256_blendv_epi8(mx_dp, dp, _mm256_cmpgt_epi64(dp, mx_dp));
+      mx_p = _mm256_blendv_epi8(mx_p, vp, _mm256_cmpgt_epi64(vp, mx_p));
+      const __m256i sp = _mm256_add_epi64(sm_p, vp);
+      const __m256i sp_ovf = _mm256_cmpgt_epi64(
+          zero, _mm256_and_si256(_mm256_xor_si256(sm_p, sp),
+                                 _mm256_xor_si256(vp, sp)));
+      sm_p = _mm256_blendv_epi8(sp, clamp, sp_ovf);
+    }
+    if (full) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(min_a + k), mn_a);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(max_dp + k), mx_dp);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(max_p + k), mx_p);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(sum_p + k), sm_p);
+    } else {
+      _mm256_maskstore_epi64(reinterpret_cast<long long*>(min_a + k), mask,
+                             mn_a);
+      _mm256_maskstore_epi64(reinterpret_cast<long long*>(max_dp + k), mask,
+                             mx_dp);
+      _mm256_maskstore_epi64(reinterpret_cast<long long*>(max_p + k), mask,
+                             mx_p);
+      _mm256_maskstore_epi64(reinterpret_cast<long long*>(sum_p + k), mask,
+                             sm_p);
+    }
+  }
+  g_tm_lanes_used.add(rows * lanes);
+}
+
+#endif  // FJS_SIMD_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// NEON tier (aarch64). Same structure as SSE2 with native 64-bit
+// compares; untested on this x86 CI but kept honest by the same
+// per-tier differential tests wherever it does compile.
+// ---------------------------------------------------------------------------
+
+#if defined(FJS_SIMD_HAVE_NEON)
+
+MinMax minmax_neon(const std::int64_t* v, std::size_t n) {
+  int64x2_t vmin = vdupq_n_s64(v[0]);
+  int64x2_t vmax = vmin;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const int64x2_t x = vld1q_s64(v + i);
+    vmin = vbslq_s64(vcgtq_s64(vmin, x), x, vmin);
+    vmax = vbslq_s64(vcgtq_s64(x, vmax), x, vmax);
+  }
+  std::int64_t mn = std::min(vgetq_lane_s64(vmin, 0), vgetq_lane_s64(vmin, 1));
+  std::int64_t mx = std::max(vgetq_lane_s64(vmax, 0), vgetq_lane_s64(vmax, 1));
+  for (; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+  }
+  g_tm_lanes_used.add(n);
+  return MinMax{mn, mx};
+}
+
+SatSum sat_sum_neon(const std::int64_t* v, std::size_t n) {
+  uint64x2_t sum = vdupq_n_u64(0);
+  uint64x2_t carry = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = vreinterpretq_u64_s64(vld1q_s64(v + i));
+    const uint64x2_t ns = vaddq_u64(sum, x);
+    const uint64x2_t wrap = vcltq_u64(ns, x);  // unsigned wrap mask
+    carry = vsubq_u64(carry, wrap);
+    sum = ns;
+  }
+  std::uint64_t total = 0;
+  std::uint64_t total_carry = 0;
+  const std::uint64_t sums[2] = {vgetq_lane_u64(sum, 0), vgetq_lane_u64(sum, 1)};
+  const std::uint64_t carries[2] = {vgetq_lane_u64(carry, 0),
+                                    vgetq_lane_u64(carry, 1)};
+  for (int lane = 0; lane < 2; ++lane) {
+    total += sums[lane];
+    total_carry += carries[lane] + (total < sums[lane] ? 1U : 0U);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t add = static_cast<std::uint64_t>(v[i]);
+    total += add;
+    total_carry += (total < add) ? 1U : 0U;
+  }
+  const bool over =
+      total_carry > 0 || total > static_cast<std::uint64_t>(kI64Max);
+  g_tm_lanes_used.add(n);
+  return SatSum{over ? kI64Max : static_cast<std::int64_t>(total), over};
+}
+
+#endif  // FJS_SIMD_HAVE_NEON
+
+[[maybe_unused]] Tier best_compiled_tier() {
+#if defined(FJS_SIMD_HAVE_AVX2)
+  return Tier::kAvx2;
+#elif defined(FJS_SIMD_HAVE_NEON)
+  return Tier::kNeon;
+#elif defined(FJS_SIMD_HAVE_SSE2)
+  return Tier::kSse2;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kNeon:
+      return "neon";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const std::vector<Tier>& compiled_tiers() {
+  static const std::vector<Tier> tiers = [] {
+    std::vector<Tier> t{Tier::kScalar};
+#if defined(FJS_SIMD_HAVE_SSE2)
+    t.push_back(Tier::kSse2);
+#endif
+#if defined(FJS_SIMD_HAVE_NEON)
+    t.push_back(Tier::kNeon);
+#endif
+#if defined(FJS_SIMD_HAVE_AVX2)
+    t.push_back(Tier::kAvx2);
+#endif
+    return t;
+  }();
+  return tiers;
+}
+
+Tier active_tier() {
+#if defined(FJS_SIMD_ENABLED)
+  if (g_force_scalar.load(std::memory_order_relaxed)) {
+    return Tier::kScalar;
+  }
+  return best_compiled_tier();
+#else
+  return Tier::kScalar;
+#endif
+}
+
+void set_force_scalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool force_scalar() {
+  return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+MinMax minmax_ticks(const Time* values, std::size_t n) {
+  return minmax_ticks(values, n, active_tier());
+}
+
+MinMax minmax_ticks(const Time* values, std::size_t n, Tier tier) {
+  const std::int64_t* v = ticks_ptr(values);
+  switch (tier) {
+#if defined(FJS_SIMD_HAVE_AVX2)
+    case Tier::kAvx2:
+      return minmax_avx2(v, n);
+#endif
+#if defined(FJS_SIMD_HAVE_SSE2)
+    case Tier::kSse2:
+      return minmax_sse2(v, n);
+#endif
+#if defined(FJS_SIMD_HAVE_NEON)
+    case Tier::kNeon:
+      return minmax_neon(v, n);
+#endif
+    default:
+      return minmax_scalar(v, n);
+  }
+}
+
+SatSum sum_saturating_nonneg(const Time* values, std::size_t n) {
+  return sum_saturating_nonneg(values, n, active_tier());
+}
+
+SatSum sum_saturating_nonneg(const Time* values, std::size_t n, Tier tier) {
+  const std::int64_t* v = ticks_ptr(values);
+  switch (tier) {
+#if defined(FJS_SIMD_HAVE_AVX2)
+    case Tier::kAvx2:
+      return sat_sum_avx2(v, n);
+#endif
+#if defined(FJS_SIMD_HAVE_SSE2)
+    case Tier::kSse2:
+      return sat_sum_sse2(v, n);
+#endif
+#if defined(FJS_SIMD_HAVE_NEON)
+    case Tier::kNeon:
+      return sat_sum_neon(v, n);
+#endif
+    default:
+      return sat_sum_scalar(v, n);
+  }
+}
+
+MaxSum max_pairwise_sum(const Time* a, const Time* b, std::size_t n) {
+  return max_pairwise_sum(a, b, n, active_tier());
+}
+
+MaxSum max_pairwise_sum(const Time* a, const Time* b, std::size_t n,
+                        Tier tier) {
+  const std::int64_t* x = ticks_ptr(a);
+  const std::int64_t* y = ticks_ptr(b);
+  switch (tier) {
+#if defined(FJS_SIMD_HAVE_AVX2)
+    case Tier::kAvx2:
+      return max_pairwise_avx2(x, y, n);
+#endif
+#if defined(FJS_SIMD_HAVE_SSE2)
+    case Tier::kSse2:
+      return max_pairwise_sse2(x, y, n);
+#endif
+    default:
+      return max_pairwise_scalar(x, y, n);
+  }
+}
+
+void saturating_sum_into(const Time* a, const Time* b, std::int64_t* out,
+                         std::size_t n) {
+  saturating_sum_into(a, b, out, n, active_tier());
+}
+
+void saturating_sum_into(const Time* a, const Time* b, std::int64_t* out,
+                         std::size_t n, Tier tier) {
+  const std::int64_t* x = ticks_ptr(a);
+  const std::int64_t* y = ticks_ptr(b);
+  switch (tier) {
+#if defined(FJS_SIMD_HAVE_AVX2)
+    case Tier::kAvx2:
+      sat_sum_into_avx2(x, y, out, n);
+      return;
+#endif
+#if defined(FJS_SIMD_HAVE_SSE2)
+    case Tier::kSse2:
+      sat_sum_into_sse2(x, y, out, n);
+      return;
+#endif
+    default:
+      sat_sum_into_scalar(x, y, out, n);
+      return;
+  }
+}
+
+void sort_ids_by_key(const Time* keys, std::size_t n, std::vector<JobId>& out) {
+  sort_ids_by_key(keys, n, out, active_tier());
+}
+
+void sort_ids_by_key(const Time* keys, std::size_t n, std::vector<JobId>& out,
+                     Tier tier) {
+  const std::int64_t* k = ticks_ptr(keys);
+  if (tier == Tier::kScalar || n <= kRadixCutoff) {
+    sort_ids_comparison(k, n, out);
+    return;
+  }
+  g_tm_lanes_used.add(n);
+  sort_ids_radix(k, n, out);
+}
+
+void lockstep_screen(const std::int64_t* a, const std::int64_t* d,
+                     const std::int64_t* p, std::size_t rows,
+                     std::size_t lanes, std::int64_t* min_a,
+                     std::int64_t* max_dp, std::int64_t* max_p,
+                     std::int64_t* sum_p) {
+  lockstep_screen(a, d, p, rows, lanes, min_a, max_dp, max_p, sum_p,
+                  active_tier());
+}
+
+void lockstep_screen(const std::int64_t* a, const std::int64_t* d,
+                     const std::int64_t* p, std::size_t rows,
+                     std::size_t lanes, std::int64_t* min_a,
+                     std::int64_t* max_dp, std::int64_t* max_p,
+                     std::int64_t* sum_p, Tier tier) {
+  if (lanes == 0) {
+    return;
+  }
+  switch (tier) {
+#if defined(FJS_SIMD_HAVE_AVX2)
+    case Tier::kAvx2:
+      lockstep_screen_avx2(a, d, p, rows, lanes, min_a, max_dp, max_p, sum_p);
+      return;
+#endif
+#if defined(FJS_SIMD_HAVE_SSE2)
+    case Tier::kSse2:
+      lockstep_screen_sse2(a, d, p, rows, lanes, min_a, max_dp, max_p, sum_p);
+      return;
+#endif
+    default:
+      lockstep_screen_scalar(a, d, p, rows, lanes, min_a, max_dp, max_p,
+                             sum_p);
+      return;
+  }
+}
+
+}  // namespace fjs::simd

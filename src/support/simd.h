@@ -1,0 +1,143 @@
+// Portable SIMD kernels for the columnar (SoA) hot paths.
+//
+// Every kernel here is a pure reduction or map over Time columns (the
+// JobTable/InstanceView substrate, docs/DATA_MODEL.md) and is provided at
+// up to four tiers: hand-written AVX2, SSE2 and NEON intrinsics plus a
+// required scalar fallback. Dispatch is compile-time (the FJS_SIMD CMake
+// option selects the best tier the compiler supports; OFF compiles the
+// scalar fallbacks only) with a runtime escape hatch: setting the
+// FJS_FORCE_SCALAR environment variable (or calling set_force_scalar())
+// routes every default-tier call through the scalar code — that is how
+// reproduce.sh runs the whole suite twice and diffs the verdicts byte for
+// byte.
+//
+// Bit-identity contract: for any input, every tier of a kernel returns
+// the exact same bytes as the scalar tier (integer lane arithmetic only;
+// reduction reassociation is exact for the overflow-free ranges, and the
+// overflow/saturation cases are detected exactly — see each kernel's
+// note). The contract is pinned three ways: tests/test_support_simd.cpp
+// compares every compiled tier against scalar on edge inputs, the
+// always-on `simd-vs-scalar` fuzz oracle re-runs the comparison on every
+// generated instance, and reproduce.sh's FJS_FORCE_SCALAR differential
+// run re-checks it end to end. See docs/PERF.md ("SIMD kernels").
+//
+// Kernels take raw column pointers (Time is a trivially copyable wrapper
+// over one int64, statically asserted in simd.cpp); vector tiers load the
+// bytes directly. Tails are handled without scalar epilogues on AVX2
+// (masked loads/stores suppress lane faults); SSE2/NEON use short scalar
+// tails. Owned JobTable columns are additionally 64-byte aligned with
+// readable padding (support/aligned.h), so full-width loads on the owned
+// path never straddle an unmapped page.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/job.h"
+#include "core/time.h"
+
+namespace fjs::simd {
+
+/// Instruction-set tiers, in increasing preference order. kScalar is
+/// always compiled; the vector tiers exist only where the target (and the
+/// FJS_SIMD build option) provide them.
+enum class Tier : std::uint8_t { kScalar = 0, kSse2 = 1, kNeon = 2, kAvx2 = 3 };
+
+/// Human-readable tier name ("scalar", "sse2", "neon", "avx2").
+const char* tier_name(Tier tier);
+
+/// Tiers compiled into this binary, scalar first. Vector tiers appear
+/// even when FJS_SIMD=OFF hides them from dispatch — tests iterate this
+/// list to differential-check every implementation the binary carries.
+const std::vector<Tier>& compiled_tiers();
+
+/// The tier default-tier kernel calls dispatch to: the best compiled tier
+/// under FJS_SIMD=ON, kScalar under FJS_SIMD=OFF or when force-scalar is
+/// set (FJS_FORCE_SCALAR in the environment, or set_force_scalar(true)).
+Tier active_tier();
+
+/// Runtime scalar override for differential tests and the /scalar
+/// benchmark variants. Reads are relaxed atomic: flip it only at
+/// quiescent points (no kernel concurrently in flight) or the two sides
+/// of a comparison may mix tiers.
+void set_force_scalar(bool force);
+bool force_scalar();
+
+struct MinMax {
+  std::int64_t min;
+  std::int64_t max;
+};
+
+/// Min and max over n > 0 ticks. Exact for all inputs (pure compares).
+MinMax minmax_ticks(const Time* values, std::size_t n);
+MinMax minmax_ticks(const Time* values, std::size_t n, Tier tier);
+
+struct SatSum {
+  std::int64_t sum;       ///< saturated at Time::max() when overflowed
+  bool overflowed;        ///< exact: set iff the true sum exceeds max
+};
+
+/// Saturating sum of NON-NEGATIVE ticks with exact overflow detection:
+/// lanes accumulate in unsigned 64-bit with an overflow-carry counter per
+/// lane, and the final (carry, sum) pairs combine into a 128-bit total —
+/// so `overflowed` is set iff the infinite-precision sum exceeds
+/// Time::max(), which for non-negative addends is exactly when the scalar
+/// running prefix sum would have clipped. Negative inputs are a contract
+/// violation (the scalar reference itself overflows on them).
+SatSum sum_saturating_nonneg(const Time* values, std::size_t n);
+SatSum sum_saturating_nonneg(const Time* values, std::size_t n, Tier tier);
+
+struct MaxSum {
+  std::int64_t max;       ///< meaningful only when !overflowed
+  bool overflowed;        ///< some a[i] + b[i] is not representable
+};
+
+/// max over i of a[i] + b[i] (n > 0). When any pairwise sum overflows
+/// int64 the kernel reports it instead of producing a value; callers that
+/// need checked_add's throw re-run the scalar checked loop to fail at the
+/// same element with the same error.
+MaxSum max_pairwise_sum(const Time* a, const Time* b, std::size_t n);
+MaxSum max_pairwise_sum(const Time* a, const Time* b, std::size_t n,
+                        Tier tier);
+
+/// out[i] = (a[i] + b[i]) with Time::saturating_add semantics (clamps to
+/// Time::max()/min() by the sign of b on overflow). Exact on every input.
+void saturating_sum_into(const Time* a, const Time* b, std::int64_t* out,
+                         std::size_t n);
+void saturating_sum_into(const Time* a, const Time* b, std::int64_t* out,
+                         std::size_t n, Tier tier);
+
+/// Stable (key, id) ordering: fills `out` with 0..n-1 sorted by key, ties
+/// by id. Vector tiers use an LSD radix sort on the sign-flipped 64-bit
+/// keys (branch-free per-element histogramming, constant-byte passes
+/// skipped) above a small-n cutoff; the scalar tier and small inputs use
+/// a comparison sort. The (key, id) order is a total order, so every path
+/// produces the identical permutation.
+void sort_ids_by_key(const Time* keys, std::size_t n, std::vector<JobId>& out);
+void sort_ids_by_key(const Time* keys, std::size_t n, std::vector<JobId>& out,
+                     Tier tier);
+
+/// Lane-parallel candidate screen (the miner's pre-simulation cut): the
+/// inputs are row-major padded column batches of shape rows x lanes —
+/// element [r * lanes + k] is candidate k's value for job row r — and the
+/// kernel reduces all lanes in lockstep:
+///   min_a[k]  = min over rows of a,
+///   max_dp[k] = max over rows of saturating(d + p),
+///   max_p[k]  = max over rows of p,
+///   sum_p[k]  = step-wise saturating sum over rows of p.
+/// rows must be > 0; any `lanes` value works (tails are masked). Each
+/// lane's outputs equal the scalar per-candidate reductions exactly
+/// (saturation follows Time::saturating_add step for step).
+void lockstep_screen(const std::int64_t* a, const std::int64_t* d,
+                     const std::int64_t* p, std::size_t rows,
+                     std::size_t lanes, std::int64_t* min_a,
+                     std::int64_t* max_dp, std::int64_t* max_p,
+                     std::int64_t* sum_p);
+void lockstep_screen(const std::int64_t* a, const std::int64_t* d,
+                     const std::int64_t* p, std::size_t rows,
+                     std::size_t lanes, std::int64_t* min_a,
+                     std::int64_t* max_dp, std::int64_t* max_p,
+                     std::int64_t* sum_p, Tier tier);
+
+}  // namespace fjs::simd

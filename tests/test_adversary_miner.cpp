@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "helpers.h"
@@ -80,9 +81,10 @@ TEST(MinerPrefix, CacheStatsPopulatedAndValuesUnchanged) {
   EXPECT_GT(result.mean_prefix_depth(), 0.0);
   EXPECT_LT(result.mean_prefix_depth(),
             static_cast<double>(small_options().jobs));
-  // Every objective call simulates exactly once: hit or miss, never both.
+  // Every objective call simulates exactly once: hit or miss, never both
+  // (screened candidates never reach the simulator at all).
   EXPECT_EQ(result.prefix_hits + result.prefix_misses,
-            result.evaluations - result.memo_hits);
+            result.evaluations - result.memo_hits - result.screen_rejects);
 }
 
 TEST(MinerPrefix, CountersStableAcrossThreadCountsInSerialBatches) {
@@ -103,7 +105,58 @@ TEST(MinerPrefix, CountersStableAcrossThreadCountsInSerialBatches) {
   EXPECT_EQ(parallel.trajectory, a.trajectory);
   EXPECT_EQ(parallel.worst_ratio, a.worst_ratio);
   EXPECT_EQ(parallel.prefix_hits + parallel.prefix_misses,
-            parallel.evaluations - parallel.memo_hits);
+            parallel.evaluations - parallel.memo_hits -
+                parallel.screen_rejects);
+}
+
+TEST(MinerScreen, PrecutPreservesTrajectoryAndCountsRejects) {
+  // The lane-parallel LB pre-screen may settle a candidate with the
+  // span-free upper bound min(max d+p - min a, sum p) / max p instead of
+  // calling the objective. Use an objective that bound provably dominates
+  // (0.75x the bound itself, recomputed from the view) and pin that
+  // screening changes nothing observable except the number of objective
+  // calls: settled values differ from true values but both stay at or
+  // below the frozen threshold, so the trajectory, worst instance and
+  // evaluation counts are bit-identical.
+  const auto objective = std::function<double(InstanceView, double, Time)>(
+      [](InstanceView view, double, Time) {
+        const double window = time_ratio(
+            view.latest_completion() - view.earliest_arrival(),
+            view.max_length());
+        const double work =
+            time_ratio(view.total_work(), view.max_length());
+        return 0.75 * std::min(window, work);
+      });
+  MinerOptions off = small_options();
+  off.screen_lb_precut = false;
+  const MinerResult plain = mine_instance(objective, off);
+  MinerOptions on = small_options();
+  on.screen_lb_precut = true;
+  const MinerResult screened = mine_instance(objective, on);
+  EXPECT_EQ(plain.trajectory, screened.trajectory);
+  EXPECT_EQ(plain.worst_ratio, screened.worst_ratio);
+  EXPECT_EQ(plain.evaluations, screened.evaluations);
+  EXPECT_EQ(plain.worst_instance.to_string(),
+            screened.worst_instance.to_string());
+  EXPECT_EQ(plain.screen_rejects, 0u);
+  EXPECT_GT(screened.screen_rejects, 0u);
+}
+
+TEST(MinerScreen, WorstCaseMineScreensAndStaysConsistent) {
+  // mine_worst_case opts into the pre-screen (its objective is span/OPT).
+  // Shapes with few long jobs keep min(window, total work) / max length
+  // near 1 for most mutations while the incumbent ratio climbs toward 2,
+  // so the screen must actually bite; screened candidates count as
+  // evaluations but not as objective calls.
+  MinerOptions options = small_options();
+  options.jobs = 4;
+  options.horizon = 8;
+  options.max_laxity = 2;
+  options.max_length = 4;
+  const MinerResult result = mine_worst_case("lazy", options);
+  EXPECT_GT(result.screen_rejects, 0u);
+  EXPECT_LE(result.screen_rejects,
+            result.evaluations - result.memo_hits);
 }
 
 TEST(MinerBudget, UncertifiableCandidatesAreSkippedNotFatal) {

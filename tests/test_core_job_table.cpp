@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "core/instance.h"
@@ -146,6 +148,106 @@ TEST(JobTable, ColumnLengthMismatchIsRejectedByViewCtor) {
   std::vector<Time> two(2, Time::zero());
   std::vector<Time> three(3, Time::zero());
   EXPECT_THROW(InstanceView(two, three, two), AssertionError);
+}
+
+TEST(JobTable, ColumnsAre64ByteAligned) {
+  // The SIMD kernels' owned-path padding guarantee (support/aligned.h):
+  // column bases stay 64-byte aligned through growth so full-width vector
+  // loads on the owned path never straddle an unmapped page.
+  JobTable table;
+  for (std::size_t i = 0; i < 100; ++i) {
+    table.push_back(U(static_cast<double>(i)), U(static_cast<double>(i + 1)),
+                    U(1));
+    for (const auto* base : {table.arrivals().data(),
+                             table.deadlines().data(),
+                             table.lengths().data()}) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(base) % 64, 0u)
+          << "after " << i + 1 << " rows";
+    }
+  }
+}
+
+TEST(InstanceViewSimd, EmptyAndSingleRowStats) {
+  JobTable empty;
+  EXPECT_EQ(empty.view().total_work(), Time::zero());
+  JobTable one;
+  one.push_back(U(2), U(3), U(4));
+  const InstanceView v = one.view();
+  EXPECT_EQ(v.min_length(), U(4));
+  EXPECT_EQ(v.max_length(), U(4));
+  EXPECT_EQ(v.total_work(), U(4));
+  EXPECT_EQ(v.earliest_arrival(), U(2));
+  EXPECT_EQ(v.latest_completion(), U(7));
+  EXPECT_EQ(v.ids_by_arrival(), std::vector<JobId>{0});
+}
+
+TEST(InstanceViewSimd, AllEqualKeysOrderByIdAtEveryScale) {
+  // Radix path (above the small-n cutoff) and comparison path must both
+  // realize the (key, id) total order when every key ties.
+  for (const std::size_t n : {3u, 7u, 64u, 65u, 200u}) {
+    JobTable table;
+    for (std::size_t i = 0; i < n; ++i) {
+      table.push_back(U(5), U(6), U(1));
+    }
+    const std::vector<JobId> by_arrival = table.view().ids_by_arrival();
+    const std::vector<JobId> by_deadline = table.view().ids_by_deadline();
+    ASSERT_EQ(by_arrival.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(by_arrival[i], static_cast<JobId>(i)) << "n=" << n;
+      EXPECT_EQ(by_deadline[i], static_cast<JobId>(i)) << "n=" << n;
+    }
+  }
+}
+
+TEST(InstanceViewSimd, StatsStableAcrossVectorTailLengths) {
+  // n = 1..8 walks every tail residue the widest vector tier can leave;
+  // stats computed through the dispatched kernels must equal the naive
+  // scalar recomputation at each size.
+  JobTable table;
+  for (std::size_t n = 1; n <= 8; ++n) {
+    const auto d = static_cast<double>(n);
+    table.push_back(U(d), U(d + 2), U(9 - d));
+    const InstanceView v = table.view();
+    Time min_len = Time::max();
+    Time max_len = Time::min();
+    Time work = Time::zero();
+    Time early = Time::max();
+    Time late = Time::min();
+    for (std::size_t i = 0; i < n; ++i) {
+      min_len = std::min(min_len, v.length(static_cast<JobId>(i)));
+      max_len = std::max(max_len, v.length(static_cast<JobId>(i)));
+      work += v.length(static_cast<JobId>(i));
+      early = std::min(early, v.arrival(static_cast<JobId>(i)));
+      late = std::max(late, v.deadline(static_cast<JobId>(i)) +
+                                v.length(static_cast<JobId>(i)));
+    }
+    EXPECT_EQ(v.min_length(), min_len) << "n=" << n;
+    EXPECT_EQ(v.max_length(), max_len) << "n=" << n;
+    EXPECT_EQ(v.total_work(), work) << "n=" << n;
+    EXPECT_EQ(v.earliest_arrival(), early) << "n=" << n;
+    EXPECT_EQ(v.latest_completion(), late) << "n=" << n;
+  }
+}
+
+TEST(InstanceViewSimd, NearMaxMagnitudesSaturateAndThrowLikeScalar) {
+  // Near-Time::max() rows: the vectorized total_work must saturate with
+  // the flag set, the checked accessor must throw, and latest_completion
+  // must throw through its checked fallback — exactly the scalar
+  // behaviour the fuzz oracle pins tier against tier.
+  JobTable table;
+  table.push_back(Time::zero(), Time::max() - Time(1), Time(1));
+  table.push_back(Time::zero(), Time::max(), Time(1));  // d + p overflows
+  table.push_back(Time::zero(), Time::zero(), Time::max());
+  bool overflowed = false;
+  EXPECT_EQ(table.view().total_work_saturating(&overflowed), Time::max());
+  EXPECT_TRUE(overflowed);
+  EXPECT_THROW(table.view().total_work(), AssertionError);
+  EXPECT_THROW(table.view().latest_completion(), AssertionError);
+  // Drop the overflowing rows: the same paths come back exact.
+  JobTable exact;
+  exact.push_back(Time::zero(), Time::max() - Time(1), Time(1));
+  EXPECT_EQ(exact.view().latest_completion(), Time::max());
+  EXPECT_EQ(exact.view().total_work(), Time(1));
 }
 
 }  // namespace

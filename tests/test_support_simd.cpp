@@ -1,0 +1,286 @@
+// The SIMD layer's bit-identity contract (support/simd.h): every tier
+// compiled into the binary must agree with the scalar tier byte for byte,
+// on every kernel, including the awkward inputs vector code gets wrong
+// first — saturating lanes, INT64 extremes, duplicate keys, and every
+// tail length against the vector widths. The fuzz oracle re-checks the
+// same comparisons on generated instances; these tests pin the
+// hand-picked corners and the dispatch/force-scalar plumbing.
+#include "support/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/time.h"
+
+namespace fjs {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+std::vector<simd::Tier> vector_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (const simd::Tier tier : simd::compiled_tiers()) {
+    if (tier != simd::Tier::kScalar) {
+      tiers.push_back(tier);
+    }
+  }
+  return tiers;
+}
+
+std::vector<Time> as_times(const std::vector<std::int64_t>& ticks) {
+  std::vector<Time> out;
+  out.reserve(ticks.size());
+  for (const std::int64_t t : ticks) {
+    out.emplace_back(t);
+  }
+  return out;
+}
+
+// Deterministic value mix covering sign changes, saturation-adjacent
+// magnitudes and duplicates; length n exercises whichever tail the tier's
+// vector width leaves over.
+std::vector<Time> mixed_values(std::size_t n, std::int64_t salt = 0) {
+  std::vector<std::int64_t> ticks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto j = static_cast<std::int64_t>(i);
+    switch (i % 7) {
+      case 0: ticks[i] = j * 977 + salt; break;
+      case 1: ticks[i] = -(j * 31) - salt; break;
+      case 2: ticks[i] = kMax - j; break;
+      case 3: ticks[i] = Time::min().ticks() + j + 1; break;
+      case 4: ticks[i] = 42; break;  // duplicates
+      case 5: ticks[i] = 0; break;
+      default: ticks[i] = (j % 2 == 0 ? 1 : -1) * (kMax / (j + 2)); break;
+    }
+  }
+  return as_times(ticks);
+}
+
+TEST(SimdDispatch, CompiledTiersStartWithScalar) {
+  const std::vector<simd::Tier>& tiers = simd::compiled_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), simd::Tier::kScalar);
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kScalar), "scalar");
+}
+
+TEST(SimdDispatch, ForceScalarRoutesActiveTier) {
+  const simd::Tier before = simd::active_tier();
+  simd::set_force_scalar(true);
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  simd::set_force_scalar(false);
+  EXPECT_EQ(simd::active_tier(), before);
+}
+
+TEST(SimdMinMax, AllTiersMatchScalarOnAllTails) {
+  for (const simd::Tier tier : vector_tiers()) {
+    for (std::size_t n = 1; n <= 33; ++n) {
+      const std::vector<Time> v = mixed_values(n);
+      const simd::MinMax s =
+          simd::minmax_ticks(v.data(), n, simd::Tier::kScalar);
+      const simd::MinMax t = simd::minmax_ticks(v.data(), n, tier);
+      EXPECT_EQ(t.min, s.min) << simd::tier_name(tier) << " n=" << n;
+      EXPECT_EQ(t.max, s.max) << simd::tier_name(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdMinMax, SingleElementAndAllEqual) {
+  const std::vector<Time> one = as_times({kMax});
+  const std::vector<Time> equal(17, Time(-7));
+  for (const simd::Tier tier : simd::compiled_tiers()) {
+    const simd::MinMax a = simd::minmax_ticks(one.data(), 1, tier);
+    EXPECT_EQ(a.min, kMax);
+    EXPECT_EQ(a.max, kMax);
+    const simd::MinMax b = simd::minmax_ticks(equal.data(), equal.size(), tier);
+    EXPECT_EQ(b.min, -7);
+    EXPECT_EQ(b.max, -7);
+  }
+}
+
+TEST(SimdSatSum, ExactTotalsAndOverflowFlagMatchScalar) {
+  // Non-negative contract; include near-max addends that force the
+  // overflow flag in some prefixes but not others.
+  const std::vector<std::vector<std::int64_t>> cases = {
+      {0},
+      {kMax},
+      {kMax, 1},
+      {1, kMax},
+      {kMax / 2, kMax / 2, 3},
+      {5, 9, 13, 2, 0, 7, 11, 1, 3},
+      {kMax / 8, kMax / 8, kMax / 8, kMax / 8, kMax / 8, kMax / 8, kMax / 8,
+       kMax / 8, kMax / 8},
+  };
+  for (const auto& ticks : cases) {
+    const std::vector<Time> v = as_times(ticks);
+    const simd::SatSum s =
+        simd::sum_saturating_nonneg(v.data(), v.size(), simd::Tier::kScalar);
+    for (const simd::Tier tier : vector_tiers()) {
+      const simd::SatSum t = simd::sum_saturating_nonneg(v.data(), v.size(), tier);
+      EXPECT_EQ(t.sum, s.sum) << simd::tier_name(tier);
+      EXPECT_EQ(t.overflowed, s.overflowed) << simd::tier_name(tier);
+    }
+  }
+}
+
+TEST(SimdSatSum, TailLengthsAgainstEveryTier) {
+  for (const simd::Tier tier : vector_tiers()) {
+    for (std::size_t n = 1; n <= 19; ++n) {
+      std::vector<std::int64_t> ticks(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ticks[i] = (i % 3 == 0) ? kMax / 4 : static_cast<std::int64_t>(i);
+      }
+      const std::vector<Time> v = as_times(ticks);
+      const simd::SatSum s =
+          simd::sum_saturating_nonneg(v.data(), n, simd::Tier::kScalar);
+      const simd::SatSum t = simd::sum_saturating_nonneg(v.data(), n, tier);
+      EXPECT_EQ(t.sum, s.sum) << simd::tier_name(tier) << " n=" << n;
+      EXPECT_EQ(t.overflowed, s.overflowed)
+          << simd::tier_name(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdMaxPairwise, OverflowDetectionMatchesScalar) {
+  const std::vector<std::pair<std::vector<std::int64_t>,
+                              std::vector<std::int64_t>>>
+      cases = {
+          {{1, 2, 3}, {4, 5, 6}},
+          {{kMax, 0}, {1, 0}},                      // overflow in lane 0
+          {{kMax - 5, 1, 2, 3, 4}, {5, 1, 1, 1, 1}},  // exactly at max
+          {{Time::min().ticks(), 0}, {-1, 0}},      // negative overflow
+          {{-3, -9, kMax / 2}, {-4, 2, kMax / 2}},
+      };
+  for (const auto& [a_ticks, b_ticks] : cases) {
+    const std::vector<Time> a = as_times(a_ticks);
+    const std::vector<Time> b = as_times(b_ticks);
+    const simd::MaxSum s =
+        simd::max_pairwise_sum(a.data(), b.data(), a.size(),
+                               simd::Tier::kScalar);
+    for (const simd::Tier tier : vector_tiers()) {
+      const simd::MaxSum t =
+          simd::max_pairwise_sum(a.data(), b.data(), a.size(), tier);
+      EXPECT_EQ(t.overflowed, s.overflowed) << simd::tier_name(tier);
+      if (!s.overflowed) {
+        EXPECT_EQ(t.max, s.max) << simd::tier_name(tier);
+      }
+    }
+  }
+}
+
+TEST(SimdSaturatingSumInto, ClampsBySignOfRhsOnEveryTier) {
+  // Time::saturating_add clamps toward the sign of the right-hand side;
+  // every lane must reproduce that exact rule at both extremes.
+  const std::vector<std::int64_t> a_ticks = {kMax, Time::min().ticks(), 5,
+                                             kMax - 1, -3, 0, kMax, 7};
+  const std::vector<std::int64_t> b_ticks = {1, -1, 9, 2, -8, 0, kMax, -7};
+  const std::vector<Time> a = as_times(a_ticks);
+  const std::vector<Time> b = as_times(b_ticks);
+  for (std::size_t n = 1; n <= a.size(); ++n) {
+    std::vector<std::int64_t> expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      expect[i] = a[i].saturating_add(b[i]).ticks();
+    }
+    for (const simd::Tier tier : simd::compiled_tiers()) {
+      std::vector<std::int64_t> out(n, -12345);
+      simd::saturating_sum_into(a.data(), b.data(), out.data(), n, tier);
+      EXPECT_EQ(out, expect) << simd::tier_name(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdSort, RadixMatchesComparatorAboveCutoff) {
+  // 100 keys exceeds the radix cutoff; duplicates force the stability /
+  // (key, id) total-order claim, negative keys force the sign flip.
+  std::vector<std::int64_t> ticks(100);
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    const auto j = static_cast<std::int64_t>(i);
+    ticks[i] = ((j * 2654435761LL) % 17) - 8;  // heavy duplication, signed
+  }
+  ticks[3] = kMax;
+  ticks[97] = Time::min().ticks();
+  const std::vector<Time> keys = as_times(ticks);
+  std::vector<JobId> scalar_ids;
+  simd::sort_ids_by_key(keys.data(), keys.size(), scalar_ids,
+                        simd::Tier::kScalar);
+  for (const simd::Tier tier : vector_tiers()) {
+    std::vector<JobId> ids;
+    simd::sort_ids_by_key(keys.data(), keys.size(), ids, tier);
+    EXPECT_EQ(ids, scalar_ids) << simd::tier_name(tier);
+  }
+}
+
+TEST(SimdSort, AllEqualKeysKeepAscendingIds) {
+  const std::vector<Time> keys(150, Time(4));
+  for (const simd::Tier tier : simd::compiled_tiers()) {
+    std::vector<JobId> ids;
+    simd::sort_ids_by_key(keys.data(), keys.size(), ids, tier);
+    ASSERT_EQ(ids.size(), keys.size()) << simd::tier_name(tier);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(ids[i], static_cast<JobId>(i)) << simd::tier_name(tier);
+    }
+  }
+}
+
+TEST(SimdLockstep, AllLaneCountsMatchScalar) {
+  // rows x lanes batches for every lane count that produces a distinct
+  // vector tail; rows include saturating d + p and sum-p saturation.
+  const std::size_t rows = 6;
+  for (std::size_t lanes = 1; lanes <= 9; ++lanes) {
+    std::vector<std::int64_t> a(rows * lanes);
+    std::vector<std::int64_t> d(rows * lanes);
+    std::vector<std::int64_t> p(rows * lanes);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t k = 0; k < lanes; ++k) {
+        const std::size_t idx = r * lanes + k;
+        const auto rk = static_cast<std::int64_t>(r * 31 + k * 7);
+        a[idx] = rk - 40;
+        d[idx] = (r == 2) ? kMax - 3 : rk;
+        p[idx] = (r == 4) ? kMax / 2 : rk % 11 + 1;
+      }
+    }
+    std::vector<std::int64_t> s_out(4 * lanes, -1);
+    simd::lockstep_screen(a.data(), d.data(), p.data(), rows, lanes,
+                          s_out.data(), s_out.data() + lanes,
+                          s_out.data() + 2 * lanes, s_out.data() + 3 * lanes,
+                          simd::Tier::kScalar);
+    for (const simd::Tier tier : vector_tiers()) {
+      std::vector<std::int64_t> t_out(4 * lanes, -2);
+      simd::lockstep_screen(a.data(), d.data(), p.data(), rows, lanes,
+                            t_out.data(), t_out.data() + lanes,
+                            t_out.data() + 2 * lanes,
+                            t_out.data() + 3 * lanes, tier);
+      EXPECT_EQ(t_out, s_out) << simd::tier_name(tier) << " lanes=" << lanes;
+    }
+  }
+}
+
+TEST(SimdLockstep, SumPFollowsSaturatingAddStepwise) {
+  // One lane whose running sum saturates at max and then meets a negative
+  // addend: Time::saturating_add semantics clamp per step, so the final
+  // value must drop back below max exactly as the scalar walk does.
+  const std::size_t rows = 3;
+  const std::vector<std::int64_t> a = {0, 0, 0};
+  const std::vector<std::int64_t> d = {0, 0, 0};
+  const std::vector<std::int64_t> p = {kMax, kMax, -5};
+  std::int64_t expect = 0;
+  for (const std::int64_t step : p) {
+    expect = Time(expect).saturating_add(Time(step)).ticks();
+  }
+  for (const simd::Tier tier : simd::compiled_tiers()) {
+    std::int64_t min_a = -1;
+    std::int64_t max_dp = -1;
+    std::int64_t max_p = -1;
+    std::int64_t sum_p = -1;
+    simd::lockstep_screen(a.data(), d.data(), p.data(), rows, 1, &min_a,
+                          &max_dp, &max_p, &sum_p, tier);
+    EXPECT_EQ(sum_p, expect) << simd::tier_name(tier);
+    EXPECT_EQ(max_p, kMax) << simd::tier_name(tier);
+  }
+}
+
+}  // namespace
+}  // namespace fjs
